@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Every benchmark regenerates one paper artifact (table, figure, or
+numbered textual claim — see DESIGN.md §4), asserts that the *shape* of
+the paper's claim holds, and writes its rendered table to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md entries can be
+refreshed verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(experiment_id: str, text: str) -> None:
+    """Persist a rendered experiment table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{experiment_id}]")
+    print(text)

@@ -1,0 +1,123 @@
+"""A2 (ablation) — which implicit adjudicator for which failure mix?
+
+The paper calls the NVP voter "a general voting algorithm"; this
+ablation shows the choice matters.  Three failure mixes run against four
+voters over 5 versions:
+
+* crash-heavy — versions fail by crashing (distinct failures);
+* diverging wrong values — faulty versions return version-specific
+  wrong answers;
+* numeric noise — all versions return the right value plus small noise,
+  one returns a large outlier.
+
+Measured: decision rate (a verdict was produced) and correctness rate
+(the verdict equals the oracle).  Shapes: plurality decides strictly
+more often than majority and is never less correct on diverging wrong
+values; median is the only voter that handles numeric noise; unanimity
+is useless as a masking adjudicator (it is a detector).
+"""
+
+from repro.adjudicators.voting import (
+    MajorityVoter,
+    MedianVoter,
+    PluralityVoter,
+    UnanimousVoter,
+)
+from repro.components.library import diverse_versions
+from repro.components.version import Version
+from repro.harness.report import render_table
+from repro.patterns.parallel_evaluation import ParallelEvaluation
+from repro.exceptions import NoMajorityError, RedundancyError
+
+from _common import save_result
+
+TRIALS = 600
+
+
+def oracle(x):
+    return float(x * 3)
+
+
+def _crash_heavy(seed):
+    return diverse_versions(oracle, 5, 0.35, seed=seed)
+
+
+def _diverging_wrong(seed):
+    return diverse_versions(oracle, 5, 0.35, seed=seed + 1)
+
+
+def _numeric_noise(seed):
+    versions = [Version(f"n{i}", impl=lambda x, i=i: oracle(x) + i * 1e-7)
+                for i in range(4)]
+    versions.append(Version("outlier", impl=lambda x: oracle(x) + 1e6))
+    return versions
+
+
+MIXES = (
+    ("crash-heavy p=0.35", _crash_heavy),
+    ("diverging wrong values p=0.35", _diverging_wrong),
+    ("numeric noise + outlier", _numeric_noise),
+)
+
+VOTERS = (
+    ("majority", lambda: MajorityVoter()),
+    ("plurality", lambda: PluralityVoter()),
+    ("median", lambda: MedianVoter()),
+    ("unanimous", lambda: UnanimousVoter()),
+)
+
+
+def _rates(versions, voter):
+    pattern = ParallelEvaluation(versions, adjudicator=voter)
+    decided = correct = 0
+    for x in range(TRIALS):
+        try:
+            value = pattern.execute(x)
+        except RedundancyError:
+            continue
+        decided += 1
+        expected = oracle(x)
+        if isinstance(value, float) and abs(value - expected) < 1e-3:
+            correct += 1
+    return decided / TRIALS, correct / TRIALS
+
+
+def _experiment():
+    rows = []
+    results = {}
+    for mix_name, make_versions in MIXES:
+        for voter_name, make_voter in VOTERS:
+            decided, correct = _rates(make_versions(seed=5), make_voter())
+            results[(mix_name, voter_name)] = (decided, correct)
+            rows.append((mix_name, voter_name, round(decided, 3),
+                         round(correct, 3)))
+    table = render_table(
+        ("failure mix", "voter", "decision rate", "correct rate"),
+        rows, title=f"A2: voter ablation over 5 versions, {TRIALS} "
+                    f"requests per cell")
+    return results, table
+
+
+def test_a2_voter_choice_matters(benchmark):
+    results, table = benchmark(_experiment)
+    save_result("A2_voter_ablation", table)
+
+    # Plurality decides at least as often as majority, in every mix.
+    for mix_name, _ in MIXES:
+        assert (results[(mix_name, "plurality")][0]
+                >= results[(mix_name, "majority")][0])
+
+    # On diverging wrong values, plurality's extra decisions are safe:
+    # correctness >= majority's.
+    mix = "diverging wrong values p=0.35"
+    assert results[(mix, "plurality")][1] >= results[(mix, "majority")][1]
+
+    # Numeric noise defeats exact-equality voters entirely; the median
+    # masks the outlier and stays correct.
+    noise = "numeric noise + outlier"
+    assert results[(noise, "majority")][0] == 0.0
+    assert results[(noise, "median")][1] > 0.99
+
+    # Unanimity never decides once any version misbehaves.
+    for mix_name, _ in MIXES:
+        assert results[(mix_name, "unanimous")][0] < 0.3

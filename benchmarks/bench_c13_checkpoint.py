@@ -1,0 +1,108 @@
+"""C13 — Elnozahy et al. / the paper's checkpoint-recovery row:
+"effective in dealing with Heisenbugs that depend on temporary execution
+conditions, but do not work well for Bohrbugs"; plus the classic
+checkpoint-interval overhead trade-off.
+
+Sweep 1: fault class — Heisenbugs at increasing activation probability
+vs a Bohrbug; measured completion rate.
+Sweep 2: checkpoint interval on a failure-free and a faulty run;
+measured virtual-time overhead (frequent checkpoints cost overhead but
+shrink the re-execution window after a rollback).
+"""
+
+from repro.environment import SimEnvironment
+from repro.exceptions import BohrbugFailure
+from repro.faults.development import Bohrbug, Heisenbug, InputRegion
+from repro.faults.injector import FaultyFunction
+from repro.harness.report import render_table
+from repro.techniques.checkpoint_recovery import CheckpointRecovery
+
+from _common import save_result
+
+STEPS = 50
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _run(fault, interval, seed, retry_budget=40):
+    env = SimEnvironment(seed=seed)
+    task = FaultyFunction(lambda: None,
+                          faults=[fault] if fault else [], cost=1.0)
+    steps = [lambda e: task(env=e) for _ in range(STEPS)]
+    cr = CheckpointRecovery(env, interval=interval, checkpoint_cost=1.0,
+                            recovery_cost=3.0,
+                            max_rollbacks_per_step=retry_budget)
+    return cr.run(steps)
+
+
+def _fault_class_sweep():
+    rows = []
+    rates = {}
+    for label, make_fault in (
+            ("none", lambda: None),
+            ("Heisenbug p=0.2", lambda: Heisenbug("h", probability=0.2)),
+            ("Heisenbug p=0.5", lambda: Heisenbug("h", probability=0.5)),
+            ("Bohrbug", lambda: Bohrbug("b", predicate=lambda args: True))):
+        completed = 0
+        time = 0.0
+        for seed in SEEDS:
+            report = _run(make_fault(), interval=5, seed=seed,
+                          retry_budget=2000)
+            completed += report.completed
+            time += report.virtual_time
+        rates[label] = completed / len(SEEDS)
+        rows.append((label, rates[label], round(time / len(SEEDS), 1)))
+    return rates, rows
+
+
+def _interval_sweep():
+    rows = []
+    times = {}
+    # A milder Heisenbug (p=0.05) keeps long checkpoint intervals
+    # completable within a sane retry budget; the trade-off shape is the
+    # same: overhead at small intervals, re-execution loss at large ones.
+    for interval in (1, 5, 10, 25, 50):
+        time = 0.0
+        for seed in SEEDS:
+            report = _run(Heisenbug("h", probability=0.05), interval,
+                          seed, retry_budget=10_000)
+            assert report.completed
+            time += report.virtual_time
+        times[interval] = time / len(SEEDS)
+        rows.append((interval, round(times[interval], 1)))
+    return times, rows
+
+
+def _experiment():
+    rates, class_rows = _fault_class_sweep()
+    times, interval_rows = _interval_sweep()
+    table = (render_table(("fault", "completion rate",
+                           "mean virtual time"),
+                          class_rows,
+                          title=f"C13a: checkpoint-recovery vs fault class "
+                                f"({STEPS} steps, interval 5)")
+             + "\n\n"
+             + render_table(("checkpoint interval", "mean virtual time"),
+                            interval_rows,
+                            title="C13b: completion time vs checkpoint "
+                                  "interval (Heisenbug p=0.05)"))
+    return rates, times, table
+
+
+def test_c13_checkpoint_recovery_fault_classes(benchmark):
+    rates, times, table = benchmark(_experiment)
+    save_result("C13_checkpoint", table)
+
+    # Heisenbugs survived, including aggressive ones.
+    assert rates["none"] == 1.0
+    assert rates["Heisenbug p=0.2"] == 1.0
+    assert rates["Heisenbug p=0.5"] == 1.0
+    # Bohrbugs never survive re-execution.
+    assert rates["Bohrbug"] == 0.0
+
+    # The interval trade-off has an interior optimum: checkpointing at
+    # every step pays maximal overhead; checkpointing once pays maximal
+    # re-execution; something in between wins.
+    best = min(times, key=times.get)
+    assert best not in (1, 50)
+    assert times[best] < times[1]
+    assert times[best] < times[50]

@@ -1,0 +1,114 @@
+"""C14 — Fetzer & Xiao: healers "embed all function calls to the C
+library that write to the heap, and perform suitable boundary checks to
+prevent buffer overflows".
+
+A bulk-copy workload with a fraction of oversized (overflowing) requests
+runs against the simulated heap three ways: unprotected, healer in
+truncate mode, healer in reject mode.  Reported: silent corruptions
+(heap smashes), prevented overflows, corrupted victim blocks, and
+per-write overhead.  Shape: the healer prevents every smash with zero
+false positives on well-sized writes.
+"""
+
+import random
+
+from repro.environment.memory import SimulatedHeap
+from repro.exceptions import MemoryViolation
+from repro.harness.report import render_table
+from repro.techniques.wrappers import HealerWrapper
+
+from _common import save_result
+
+BUFFERS = 60
+BUFFER_SIZE = 8
+OVERSIZED_FRACTION = 0.3
+
+
+def _workload(seed):
+    rng = random.Random(seed)
+    requests = []
+    for i in range(BUFFERS):
+        if rng.random() < OVERSIZED_FRACTION:
+            length = BUFFER_SIZE + rng.randrange(1, 6)
+        else:
+            length = rng.randrange(1, BUFFER_SIZE + 1)
+        requests.append([rng.randrange(256) for _ in range(length)])
+    return requests
+
+
+def _run(mode, seed):
+    heap = SimulatedHeap(capacity=BUFFERS * (BUFFER_SIZE + 2) * 2)
+    healer = HealerWrapper(heap, mode=mode) if mode else None
+    writes = prevented = rejected = 0
+    payloads = _workload(seed)
+    # All buffers are live before any copy runs, so an overflow has a
+    # real neighbour to corrupt — the heap layout of a long-running
+    # server, not of a fresh one.
+    blocks = [heap.alloc(BUFFER_SIZE) for _ in payloads]
+    for block, payload in zip(blocks, payloads):
+        if healer is None:
+            for offset, value in enumerate(payload):
+                heap.write(block, offset, value)
+                writes += 1
+        elif mode == "reject":
+            try:
+                written = 0
+                for offset, value in enumerate(payload):
+                    healer.write(block, offset, value)
+                    written += 1
+            except MemoryViolation:
+                rejected += 1
+            writes += min(len(payload), BUFFER_SIZE)
+        else:
+            healer.write_buffer(block, payload)
+            writes += min(len(payload), BUFFER_SIZE)
+    corrupted = sum(1 for b in heap.blocks() if b.corrupted)
+    if healer is not None:
+        prevented = healer.stats.prevented_overflows
+    return {
+        "smashes": heap.smash_count,
+        "corrupted_blocks": corrupted,
+        "prevented": prevented,
+        "rejected_requests": rejected,
+        "writes": writes,
+    }
+
+
+def _experiment():
+    rows = []
+    outcomes = {}
+    for label, mode in (("unprotected", None),
+                        ("healer (truncate)", "truncate"),
+                        ("healer (reject)", "reject")):
+        result = _run(mode, seed=77)
+        outcomes[label] = result
+        rows.append((label, result["smashes"], result["corrupted_blocks"],
+                     result["prevented"], result["rejected_requests"]))
+    table = render_table(
+        ("configuration", "silent heap smashes", "corrupted blocks",
+         "overflows prevented", "requests rejected"),
+        rows,
+        title=f"C14: healer wrappers vs heap smashing "
+              f"({BUFFERS} buffers, {OVERSIZED_FRACTION:.0%} oversized)")
+    return outcomes, table
+
+
+def test_c14_healers_prevent_heap_smashing(benchmark):
+    outcomes, table = benchmark(_experiment)
+    save_result("C14_healers", table)
+
+    naked = outcomes["unprotected"]
+    truncate = outcomes["healer (truncate)"]
+    reject = outcomes["healer (reject)"]
+
+    # The unprotected run silently corrupts neighbours.
+    assert naked["smashes"] > 0
+    assert naked["corrupted_blocks"] > 0
+    # Both healer modes stop every smash.
+    for healer in (truncate, reject):
+        assert healer["smashes"] == 0
+        assert healer["corrupted_blocks"] == 0
+        assert healer["prevented"] > 0
+    # Truncate degrades gracefully (no rejections); reject fails fast.
+    assert truncate["rejected_requests"] == 0
+    assert reject["rejected_requests"] > 0

@@ -1,0 +1,93 @@
+"""C15 — Self-checking programming: "an acting component that fails is
+discarded and replaced by the hot spare.  This way, self-checking
+programming does not require any rollback mechanism, which is essential
+with recovery blocks."
+
+The same failing-primary workload runs through SCP (acting + hot spare,
+parallel) and recovery blocks (primary + alternate, sequential with
+rollback).  Reported: rollbacks performed, failure-time response latency
+(virtual time to produce the result on a request whose primary fails),
+and executions per request.  Shape: SCP performs zero rollbacks and its
+failover adds no latency (the spare already ran); recovery blocks pay
+rollback plus the alternate's re-execution.
+"""
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.state import DictState
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.faults.development import Bohrbug, InputRegion
+from repro.harness.report import render_table
+from repro.techniques.recovery_blocks import RecoveryBlocks
+from repro.techniques.self_checking import SelfCheckingProgramming
+
+from _common import save_result
+
+EXEC_COST = 4.0
+
+
+def oracle(x):
+    return x + 9
+
+
+def _versions():
+    primary = Version("primary", impl=oracle, exec_cost=EXEC_COST,
+                      faults=[Bohrbug("p-bug",
+                                      region=InputRegion(0, 10 ** 9))])
+    spare = Version("spare", impl=oracle, exec_cost=EXEC_COST)
+    return primary, spare
+
+
+def _acceptance():
+    return PredicateAcceptanceTest(lambda args, v: v == oracle(args[0]))
+
+
+def _experiment():
+    # SCP: acting fails its check, the hot spare's result is selected.
+    scp_env = SimEnvironment()
+    scp = SelfCheckingProgramming.with_acceptance_tests(list(_versions()),
+                                                        _acceptance())
+    scp_value = scp.execute(3, env=scp_env)
+    scp_latency = scp_env.clock.now
+
+    # Recovery blocks: primary fails, rollback, alternate re-executes.
+    rb_env = SimEnvironment()
+    state = DictState(journal=[])
+    rb = RecoveryBlocks(list(_versions()), _acceptance(), subject=state)
+    rb_value = rb.execute(3, env=rb_env)
+    rb_latency = rb_env.clock.now
+
+    rows = [
+        ("self-checking (hot spare)", scp_value, scp_latency,
+         scp.stats.rollbacks, scp.stats.executions),
+        ("recovery blocks", rb_value, rb_latency,
+         rb.stats.rollbacks, rb.stats.executions),
+    ]
+    table = render_table(
+        ("technique", "result", "failure-time latency", "rollbacks",
+         "executions"),
+        rows,
+        title=f"C15: hot-spare failover vs rollback recovery "
+              f"(version cost {EXEC_COST})")
+    return {"scp": (scp_value, scp_latency, scp.stats),
+            "rb": (rb_value, rb_latency, rb.stats)}, table
+
+
+def test_c15_hot_spare_avoids_rollback(benchmark):
+    results, table = benchmark(_experiment)
+    save_result("C15_hot_spare", table)
+
+    scp_value, scp_latency, scp_stats = results["scp"]
+    rb_value, rb_latency, rb_stats = results["rb"]
+
+    assert scp_value == rb_value == oracle(3)
+    # SCP needs no rollback machinery at all.
+    assert scp_stats.rollbacks == 0
+    assert rb_stats.rollbacks == 1
+    # Hot-spare failover is latency-free: the spare ran in parallel, so
+    # the request finishes in one (parallel) execution round...
+    assert scp_latency == EXEC_COST
+    # ...while recovery blocks pay the primary AND the alternate in
+    # sequence on the failing path.
+    assert rb_latency == 2 * EXEC_COST
+    assert scp_latency < rb_latency

@@ -1,0 +1,98 @@
+"""C17 — Nguyen-Tuong et al.: N-variant data — "attackers would need to
+alter the corresponding data in each variant in a different way while
+sending the same inputs to all variants".
+
+A key-value workload mixes legitimate operations with data-corruption
+attacks (the attacker overwrites concrete storage with one value — the
+same payload lands everywhere — or compromises a single variant).
+Reported per variant count: attack detection rate and false-positive
+rate on legitimate traffic.  Shape: 100% detection, 0% false positives,
+independent of N >= 2.
+"""
+
+import random
+
+from repro.exceptions import AttackDetectedError
+from repro.harness.report import render_table
+from repro.techniques.data_diversity_security import (
+    NVariantDataStore,
+    default_encodings,
+)
+
+from _common import save_result
+
+OPERATIONS = 200
+ATTACK_FRACTION = 0.25
+
+
+def _run(n_variants, seed):
+    rng = random.Random(seed)
+    store = NVariantDataStore(default_encodings(n_variants, seed=seed))
+    detected = missed = false_positives = attacks = legit_reads = 0
+    live_keys = []
+    for i in range(OPERATIONS):
+        if live_keys and rng.random() < ATTACK_FRACTION:
+            attacks += 1
+            key = rng.choice(live_keys)
+            if rng.random() < 0.5:
+                store.tamper_raw(key, rng.randrange(2 ** 30))
+            else:
+                store.tamper_raw(key, rng.randrange(2 ** 30),
+                                 variant=rng.randrange(n_variants))
+            try:
+                store.get(key)
+                missed += 1
+            except AttackDetectedError:
+                detected += 1
+            # Repair the key so later legitimate reads are meaningful.
+            store.put(key, rng.randrange(1000))
+        else:
+            key = f"k{rng.randrange(30)}"
+            value = rng.randrange(1000)
+            store.put(key, value)
+            if key not in live_keys:
+                live_keys.append(key)
+            legit_reads += 1
+            try:
+                if store.get(key) != value:
+                    false_positives += 1  # wrong value = broken store
+            except AttackDetectedError:
+                false_positives += 1
+    return {
+        "attacks": attacks,
+        "detected": detected,
+        "missed": missed,
+        "false_positives": false_positives,
+        "legit_reads": legit_reads,
+    }
+
+
+def _experiment():
+    rows = []
+    outcomes = {}
+    for n in (2, 3, 5):
+        result = _run(n, seed=41 + n)
+        outcomes[n] = result
+        detection = (result["detected"] / result["attacks"]
+                     if result["attacks"] else 1.0)
+        fp_rate = result["false_positives"] / result["legit_reads"]
+        rows.append((n, result["attacks"], f"{detection:.0%}",
+                     f"{fp_rate:.0%}"))
+    table = render_table(
+        ("variants", "corruption attacks", "detection rate",
+         "false-positive rate"),
+        rows,
+        title=f"C17: N-variant data store under corruption attacks "
+              f"({OPERATIONS} operations)")
+    return outcomes, table
+
+
+def test_c17_nvariant_data_detects_corruption(benchmark):
+    outcomes, table = benchmark(_experiment)
+    save_result("C17_nvariant_data", table)
+
+    for n, result in outcomes.items():
+        assert result["attacks"] > 10
+        assert result["missed"] == 0, n
+        assert result["detected"] == result["attacks"], n
+        assert result["false_positives"] == 0, n

@@ -1,0 +1,96 @@
+"""C1 — "In order to tolerate k failures, a system must consist of 2k+1
+versions" (Section 4.1).
+
+Two measurements:
+
+1. the masking boundary — for N in {3,5,7,9}, inject exactly f crashing
+   versions and find the largest f the vote masks; it must equal
+   ``(N-1)//2`` exactly;
+2. the reliability sweep — empirical vote success for versions with
+   per-input failure rate p, against the binomial closed form.
+"""
+
+import pytest
+
+from repro.analysis.reliability import k_tolerance, vote_reliability
+from repro.components.library import diverse_versions
+from repro.components.version import Version
+from repro.exceptions import NoMajorityError
+from repro.faults.development import Bohrbug, InputRegion
+from repro.harness.report import render_table
+from repro.techniques.nvp import NVersionProgramming
+
+from _common import save_result
+
+
+def _masking_boundary(n):
+    """Largest number of crashing versions a size-n vote masks."""
+    largest = -1
+    for faulty in range(n + 1):
+        versions = [Version(f"g{i}", impl=lambda x: x)
+                    for i in range(n - faulty)]
+        versions += [
+            Version(f"f{i}", impl=lambda x: x,
+                    faults=[Bohrbug(f"bug{i}",
+                                    region=InputRegion(0, 10 ** 9))])
+            for i in range(faulty)]
+        nvp = NVersionProgramming(versions) if len(versions) > 1 else None
+        if nvp is None:
+            continue
+        try:
+            if nvp.execute(5) == 5:
+                largest = faulty
+        except NoMajorityError:
+            break
+    return largest
+
+
+def _reliability(n, p, trials=1500, seed=0):
+    nvp = NVersionProgramming(
+        diverse_versions(lambda x: x * 3, n, p, seed=seed))
+    ok = 0
+    for x in range(trials):
+        try:
+            ok += nvp.execute(x) == x * 3
+        except NoMajorityError:
+            pass
+    return ok / trials
+
+
+def _experiment():
+    rows = []
+    for n in (3, 5, 7, 9):
+        measured_k = _masking_boundary(n)
+        rows.append((n, k_tolerance(n), measured_k,
+                     k_tolerance(n) == measured_k))
+    boundary_table = render_table(
+        ("N versions", "k = (N-1)/2 (paper)", "k measured", "match"),
+        rows, title="C1a: masking boundary of the majority vote")
+
+    p = 0.15
+    sweep = []
+    for n in (1, 3, 5, 7, 9):
+        measured = (_reliability(n, p) if n > 1
+                    else 1 - p)  # analytic for the simplex baseline
+        predicted = vote_reliability(n, p)
+        sweep.append((n, round(predicted, 4), round(measured, 4)))
+    sweep_table = render_table(
+        ("N", "binomial prediction", "measured"),
+        sweep, title=f"C1b: vote reliability sweep, per-version p={p}")
+    return rows, sweep, boundary_table + "\n\n" + sweep_table
+
+
+def test_c1_2k_plus_1_tolerance(benchmark):
+    rows, sweep, text = benchmark(_experiment)
+    save_result("C1_nvp_tolerance", text)
+
+    # The paper's sizing rule holds exactly.
+    for n, k_theory, k_measured, match in rows:
+        assert match, f"N={n}: measured {k_measured}, paper {k_theory}"
+
+    # Measured reliability tracks the binomial prediction and grows
+    # monotonically with N for good versions.
+    for n, predicted, measured in sweep:
+        assert measured == pytest.approx(predicted, abs=0.04)
+    measured_series = [m for _, _, m in sweep]
+    assert measured_series == sorted(measured_series)

@@ -1,0 +1,103 @@
+"""C3 — The cost/efficacy trade-offs of deliberate code redundancy
+(Section 4.1):
+
+* "N-version programming comes with high design and execution costs,
+  but works with inexpensive and reliable implicit adjudicators."
+* "Recovery blocks reduce execution costs, but increase the cost of
+  designing adjudicators."
+* "Self-checking components support a flexible choice between the two."
+
+The same workload runs through NVP, recovery blocks and self-checking
+programming over equivalent 3-version populations; the table reports the
+design cost, executions per request, adjudication cost, and delivered
+reliability of each.
+"""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.library import diverse_versions
+from repro.exceptions import RedundancyError
+from repro.harness.report import render_table
+from repro.techniques.nvp import NVersionProgramming
+from repro.techniques.recovery_blocks import RecoveryBlocks
+from repro.techniques.self_checking import SelfCheckingProgramming
+
+from _common import save_result
+
+P_FAIL = 0.1
+TRIALS = 1200
+
+
+def oracle(x):
+    return x * 3
+
+
+def _acceptance():
+    return PredicateAcceptanceTest(lambda args, v: v == oracle(args[0]),
+                                   name="oracle-check")
+
+
+def _drive(technique, execute):
+    correct = 0
+    for x in range(TRIALS):
+        try:
+            correct += execute(x) == oracle(x)
+        except RedundancyError:
+            pass
+    return technique.cost_ledger(correct=correct).report(
+        technique.technique_name)
+
+
+def _experiment():
+    nvp = NVersionProgramming(diverse_versions(oracle, 3, P_FAIL, seed=31))
+    nvp_report = _drive(nvp, nvp.execute)
+
+    rb = RecoveryBlocks(diverse_versions(oracle, 3, P_FAIL, seed=32),
+                        _acceptance())
+    rb_report = _drive(rb, rb.execute)
+
+    # Self-checking over acceptance-tested components: fresh population
+    # per trial batch is unnecessary — spares are only consumed by
+    # deterministic always-failing components, and these fail per input.
+    scp = SelfCheckingProgramming.with_acceptance_tests(
+        diverse_versions(oracle, 3, P_FAIL, seed=33), _acceptance())
+    scp.pattern.disable_failing = False  # input-dependent faults do not
+    # condemn a version forever; keep all components in rotation.
+    scp_report = _drive(scp, scp.execute)
+
+    reports = [nvp_report, rb_report, scp_report]
+    table = render_table(
+        ("technique", "design cost", "execs/req", "exec cost/req",
+         "adjudication cost/req", "reliability"),
+        [(r.name, r.design_cost, r.executions_per_request,
+          r.execution_cost_per_request, r.adjudication_cost_per_request,
+          r.reliability) for r in reports],
+        title=f"C3: cost/efficacy of NVP vs recovery blocks vs "
+              f"self-checking (3 versions, p={P_FAIL}, {TRIALS} requests)")
+    return reports, table
+
+
+def test_c3_cost_efficacy_tradeoffs(benchmark):
+    (nvp, rb, scp), table = benchmark(_experiment)
+    save_result("C3_cost_efficacy", table)
+
+    # NVP: every request executes all versions; RB executes ~1 + p.
+    assert nvp.executions_per_request == pytest.approx(3.0)
+    assert rb.executions_per_request == pytest.approx(1 + P_FAIL, abs=0.05)
+    assert nvp.executions_per_request > 2 * rb.executions_per_request
+
+    # NVP's adjudicator is generic (no design cost); RB pays to design
+    # the acceptance test; SCP pays per explicit component.
+    assert nvp.design_cost == 300.0           # versions only
+    assert rb.design_cost == 350.0            # versions + acceptance test
+    # SCP pays adjudicator design per self-checking component — the
+    # "flexible choice ... at the price of complex execution frameworks".
+    assert scp.design_cost == 450.0
+
+    # SCP sits between the two on execution cost: parallel like NVP.
+    assert scp.executions_per_request == pytest.approx(3.0)
+
+    # All three deliver comparable (high) reliability on this workload.
+    for report in (nvp, rb, scp):
+        assert report.reliability > 0.95

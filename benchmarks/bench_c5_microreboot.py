@@ -1,0 +1,103 @@
+"""C5 — Candea et al.: "local micro-reboots ... avoid the high cost of
+complete reboots".
+
+A three-component application serves a request stream; one component
+crashes with a transient (Heisenbug) fault.  Recovery by micro-reboot
+(restart the crashed component only) is compared with recovery by full
+reboot (restart every component plus the shared environment).  Measured:
+downtime per recovery, total virtual time, and state preserved in the
+*untouched* components.
+"""
+
+from repro.components.component import RestartableComponent
+from repro.environment import SimEnvironment
+from repro.faults.development import Heisenbug
+from repro.harness.report import render_table
+from repro.techniques.microreboot import MicroReboot, ModularApplication
+
+from _common import save_result
+
+REQUESTS = 300
+CRASH_P = 0.08
+
+
+def _build_app():
+    def handler(component, request, env):
+        served = component.state.data.get("served", 0) + 1
+        component.state["served"] = served
+        return served
+
+    cart = RestartableComponent(
+        "cart", handler, initializer=lambda: {"served": 0},
+        faults=[Heisenbug("cart-crash", probability=CRASH_P)],
+        restart_cost=SimEnvironment.MICRO_REBOOT_COST)
+    catalog = RestartableComponent(
+        "catalog", handler, initializer=lambda: {"served": 0},
+        restart_cost=SimEnvironment.MICRO_REBOOT_COST)
+    sessions = RestartableComponent(
+        "sessions", handler, initializer=lambda: {"served": 0},
+        restart_cost=SimEnvironment.MICRO_REBOOT_COST)
+    return ModularApplication([cart, catalog, sessions])
+
+
+def _run(scope, seed):
+    env = SimEnvironment(seed=seed)
+    app = _build_app()
+    manager = MicroReboot(app, env=env, scope=scope)
+    for i in range(REQUESTS):
+        manager.handle("cart", i)
+        manager.handle("catalog", i)
+    catalog_state = app.components["catalog"].state.data["served"]
+    return {
+        "reboots": manager.stats.reboots,
+        "downtime_per_recovery": (manager.stats.downtime
+                                  / max(1, manager.stats.reboots)),
+        "total_time": env.clock.now,
+        "catalog_state_preserved": catalog_state == REQUESTS,
+        "catalog_restarts": app.components["catalog"].restarts,
+    }
+
+
+def _experiment():
+    seeds = (1, 2, 3)
+    rows = []
+    summary = {}
+    for scope in ("micro", "full"):
+        runs = [_run(scope, s) for s in seeds]
+        mean = {k: sum(r[k] for r in runs) / len(runs)
+                for k in ("reboots", "downtime_per_recovery", "total_time",
+                          "catalog_restarts")}
+        mean["state_preserved"] = all(r["catalog_state_preserved"]
+                                      for r in runs)
+        summary[scope] = mean
+        rows.append((scope, round(mean["reboots"], 1),
+                     round(mean["downtime_per_recovery"], 1),
+                     round(mean["total_time"], 1),
+                     round(mean["catalog_restarts"], 1),
+                     mean["state_preserved"]))
+    table = render_table(
+        ("recovery scope", "recoveries", "downtime/recovery",
+         "total virtual time", "catalog restarts",
+         "catalog state preserved"),
+        rows,
+        title=f"C5: micro-reboot vs full reboot "
+              f"({REQUESTS} requests/component, crash p={CRASH_P})")
+    return summary, table
+
+
+def test_c5_microreboot_beats_full_reboot(benchmark):
+    summary, table = benchmark(_experiment)
+    save_result("C5_microreboot", table)
+
+    micro, full = summary["micro"], summary["full"]
+    # Both recover the same fault pattern...
+    assert micro["reboots"] > 0 and full["reboots"] > 0
+    # ...but a micro-reboot's downtime is an order of magnitude smaller.
+    assert (micro["downtime_per_recovery"] * 10
+            < full["downtime_per_recovery"])
+    assert micro["total_time"] < full["total_time"]
+    # Micro-reboots leave healthy components (and their state) untouched.
+    assert micro["state_preserved"]
+    assert micro["catalog_restarts"] == 0
+    assert not full["state_preserved"]
+    assert full["catalog_restarts"] > 0

@@ -1,0 +1,89 @@
+"""C8 — Ammann & Knight: data diversity "is applicable to software that
+contains faults that result in failures with particular input values,
+but that can be avoided with slight modifications of the input".
+
+A periodic computation carries a Bohrbug over an input region of width w.
+Retry blocks re-express failing inputs by whole periods (exact
+re-expressions).  Sweep: region width x number of re-expressions;
+reported: fraction of in-region inputs recovered.  Shape: success grows
+with the number of re-expressions and is total while regions stay
+narrower than the period coverage of the re-expression set.
+"""
+
+from repro.components.version import Version
+from repro.exceptions import AllAlternativesFailedError
+from repro.faults.development import Bohrbug
+from repro.harness.report import render_table
+from repro.techniques.data_diversity import DataDiversity, shift_reexpression
+
+from _common import save_result
+
+PERIOD = 1000
+
+
+def oracle(x):
+    return (x % PERIOD) * 2 + 1
+
+
+def _multi_period_bug(width, periods_covered):
+    """Fails on [200, 200+width) within the first `periods_covered`
+    periods — so the first (periods_covered - 1) re-expressions land in a
+    failure region too."""
+    def in_region(args):
+        x = args[0]
+        period_index = x // PERIOD
+        return (period_index < periods_covered
+                and 200 <= (x % PERIOD) < 200 + width)
+    return Bohrbug("regional", predicate=in_region)
+
+
+def _recovery_rate(width, n_reexpressions, periods_covered):
+    program = Version("prog", impl=oracle,
+                      faults=[_multi_period_bug(width, periods_covered)])
+    dd = DataDiversity(program,
+                       [shift_reexpression(PERIOD * k, name=f"+{k}T")
+                        for k in range(1, n_reexpressions + 1)])
+    in_region_inputs = list(range(200, 200 + width))
+    recovered = 0
+    for x in in_region_inputs:
+        try:
+            if dd.execute_retry(x) == oracle(x):
+                recovered += 1
+        except AllAlternativesFailedError:
+            pass
+    return recovered / len(in_region_inputs)
+
+
+def _experiment():
+    rows = []
+    rates = {}
+    for n_reexpr in (1, 2, 4):
+        for periods_covered in (1, 2, 3, 5):
+            rate = _recovery_rate(width=40, n_reexpressions=n_reexpr,
+                                  periods_covered=periods_covered)
+            rates[(n_reexpr, periods_covered)] = rate
+            rows.append((n_reexpr, periods_covered, round(rate, 3)))
+    table = render_table(
+        ("re-expressions", "periods the fault covers", "recovery rate"),
+        rows,
+        title="C8: retry-block recovery of in-region inputs "
+              "(region width 40 within a 1000 period)")
+    return rates, table
+
+
+def test_c8_reexpression_escapes_failure_regions(benchmark):
+    rates, table = benchmark(_experiment)
+    save_result("C8_data_diversity", table)
+
+    # With more re-expressions than covered periods, recovery is total.
+    assert rates[(1, 1)] == 1.0
+    assert rates[(2, 2)] == 1.0
+    assert rates[(4, 3)] == 1.0
+    # With fewer, every re-expressed input still lands in the fault:
+    # recovery fails completely.
+    assert rates[(1, 2)] == 0.0
+    assert rates[(2, 3)] == 0.0
+    # Success is monotone in the number of re-expressions.
+    for periods in (1, 2, 3, 5):
+        series = [rates[(n, periods)] for n in (1, 2, 4)]
+        assert series == sorted(series)

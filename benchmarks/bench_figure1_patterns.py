@@ -1,0 +1,92 @@
+"""F1 — The three architectural patterns of the paper's Figure 1.
+
+Reproduces the figure behaviourally: each pattern is run on the same
+3-version component set and checked for its defining semantics —
+*where the adjudicator sits* and *when alternatives run*:
+
+* (a) parallel evaluation: every alternative executes on every request;
+  ONE adjudication over the collected results;
+* (b) parallel selection: every alternative executes; EACH has its own
+  adjudication, and failing components are disabled (FAIL);
+* (c) sequential alternatives: alternatives activate one at a time, only
+  after the previous adjudicator said NO.
+"""
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.version import Version
+from repro.faults.development import Bohrbug, InputRegion
+from repro.patterns.base import GuardedUnit
+from repro.patterns.parallel_evaluation import ParallelEvaluation
+from repro.patterns.parallel_selection import ParallelSelection
+from repro.patterns.sequential_alternatives import SequentialAlternatives
+
+from _common import save_result
+
+
+def _components():
+    good_a = Version("C1", impl=lambda x: x + 1)
+    good_b = Version("C2", impl=lambda x: x + 1)
+    failing = Version("C3", impl=lambda x: x + 1,
+                      faults=[Bohrbug("c3-bug",
+                                      region=InputRegion(0, 10 ** 9))])
+    return good_a, good_b, failing
+
+
+def _accept():
+    return PredicateAcceptanceTest(lambda args, v: v == args[0] + 1)
+
+
+def _run_all():
+    lines = []
+
+    # (a) parallel evaluation
+    pe = ParallelEvaluation(list(_components()))
+    value = pe.execute(10)
+    lines.append("Figure 1(a) parallel evaluation")
+    lines.append("  " + pe.diagram)
+    lines.append(f"  result={value}  executions={pe.stats.executions}  "
+                 f"adjudications={pe.stats.adjudications}  "
+                 f"masked={pe.stats.masked_failures}")
+    assert value == 11
+    assert pe.stats.executions == 3       # all alternatives ran
+    assert pe.stats.adjudications == 1    # one central adjudicator
+
+    # (b) parallel selection
+    a, b, c = _components()
+    ps = ParallelSelection([GuardedUnit(c, _accept()),
+                            GuardedUnit(a, _accept()),
+                            GuardedUnit(b, _accept())])
+    value = ps.execute(10)
+    lines.append("Figure 1(b) parallel selection")
+    for diagram_line in ps.diagram.splitlines():
+        lines.append("  " + diagram_line)
+    lines.append(f"  result={value}  executions={ps.stats.executions}  "
+                 f"adjudications={ps.stats.adjudications}  "
+                 f"disabled={ps.stats.disabled}")
+    assert value == 11
+    assert ps.stats.executions == 3       # all alternatives ran
+    assert ps.stats.adjudications == 3    # one adjudicator per component
+    assert ps.stats.disabled == 1         # the failing one is out (FAIL)
+    assert not c.enabled
+
+    # (c) sequential alternatives
+    a, b, c = _components()
+    sa = SequentialAlternatives([GuardedUnit(c, _accept()),
+                                 GuardedUnit(a, _accept()),
+                                 GuardedUnit(b, _accept())])
+    value = sa.execute(10)
+    lines.append("Figure 1(c) sequential alternatives")
+    for diagram_line in sa.diagram.splitlines():
+        lines.append("  " + diagram_line)
+    lines.append(f"  result={value}  executions={sa.stats.executions}  "
+                 f"adjudications={sa.stats.adjudications}")
+    assert value == 11
+    assert sa.stats.executions == 2       # stopped at the first OK
+    assert sa.stats.adjudications == 2    # adjudicated after each attempt
+
+    return "\n".join(lines)
+
+
+def test_figure1_pattern_semantics(benchmark):
+    text = benchmark(_run_all)
+    save_result("F1_patterns", text)

@@ -1,0 +1,36 @@
+"""T1 — Regenerate the paper's Table 1 (taxonomy dimensions)."""
+
+from repro.taxonomy.dimensions import (
+    TABLE1_STRUCTURE,
+    AdjudicatorKind,
+    FaultClass,
+    Intention,
+    RedundancyType,
+)
+from repro.taxonomy.tables import render_table1
+
+from _common import save_result
+
+
+def test_table1_regenerates(benchmark):
+    text = benchmark(render_table1)
+    save_result("T1_table1", text)
+
+    # The four dimensions, with the paper's exact value sets.
+    dimensions = dict(TABLE1_STRUCTURE)
+    assert set(dimensions) == {"Intention", "Type",
+                               "Triggers and adjudicators",
+                               "Faults addressed by redundancy"}
+    assert tuple(dimensions["Intention"]) == (Intention.DELIBERATE,
+                                              Intention.OPPORTUNISTIC)
+    assert tuple(dimensions["Type"]) == (RedundancyType.CODE,
+                                         RedundancyType.DATA,
+                                         RedundancyType.ENVIRONMENT)
+    assert "preventive (implicit adjudicator)" in dimensions[
+        "Triggers and adjudicators"]
+    assert "interaction - malicious" in dimensions[
+        "Faults addressed by redundancy"]
+    # Rendering carries every cell.
+    for value in ("deliberate", "opportunistic", "code", "data",
+                  "environment", "Bohrbugs", "Heisenbugs", "malicious"):
+        assert value in text

@@ -1,0 +1,33 @@
+"""T2 — Regenerate the paper's Table 2 from the implemented techniques.
+
+The seventeen technique classes carry their classification as metadata;
+this benchmark renders the table in the paper's row order and asserts a
+cell-exact match against the transcription in
+:mod:`repro.taxonomy.paper`.
+"""
+
+import repro.techniques  # noqa: F401 - populates the registry
+from repro.taxonomy.paper import PAPER_TABLE2
+from repro.taxonomy.registry import default_registry
+from repro.taxonomy.tables import render_diff, render_table2
+
+from _common import save_result
+
+
+def _generate():
+    entries = [default_registry.entry(row.name) for row in PAPER_TABLE2]
+    table = render_table2(entries)
+    mismatches = default_registry.diff_against(PAPER_TABLE2)
+    return table, mismatches
+
+
+def test_table2_matches_paper(benchmark):
+    table, mismatches = benchmark(_generate)
+    save_result("T2_table2", table + "\n\n" + render_diff(mismatches))
+
+    assert len(default_registry) == 17
+    assert mismatches == [], render_diff(mismatches)
+    # Spot-check the wording of a few cells against the paper.
+    assert "reactive expl./impl." in table   # SCP and data diversity
+    assert "preventive" in table             # wrappers, rejuvenation
+    assert "Bohrbugs, malicious" in table    # wrappers' fault cell

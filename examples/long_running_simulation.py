@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A long-running computation in an aging environment.
+
+The fault-tolerance classic behind rejuvenation (Huang/Wang/Garg):
+a multi-day batch job leaks memory and races more as the process ages.
+Three execution policies are compared on the same job:
+
+1. checkpoints only — rollbacks absorb failures, but the aging hazard
+   keeps climbing, so late segments thrash;
+2. rejuvenate after every segment — the age never climbs, but the
+   reinitialisation overhead is paid sixty times;
+3. rejuvenate every 4 segments (Garg et al.'s tuned policy) — the
+   interior optimum that minimises total completion time.
+
+Run:  python examples/long_running_simulation.py
+"""
+
+from repro import SimEnvironment
+from repro.analysis.aging_model import completion_time
+from repro.faults import AgingBug, LeakFault
+from repro.faults.injector import FaultyFunction
+from repro.techniques.rejuvenation import CheckpointedExecution
+
+SEGMENTS = 60
+SEGMENT_WORK = 10.0
+
+
+def make_segment(env):
+    """One checkpointable segment: leaks a little, races when old."""
+    leak = LeakFault("batch-leak", cells_per_call=2)
+    race = AgingBug("stale-cache-race", max_probability=0.9,
+                    age_to_saturation=400.0)
+    task = FaultyFunction(lambda: None, faults=[leak, race],
+                          cost=SEGMENT_WORK)
+    return lambda e: task(env=e)
+
+
+def run_policy(label, rejuvenate_every, seed=29):
+    env = SimEnvironment(seed=seed, heap_capacity=100_000)
+    run = CheckpointedExecution(
+        env, make_segment(env), segments=SEGMENTS,
+        checkpoint_cost=1.0, recovery_cost=5.0,
+        rejuvenate_every=rejuvenate_every,
+        max_retries_per_segment=100_000)
+    report = run.run()
+    ideal = SEGMENTS * SEGMENT_WORK
+    print(f"  {label:<34} time={report.virtual_time:7.0f} "
+          f"(x{report.virtual_time / ideal:4.1f} of ideal)  "
+          f"failures={report.failures:4d}  "
+          f"rejuvenations={report.rejuvenations}")
+    return report
+
+
+def main():
+    ideal = SEGMENTS * SEGMENT_WORK
+    print(f"long-running job: {SEGMENTS} segments, "
+          f"ideal time {ideal:.0f} units\n")
+    print("completion under three policies:")
+    never = run_policy("checkpoints only (no rejuvenation)", None)
+    eager = run_policy("rejuvenate every segment", 1)
+    tuned = run_policy("rejuvenate every 4 segments", 4)
+
+    assert tuned.virtual_time < never.virtual_time
+    assert tuned.virtual_time <= eager.virtual_time
+
+    best_every, best_time = None, float("inf")
+    print("\nanalytic model (Garg-style) over rejuvenation periods:")
+    for every in (1, 2, 4, 8, 16, None):
+        t = completion_time(work=ideal, checkpoint_interval=SEGMENT_WORK,
+                            rejuvenate_every=every, beta=3e-4,
+                            checkpoint_cost=1.0, recovery_cost=5.0,
+                            rejuvenation_cost=10.0)
+        label = "never" if every is None else f"every {every}"
+        print(f"  {label:<10} expected time {t:7.1f}")
+        if every is not None and t < best_time:
+            best_every, best_time = every, t
+    print(f"\nmodel optimum: rejuvenate every {best_every} segments — "
+          f"an interior period, in the same neighbourhood as the "
+          f"simulated winner.")
+
+
+if __name__ == "__main__":
+    main()

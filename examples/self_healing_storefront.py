@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""A self-healing service-oriented storefront.
+
+The scenario the paper's self-healing literature targets: a composite
+web application (catalog, cart, payment) built on external services,
+kept alive by *opportunistic* redundancy:
+
+* dynamic service substitution — the payment interface has three
+  independent providers; the broker rebinds on failure, including a
+  similar-interface provider through a converter (Taher et al.);
+* a rule-engine registry — design-time recovery rules (retry, degrade
+  to a cached quote) guard the quote operation (Baresi/Pernici);
+* micro-reboots — a stateful session component crashes under a
+  transient fault and is individually restarted (Candea et al.).
+
+Run:  python examples/self_healing_storefront.py
+"""
+
+from repro import (
+    FunctionSpec,
+    MicroReboot,
+    ModularApplication,
+    RestartableComponent,
+    RuleEngine,
+    Service,
+    ServiceBroker,
+    ServiceRegistry,
+    SimEnvironment,
+)
+from repro.exceptions import AllAlternativesFailedError, ServiceFailure
+from repro.faults import Heisenbug
+from repro.techniques import DynamicServiceSubstitution
+from repro.techniques.rule_engine import (
+    RecoveryRegistry,
+    RecoveryRule,
+    retry_action,
+    substitute_value_action,
+)
+
+PAY = FunctionSpec("pay", arity=2, semantic_key="payment")
+PAY_ALT = FunctionSpec("charge", arity=2, semantic_key="payment")
+QUOTE = FunctionSpec("quote", arity=1, semantic_key="quote")
+
+
+def build_service_pool():
+    registry = ServiceRegistry()
+    registry.publish(Service("pay-primary", PAY,
+                             impl=lambda amount, card: f"paid {amount}",
+                             availability=0.5))
+    registry.publish(Service("pay-backup", PAY,
+                             impl=lambda amount, card: f"paid {amount}",
+                             availability=0.8))
+    # A similar interface ('charge') that needs argument conversion.
+    registry.publish(Service("charge-gateway", PAY_ALT,
+                             impl=lambda card, amount: f"paid {amount}",
+                             availability=0.95))
+    registry.publish(Service("quote-service", QUOTE,
+                             impl=lambda item: 19.99, availability=0.6))
+    broker = ServiceBroker(registry)
+    broker.register_converter(
+        "charge", "pay",
+        convert_args=lambda args: (args[1], args[0]))  # swap arg order
+    return registry, broker
+
+
+def main():
+    env = SimEnvironment(seed=11)
+    registry, broker = build_service_pool()
+
+    # --- payments: substitution proxy over three providers -----------
+    payment = DynamicServiceSubstitution(
+        PAY, broker, initial=registry.lookup("pay-primary"))
+
+    # --- quotes: a rule-engine-guarded flaky service -------------------
+    quote_service = registry.lookup("quote-service")
+    rules = RecoveryRegistry()
+    rules.add(RecoveryRule(
+        "retry-quote", (ServiceFailure,),
+        retry_action(lambda item, env=None:
+                     quote_service.invoke(item, env=env), attempts=3),
+        priority=10))
+    rules.add(RecoveryRule(
+        "cached-quote", (ServiceFailure,),
+        substitute_value_action(18.50), priority=20))
+    quotes = RuleEngine(
+        lambda item, env=None: quote_service.invoke(item, env=env), rules)
+
+    # --- sessions: a crashy stateful component under micro-reboot -----
+    def session_handler(component, request, env):
+        basket = component.state.data.setdefault("basket", [])
+        basket.append(request)
+        return len(basket)
+
+    sessions = RestartableComponent(
+        "sessions", session_handler, initializer=lambda: {"basket": []},
+        faults=[Heisenbug("session-race", probability=0.05)],
+        restart_cost=SimEnvironment.MICRO_REBOOT_COST)
+    app = ModularApplication([sessions])
+    reboots = MicroReboot(app, env=env, scope="micro")
+
+    # --- drive the storefront ------------------------------------------
+    orders = quotes_served = payments_ok = payments_failed = 0
+    for order in range(200):
+        price = quotes.execute(f"item-{order}", env=env)
+        quotes_served += 1
+        reboots.handle("sessions", f"item-{order}")
+        try:
+            result = payment.invoke(price, "visa-4242", env=env)
+            payments_ok += result.startswith("paid")
+        except AllAlternativesFailedError:
+            # Every provider happened to be down at once; redundancy is
+            # consumed, the order is surfaced to the user as failed.
+            payments_failed += 1
+        orders += 1
+
+    print("self-healing storefront: 200 orders processed\n")
+    print(f"  quotes served          {quotes_served}/200 "
+          f"(rule engine recovered {quotes.recoveries} failures)")
+    print(f"  payments completed     {payments_ok}/200 "
+          f"(substitutions: {payment.stats.substitutions}, "
+          f"adapted: {payment.stats.adapted_substitutions})")
+    print(f"  session crashes        {reboots.stats.crashes} "
+          f"(micro-reboots: {reboots.stats.reboots}, "
+          f"downtime: {reboots.stats.downtime:.0f} time units)")
+    print(f"  payments failed        {payments_failed}/200 "
+          f"(all three providers down simultaneously)")
+    print(f"  finally bound payment  {payment.bound.name}")
+    print(f"  virtual time elapsed   {env.clock.now:.0f}")
+    assert payments_ok + payments_failed == orders
+    assert payments_ok > 0.9 * orders
+
+
+if __name__ == "__main__":
+    main()

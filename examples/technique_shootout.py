@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A technique-vs-fault-class shootout.
+
+Runs a fault-injection campaign: four redundancy mechanisms (plus the
+unprotected baseline) against four fault classes, printing the correct-
+result matrix.  The matrix is the executable version of the paper's
+Table 2 "Faults" column — each technique shines exactly where its row
+says it should.
+
+Run:  python examples/technique_shootout.py
+"""
+
+from repro.adjudicators import PredicateAcceptanceTest
+from repro.components.library import diverse_versions
+from repro.faults import Bohrbug, Heisenbug, InputRegion, OverflowBug
+from repro.faults.environmental import LoadBug
+from repro.harness import FaultCampaign
+from repro.techniques import (
+    EnvironmentPerturbation,
+    NVersionProgramming,
+    RecoveryBlocks,
+)
+
+
+def oracle(x):
+    return x + 1
+
+
+def nvp_protector(faulty, env):
+    """NVP: the injected faulty function joins two healthy versions."""
+    from repro.components.version import Version
+    healthy = diverse_versions(oracle, 2, 0.0, seed=1)
+    injected = Version("injected", impl=lambda x: faulty(x, env=env))
+    nvp = NVersionProgramming([injected, *healthy])
+    return lambda x: nvp.execute(x, env=env)
+
+
+def recovery_blocks_protector(faulty, env):
+    """The faulty function as primary, one healthy alternate."""
+    from repro.components.version import Version
+    primary = Version("primary", impl=lambda x: faulty(x, env=env))
+    alternate = Version("alternate", impl=oracle)
+    rb = RecoveryBlocks(
+        [primary, alternate],
+        PredicateAcceptanceTest(lambda args, v: v == oracle(args[0])))
+    return lambda x: rb.execute(x)
+
+
+def rx_protector(faulty, env):
+    """RX: rollback + environment perturbation around the faulty call."""
+    rx = EnvironmentPerturbation(
+        lambda x, env=None: faulty(x, env=env), env)
+    return rx.execute
+
+
+def retry_protector(faulty, env):
+    """Plain bounded re-execution (checkpoint-recovery's core move)."""
+    def protected(x):
+        last = None
+        for _ in range(5):
+            try:
+                return faulty(x, env=env)
+            except Exception as exc:
+                last = exc
+        raise last
+    return protected
+
+
+def main():
+    campaign = FaultCampaign(
+        protectors={
+            "N-version (3)": nvp_protector,
+            "recovery blocks": recovery_blocks_protector,
+            "RX perturbation": rx_protector,
+            "retry x5": retry_protector,
+        },
+        faults={
+            "Bohrbug": lambda: Bohrbug(
+                "b", region=InputRegion(0, 10 ** 9)),
+            "Heisenbug": lambda: Heisenbug("h", probability=0.5),
+            "overflow": lambda: OverflowBug("o", overflow_cells=4,
+                                            trigger_modulo=1),
+            "load": lambda: LoadBug("l", probability=0.9),
+        },
+        oracle=oracle,
+        requests=120,
+        seed=7,
+    )
+    print(campaign.render(
+        title="correct-result rate: technique x fault class"))
+    print()
+    matrix = campaign.matrix()
+    naked_bohr = matrix[("unprotected", "Bohrbug")].correct_rate
+    nvp_bohr = matrix[("N-version (3)", "Bohrbug")].correct_rate
+    rx_load = matrix[("RX perturbation", "load")].correct_rate
+    retry_bohr = matrix[("retry x5", "Bohrbug")].correct_rate
+    print("readings:")
+    print(f"  deterministic Bohrbugs defeat retrying ({retry_bohr:.0%}) "
+          f"but not diverse code ({nvp_bohr:.0%}).")
+    print(f"  environment-sensitive faults need environment change: "
+          f"RX turns {matrix[('unprotected', 'load')].correct_rate:.0%} "
+          f"into {rx_load:.0%}.")
+    assert nvp_bohr > naked_bohr
+    assert rx_load > 0.9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+offline hosts without the ``wheel`` package (legacy ``setup.py develop``
+path via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

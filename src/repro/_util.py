@@ -1,0 +1,22 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_fraction(*parts: object) -> float:
+    """A deterministic pseudo-uniform value in [0, 1) from hashable parts.
+
+    Based on SHA-1 of the repr so the value is independent of
+    ``PYTHONHASHSEED`` and stable across interpreter runs — a requirement
+    for reproducible fault activation and version populations.
+    """
+    digest = hashlib.sha1(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+def stable_int(*parts: object, modulo: int = 2 ** 31) -> int:
+    """A deterministic pseudo-uniform integer in [0, modulo)."""
+    digest = hashlib.sha1(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % modulo

@@ -1,0 +1,53 @@
+"""Adjudicators: failure detectors and result deciders.
+
+The paper's taxonomy splits adjudicators into *implicit* ones built into
+the mechanism (voters comparing redundant results) and *explicit* ones
+designed per application (acceptance tests, monitors, exception-based
+detectors).  Both kinds live here and are consumed by the pattern engines.
+"""
+
+from repro.adjudicators.acceptance import (
+    AcceptanceTest,
+    InverseCheck,
+    PredicateAcceptanceTest,
+    RangeAcceptanceTest,
+    TestSuiteAdjudicator,
+)
+from repro.adjudicators.base import Adjudicator, Verdict
+from repro.adjudicators.comparison import DuplexComparator, ToleranceComparator
+from repro.adjudicators.monitors import (
+    ExceptionDetector,
+    LatencyMonitor,
+    QoSMonitor,
+    Watchdog,
+)
+from repro.adjudicators.voting import (
+    ConsensusVoter,
+    MajorityVoter,
+    MedianVoter,
+    PluralityVoter,
+    UnanimousVoter,
+    WeightedVoter,
+)
+
+__all__ = [
+    "AcceptanceTest",
+    "Adjudicator",
+    "ConsensusVoter",
+    "DuplexComparator",
+    "ExceptionDetector",
+    "InverseCheck",
+    "LatencyMonitor",
+    "MajorityVoter",
+    "MedianVoter",
+    "PluralityVoter",
+    "PredicateAcceptanceTest",
+    "QoSMonitor",
+    "RangeAcceptanceTest",
+    "TestSuiteAdjudicator",
+    "ToleranceComparator",
+    "UnanimousVoter",
+    "Verdict",
+    "Watchdog",
+    "WeightedVoter",
+]

@@ -1,0 +1,153 @@
+"""Explicit adjudicators: acceptance tests.
+
+Recovery blocks "detect failures by running suitable acceptance tests";
+these are designed per application, which is exactly the cost the paper's
+Section 4.1 weighs against NVP's cheap implicit voting.  An
+:class:`AcceptanceTest` judges a *single* outcome given the invocation
+that produced it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.adjudicators.base import Adjudicator, Verdict
+from repro.result import Outcome
+
+
+class AcceptanceTest(Adjudicator):
+    """Base class for single-result acceptance tests.
+
+    Subclasses implement :meth:`accept`.  As an :class:`Adjudicator`, an
+    acceptance test scans outcomes in order and accepts the first passing
+    one — which is how the sequential-alternatives pattern uses it.
+    """
+
+    #: Acceptance tests are designed logic, costlier than an equality check.
+    unit_cost: float = 0.5
+
+    def __init__(self) -> None:
+        self.invocations = 0
+
+    @abc.abstractmethod
+    def accept(self, args: Tuple[Any, ...], value: Any) -> bool:
+        """Whether ``value`` is an acceptable result for input ``args``."""
+
+    def check(self, args: Tuple[Any, ...], outcome: Outcome) -> bool:
+        """Judge one outcome: failures never pass; values go to accept()."""
+        self.invocations += 1
+        if outcome.failed:
+            return False
+        try:
+            return bool(self.accept(args, outcome.value))
+        except Exception:
+            # A crashing acceptance test rejects; it must never take the
+            # whole mechanism down.
+            return False
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        cost = 0.0
+        rejected = []
+        for outcome in outcomes:
+            cost += self.unit_cost
+            if self.check(outcome.meta.get("args", ()), outcome):
+                return Verdict.accept(outcome.value,
+                                      supporters=[outcome.producer],
+                                      dissenters=rejected, cost=cost)
+            rejected.append(outcome.producer)
+        return Verdict.reject(dissenters=rejected, cost=cost)
+
+
+class PredicateAcceptanceTest(AcceptanceTest):
+    """Acceptance defined by an arbitrary ``predicate(args, value)``."""
+
+    def __init__(self, predicate: Callable[[Tuple[Any, ...], Any], bool],
+                 name: str = "predicate") -> None:
+        super().__init__()
+        self._predicate = predicate
+        self.name = name
+
+    def accept(self, args: Tuple[Any, ...], value: Any) -> bool:
+        return self._predicate(args, value)
+
+
+class RangeAcceptanceTest(AcceptanceTest):
+    """Accepts numeric results within ``[low, high]`` — the classic
+    plausibility check."""
+
+    def __init__(self, low: float, high: float) -> None:
+        super().__init__()
+        if high < low:
+            raise ValueError("empty acceptance range")
+        self.low = low
+        self.high = high
+
+    def accept(self, args: Tuple[Any, ...], value: Any) -> bool:
+        return isinstance(value, (int, float)) and self.low <= value <= self.high
+
+
+class InverseCheck(AcceptanceTest):
+    """Accepts when applying the inverse function recovers the input.
+
+    The strongest practical acceptance test: e.g. squaring the result of a
+    square root.  ``tolerance`` absorbs floating-point error.
+    """
+
+    def __init__(self, inverse: Callable[[Any], Any],
+                 tolerance: float = 1e-9) -> None:
+        super().__init__()
+        if tolerance < 0:
+            raise ValueError("tolerance is non-negative")
+        self._inverse = inverse
+        self.tolerance = tolerance
+
+    def accept(self, args: Tuple[Any, ...], value: Any) -> bool:
+        if not args:
+            return False
+        recovered = self._inverse(value)
+        original = args[0]
+        if isinstance(recovered, (int, float)) and isinstance(
+                original, (int, float)):
+            return abs(recovered - original) <= self.tolerance
+        return recovered == original
+
+
+class TestSuiteAdjudicator(AcceptanceTest):
+    """Acceptance by running a test suite — the adjudicator of genetic
+    fault fixing (Weimer et al.), where "a set of test cases is used as
+    adjudicator".
+
+    Args:
+        cases: ``(input_args, expected_output)`` pairs.
+        run: ``run(candidate, args) -> value``; defaults to calling the
+            candidate.  The *candidate* here is the value under test (for
+            GP repair it is a program), passed through :meth:`accept` as
+            the result value.
+    """
+
+    unit_cost = 1.0  # per test case, charged in accept()
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, cases: Sequence[Tuple[Tuple[Any, ...], Any]],
+                 run: Optional[Callable[[Any, Tuple[Any, ...]], Any]] = None
+                 ) -> None:
+        super().__init__()
+        if not cases:
+            raise ValueError("a test suite needs at least one case")
+        self.cases = list(cases)
+        self._run = run or (lambda candidate, args: candidate(*args))
+
+    def passing_fraction(self, candidate: Any) -> float:
+        """Fraction of test cases the candidate passes (GP fitness)."""
+        passed = 0
+        for args, expected in self.cases:
+            try:
+                if self._run(candidate, args) == expected:
+                    passed += 1
+            except Exception:
+                pass
+        return passed / len(self.cases)
+
+    def accept(self, args: Tuple[Any, ...], value: Any) -> bool:
+        return self.passing_fraction(value) == 1.0

@@ -1,0 +1,63 @@
+"""Adjudicator protocol and verdicts."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Sequence, Tuple
+
+from repro.result import Outcome
+
+
+@dataclasses.dataclass(frozen=True)
+class Verdict:
+    """The decision of an adjudicator over a set of outcomes.
+
+    Attributes:
+        value: The adjudicated result (when ``accepted``).
+        accepted: Whether a result could be adjudicated at all.
+        supporters: Names of the producers whose outcomes back the value.
+        dissenters: Producers whose outcomes disagree or failed — the
+            parallel-selection pattern disables these.
+        cost: Virtual cost of the adjudication work itself (comparisons,
+            test executions); part of the cost/efficacy accounting.
+    """
+
+    value: Any = None
+    accepted: bool = False
+    supporters: Tuple[str, ...] = ()
+    dissenters: Tuple[str, ...] = ()
+    cost: float = 0.0
+
+    @classmethod
+    def accept(cls, value: Any, supporters: Sequence[str] = (),
+               dissenters: Sequence[str] = (), cost: float = 0.0) -> "Verdict":
+        return cls(value=value, accepted=True, supporters=tuple(supporters),
+                   dissenters=tuple(dissenters), cost=cost)
+
+    @classmethod
+    def reject(cls, dissenters: Sequence[str] = (), cost: float = 0.0
+               ) -> "Verdict":
+        return cls(accepted=False, dissenters=tuple(dissenters), cost=cost)
+
+
+class Adjudicator(abc.ABC):
+    """Decides an overall result from redundant outcomes.
+
+    An adjudicator never raises on disagreement: it reports rejection via
+    the verdict so the enclosing pattern can decide whether that means
+    raising :class:`~repro.exceptions.NoMajorityError`, trying the next
+    alternate, or disabling a component.
+    """
+
+    #: Virtual cost of comparing/checking one outcome; subclasses may
+    #: override (explicit acceptance tests are costlier than equality).
+    unit_cost: float = 0.1
+
+    @abc.abstractmethod
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        """Produce a verdict over the outcomes of redundant executions."""
+
+    @staticmethod
+    def successful(outcomes: Sequence[Outcome]) -> Sequence[Outcome]:
+        return [o for o in outcomes if o.ok]

@@ -1,0 +1,56 @@
+"""Comparison adjudicators for paired executions.
+
+Self-checking components in Laprie et al.'s formulation come in two
+flavours; the second — "a pair of independently designed components with a
+final comparison" — needs a comparator rather than a vote or a test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.adjudicators.base import Adjudicator, Verdict
+from repro.result import Outcome
+
+
+class DuplexComparator(Adjudicator):
+    """Two results must exist and agree; anything else is rejection.
+
+    Unlike a 2-way unanimous vote, the comparator is explicit about arity:
+    it refuses to adjudicate unless exactly two outcomes are supplied,
+    because a silently missing channel would turn a self-checking pair
+    into an unchecked simplex.
+    """
+
+    def __init__(self, equal: Optional[Callable[[Any, Any], bool]] = None
+                 ) -> None:
+        self._equal = equal or (lambda a, b: a == b)
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        cost = self.unit_cost * len(outcomes)
+        if len(outcomes) != 2:
+            return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                                  cost=cost)
+        first, second = outcomes
+        if first.ok and second.ok and self._equal(first.value, second.value):
+            return Verdict.accept(first.value,
+                                  supporters=[first.producer,
+                                              second.producer],
+                                  cost=cost)
+        return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                              cost=cost)
+
+
+class ToleranceComparator(DuplexComparator):
+    """Duplex comparison of numeric results within an absolute tolerance."""
+
+    def __init__(self, tolerance: float = 1e-9) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance is non-negative")
+        self.tolerance = tolerance
+        super().__init__(equal=self._close)
+
+    def _close(self, a: Any, b: Any) -> bool:
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            return abs(a - b) <= self.tolerance
+        return a == b

@@ -1,0 +1,161 @@
+"""Runtime monitors: explicit adjudicators that watch executions.
+
+Self-optimizing frameworks "monitor the execution and when the quality of
+service offered by the application overcomes a given threshold then
+another component or service is selected" — that monitor is a
+:class:`QoSMonitor`.  :class:`ExceptionDetector` is the explicit failure
+detector of reactive techniques that are triggered "by exceptions or by
+sensors" (RX, micro-reboot, rule engines).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Sequence, Type
+
+from repro.adjudicators.base import Adjudicator, Verdict
+from repro.exceptions import SimulatedFailure
+from repro.result import Outcome
+
+
+class ExceptionDetector(Adjudicator):
+    """Detects failures by exception class.
+
+    Accepts any successful outcome; rejects outcomes whose error matches
+    ``detects``.  Errors outside ``detects`` are *not* adjudicated — they
+    escape to the caller, modelling detectors with limited coverage.
+    """
+
+    def __init__(self, detects: Sequence[Type[BaseException]] = (
+            SimulatedFailure,)) -> None:
+        self.detects = tuple(detects)
+        self.detections = 0
+
+    def detected(self, error: BaseException) -> bool:
+        hit = isinstance(error, self.detects)
+        if hit:
+            self.detections += 1
+        return hit
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        cost = self.unit_cost * len(outcomes)
+        for outcome in outcomes:
+            if outcome.ok:
+                return Verdict.accept(outcome.value,
+                                      supporters=[outcome.producer],
+                                      cost=cost)
+        return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                              cost=cost)
+
+
+class Watchdog:
+    """A virtual-time execution budget around an operation.
+
+    Hang failures (a component that stops making progress) are detected
+    by timeout, not by exception type: the watchdog bills the guarded
+    call against a budget on the virtual clock and converts both
+    explicit :class:`~repro.exceptions.HangFailure` manifestations and
+    budget overruns into detected hangs.
+
+    Args:
+        env: The environment whose clock meters the execution.
+        budget: Maximum virtual time one call may consume.
+    """
+
+    def __init__(self, env, budget: float) -> None:
+        if budget <= 0:
+            raise ValueError("the watchdog budget must be positive")
+        self.env = env
+        self.budget = budget
+        self.detections = 0
+
+    def guard(self, operation, *args, **kwargs):
+        """Run ``operation(*args, **kwargs)`` under the budget.
+
+        Raises :class:`~repro.exceptions.HangFailure` when the operation
+        hangs explicitly or overruns the budget; the exception carries
+        the consumed time in its message.
+        """
+        from repro.exceptions import HangFailure
+
+        start = self.env.clock.now
+        try:
+            value = operation(*args, **kwargs)
+        except HangFailure:
+            self.detections += 1
+            raise
+        elapsed = self.env.clock.now - start
+        if elapsed > self.budget:
+            self.detections += 1
+            raise HangFailure(
+                f"watchdog: call consumed {elapsed} time units "
+                f"(budget {self.budget})")
+        return value
+
+
+class LatencyMonitor:
+    """Sliding-window latency tracker with a threshold alarm."""
+
+    def __init__(self, threshold: float, window: int = 10) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.threshold = threshold
+        self.window = window
+        self._samples: Deque[float] = collections.deque(maxlen=window)
+
+    def observe(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency is non-negative")
+        self._samples.append(latency)
+
+    @property
+    def average(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the windowed average exceeds the threshold."""
+        return len(self._samples) > 0 and self.average > self.threshold
+
+
+class QoSMonitor:
+    """Composite QoS judgement: latency plus error rate.
+
+    The self-optimizing technique consults :attr:`violated` after each
+    request and switches implementations when it trips.
+    """
+
+    def __init__(self, latency_threshold: float,
+                 error_rate_threshold: float = 1.0,
+                 window: int = 10) -> None:
+        if not 0.0 <= error_rate_threshold <= 1.0:
+            raise ValueError("error rate threshold lies in [0, 1]")
+        self.latency = LatencyMonitor(latency_threshold, window)
+        self.error_rate_threshold = error_rate_threshold
+        self._errors: Deque[bool] = collections.deque(maxlen=window)
+
+    def observe(self, outcome: Outcome) -> None:
+        self.latency.observe(outcome.cost)
+        self._errors.append(outcome.failed)
+
+    @property
+    def error_rate(self) -> float:
+        if not self._errors:
+            return 0.0
+        return sum(self._errors) / len(self._errors)
+
+    @property
+    def violated(self) -> bool:
+        if self.latency.degraded:
+            return True
+        return (len(self._errors) == self._errors.maxlen
+                and self.error_rate > self.error_rate_threshold)
+
+    def reset(self) -> None:
+        """Clear the windows (after switching implementations)."""
+        self.latency._samples.clear()
+        self._errors.clear()

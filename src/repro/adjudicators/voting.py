@@ -1,0 +1,201 @@
+"""Voting adjudicators — the implicit adjudicators of N-version systems.
+
+All voters canonicalise values through an optional ``key`` function (so
+"equal enough" results vote together, e.g. rounded floats) and ignore
+failed outcomes except as dissenters.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.adjudicators.base import Adjudicator, Verdict
+from repro.result import Outcome
+
+
+class _TallyVoter(Adjudicator):
+    """Shared machinery: group successful outcomes by canonical value."""
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None) -> None:
+        self._key = key or (lambda value: value)
+
+    def _tally(self, outcomes: Sequence[Outcome]
+               ) -> Tuple[Dict[Any, List[Outcome]], List[str], float]:
+        """Group outcomes; returns (groups, failed_producers, cost)."""
+        groups: Dict[Any, List[Outcome]] = collections.defaultdict(list)
+        failed = []
+        for outcome in outcomes:
+            if outcome.ok:
+                try:
+                    canonical = self._key(outcome.value)
+                except Exception:
+                    failed.append(outcome.producer)
+                    continue
+                groups[canonical].append(outcome)
+            else:
+                failed.append(outcome.producer)
+        cost = self.unit_cost * len(outcomes)
+        return groups, failed, cost
+
+    @staticmethod
+    def _largest(groups: Dict[Any, List[Outcome]]
+                 ) -> Tuple[Optional[Any], List[Outcome]]:
+        best_key, best_group = None, []
+        for canonical, group in groups.items():
+            if len(group) > len(best_group):
+                best_key, best_group = canonical, group
+        return best_key, best_group
+
+    @staticmethod
+    def _verdict_from_group(group: List[Outcome], outcomes: Sequence[Outcome],
+                            cost: float) -> Verdict:
+        supporters = [o.producer for o in group]
+        winners = {id(o) for o in group}
+        dissenters = [o.producer for o in outcomes if id(o) not in winners]
+        return Verdict.accept(group[0].value, supporters=supporters,
+                              dissenters=dissenters, cost=cost)
+
+
+class MajorityVoter(_TallyVoter):
+    """Strict majority vote: the paper's canonical implicit adjudicator.
+
+    Accepts a value iff more than half of *all submitted* outcomes agree on
+    it.  With ``2k+1`` versions this masks up to ``k`` arbitrary failures
+    (crashes or wrong values) — the sizing rule quoted in Section 4.1.
+    """
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        if not outcomes:
+            return Verdict.reject()
+        groups, _, cost = self._tally(outcomes)
+        quorum = len(outcomes) // 2 + 1
+        _, best_group = self._largest(groups)
+        if len(best_group) >= quorum:
+            return self._verdict_from_group(best_group, outcomes, cost)
+        return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                              cost=cost)
+
+
+class PluralityVoter(_TallyVoter):
+    """Largest agreeing group wins, with ties and empty groups rejected.
+
+    Weaker than majority: accepts ``2-1-1`` splits.  Used where Looker et
+    al.'s WS-FTM style 'quorum agreement' tolerates more divergence.
+    """
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        if not outcomes:
+            return Verdict.reject()
+        groups, _, cost = self._tally(outcomes)
+        if not groups:
+            return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                                  cost=cost)
+        sizes = sorted((len(g) for g in groups.values()), reverse=True)
+        if len(sizes) > 1 and sizes[0] == sizes[1]:
+            return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                                  cost=cost)
+        _, best_group = self._largest(groups)
+        return self._verdict_from_group(best_group, outcomes, cost)
+
+
+class UnanimousVoter(_TallyVoter):
+    """All successful outcomes must agree, and none may have failed.
+
+    This is the *detection-oriented* voter of security mechanisms (process
+    replicas, N-variant data): any divergence is treated as an alarm, so a
+    rejection means "attack detected", not "no answer".
+    """
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        if not outcomes:
+            return Verdict.reject()
+        groups, failed, cost = self._tally(outcomes)
+        if failed or len(groups) != 1:
+            return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                                  cost=cost)
+        (group,) = groups.values()
+        return self._verdict_from_group(group, outcomes, cost)
+
+
+class ConsensusVoter(_TallyVoter):
+    """m-of-n quorum vote (generalises majority).
+
+    Args:
+        quorum: Minimum number of agreeing outcomes required.
+    """
+
+    def __init__(self, quorum: int,
+                 key: Optional[Callable[[Any], Any]] = None) -> None:
+        super().__init__(key)
+        if quorum <= 0:
+            raise ValueError("quorum must be positive")
+        self.quorum = quorum
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        if not outcomes:
+            return Verdict.reject()
+        groups, _, cost = self._tally(outcomes)
+        _, best_group = self._largest(groups)
+        if len(best_group) >= self.quorum:
+            return self._verdict_from_group(best_group, outcomes, cost)
+        return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                              cost=cost)
+
+
+class WeightedVoter(_TallyVoter):
+    """Majority by producer weight instead of head count.
+
+    Useful when versions have unequal trust (e.g. a formally verified
+    primary plus cheap alternates).
+    """
+
+    def __init__(self, weights: Dict[str, float],
+                 key: Optional[Callable[[Any], Any]] = None) -> None:
+        super().__init__(key)
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("weights are non-negative")
+        self.weights = dict(weights)
+
+    def _weight(self, producer: str) -> float:
+        return self.weights.get(producer, 1.0)
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        if not outcomes:
+            return Verdict.reject()
+        groups, _, cost = self._tally(outcomes)
+        total = sum(self._weight(o.producer) for o in outcomes)
+        best_group, best_weight = [], -1.0
+        for group in groups.values():
+            weight = sum(self._weight(o.producer) for o in group)
+            if weight > best_weight:
+                best_group, best_weight = group, weight
+        if best_group and best_weight > total / 2.0:
+            return self._verdict_from_group(best_group, outcomes, cost)
+        return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                              cost=cost)
+
+
+class MedianVoter(Adjudicator):
+    """Median of numeric results — the classic inexact-voting adjudicator
+    for computations where versions legitimately differ in low-order bits.
+
+    Accepts whenever at least one outcome succeeded; the median of an
+    odd-sized successful set is guaranteed to be bracketed by correct
+    values when a minority is faulty.
+    """
+
+    def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
+        successes = [o for o in outcomes if o.ok
+                     and isinstance(o.value, (int, float))]
+        cost = self.unit_cost * len(outcomes)
+        if not successes:
+            return Verdict.reject(dissenters=[o.producer for o in outcomes],
+                                  cost=cost)
+        ordered = sorted(successes, key=lambda o: o.value)
+        median = ordered[len(ordered) // 2]
+        supporters = [median.producer]
+        dissenters = [o.producer for o in outcomes
+                      if o.producer != median.producer]
+        return Verdict.accept(median.value, supporters=supporters,
+                              dissenters=dissenters, cost=cost)

@@ -1,0 +1,39 @@
+"""Analytic models overlaid on the simulation experiments.
+
+Each experiment that admits a closed form gets one, so EXPERIMENTS.md can
+report simulation vs theory as well as simulation vs paper:
+
+* :mod:`repro.analysis.reliability` — k-of-n voting reliability, with and
+  without correlated (common-shock) failures;
+* :mod:`repro.analysis.markov` — steady-state availability chains for
+  rejuvenation and substitution;
+* :mod:`repro.analysis.aging_model` — Garg-style expected completion time
+  under checkpointing and rejuvenation;
+* :mod:`repro.analysis.cost` — the design-cost / execution-cost ledger
+  behind the paper's cost/efficacy comparison.
+"""
+
+from repro.analysis.aging_model import completion_time, optimal_interval
+from repro.analysis.cost import CostLedger, CostReport
+from repro.analysis.markov import MarkovChain, steady_state
+from repro.analysis.reliability import (
+    correlated_vote_reliability,
+    k_tolerance,
+    series_availability,
+    substitution_availability,
+    vote_reliability,
+)
+
+__all__ = [
+    "CostLedger",
+    "CostReport",
+    "MarkovChain",
+    "completion_time",
+    "correlated_vote_reliability",
+    "k_tolerance",
+    "optimal_interval",
+    "series_availability",
+    "steady_state",
+    "substitution_availability",
+    "vote_reliability",
+]

@@ -1,0 +1,88 @@
+"""Cost accounting for the cost/efficacy comparison (paper Section 4.1).
+
+The paper weighs *design costs* (developing N versions, writing
+acceptance tests) against *execution costs* (running redundant versions,
+adjudication work).  A :class:`CostLedger` aggregates both sides for one
+technique instance; :class:`CostReport` normalises them per request so
+NVP, recovery blocks and self-checking programming can be laid side by
+side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+from repro.components.version import Version
+from repro.patterns.base import PatternStats
+
+
+@dataclasses.dataclass
+class CostLedger:
+    """Raw cost counters for one technique instance."""
+
+    #: One-off development cost of all redundant versions.
+    design_cost: float = 0.0
+    #: One-off development cost of explicit adjudicators (acceptance
+    #: tests are engineered artifacts; voters come for free).
+    adjudicator_design_cost: float = 0.0
+    #: Total virtual time spent executing versions.
+    execution_cost: float = 0.0
+    #: Total virtual time spent adjudicating.
+    adjudication_cost: float = 0.0
+    #: Number of version executions.
+    executions: int = 0
+    #: Number of requests served.
+    requests: int = 0
+    #: Requests that returned a correct result.
+    correct: int = 0
+
+    @classmethod
+    def from_pattern(cls, stats: PatternStats,
+                     versions: Sequence[Version],
+                     adjudicator_design_cost: float = 0.0,
+                     correct: int = 0) -> "CostLedger":
+        """Build a ledger from pattern stats plus version design costs."""
+        return cls(
+            design_cost=sum(v.design_cost for v in versions),
+            adjudicator_design_cost=adjudicator_design_cost,
+            execution_cost=stats.execution_cost,
+            adjudication_cost=stats.adjudication_cost,
+            executions=stats.executions,
+            requests=stats.invocations,
+            correct=correct,
+        )
+
+    def report(self, name: str) -> "CostReport":
+        requests = max(1, self.requests)
+        return CostReport(
+            name=name,
+            design_cost=self.design_cost + self.adjudicator_design_cost,
+            executions_per_request=self.executions / requests,
+            execution_cost_per_request=self.execution_cost / requests,
+            adjudication_cost_per_request=(self.adjudication_cost
+                                           / requests),
+            reliability=self.correct / requests,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CostReport:
+    """Per-request normalised costs, one row of the C3 experiment table."""
+
+    name: str
+    design_cost: float
+    executions_per_request: float
+    execution_cost_per_request: float
+    adjudication_cost_per_request: float
+    reliability: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "technique": self.name,
+            "design cost": round(self.design_cost, 1),
+            "execs/req": round(self.executions_per_request, 3),
+            "exec cost/req": round(self.execution_cost_per_request, 3),
+            "adjudication/req": round(self.adjudication_cost_per_request, 3),
+            "reliability": round(self.reliability, 4),
+        }

@@ -1,0 +1,80 @@
+"""Discrete-time Markov chains for availability modelling.
+
+A small dependency-free solver: steady-state distribution by power
+iteration.  Used to model the up/degraded/down/rebooting cycles of the
+rejuvenation and micro-reboot experiments analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class MarkovChain:
+    """A DTMC over named states.
+
+    Args:
+        states: State names.
+        transitions: ``{from_state: {to_state: probability}}``; rows must
+            sum to 1 (within tolerance).
+    """
+
+    def __init__(self, states: Sequence[str],
+                 transitions: Dict[str, Dict[str, float]]) -> None:
+        if not states:
+            raise ValueError("a chain needs states")
+        if len(set(states)) != len(states):
+            raise ValueError("duplicate state names")
+        self.states = list(states)
+        self._index = {s: i for i, s in enumerate(self.states)}
+        self.matrix: List[List[float]] = [
+            [0.0] * len(self.states) for _ in self.states]
+        for src, row in transitions.items():
+            total = sum(row.values())
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(f"row {src!r} sums to {total}, not 1")
+            for dst, p in row.items():
+                if p < 0:
+                    raise ValueError("probabilities are non-negative")
+                self.matrix[self._index[src]][self._index[dst]] = p
+        for name in self.states:
+            if name not in transitions:
+                raise ValueError(f"state {name!r} has no outgoing row")
+
+    def step(self, distribution: Sequence[float]) -> List[float]:
+        """One step of the chain: ``pi' = pi P``."""
+        n = len(self.states)
+        out = [0.0] * n
+        for i in range(n):
+            weight = distribution[i]
+            if weight == 0.0:
+                continue
+            row = self.matrix[i]
+            for j in range(n):
+                out[j] += weight * row[j]
+        return out
+
+    def steady_state(self, iterations: int = 10_000,
+                     tolerance: float = 1e-12) -> Dict[str, float]:
+        """Stationary distribution by power iteration."""
+        n = len(self.states)
+        pi = [1.0 / n] * n
+        for _ in range(iterations):
+            nxt = self.step(pi)
+            if max(abs(a - b) for a, b in zip(pi, nxt)) < tolerance:
+                pi = nxt
+                break
+            pi = nxt
+        return dict(zip(self.states, pi))
+
+    def availability(self, up_states: Sequence[str]) -> float:
+        """Long-run fraction of time spent in the given up states."""
+        pi = self.steady_state()
+        return sum(pi[s] for s in up_states)
+
+
+def steady_state(states: Sequence[str],
+                 transitions: Dict[str, Dict[str, float]]
+                 ) -> Dict[str, float]:
+    """Convenience: build a chain and return its stationary distribution."""
+    return MarkovChain(states, transitions).steady_state()

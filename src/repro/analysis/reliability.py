@@ -1,0 +1,89 @@
+"""Closed-form reliability of redundancy schemes.
+
+All formulas are dependency-free (math only) so the core library does not
+require numpy; the benchmarks may still use numpy for sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.components.library import shock_parameters
+
+
+def _binom_cdf(k: int, n: int, p: float) -> float:
+    """P[X <= k] for X ~ Binomial(n, p)."""
+    return sum(math.comb(n, j) * p ** j * (1.0 - p) ** (n - j)
+               for j in range(0, k + 1))
+
+
+def k_tolerance(n: int) -> int:
+    """Faulty versions a majority vote over ``n`` versions can mask.
+
+    The paper (Section 4.1): "in order to tolerate k failures, a system
+    must consist of 2k + 1 versions" — inverted, an ``n``-version system
+    tolerates ``floor((n - 1) / 2)``.
+    """
+    if n <= 0:
+        raise ValueError("need at least one version")
+    return (n - 1) // 2
+
+
+def vote_reliability(n: int, p_fail: float) -> float:
+    """Majority-vote success probability, independent versions.
+
+    Versions fail independently with probability ``p_fail`` and wrong
+    results never collide, so the vote succeeds iff at most
+    :func:`k_tolerance`(n) versions fail.
+    """
+    if not 0.0 <= p_fail <= 1.0:
+        raise ValueError("p_fail lies in [0, 1]")
+    return _binom_cdf(k_tolerance(n), n, p_fail)
+
+
+def correlated_vote_reliability(n: int, p_fail: float, rho: float) -> float:
+    """Majority-vote success under the common-shock correlation model.
+
+    With probability ``c`` the common-mode fault fires: all versions agree
+    on the same wrong value and the vote *confidently* fails.  Otherwise
+    versions fail independently with the conditional rate ``u``.
+    ``(c, u)`` come from the same solver the simulation population uses
+    (:func:`repro.components.library.shock_parameters`), so theory and
+    simulation share parameters exactly.
+
+    Note: the Brilliant et al. erosion (correlation reduces the voting
+    gain) holds in the high-reliability regime (``p_fail`` well below
+    1/2).  For very unreliable versions the common shock *concentrates*
+    failures into rare total outages while cleaning up the rest of the
+    input space, and correlation can actually raise vote reliability —
+    e.g. n=3, p=0.375, rho=0.5.
+    """
+    if rho == 0.0:
+        return vote_reliability(n, p_fail)
+    c, u = shock_parameters(p_fail, rho)
+    return (1.0 - c) * _binom_cdf(k_tolerance(n), n, u)
+
+
+def substitution_availability(availabilities: Tuple[float, ...]) -> float:
+    """Success probability of sequential substitution over alternates.
+
+    The request succeeds unless *every* alternate fails:
+    ``1 - prod(1 - a_i)``.
+    """
+    failure = 1.0
+    for a in availabilities:
+        if not 0.0 <= a <= 1.0:
+            raise ValueError("availabilities lie in [0, 1]")
+        failure *= (1.0 - a)
+    return 1.0 - failure
+
+
+def series_availability(availabilities: Tuple[float, ...]) -> float:
+    """Availability of a non-redundant series composition: ``prod(a_i)``."""
+    product = 1.0
+    for a in availabilities:
+        if not 0.0 <= a <= 1.0:
+            raise ValueError("availabilities lie in [0, 1]")
+        product *= a
+    return product

@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+``python -m repro <command>`` gives quick access to the survey artifacts
+without writing code:
+
+* ``tables`` — render the paper's Tables 1 and 2 from the implementation
+  and report the diff against the paper's transcription;
+* ``techniques`` — one line per implemented technique with its
+  classification cells;
+* ``experiments`` — the experiment index (id, claim, benchmark target);
+* ``demo`` — run a tiny end-to-end NVP demonstration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro.techniques  # noqa: F401 - populates the registry
+from repro import __version__
+from repro.taxonomy.paper import PAPER_TABLE2
+from repro.taxonomy.registry import default_registry
+from repro.taxonomy.tables import render_diff, render_table1, render_table2
+
+#: (experiment id, short claim, benchmark file) — mirrors DESIGN.md §4.
+EXPERIMENT_INDEX = (
+    ("T1", "Table 1: taxonomy dimensions", "bench_table1_taxonomy.py"),
+    ("T2", "Table 2: seventeen techniques classified",
+     "bench_table2_classification.py"),
+    ("F1", "Figure 1: three architectural patterns",
+     "bench_figure1_patterns.py"),
+    ("C1", "2k+1 versions tolerate k failures", "bench_c1_nvp_tolerance.py"),
+    ("C2", "correlated faults erode the N-version gain",
+     "bench_c2_correlated_versions.py"),
+    ("C3", "cost/efficacy: NVP vs recovery blocks vs self-checking",
+     "bench_c3_cost_efficacy.py"),
+    ("C4", "rejuvenation period minimising completion time",
+     "bench_c4_rejuvenation.py"),
+    ("C5", "micro-reboot vs full reboot", "bench_c5_microreboot.py"),
+    ("C6", "RX survival per fault class", "bench_c6_rx_perturbation.py"),
+    ("C7", "process replicas detect memory attacks",
+     "bench_c7_process_replicas.py"),
+    ("C8", "data re-expression escapes failure regions",
+     "bench_c8_data_diversity.py"),
+    ("C9", "substitution availability vs number of alternates",
+     "bench_c9_service_substitution.py"),
+    ("C10", "GP repair of seeded faults", "bench_c10_genetic_repair.py"),
+    ("C11", "workaround success vs intrinsic redundancy",
+     "bench_c11_workarounds.py"),
+    ("C12", "robust structures detect/correct damage",
+     "bench_c12_robust_data.py"),
+    ("C13", "checkpoint-recovery: Heisenbugs yes, Bohrbugs no",
+     "bench_c13_checkpoint.py"),
+    ("C14", "healer wrappers stop heap smashing", "bench_c14_healers.py"),
+    ("C15", "hot-spare failover needs no rollback",
+     "bench_c15_hot_spare.py"),
+    ("C16", "self-optimizing beats static pins",
+     "bench_c16_self_optimizing.py"),
+    ("C17", "N-variant data detects corruption",
+     "bench_c17_nvariant_data.py"),
+    ("A1", "ablation: Huang rejuvenation availability model",
+     "bench_a1_rejuvenation_markov.py"),
+    ("A2", "ablation: voter choice per failure mix",
+     "bench_a2_voter_ablation.py"),
+    ("A3", "ablation: recovery blocks without rollback",
+     "bench_a3_rollback_ablation.py"),
+    ("A4", "ablation: SQL replication canonicalisation/reconciliation",
+     "bench_a4_sql_replication.py"),
+    ("A5", "ablation: RX perturbation menu order",
+     "bench_a5_rx_menu_order.py"),
+)
+
+
+def _cmd_tables(args) -> int:
+    print(render_table1())
+    print()
+    entries = [default_registry.entry(row.name) for row in PAPER_TABLE2]
+    print(render_table2(entries))
+    print()
+    print(render_diff(default_registry.diff_against(PAPER_TABLE2)))
+    return 0
+
+
+def _cmd_techniques(args) -> int:
+    for entry in default_registry.entries():
+        patterns = ", ".join(str(p) for p in entry.patterns) or "-"
+        print(f"{entry.name}")
+        print(f"    intention:   {entry.intention}")
+        print(f"    redundancy:  {entry.rtype}")
+        print(f"    adjudicator: {entry.adjudicator_cell}")
+        print(f"    faults:      {entry.faults_cell}")
+        print(f"    patterns:    {patterns}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    width = max(len(eid) for eid, _, _ in EXPERIMENT_INDEX)
+    for eid, claim, bench in EXPERIMENT_INDEX:
+        print(f"{eid:<{width}}  {claim}")
+        print(f"{'':<{width}}  -> pytest benchmarks/{bench} "
+              f"--benchmark-only")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.taxonomy.advisor import recommend
+    from repro.taxonomy.dimensions import FaultClass
+
+    fault = {
+        "bohrbug": FaultClass.BOHRBUG,
+        "heisenbug": FaultClass.HEISENBUG,
+        "malicious": FaultClass.MALICIOUS,
+        "development": FaultClass.DEVELOPMENT,
+    }[args.fault]
+    recommendations = recommend(
+        fault, budget=args.budget,
+        can_design_adjudicator=not args.no_adjudicator)
+    print(f"techniques for {args.fault} faults "
+          f"(budget={args.budget}"
+          f"{', no explicit adjudicators' if args.no_adjudicator else ''}):"
+          )
+    for rank, recommendation in enumerate(recommendations[:args.top], 1):
+        entry = recommendation.entry
+        print(f"{rank}. {entry.name}  "
+              f"[{entry.intention}/{entry.rtype}/"
+              f"{entry.adjudicator_cell}]")
+        print(f"   {recommendation.rationale}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.adjudicators import PredicateAcceptanceTest
+    from repro.components.library import diverse_versions
+    from repro.components.version import Version
+    from repro.faults.development import Bohrbug, Heisenbug, InputRegion
+    from repro.faults.environmental import LoadBug, OverflowBug
+    from repro.harness.campaign import FaultCampaign
+    from repro.techniques import (
+        EnvironmentPerturbation,
+        NVersionProgramming,
+        RecoveryBlocks,
+    )
+
+    def oracle(x):
+        return x + 1
+
+    def nvp_protector(faulty, env):
+        healthy = diverse_versions(oracle, 2, 0.0, seed=1)
+        injected = Version("injected", impl=lambda x: faulty(x, env=env))
+        nvp = NVersionProgramming([injected, *healthy])
+        return lambda x: nvp.execute(x, env=env)
+
+    def rb_protector(faulty, env):
+        rb = RecoveryBlocks(
+            [Version("primary", impl=lambda x: faulty(x, env=env)),
+             Version("alternate", impl=oracle)],
+            PredicateAcceptanceTest(lambda a, v: v == oracle(a[0])))
+        return lambda x: rb.execute(x)
+
+    def rx_protector(faulty, env):
+        rx = EnvironmentPerturbation(
+            lambda x, env=None: faulty(x, env=env), env)
+        return rx.execute
+
+    campaign = FaultCampaign(
+        protectors={"N-version (3)": nvp_protector,
+                    "recovery blocks": rb_protector,
+                    "RX perturbation": rx_protector},
+        faults={"Bohrbug": lambda: Bohrbug("b",
+                                           region=InputRegion(0, 10 ** 9)),
+                "Heisenbug": lambda: Heisenbug("h", probability=0.5),
+                "overflow": lambda: OverflowBug("o", overflow_cells=4,
+                                                trigger_modulo=1),
+                "load": lambda: LoadBug("l", probability=0.9)},
+        oracle=oracle, requests=args.requests, seed=args.seed)
+    print(campaign.render(
+        title="correct-result rate: technique x fault class"))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import NVersionProgramming, diverse_versions
+    from repro.exceptions import NoMajorityError
+
+    versions = diverse_versions(lambda x: x * x, n=args.versions,
+                                failure_probability=args.failure_rate,
+                                seed=args.seed)
+    nvp = NVersionProgramming(versions)
+    ok = 0
+    trials = 500
+    for x in range(trials):
+        try:
+            ok += nvp.execute(x) == x * x
+        except NoMajorityError:
+            pass
+    single = 1 - args.failure_rate
+    print(f"{args.versions}-version programming over versions failing on "
+          f"{args.failure_rate:.0%} of inputs:")
+    print(f"  single version reliability   {single:.2%}")
+    print(f"  voted system reliability     {ok / trials:.2%}")
+    print(f"  failures masked              {nvp.stats.masked_failures}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Redundancy-based software fault handling "
+                    "(Carzaniga, Gorla & Pezzè, 2008 — reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="render Tables 1 and 2 and diff "
+                                  "against the paper").set_defaults(
+        func=_cmd_tables)
+    sub.add_parser("techniques",
+                   help="list the seventeen implemented techniques"
+                   ).set_defaults(func=_cmd_techniques)
+    sub.add_parser("experiments",
+                   help="list the experiment index and bench targets"
+                   ).set_defaults(func=_cmd_experiments)
+
+    rec = sub.add_parser("recommend",
+                         help="rank techniques for a fault class")
+    rec.add_argument("fault", choices=("bohrbug", "heisenbug",
+                                       "malicious", "development"))
+    rec.add_argument("--budget", choices=("low", "high"), default="high")
+    rec.add_argument("--no-adjudicator", action="store_true",
+                     help="no application-specific failure detector can "
+                          "be engineered")
+    rec.add_argument("--top", type=int, default=5)
+    rec.set_defaults(func=_cmd_recommend)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a technique x fault-class injection matrix")
+    campaign.add_argument("--requests", type=int, default=120)
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    demo = sub.add_parser("demo", help="run a small NVP demonstration")
+    demo.add_argument("--versions", type=int, default=5)
+    demo.add_argument("--failure-rate", type=float, default=0.15)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

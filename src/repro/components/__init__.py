@@ -1,0 +1,33 @@
+"""Component and program-version model.
+
+The unit of *code redundancy* is the :class:`Version`: one independently
+developed implementation of a functional specification, with its own fault
+profile, execution cost and design cost.  Version populations — independent
+or failure-correlated — are built by :mod:`repro.components.library`.
+
+The unit of *structure* is the :class:`Component`: a named, stateful,
+restartable part of an application (the granularity at which micro-reboots
+and wrappers operate).
+"""
+
+from repro.components.component import Component, RestartableComponent
+from repro.components.interface import FunctionSpec
+from repro.components.library import (
+    correlated_version_population,
+    diverse_versions,
+    version_with_faults,
+)
+from repro.components.state import Checkpointable, StateSnapshot
+from repro.components.version import Version
+
+__all__ = [
+    "Checkpointable",
+    "Component",
+    "FunctionSpec",
+    "RestartableComponent",
+    "StateSnapshot",
+    "Version",
+    "correlated_version_population",
+    "diverse_versions",
+    "version_with_faults",
+]

@@ -1,0 +1,114 @@
+"""Stateful, restartable components — the micro-reboot granularity.
+
+Candea et al.'s micro-reboots require a "careful modular design": each
+component must be individually re-initialisable without taking the whole
+application down.  :class:`RestartableComponent` models exactly that
+contract; :class:`Component` is the plain building block for applications
+assembled in examples and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.components.state import DictState, StateSnapshot
+from repro.exceptions import CrashFailure, SimulatedFailure
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+
+
+class Component:
+    """A named, stateful application component.
+
+    Args:
+        name: Component identifier.
+        handler: ``handler(component, request, env) -> response``; reads
+            and writes ``component.state``.
+        faults: Faults injected into request handling.
+        exec_cost: Virtual time per request.
+    """
+
+    def __init__(self, name: str,
+                 handler: Callable[["Component", Any, Any], Any],
+                 faults: Iterable[Fault] = (),
+                 exec_cost: float = 1.0) -> None:
+        self.name = name
+        self.handler = handler
+        self.injector = FaultInjector(faults)
+        self.exec_cost = exec_cost
+        self.state = DictState()
+        self.requests_served = 0
+
+    def handle(self, request: Any, env=None) -> Any:
+        """Serve one request, subject to injected faults."""
+        if env is not None:
+            env.do_work(self.exec_cost)
+        response = self.handler(self, request, env)
+        result = self.injector.apply((request,), env, response)
+        self.requests_served += 1
+        return result
+
+    def capture_state(self) -> StateSnapshot:
+        return self.state.capture_state()
+
+    def restore_state(self, snapshot: StateSnapshot) -> None:
+        self.state.restore_state(snapshot)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Component({self.name!r})"
+
+
+class RestartableComponent(Component):
+    """A component that can crash and be individually re-initialised.
+
+    Crash semantics: once a fault manifests as a crash, the component is
+    *down* — every subsequent request fails fast with
+    :class:`CrashFailure` until :meth:`restart` runs.  Restarting costs
+    ``restart_cost`` virtual time (the micro-reboot price) and resets the
+    volatile state via ``initializer``.
+
+    Args:
+        initializer: Builds the fresh state dict; re-run on each restart
+            ("the system re-executes some of its initialization procedures
+            to obtain a fresh execution environment").
+        restart_cost: Virtual downtime of one micro-reboot of this
+            component.
+    """
+
+    def __init__(self, name: str,
+                 handler: Callable[["Component", Any, Any], Any],
+                 initializer: Optional[Callable[[], Dict[str, Any]]] = None,
+                 faults: Iterable[Fault] = (),
+                 exec_cost: float = 1.0,
+                 restart_cost: float = 2.0) -> None:
+        super().__init__(name, handler, faults=faults, exec_cost=exec_cost)
+        if restart_cost < 0:
+            raise ValueError("restart cost is non-negative")
+        self.initializer = initializer or dict
+        self.restart_cost = restart_cost
+        self.down = False
+        self.restarts = 0
+        self.state = DictState(**self.initializer())
+
+    def handle(self, request: Any, env=None) -> Any:
+        if self.down:
+            raise CrashFailure(f"{self.name} is down (needs restart)")
+        try:
+            return super().handle(request, env)
+        except CrashFailure:
+            self.down = True
+            raise
+        except SimulatedFailure as exc:
+            # Any manifested failure crashes the component: it needs a
+            # restart before serving again (the micro-reboot premise).
+            self.down = True
+            raise CrashFailure(f"{self.name} crashed: {exc}") from exc
+
+    def restart(self, env=None) -> float:
+        """Micro-reboot: pay the restart cost, rebuild fresh state."""
+        if env is not None:
+            env.clock.advance(self.restart_cost)
+        self.state = DictState(**self.initializer())
+        self.down = False
+        self.restarts += 1
+        return self.restart_cost

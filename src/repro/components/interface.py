@@ -1,0 +1,54 @@
+"""Functional specifications shared by redundant implementations.
+
+N-version programming requires "the same functionality" implemented N
+times; service substitution requires interface equivalence or adaptable
+similarity.  A :class:`FunctionSpec` is that shared contract: a name, an
+arity, and an optional semantic key used by brokers to find *similar*
+interfaces that an adapter can bridge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSpec:
+    """The contract every redundant implementation must honour.
+
+    Attributes:
+        name: Interface name (exact-match key for substitution).
+        arity: Number of positional arguments.
+        semantic_key: Coarse capability label; two specs with equal
+            semantic keys but different names are *similar* — substitutable
+            through an adapter (Taher et al.).
+        description: Human-oriented contract text.
+    """
+
+    name: str
+    arity: int = 1
+    semantic_key: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError("arity is non-negative")
+        if not self.name:
+            raise ValueError("a spec needs a name")
+
+    def matches(self, other: "FunctionSpec") -> bool:
+        """Exact interface equality (name and arity)."""
+        return self.name == other.name and self.arity == other.arity
+
+    def similar_to(self, other: "FunctionSpec") -> bool:
+        """Same capability, adaptable interface."""
+        return (bool(self.semantic_key)
+                and self.semantic_key == other.semantic_key
+                and self.arity == other.arity)
+
+    def check_args(self, args: Tuple) -> None:
+        if len(args) != self.arity:
+            raise TypeError(
+                f"{self.name} expects {self.arity} argument(s), "
+                f"got {len(args)}")

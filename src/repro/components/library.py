@@ -1,0 +1,179 @@
+"""Builders for diverse version populations.
+
+The N-version experiments need populations of "independently developed"
+versions whose failure statistics are controlled:
+
+* :func:`diverse_versions` — versions that each fail *deterministically*
+  on their own pseudo-random subset of inputs, with marginal per-input
+  failure probability ``p``, mutually independent across versions;
+* :func:`correlated_version_population` — the Brilliant/Knight/Leveson
+  scenario: a *common-cause* component makes several versions fail on the
+  same inputs with the same wrong answer, eroding the benefit of voting.
+
+Failure determinism matters: a version that fails on input ``x`` fails on
+``x`` every time (these are development faults), yet different versions
+fail on different ``x`` — exactly the diversity assumption of NVP.
+
+The common-shock model: per input, a common failure indicator ``C``
+(probability ``c``) makes every correlated version fail identically; each
+version additionally fails independently with probability ``u``.  Given a
+target marginal ``p`` and correlation ``rho``, :func:`shock_parameters`
+computes ``(c, u)``; its inverse lives in
+:mod:`repro.analysis.reliability` for the analytic overlays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Tuple
+
+from repro._util import stable_fraction
+from repro.components.interface import FunctionSpec
+from repro.components.version import Version
+from repro.faults.base import Fault, WRONG_VALUE
+from repro.faults.development import Bohrbug
+
+
+def version_with_faults(name: str, impl: Callable[..., Any],
+                        faults: Iterable[Fault] = (),
+                        spec: FunctionSpec = None,
+                        exec_cost: float = 1.0,
+                        design_cost: float = 100.0) -> Version:
+    """Convenience constructor mirroring :class:`Version`."""
+    return Version(name=name, impl=impl, spec=spec, faults=faults,
+                   exec_cost=exec_cost, design_cost=design_cost)
+
+
+class _HashBohrbug(Bohrbug):
+    """A deterministic fault failing on a pseudo-random input subset.
+
+    Failure condition: ``stable_fraction(salt, x) < p`` — reproducible,
+    input-dependent, independent across different salts.  Manifests as a
+    silently wrong value whose identity is controlled by ``wrong_tag``:
+    versions sharing a tag produce the *same* wrong answer (common-mode),
+    others produce version-specific wrong answers.
+    """
+
+    def __init__(self, name: str, salt: object, probability: float,
+                 wrong_tag: str) -> None:
+        super().__init__(name, predicate=self._fails_on, effect=WRONG_VALUE)
+        self._salt = salt
+        self._probability = probability
+        self._wrong_tag = wrong_tag
+
+    def _fails_on(self, args: Tuple[Any, ...]) -> bool:
+        return stable_fraction(self._salt, args) < self._probability
+
+    def corrupt(self, correct_value: Any) -> Any:
+        if isinstance(correct_value, (int, float)):
+            offset = 1 + (hash(self._wrong_tag) % 997)
+            return correct_value + offset
+        return ("wrong", self._wrong_tag, correct_value)
+
+
+def diverse_versions(oracle: Callable[..., Any], n: int,
+                     failure_probability: float,
+                     seed: int = 0,
+                     spec: FunctionSpec = None,
+                     exec_cost: float = 1.0,
+                     design_cost: float = 100.0) -> List[Version]:
+    """``n`` independent versions, each with per-input failure rate ``p``."""
+    if n <= 0:
+        raise ValueError("need at least one version")
+    if not 0.0 <= failure_probability <= 1.0:
+        raise ValueError("failure probability must lie in [0, 1]")
+    versions = []
+    for i in range(n):
+        salt = ("independent", seed, i)
+        fault = _HashBohrbug(name=f"v{i}-bug", salt=salt,
+                             probability=failure_probability,
+                             wrong_tag=f"v{i}@{seed}")
+        versions.append(Version(name=f"version-{i}", impl=oracle, spec=spec,
+                                faults=(fault,), exec_cost=exec_cost,
+                                design_cost=design_cost))
+    return versions
+
+
+def shock_parameters(p: float, rho: float) -> Tuple[float, float]:
+    """Solve the common-shock model for (c, u) given marginal ``p`` and
+    pairwise failure correlation ``rho``.
+
+    With ``F_i = C or U_i``: ``p = c + (1-c)u`` and
+    ``corr = (P11 - p^2) / (p(1-p))`` where ``P11 = c + (1-c)u^2``.
+    Solved by bisection on ``c in [0, p]`` (corr is monotone in c).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly in (0, 1)")
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError("rho must lie in [0, 1]")
+    if rho == 0.0:
+        return 0.0, p
+    if rho == 1.0:
+        return p, 0.0
+
+    def corr_for(c: float) -> float:
+        u = (p - c) / (1.0 - c)
+        p11 = c + (1.0 - c) * u * u
+        return (p11 - p * p) / (p * (1.0 - p))
+
+    lo, hi = 0.0, p
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if corr_for(mid) < rho:
+            lo = mid
+        else:
+            hi = mid
+    c = (lo + hi) / 2.0
+    u = (p - c) / (1.0 - c)
+    return c, u
+
+
+class _CommonShockBug(Bohrbug):
+    """Common-cause failure: all versions in the group fail identically."""
+
+    def __init__(self, name: str, common_salt: object, c: float) -> None:
+        super().__init__(name, predicate=self._fails_on, effect=WRONG_VALUE)
+        self._common_salt = common_salt
+        self._c = c
+
+    def _fails_on(self, args: Tuple[Any, ...]) -> bool:
+        return stable_fraction(self._common_salt, args) < self._c
+
+    def corrupt(self, correct_value: Any) -> Any:
+        # Every version in the group produces this same wrong value —
+        # the worst case for a voter.
+        if isinstance(correct_value, (int, float)):
+            return correct_value + 424242
+        return ("wrong", "common-mode", correct_value)
+
+
+def correlated_version_population(oracle: Callable[..., Any], n: int,
+                                  failure_probability: float,
+                                  correlation: float,
+                                  seed: int = 0,
+                                  spec: FunctionSpec = None,
+                                  exec_cost: float = 1.0,
+                                  design_cost: float = 100.0
+                                  ) -> List[Version]:
+    """``n`` versions with marginal failure rate ``p`` and pairwise failure
+    correlation ``rho`` under the common-shock model.
+
+    The common-shock fault is attached *first*, so on common-mode inputs
+    every version returns the identical wrong value and an implicit voter
+    confidently picks it — the mechanism behind Brilliant et al.'s
+    observation that correlation erodes the reliability gain.
+    """
+    if n <= 0:
+        raise ValueError("need at least one version")
+    c, u = shock_parameters(failure_probability, correlation)
+    common_salt = ("common", seed)
+    versions = []
+    for i in range(n):
+        faults = [
+            _CommonShockBug(name=f"common-bug", common_salt=common_salt, c=c),
+            _HashBohrbug(name=f"v{i}-bug", salt=("indep", seed, i),
+                         probability=u, wrong_tag=f"v{i}@{seed}"),
+        ]
+        versions.append(Version(name=f"version-{i}", impl=oracle, spec=spec,
+                                faults=faults, exec_cost=exec_cost,
+                                design_cost=design_cost))
+    return versions

@@ -1,0 +1,68 @@
+"""State capture and restore for rollback-based techniques.
+
+Recovery blocks need to "bring the system back to a consistent state
+before retrying with an alternate component"; checkpoint-recovery and RX
+need the same at environment scope.  :class:`Checkpointable` is the
+protocol; :class:`StateSnapshot` the captured value.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Any, Protocol, runtime_checkable
+
+
+@dataclasses.dataclass(frozen=True)
+class StateSnapshot:
+    """An opaque, immutable capture of application state."""
+
+    payload: Any
+    label: str = ""
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Anything whose state can be captured and restored."""
+
+    def capture_state(self) -> StateSnapshot:
+        """Capture current state."""
+        ...
+
+    def restore_state(self, snapshot: StateSnapshot) -> None:
+        """Restore previously captured state."""
+        ...
+
+
+class DictState:
+    """A simple checkpointable state container backed by a dict.
+
+    Deep-copies on capture so later mutations never alias the snapshot —
+    the subtle bug that breaks real rollback implementations.
+    """
+
+    def __init__(self, **initial: Any) -> None:
+        self.data = dict(initial)
+
+    def capture_state(self) -> StateSnapshot:
+        return StateSnapshot(payload=copy.deepcopy(self.data))
+
+    def restore_state(self, snapshot: StateSnapshot) -> None:
+        self.data = copy.deepcopy(snapshot.payload)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DictState):
+            return self.data == other.data
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DictState({self.data!r})"

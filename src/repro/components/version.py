@@ -1,0 +1,70 @@
+"""Program versions: independently developed redundant implementations."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.components.interface import FunctionSpec
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+
+
+class Version:
+    """One implementation of a :class:`FunctionSpec`.
+
+    A version carries the two costs the paper's cost/efficacy discussion
+    weighs against each other: ``exec_cost`` (virtual time per call, paid
+    at runtime) and ``design_cost`` (paid once, at development time — the
+    price of deliberate code redundancy).
+
+    Args:
+        name: Version identifier (e.g. ``"team-A"``).
+        impl: The implementation callable.
+        spec: The shared functional specification.
+        faults: Faults injected into this implementation.
+        exec_cost: Virtual time units per invocation.
+        design_cost: One-off development cost units.
+    """
+
+    def __init__(self, name: str, impl: Callable[..., Any],
+                 spec: Optional[FunctionSpec] = None,
+                 faults: Iterable[Fault] = (),
+                 exec_cost: float = 1.0,
+                 design_cost: float = 100.0) -> None:
+        if exec_cost < 0 or design_cost < 0:
+            raise ValueError("costs are non-negative")
+        self.name = name
+        self.impl = impl
+        self.spec = spec
+        self.injector = FaultInjector(faults)
+        self.exec_cost = exec_cost
+        self.design_cost = design_cost
+        self.calls = 0
+        #: Parallel-selection pattern support: a failing self-checking
+        #: component is disabled ("FAIL" in the paper's Figure 1b).
+        self.enabled = True
+
+    @property
+    def faults(self):
+        return self.injector.faults
+
+    def execute(self, *args: Any, env=None) -> Any:
+        """Run the version; faults may raise or corrupt the result."""
+        if self.spec is not None:
+            self.spec.check_args(args)
+        self.calls += 1
+        if env is not None:
+            env.do_work(self.exec_cost)
+        correct = self.impl(*args)
+        return self.injector.apply(args, env, correct)
+
+    def __call__(self, *args: Any, env=None) -> Any:
+        return self.execute(*args, env=env)
+
+    def disable(self) -> None:
+        """Take the version out of rotation (parallel selection, SCP)."""
+        self.enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "enabled" if self.enabled else "disabled"
+        return (f"Version({self.name!r}, faults={len(self.faults)}, {state})")

@@ -1,0 +1,28 @@
+"""Simulated execution environment.
+
+Environment redundancy — the paper's third redundancy type — needs an
+environment that can actually vary: a heap that ages and can be smashed, a
+scheduler whose message order matters, processes with address spaces and
+instruction tags, and snapshots to roll back to.  Everything here is
+deterministic given a seed and uses virtual time, so experiments are
+reproducible and fast.
+"""
+
+from repro.environment.clock import VirtualClock
+from repro.environment.memory import HeapBlock, SimulatedHeap
+from repro.environment.process import AddressSpace, SimulatedProcess
+from repro.environment.scheduler import Message, MessageScheduler
+from repro.environment.simenv import SimEnvironment
+from repro.environment.snapshot import EnvironmentSnapshot
+
+__all__ = [
+    "AddressSpace",
+    "EnvironmentSnapshot",
+    "HeapBlock",
+    "Message",
+    "MessageScheduler",
+    "SimEnvironment",
+    "SimulatedHeap",
+    "SimulatedProcess",
+    "VirtualClock",
+]

@@ -1,0 +1,54 @@
+"""Virtual time.
+
+All costs and latencies in the framework are expressed in virtual time
+units, advanced explicitly.  This keeps experiments deterministic and lets
+benchmark tables report cost in comparable units regardless of host speed,
+which is what the paper's cost/efficacy discussion needs.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("virtual time starts at a non-negative instant")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by ``delta`` units and return the new time."""
+        if delta < 0:
+            raise ValueError("time cannot flow backwards")
+        self._now += delta
+        return self._now
+
+    def reset(self, to: float = 0.0) -> None:
+        """Reset the clock (used only when rebuilding an environment)."""
+        if to < 0:
+            raise ValueError("virtual time starts at a non-negative instant")
+        self._now = float(to)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now})"
+
+
+class Stopwatch:
+    """Measure elapsed virtual time across a region of code."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start = clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock.now - self._start
+
+    def restart(self) -> None:
+        self._start = self._clock.now

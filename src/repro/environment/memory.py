@@ -1,0 +1,231 @@
+"""A simulated heap.
+
+The heap is the stage for three of the paper's fault/technique pairs:
+
+* **software aging / rejuvenation** — leaked blocks accumulate until
+  allocation pressure causes :class:`~repro.exceptions.AgingFailure`;
+  rejuvenation clears the volatile state;
+* **heap smashing / healer wrappers** (Fetzer & Xiao) — writes past a
+  block's bounds silently corrupt the adjacent block unless a boundary-
+  checking wrapper intercepts them;
+* **environment perturbation** (Qin et al., RX) — padding allocations is
+  one of RX's environment changes and makes small overflows harmless.
+
+The model keeps blocks in address order in a flat 'address space' so that
+an out-of-bounds write has a well-defined victim block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.exceptions import AgingFailure, MemoryViolation
+
+
+@dataclasses.dataclass
+class HeapBlock:
+    """A contiguous allocation.
+
+    Attributes:
+        address: Start address in the flat simulated address space.
+        size: Usable payload size in cells.
+        pad: Extra slack cells appended after the payload (RX-style
+            padding); overflow writes that land in the pad are absorbed.
+        data: Payload cells.
+        owner: Free-form tag naming the allocating component.
+        corrupted: Set when another block's overflow wrote into this one.
+    """
+
+    address: int
+    size: int
+    pad: int = 0
+    data: List[int] = dataclasses.field(default_factory=list)
+    owner: str = ""
+    corrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("blocks have positive size")
+        if not self.data:
+            self.data = [0] * self.size
+
+    @property
+    def end(self) -> int:
+        """First address past the payload+pad region."""
+        return self.address + self.size + self.pad
+
+
+class SimulatedHeap:
+    """Flat, deterministic heap with leak accounting and bounds semantics."""
+
+    def __init__(self, capacity: int = 4096, default_pad: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("heap capacity must be positive")
+        self.capacity = capacity
+        #: Pad added to every allocation; RX perturbation raises this.
+        self.default_pad = default_pad
+        self._blocks: Dict[int, HeapBlock] = {}
+        self._next_address = 0
+        #: Cells held by blocks whose owner forgot to free them.
+        self.leaked_cells = 0
+        #: Count of overflow writes that corrupted a neighbouring block.
+        self.smash_count = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def allocated_cells(self) -> int:
+        """Cells currently allocated (payload + pad)."""
+        return sum(b.size + b.pad for b in self._blocks.values())
+
+    @property
+    def free_cells(self) -> int:
+        return self.capacity - self.allocated_cells
+
+    @property
+    def pressure(self) -> float:
+        """Fraction of the heap in use; drives aging failures."""
+        return self.allocated_cells / self.capacity
+
+    @property
+    def live_blocks(self) -> int:
+        return len(self._blocks)
+
+    def block_at(self, address: int) -> Optional[HeapBlock]:
+        """The block starting exactly at ``address``, if any."""
+        return self._blocks.get(address)
+
+    def blocks(self) -> List[HeapBlock]:
+        """All live blocks in address order."""
+        return sorted(self._blocks.values(), key=lambda b: b.address)
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, size: int, owner: str = "", pad: Optional[int] = None
+              ) -> HeapBlock:
+        """Allocate a block; raises :class:`AgingFailure` when exhausted.
+
+        Exhaustion models the aging failure mode: once leaks push pressure
+        to 1.0, further allocation fails until the heap is rejuvenated.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        pad = self.default_pad if pad is None else pad
+        if self.allocated_cells + size + pad > self.capacity:
+            raise AgingFailure(
+                f"heap exhausted: {self.allocated_cells}/{self.capacity} "
+                f"cells in use ({self.leaked_cells} leaked)")
+        block = HeapBlock(address=self._next_address, size=size, pad=pad,
+                          owner=owner)
+        self._next_address += size + pad
+        self._blocks[block.address] = block
+        return block
+
+    def free(self, block: HeapBlock) -> None:
+        """Release a block; freeing twice is a (detected) violation."""
+        if block.address not in self._blocks:
+            raise MemoryViolation(f"double free at address {block.address}")
+        del self._blocks[block.address]
+
+    def leak(self, block: HeapBlock) -> None:
+        """Mark a block as leaked: it stays allocated but unreachable.
+
+        Leaked cells keep counting against capacity — this is the aging
+        mechanism — and are reclaimed only by :meth:`rejuvenate`.
+        """
+        if block.address not in self._blocks:
+            raise MemoryViolation(
+                f"cannot leak unknown block at {block.address}")
+        self.leaked_cells += block.size + block.pad
+        block.owner = "<leaked>"
+
+    # -- access ----------------------------------------------------------
+
+    def read(self, block: HeapBlock, offset: int) -> int:
+        """Read one payload cell; out-of-bounds reads are violations."""
+        if not 0 <= offset < block.size:
+            raise MemoryViolation(
+                f"read at offset {offset} outside block of size {block.size}")
+        return block.data[offset]
+
+    def write(self, block: HeapBlock, offset: int, value: int,
+              checked: bool = False) -> None:
+        """Write one cell at ``offset`` within (or past) ``block``.
+
+        With ``checked=True`` (healer-wrapper semantics) any write past the
+        payload raises :class:`MemoryViolation` immediately.  Unchecked
+        writes emulate C semantics: writes into the pad are absorbed;
+        writes past the pad corrupt the adjacent block silently.
+        """
+        if offset < 0:
+            raise MemoryViolation(f"negative offset {offset}")
+        if offset < block.size:
+            block.data[offset] = value
+            return
+        if checked:
+            raise MemoryViolation(
+                f"bounds check: write at offset {offset} past block size "
+                f"{block.size}")
+        if offset < block.size + block.pad:
+            return  # absorbed by RX-style padding
+        self._smash(block, offset, value)
+
+    def _smash(self, block: HeapBlock, offset: int, value: int) -> None:
+        """An unchecked overflow landed past the pad: corrupt the victim."""
+        target_address = block.address + offset
+        victim = None
+        for other in self._blocks.values():
+            if other is not block and other.address <= target_address < other.end:
+                victim = other
+                break
+        self.smash_count += 1
+        if victim is not None:
+            cell = target_address - victim.address
+            if cell < victim.size:
+                victim.data[cell] = value
+            victim.corrupted = True
+
+    # -- lifecycle ------------------------------------------------------
+
+    def rejuvenate(self) -> int:
+        """Clear the volatile state: drop all blocks and leak accounting.
+
+        Returns the number of cells reclaimed.  This is the heap-level
+        effect of software rejuvenation and of (micro-)reboots.
+        """
+        reclaimed = self.allocated_cells
+        self._blocks.clear()
+        self._next_address = 0
+        self.leaked_cells = 0
+        return reclaimed
+
+    # -- snapshotting ----------------------------------------------------
+
+    def capture(self) -> dict:
+        """Deep-copyable state for checkpoint-recovery."""
+        return {
+            "capacity": self.capacity,
+            "default_pad": self.default_pad,
+            "next_address": self._next_address,
+            "leaked_cells": self.leaked_cells,
+            "smash_count": self.smash_count,
+            "blocks": [
+                (b.address, b.size, b.pad, list(b.data), b.owner, b.corrupted)
+                for b in self.blocks()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a previously captured heap state."""
+        self.capacity = state["capacity"]
+        self.default_pad = state["default_pad"]
+        self._next_address = state["next_address"]
+        self.leaked_cells = state["leaked_cells"]
+        self.smash_count = state["smash_count"]
+        self._blocks = {}
+        for address, size, pad, data, owner, corrupted in state["blocks"]:
+            block = HeapBlock(address=address, size=size, pad=pad,
+                              data=list(data), owner=owner,
+                              corrupted=corrupted)
+            self._blocks[address] = block

@@ -1,0 +1,211 @@
+"""Simulated processes with address spaces and tagged instructions.
+
+This is the substrate for *process replicas* (Cox et al.'s N-variant
+systems, refined by Bruschi et al.).  The two automated diversification
+mechanisms the paper describes are reproduced directly:
+
+* **address-space partitioning** — each variant's valid addresses are a
+  disjoint partition of a flat address space, so an attack that hard-codes
+  an absolute address can be valid in at most one variant; the others
+  raise :class:`~repro.exceptions.SegmentationFault`;
+* **instruction tagging** — every legitimate instruction carries the
+  variant's tag; executing an untagged/foreign-tagged instruction (i.e.
+  injected code) raises :class:`~repro.exceptions.CodeInjectionFault`.
+
+Programs run on a tiny accumulator machine, rich enough to express a
+vulnerable buffer copy followed by an indirect call — the canonical
+memory-attack shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.exceptions import (
+    CodeInjectionFault,
+    MemoryViolation,
+    SegmentationFault,
+)
+
+#: Opcodes of the accumulator machine.
+OPS = ("const", "add", "input", "load", "store", "copy_input",
+       "call_indirect", "ret")
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One tagged instruction: opcode, arguments, provenance tag."""
+
+    op: str
+    args: Tuple[Any, ...] = ()
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown opcode {self.op!r}")
+
+    def retagged(self, tag: str) -> "Instruction":
+        return Instruction(self.op, self.args, tag)
+
+    def rebased(self, delta: int) -> "Instruction":
+        """Shift every static address operand by ``delta``.
+
+        ``const`` operands are *data*, not addresses, so they are left
+        untouched — exactly why hard-coded absolute addresses in attacker
+        payloads break under partitioning.
+        """
+        if self.op in ("load", "store", "copy_input", "call_indirect"):
+            args = (self.args[0] + delta,) + tuple(self.args[1:])
+            return Instruction(self.op, args, self.tag)
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """A named, tagged instruction sequence."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    tag: str = ""
+
+    @classmethod
+    def build(cls, name: str, instructions: Sequence[Tuple],
+              tag: str = "") -> "Program":
+        """Build from ``(op, *args)`` tuples, tagging each instruction."""
+        built = tuple(Instruction(op=item[0], args=tuple(item[1:]), tag=tag)
+                      for item in instructions)
+        return cls(name=name, instructions=built, tag=tag)
+
+    def variant_for(self, base: int, tag: str) -> "Program":
+        """Rebase static addresses to ``base`` and retag for one variant."""
+        instructions = tuple(i.rebased(base).retagged(tag)
+                             for i in self.instructions)
+        return Program(name=f"{self.name}@{tag}", instructions=instructions,
+                       tag=tag)
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressSpace:
+    """A contiguous partition ``[base, base+size)`` of the flat space."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("address spaces have positive size")
+        if self.base < 0:
+            raise ValueError("address spaces start at non-negative bases")
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+
+class SimulatedProcess:
+    """One process variant: an address space, a tag, and private memory."""
+
+    #: Execution fuel: a guard against runaway injected code.
+    MAX_STEPS = 10_000
+    #: Call-stack bound: self-referential injected code overflows the
+    #: (simulated) stack long before it exhausts the fuel.
+    MAX_CALL_DEPTH = 64
+
+    def __init__(self, name: str, address_space: AddressSpace,
+                 tag: str = "", check_tags: bool = True) -> None:
+        self.name = name
+        self.address_space = address_space
+        self.tag = tag
+        #: Disable to model a replica scheme without instruction tagging.
+        self.check_tags = check_tags
+        self.memory: Dict[int, Any] = {}
+        #: Log of executed opcodes, compared across replicas by the monitor.
+        self.trace: List[str] = []
+
+    # -- memory ----------------------------------------------------------
+
+    def poke(self, address: int, value: Any) -> None:
+        """Write memory directly (used to plant code or seed state)."""
+        self._check_address(address)
+        self.memory[address] = value
+
+    def peek(self, address: int) -> Any:
+        self._check_address(address)
+        return self.memory.get(address, 0)
+
+    def _check_address(self, address: int) -> None:
+        if not self.address_space.contains(address):
+            raise SegmentationFault(
+                f"{self.name}: address {address} outside "
+                f"[{self.address_space.base}, {self.address_space.limit})")
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, program: Program, inputs: Sequence[Any] = ()) -> Any:
+        """Run a program to its ``ret``; returns the accumulator."""
+        self.trace = []
+        self._fuel = self.MAX_STEPS
+        self._depth = 0
+        return self._run(program.instructions, list(inputs))
+
+    def _run(self, instructions: Sequence[Instruction],
+             inputs: List[Any]) -> Any:
+        acc: Any = 0
+        for ins in instructions:
+            self._fuel -= 1
+            if self._fuel <= 0:
+                raise MemoryViolation(f"{self.name}: execution fuel exhausted")
+            if self.check_tags and ins.tag != self.tag:
+                raise CodeInjectionFault(
+                    f"{self.name}: instruction tagged {ins.tag!r} in a "
+                    f"{self.tag!r} process")
+            self.trace.append(ins.op)
+            if ins.op == "const":
+                acc = ins.args[0]
+            elif ins.op == "add":
+                acc = acc + ins.args[0]
+            elif ins.op == "input":
+                acc = inputs[ins.args[0]]
+            elif ins.op == "load":
+                acc = self.peek(ins.args[0])
+            elif ins.op == "store":
+                self.poke(ins.args[0], acc)
+            elif ins.op == "copy_input":
+                # The vulnerable primitive: unchecked strcpy of the whole
+                # input vector starting at a base address.
+                base = ins.args[0]
+                for offset, value in enumerate(inputs):
+                    self.poke(base + offset, value)
+            elif ins.op == "call_indirect":
+                acc = self._call_indirect(ins.args[0], inputs)
+            elif ins.op == "ret":
+                return acc
+        return acc
+
+    def _call_indirect(self, slot: int, inputs: List[Any]) -> Any:
+        """Jump through a function-pointer slot in memory."""
+        target = self.peek(slot)
+        if not isinstance(target, int):
+            raise MemoryViolation(
+                f"{self.name}: function pointer slot holds {target!r}")
+        self._check_address(target)
+        code = self.memory.get(target)
+        self._depth += 1
+        if self._depth > self.MAX_CALL_DEPTH:
+            raise MemoryViolation(
+                f"{self.name}: call stack exhausted "
+                f"(depth > {self.MAX_CALL_DEPTH})")
+        try:
+            if (isinstance(code, tuple) and code
+                    and isinstance(code[0], Instruction)):
+                return self._run(code, inputs)
+            if isinstance(code, Instruction):
+                return self._run((code,), inputs)
+        finally:
+            self._depth -= 1
+        raise MemoryViolation(
+            f"{self.name}: call target {target} holds no code")

@@ -1,0 +1,180 @@
+"""The simulated execution environment facade.
+
+A :class:`SimEnvironment` bundles the virtual clock, the simulated heap,
+the message scheduler and a seeded RNG stream, and adds the two notions
+the environment-redundancy techniques revolve around:
+
+* **aging** — accumulated work since the last (re)initialisation; aging
+  faults and heap leaks make old environments increasingly failure-prone,
+  which is what rejuvenation resets;
+* **perturbation** — deliberate, RX-style changes (heap padding, message
+  reordering, priority changes, request throttling) that present "a
+  different environment" to a re-executed program.
+
+Environment-dependent faults consult the environment through a narrow
+interface (:meth:`chance`, :attr:`age`, :attr:`heap`, :attr:`scheduler`,
+:attr:`throttled`), so the same fault definitions work across plain
+re-execution, checkpoint-recovery, RX, rejuvenation and reboots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.environment.clock import VirtualClock
+from repro.environment.memory import SimulatedHeap
+from repro.environment.scheduler import FIFO, SHUFFLE, MessageScheduler
+from repro.environment.snapshot import EnvironmentSnapshot
+
+#: Perturbation kinds offered by :meth:`SimEnvironment.perturb` — the RX
+#: menu from Qin et al. as summarised by the paper.
+PAD_ALLOCATIONS = "pad-allocations"
+SHUFFLE_MESSAGES = "shuffle-messages"
+CHANGE_PRIORITY = "change-priority"
+THROTTLE_REQUESTS = "throttle-requests"
+
+PERTURBATIONS = (PAD_ALLOCATIONS, SHUFFLE_MESSAGES, CHANGE_PRIORITY,
+                 THROTTLE_REQUESTS)
+
+
+class SimEnvironment:
+    """A deterministic, perturbable execution environment."""
+
+    #: Virtual-time cost of a full reboot vs a component micro-reboot;
+    #: the ~50x gap reflects Candea et al.'s motivation for micro-reboots.
+    FULL_REBOOT_COST = 100.0
+    MICRO_REBOOT_COST = 2.0
+    REJUVENATION_COST = 10.0
+
+    def __init__(self, seed: int = 0, heap_capacity: int = 4096,
+                 default_pad: int = 0, scheduler_policy: str = FIFO) -> None:
+        self.seed = seed
+        self.clock = VirtualClock()
+        self.heap = SimulatedHeap(capacity=heap_capacity,
+                                  default_pad=default_pad)
+        self.scheduler = MessageScheduler(policy=scheduler_policy, seed=seed)
+        self.rng = random.Random(seed)
+        #: Work units executed since the last reboot/rejuvenation.
+        self.age = 0.0
+        #: Number of reinitialisations performed so far.
+        self.epoch = 0
+        #: True once THROTTLE_REQUESTS was applied; faults triggered by
+        #: excessive request pressure consult this flag.
+        self.throttled = False
+        #: Applied perturbations, in order (diagnostics / experiments).
+        self.applied_perturbations: List[str] = []
+
+    # -- progress ----------------------------------------------------------
+
+    def do_work(self, cost: float) -> None:
+        """Account for ``cost`` units of execution: time passes, age grows."""
+        if cost < 0:
+            raise ValueError("work cost is non-negative")
+        self.clock.advance(cost)
+        self.age += cost
+
+    def chance(self, probability: float) -> bool:
+        """A draw from the environment's nondeterminism stream.
+
+        Heisenbugs activate through this: each (re-)execution consumes
+        fresh draws, so a failure may spontaneously not recur — exactly the
+        property checkpoint-recovery banks on.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        return self.rng.random() < probability
+
+    # -- deliberate environment changes -------------------------------------
+
+    def perturb(self, kind: str) -> None:
+        """Apply one RX-style perturbation."""
+        if kind == PAD_ALLOCATIONS:
+            self.heap.default_pad += 8
+        elif kind == SHUFFLE_MESSAGES:
+            self.scheduler.perturb(new_policy=SHUFFLE,
+                                   new_seed=self.rng.randrange(2 ** 30))
+        elif kind == CHANGE_PRIORITY:
+            self.scheduler.perturb(new_policy="priority")
+        elif kind == THROTTLE_REQUESTS:
+            self.throttled = True
+        else:
+            raise ValueError(f"unknown perturbation {kind!r}; "
+                             f"pick from {PERTURBATIONS}")
+        self.applied_perturbations.append(kind)
+
+    def reset_perturbations(self) -> None:
+        """Undo all perturbations (after the danger window has passed)."""
+        self.heap.default_pad = 0
+        self.scheduler.perturb(new_policy=FIFO, new_seed=self.seed)
+        self.throttled = False
+        self.applied_perturbations.clear()
+
+    # -- reinitialisation ----------------------------------------------------
+
+    def reboot(self) -> float:
+        """Full reboot: clear all volatile state; returns the downtime."""
+        self._reinitialise()
+        self.clock.advance(self.FULL_REBOOT_COST)
+        return self.FULL_REBOOT_COST
+
+    def rejuvenate(self) -> float:
+        """Preventive reinitialisation (cheaper than a failure-time reboot
+        because it can be scheduled when the system is idle)."""
+        self._reinitialise()
+        self.clock.advance(self.REJUVENATION_COST)
+        return self.REJUVENATION_COST
+
+    def _reinitialise(self) -> None:
+        self.heap.rejuvenate()
+        self.scheduler = MessageScheduler(policy=self.scheduler.policy,
+                                          seed=self.scheduler.seed)
+        self.age = 0.0
+        self.epoch += 1
+        self.throttled = False
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self, **extra) -> EnvironmentSnapshot:
+        """Capture the volatile state (heap, scheduler, RNG, age)."""
+        return EnvironmentSnapshot(
+            taken_at=self.clock.now,
+            heap_state=self.heap.capture(),
+            scheduler_state=self.scheduler.capture(),
+            rng_state=self.rng.getstate(),
+            age=self.age,
+            extra=dict(extra),
+        )
+
+    def restore(self, snap: EnvironmentSnapshot,
+                replay_nondeterminism: bool = False) -> None:
+        """Roll the environment back to a snapshot.
+
+        With ``replay_nondeterminism=True`` the RNG stream is restored too,
+        so a re-execution replays the exact transient conditions (useful to
+        *reproduce* a Heisenbug).  The default leaves the stream where it
+        is, modelling the spontaneous environment drift that lets
+        checkpoint-recovery survive Heisenbugs.
+        """
+        self.heap.restore(snap.heap_state)
+        self.scheduler.restore(snap.scheduler_state)
+        self.age = snap.age
+        if replay_nondeterminism:
+            self.rng.setstate(snap.rng_state)
+        # The clock never rolls back: recovery takes time, it does not
+        # unwind it.
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """A compact state summary used by experiment reports."""
+        return {
+            "time": self.clock.now,
+            "age": self.age,
+            "epoch": self.epoch,
+            "heap_pressure": round(self.heap.pressure, 4),
+            "leaked_cells": self.heap.leaked_cells,
+            "scheduler_policy": self.scheduler.policy,
+            "throttled": self.throttled,
+            "perturbations": tuple(self.applied_perturbations),
+        }

@@ -1,0 +1,30 @@
+"""Environment snapshots for checkpoint-recovery and RX-style rollback."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvironmentSnapshot:
+    """An immutable capture of a :class:`SimEnvironment`'s volatile state.
+
+    Attributes:
+        taken_at: Virtual time of the capture.
+        heap_state: Deep state of the simulated heap.
+        scheduler_state: Deep state of the message scheduler.
+        rng_state: State of the environment's RNG stream, so re-execution
+            after a rollback replays the *same* nondeterminism unless the
+            environment is perturbed (the distinction between plain
+            checkpoint-recovery and RX).
+        age: Accumulated aging at capture time.
+        extra: Technique-specific payload (e.g. application state).
+    """
+
+    taken_at: float
+    heap_state: Dict[str, Any]
+    scheduler_state: Dict[str, Any]
+    rng_state: Any
+    age: float
+    extra: Dict[str, Any] = dataclasses.field(default_factory=dict)

@@ -1,0 +1,170 @@
+"""Exception hierarchy for the redundancy framework.
+
+Two families of exceptions coexist:
+
+* *Simulated failures* (:class:`SimulatedFailure` and subclasses) model the
+  runtime failures that the paper's techniques are designed to handle:
+  crashes caused by Bohrbugs, Heisenbugs, aging, or malicious inputs.  They
+  are raised by faulty components and by the simulated execution
+  environment, and they are *expected* to be caught by adjudicators and
+  redundancy patterns.
+
+* *Framework errors* (:class:`RedundancyError` and subclasses) signal that a
+  redundancy mechanism itself could not mask a failure — for example when
+  every alternate of a recovery block fails, or when a vote produces no
+  majority.  These propagate to the caller of the technique.
+"""
+
+from __future__ import annotations
+
+
+class RedundancyError(Exception):
+    """Base class for errors raised by the redundancy framework itself."""
+
+
+class ConfigurationError(RedundancyError):
+    """A technique or pattern was constructed with invalid parameters."""
+
+
+class AdjudicationError(RedundancyError):
+    """An adjudicator could not produce a verdict."""
+
+
+class NoMajorityError(AdjudicationError):
+    """A voting adjudicator found no quorum among the submitted results."""
+
+    def __init__(self, message: str = "no majority among redundant results",
+                 tally=None):
+        super().__init__(message)
+        #: Mapping from (canonicalised) result value to vote count, when the
+        #: voter can provide it; ``None`` otherwise.
+        self.tally = tally
+
+
+class AllAlternativesFailedError(RedundancyError):
+    """Every redundant alternative failed (recovery blocks, substitution...).
+
+    Carries the per-alternative failures so callers can diagnose whether the
+    redundancy degree was insufficient or the fault was common-mode.
+    """
+
+    def __init__(self, message: str = "all redundant alternatives failed",
+                 failures=None):
+        super().__init__(message)
+        #: List of the exceptions raised by each attempted alternative.
+        self.failures = list(failures or [])
+
+
+class AcceptanceTestFailedError(RedundancyError):
+    """An explicit acceptance test rejected a result."""
+
+
+class RollbackError(RedundancyError):
+    """State could not be brought back to a consistent checkpoint."""
+
+
+class NoCheckpointError(RollbackError):
+    """Recovery was requested but no checkpoint has ever been recorded."""
+
+
+class ServiceLookupError(RedundancyError):
+    """The service broker found no (adaptable) substitute implementation."""
+
+
+class WorkaroundExhaustedError(RedundancyError):
+    """No generated equivalent sequence avoided the failure."""
+
+
+class RepairFailedError(RedundancyError):
+    """Genetic repair terminated without producing a passing variant."""
+
+
+class AttackDetectedError(RedundancyError):
+    """A security-oriented mechanism (process replicas, N-variant data)
+    detected behavioural divergence indicating a malicious fault.
+
+    Detection is the *success* mode of these mechanisms: the attack was
+    stopped before corrupting the system, at the cost of aborting the
+    request.
+    """
+
+    def __init__(self, message: str = "behavioural divergence between variants",
+                 evidence=None):
+        super().__init__(message)
+        #: Free-form description of the divergence (per-variant behaviour).
+        self.evidence = evidence
+
+
+# ---------------------------------------------------------------------------
+# Simulated runtime failures (what the techniques are meant to handle)
+# ---------------------------------------------------------------------------
+
+class SimulatedFailure(Exception):
+    """Base class for failures produced by injected faults or the simulated
+    execution environment."""
+
+    #: Coarse fault class this failure belongs to; overridden by subclasses.
+    fault_class = "development"
+
+
+class BohrbugFailure(SimulatedFailure):
+    """A deterministic development fault manifested: same input vector, same
+    failure (Gray's 'Bohrbug')."""
+
+    fault_class = "bohrbug"
+
+
+class HeisenbugFailure(SimulatedFailure):
+    """A non-deterministic development fault manifested: the failure depends
+    on transient environment conditions (Gray's 'Heisenbug')."""
+
+    fault_class = "heisenbug"
+
+
+class AgingFailure(HeisenbugFailure):
+    """A failure caused by resource exhaustion due to software aging
+    (leaked memory, stale caches); the class of faults rejuvenation
+    targets."""
+
+    fault_class = "aging"
+
+
+class CrashFailure(SimulatedFailure):
+    """A component crashed and needs re-initialisation before reuse."""
+
+
+class HangFailure(SimulatedFailure):
+    """A component stopped making progress; detected via watchdog timeout."""
+
+
+class MemoryViolation(SimulatedFailure):
+    """An out-of-bounds access in the simulated heap (e.g. buffer overflow
+    reaching adjacent blocks)."""
+
+    fault_class = "malicious"
+
+
+class SegmentationFault(SimulatedFailure):
+    """A reference to an address outside the process's address space.
+
+    Under address-space partitioning (Cox et al.) an absolute-address attack
+    is valid in at most one variant, so the others raise this.
+    """
+
+    fault_class = "malicious"
+
+
+class CodeInjectionFault(SimulatedFailure):
+    """Execution reached an instruction whose tag does not match the
+    process's variant tag — the signature of injected code."""
+
+    fault_class = "malicious"
+
+
+class ServiceFailure(SimulatedFailure):
+    """A remote service invocation failed (unavailable, timeout, or wrong
+    behaviour)."""
+
+
+class DataCorruptionDetected(SimulatedFailure):
+    """A robust data structure's integrity audit found structural damage."""

@@ -1,0 +1,57 @@
+"""Software fault models.
+
+Follows Avizienis et al.'s taxonomy restricted to software faults, as the
+paper does (Section 3, "Faults"):
+
+* **development faults** that manifest deterministically for a given input
+  vector — *Bohrbugs* (:class:`Bohrbug`);
+* **development faults** with non-deterministic manifestation —
+  *Heisenbugs* (:class:`Heisenbug`), including aging-related faults
+  (:class:`AgingBug`, :class:`LeakFault`) and environment-sensitive faults
+  that specific RX perturbations neutralise (:class:`OrderingBug`,
+  :class:`OverflowBug`, :class:`LoadBug`);
+* **malicious interaction faults** (:class:`MaliciousInputFault` and the
+  memory-attack builders in :mod:`repro.faults.malicious`).
+
+A :class:`FaultInjector` attaches faults to a callable; each call consults
+every fault's activation condition against the input vector and the
+current :class:`~repro.environment.SimEnvironment`.
+"""
+
+from repro.faults.base import CRASH, HANG, WRONG_VALUE, Fault
+from repro.faults.development import (
+    AgingBug,
+    Bohrbug,
+    Heisenbug,
+    InputRegion,
+    LeakFault,
+)
+from repro.faults.environmental import LoadBug, OrderingBug, OverflowBug
+from repro.faults.injector import FaultInjector, FaultyFunction
+from repro.faults.malicious import (
+    AttackPayload,
+    MaliciousInputFault,
+    absolute_address_attack,
+    code_injection_attack,
+)
+
+__all__ = [
+    "AgingBug",
+    "AttackPayload",
+    "Bohrbug",
+    "CRASH",
+    "Fault",
+    "FaultInjector",
+    "FaultyFunction",
+    "HANG",
+    "Heisenbug",
+    "InputRegion",
+    "LeakFault",
+    "LoadBug",
+    "MaliciousInputFault",
+    "OrderingBug",
+    "OverflowBug",
+    "WRONG_VALUE",
+    "absolute_address_attack",
+    "code_injection_attack",
+]

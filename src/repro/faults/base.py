@@ -1,0 +1,78 @@
+"""Fault base class and manifestation effects."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, Tuple
+
+from repro.exceptions import HangFailure, SimulatedFailure
+
+#: Manifestation effects a fault can have when it activates.
+CRASH = "crash"            # raise the fault's failure exception
+WRONG_VALUE = "wrong-value"  # return a corrupted value silently
+HANG = "hang"              # stop making progress (raises HangFailure after
+#                            the watchdog budget, modelled directly)
+
+_EFFECTS = (CRASH, WRONG_VALUE, HANG)
+
+
+class Fault(abc.ABC):
+    """An injected software fault.
+
+    Subclasses define *when* the fault activates (:meth:`activates`);
+    the base class defines *what happens* when it does
+    (:meth:`manifest`): crash with the subclass's failure exception,
+    silently return a wrong value, or hang.
+
+    Attributes:
+        name: Identifier used in diagnostics and correlation groups.
+        effect: One of :data:`CRASH`, :data:`WRONG_VALUE`, :data:`HANG`.
+    """
+
+    #: Exception type raised by CRASH manifestations; subclasses override.
+    failure_type = SimulatedFailure
+    #: The taxonomy fault-class label (matches FaultClass values).
+    fault_class = "development"
+
+    def __init__(self, name: str, effect: str = CRASH) -> None:
+        if effect not in _EFFECTS:
+            raise ValueError(f"unknown effect {effect!r}; pick from {_EFFECTS}")
+        self.name = name
+        self.effect = effect
+        #: How many times this fault has manifested (for experiments).
+        self.activations = 0
+
+    @abc.abstractmethod
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        """Whether the fault manifests for this input in this environment."""
+
+    def corrupt(self, correct_value: Any) -> Any:
+        """The wrong value a WRONG_VALUE manifestation produces.
+
+        Deterministic and distinguishable: experiments rely on corrupted
+        values being stable (a Bohrbug yields the *same* wrong answer every
+        time) yet unequal to the correct one.
+        """
+        if isinstance(correct_value, (int, float)):
+            return correct_value + 1 + (hash(self.name) % 7)
+        return ("corrupted", self.name, correct_value)
+
+    def manifest(self, args: Tuple[Any, ...], correct_value: Any) -> Any:
+        """Apply the fault's effect; called once activation is decided."""
+        self.activations += 1
+        if self.effect == CRASH:
+            raise self.failure_type(f"{self.name} activated on {args!r}")
+        if self.effect == HANG:
+            raise HangFailure(f"{self.name}: no progress on {args!r}")
+        return self.corrupt(correct_value)
+
+    def maybe_manifest(self, args: Tuple[Any, ...], env,
+                       correct_value: Any) -> Optional[Any]:
+        """Check activation and manifest; returns the (possibly corrupted)
+        value, or ``None`` when the fault stays dormant."""
+        if self.activates(args, env):
+            return self.manifest(args, correct_value)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, effect={self.effect!r})"

@@ -1,0 +1,163 @@
+"""Development faults: Bohrbugs, Heisenbugs, and aging faults."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Tuple
+
+from repro.exceptions import AgingFailure, BohrbugFailure, HeisenbugFailure
+from repro.faults.base import CRASH, Fault
+
+
+@dataclasses.dataclass(frozen=True)
+class InputRegion:
+    """A half-open numeric interval ``[low, high)`` of failing inputs.
+
+    Bohrbugs in the data-diversity literature (Ammann & Knight) are
+    modelled as narrow regions of the input space; a re-expressed input
+    that leaves the region avoids the failure while computing the same
+    function.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError("empty input region")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and self.low <= value < self.high
+
+
+class Bohrbug(Fault):
+    """A deterministic development fault.
+
+    Activates if and only if the input vector satisfies the trigger — the
+    same input always fails, regardless of environment ("easily found by
+    conventional debugging; survives re-execution").
+
+    The trigger is either an :class:`InputRegion` applied to the first
+    argument, or an arbitrary predicate over the argument tuple.
+    """
+
+    failure_type = BohrbugFailure
+    fault_class = "bohrbug"
+
+    def __init__(self, name: str, region: Optional[InputRegion] = None,
+                 predicate: Optional[Callable[[Tuple[Any, ...]], bool]] = None,
+                 effect: str = CRASH) -> None:
+        super().__init__(name, effect)
+        if (region is None) == (predicate is None):
+            raise ValueError("give exactly one of region= or predicate=")
+        self.region = region
+        self._predicate = predicate
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        if self.region is not None:
+            return bool(args) and self.region.contains(args[0])
+        return self._predicate(args)
+
+
+class Heisenbug(Fault):
+    """A non-deterministic development fault.
+
+    Activates with a base probability drawn from the *environment's*
+    nondeterminism stream, optionally amplified by environment age
+    (old, leaky environments race more).  Re-executing the same input can
+    therefore succeed — the property exploited by simple retry,
+    checkpoint-recovery and reboots.
+    """
+
+    failure_type = HeisenbugFailure
+    fault_class = "heisenbug"
+
+    def __init__(self, name: str, probability: float,
+                 aging_factor: float = 0.0, effect: str = CRASH) -> None:
+        super().__init__(name, effect)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        if aging_factor < 0:
+            raise ValueError("aging_factor is non-negative")
+        self.probability = probability
+        self.aging_factor = aging_factor
+
+    def effective_probability(self, env) -> float:
+        """Activation probability in the current environment."""
+        boost = self.aging_factor * getattr(env, "age", 0.0)
+        return min(1.0, self.probability + boost)
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        if env is None:
+            return False
+        return env.chance(self.effective_probability(env))
+
+
+class AgingBug(Heisenbug):
+    """An aging-related Heisenbug (Grottke & Trivedi).
+
+    Dormant in a fresh environment; its activation probability ramps
+    linearly with environment age up to ``max_probability`` at
+    ``age_to_saturation``.  Rejuvenation resets the age and hence the
+    probability — the mechanism behind the rejuvenation experiments.
+    """
+
+    failure_type = AgingFailure
+    fault_class = "aging"
+
+    def __init__(self, name: str, max_probability: float = 0.5,
+                 age_to_saturation: float = 1000.0,
+                 effect: str = CRASH) -> None:
+        if not 0.0 <= max_probability <= 1.0:
+            raise ValueError("max_probability must lie in [0, 1]")
+        if age_to_saturation <= 0:
+            raise ValueError("age_to_saturation must be positive")
+        super().__init__(name, probability=0.0, effect=effect)
+        self.max_probability = max_probability
+        self.age_to_saturation = age_to_saturation
+
+    def effective_probability(self, env) -> float:
+        age = getattr(env, "age", 0.0)
+        ramp = min(1.0, age / self.age_to_saturation)
+        return self.max_probability * ramp
+
+
+class LeakFault(Fault):
+    """A memory leak: every activation leaks heap cells.
+
+    The leak itself never fails the current call (``activates`` always
+    returns False after leaking); the damage is indirect — leaked cells
+    accumulate until allocation pressure makes the heap raise
+    :class:`~repro.exceptions.AgingFailure` on behalf of *other* code.
+    This separation mirrors real aging: the faulty component is rarely the
+    one that crashes.
+    """
+
+    failure_type = AgingFailure
+    fault_class = "aging"
+
+    def __init__(self, name: str, cells_per_call: int = 4) -> None:
+        super().__init__(name, effect=CRASH)
+        if cells_per_call <= 0:
+            raise ValueError("a leak must leak at least one cell")
+        self.cells_per_call = cells_per_call
+        #: Total cells leaked so far (across rejuvenations it is reset by
+        #: the environment, not by the fault).
+        self.total_leaked = 0
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        heap = getattr(env, "heap", None)
+        if heap is None:
+            return False
+        # Leaking is itself an allocation: if the heap is already
+        # exhausted the allocation fails, and that AgingFailure *is* the
+        # aging crash.
+        block = heap.alloc(self.cells_per_call, owner=self.name)
+        heap.leak(block)
+        self.total_leaked += self.cells_per_call
+        self.activations += 1
+        return False

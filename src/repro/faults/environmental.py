@@ -1,0 +1,114 @@
+"""Environment-sensitive development faults.
+
+These are the faults RX (Qin et al.) targets: each activates as a
+deterministic function of a *specific* environment feature, so exactly one
+perturbation from the RX menu neutralises it:
+
+* :class:`OverflowBug` — a buffer overflow that is harmless once
+  allocations carry enough padding (``pad-allocations``);
+* :class:`OrderingBug` — a concurrency fault (deadlock/race) bound to the
+  current message interleaving; reordering messages or changing priorities
+  escapes the bad interleaving (``shuffle-messages`` / ``change-priority``);
+* :class:`LoadBug` — a fault triggered by request pressure; throttling
+  avoids it (``throttle-requests``).
+
+Unlike a plain :class:`~repro.faults.development.Heisenbug`, these do NOT
+disappear on simple re-execution in an unchanged environment: the
+environment must actually change.  That distinction is what separates
+checkpoint-recovery (spontaneous change only) from RX (deliberate change)
+in the C6/C13 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro._util import stable_fraction as _stable_fraction
+from repro.exceptions import HeisenbugFailure, MemoryViolation
+from repro.faults.base import CRASH, Fault
+
+
+class OverflowBug(Fault):
+    """Writes ``overflow_cells`` past its buffer on triggering inputs.
+
+    Activates when the input triggers the overflow *and* the environment's
+    default allocation padding cannot absorb it.  With sufficient padding
+    the overflow lands in the slack and the call succeeds.
+    """
+
+    failure_type = MemoryViolation
+    fault_class = "bohrbug"  # deterministic given (input, environment)
+
+    def __init__(self, name: str, overflow_cells: int = 4,
+                 trigger_modulo: int = 10, effect: str = CRASH) -> None:
+        super().__init__(name, effect)
+        if overflow_cells <= 0:
+            raise ValueError("overflow must spill at least one cell")
+        if trigger_modulo <= 0:
+            raise ValueError("trigger_modulo must be positive")
+        self.overflow_cells = overflow_cells
+        #: Inputs with ``int(x) % trigger_modulo == 0`` trigger the copy
+        #: that overflows (an 'oversized request' every so often).
+        self.trigger_modulo = trigger_modulo
+
+    def triggered_by(self, args: Tuple[Any, ...]) -> bool:
+        if not args or not isinstance(args[0], (int, float)):
+            return False
+        return int(args[0]) % self.trigger_modulo == 0
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        if not self.triggered_by(args):
+            return False
+        heap = getattr(env, "heap", None)
+        pad = heap.default_pad if heap is not None else 0
+        return pad < self.overflow_cells
+
+
+class OrderingBug(Fault):
+    """A concurrency fault bound to the current message interleaving.
+
+    For a given (policy, seed) the scheduler produces one deterministic
+    interleaving; a fraction ``bad_fraction`` of all interleavings deadlock
+    this component.  Within an unchanged environment the bug is perfectly
+    reproducible; perturbing the scheduler redraws the interleaving.
+    """
+
+    failure_type = HeisenbugFailure
+    fault_class = "heisenbug"
+
+    def __init__(self, name: str, bad_fraction: float = 1.0,
+                 effect: str = CRASH) -> None:
+        super().__init__(name, effect)
+        if not 0.0 < bad_fraction <= 1.0:
+            raise ValueError("bad_fraction must lie in (0, 1]")
+        self.bad_fraction = bad_fraction
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        scheduler = getattr(env, "scheduler", None)
+        if scheduler is None:
+            return False
+        draw = _stable_fraction(self.name, scheduler.policy, scheduler.seed)
+        return draw < self.bad_fraction
+
+
+class LoadBug(Fault):
+    """A fault triggered by request pressure (e.g. a queue overrun).
+
+    Activates with ``probability`` per call while the environment is under
+    full load; once requests are throttled it stays dormant.
+    """
+
+    failure_type = HeisenbugFailure
+    fault_class = "heisenbug"
+
+    def __init__(self, name: str, probability: float = 0.8,
+                 effect: str = CRASH) -> None:
+        super().__init__(name, effect)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        self.probability = probability
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        if env is None or getattr(env, "throttled", False):
+            return False
+        return env.chance(self.probability)

@@ -1,0 +1,169 @@
+"""Malicious interaction faults and canonical memory attacks.
+
+Two levels of modelling:
+
+* :class:`MaliciousInputFault` marks a component as vulnerable to a class
+  of attack payloads, for techniques that treat attacks as inputs
+  (wrappers, RX request throttling);
+* the builders :func:`vulnerable_program`, :func:`absolute_address_attack`
+  and :func:`code_injection_attack` construct a concrete vulnerable
+  program for the process machine in :mod:`repro.environment.process`,
+  plus the attack input vectors that exploit it — the workload of the
+  process-replicas experiment (Cox et al.).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import MemoryViolation
+from repro.environment.process import Instruction, Program
+from repro.faults.base import WRONG_VALUE, Fault
+
+#: Layout constants of the canonical vulnerable program (pre-rebasing).
+BUFFER_BASE = 100
+BUFFER_SIZE = 4
+FP_SLOT = BUFFER_BASE + BUFFER_SIZE          # function-pointer slot
+LEGIT_FN_ADDRESS = 200                        # where the legit callee lives
+INJECTED_CODE_ADDRESS = 150                   # where attacks park their code
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackPayload:
+    """An attack input vector.
+
+    Attributes:
+        name: Diagnostic label.
+        kind: ``absolute-address``, ``code-injection`` or
+            ``data-corruption``.
+        values: The input vector fed to the vulnerable entry point.
+    """
+
+    name: str
+    kind: str
+    values: Tuple[Any, ...]
+
+
+class MaliciousInputFault(Fault):
+    """A vulnerability triggered by attack payloads.
+
+    Activates whenever the input matches ``is_attack`` and the environment
+    is not throttling requests (RX's 'reduced user requests' drops the
+    attack traffic before it reaches the component).  The default effect
+    is ``WRONG_VALUE``: a successful exploit silently corrupts the result.
+    """
+
+    failure_type = MemoryViolation
+    fault_class = "malicious"
+
+    def __init__(self, name: str,
+                 is_attack: Optional[Callable[[Tuple[Any, ...]], bool]] = None,
+                 effect: str = WRONG_VALUE) -> None:
+        super().__init__(name, effect)
+        self._is_attack = is_attack or _default_attack_predicate
+
+    def activates(self, args: Tuple[Any, ...], env) -> bool:
+        if env is not None and getattr(env, "throttled", False):
+            return False
+        return self._is_attack(args)
+
+
+def _default_attack_predicate(args: Tuple[Any, ...]) -> bool:
+    """Payloads are attacks when they carry an AttackPayload or oversized
+    vectors (the classic oversized-request signature)."""
+    if any(isinstance(a, AttackPayload) for a in args):
+        return True
+    return any(isinstance(a, (list, tuple)) and len(a) > BUFFER_SIZE
+               for a in args)
+
+
+# ---------------------------------------------------------------------------
+# Canonical memory-attack workload for the process machine
+# ---------------------------------------------------------------------------
+
+def vulnerable_program(tag: str = "") -> Program:
+    """The canonical vulnerable service: unchecked copy, indirect call.
+
+    The program copies its whole input vector into a 4-cell buffer (no
+    bounds check) and then calls through the function pointer stored just
+    past the buffer.  An oversized input therefore overwrites the pointer
+    — the shape of a classic stack/heap smashing exploit.
+    """
+    return Program.build(
+        name="vulnerable-service",
+        instructions=(
+            ("copy_input", BUFFER_BASE),
+            ("call_indirect", FP_SLOT),
+            ("ret",),
+        ),
+        tag=tag,
+    )
+
+
+def legit_function(tag: str = "") -> Tuple[Instruction, ...]:
+    """The intended callee: returns input[0] + 1."""
+    return (
+        Instruction("input", (0,), tag),
+        Instruction("add", (1,), tag),
+        Instruction("ret", (), tag),
+    )
+
+
+def install_service(process, program_tag: Optional[str] = None) -> Program:
+    """Plant the legit callee and pointer slot in a process, and return the
+    program variant rebased/retagged for that process."""
+    tag = process.tag if program_tag is None else program_tag
+    base = process.address_space.base
+    process.poke(LEGIT_FN_ADDRESS + base, legit_function(tag))
+    process.poke(FP_SLOT + base, LEGIT_FN_ADDRESS + base)
+    return vulnerable_program().variant_for(base, tag)
+
+
+def benign_request(value: int) -> Tuple[int, ...]:
+    """A well-formed request: fits the buffer, leaves the pointer intact."""
+    return (value,)
+
+
+def _attack_vector(injected: Any) -> Tuple[Any, ...]:
+    """Input vector that overflows the buffer, redirects the function
+    pointer to :data:`INJECTED_CODE_ADDRESS`, and parks ``injected`` there.
+
+    Offsets are relative to the copy base: the pointer slot sits at offset
+    ``BUFFER_SIZE``; the injected code lands at offset
+    ``INJECTED_CODE_ADDRESS - BUFFER_BASE``.
+    """
+    length = INJECTED_CODE_ADDRESS - BUFFER_BASE + 1
+    vector: List[Any] = [0] * length
+    vector[BUFFER_SIZE] = INJECTED_CODE_ADDRESS  # absolute address!
+    vector[INJECTED_CODE_ADDRESS - BUFFER_BASE] = injected
+    return tuple(vector)
+
+
+def absolute_address_attack() -> AttackPayload:
+    """Redirect the pointer to attacker data that is not valid code.
+
+    Succeeds on an unprotected process only as a crash/hijack primitive;
+    under address-space partitioning the absolute target is invalid in all
+    variants whose partition excludes it.
+    """
+    return AttackPayload(name="absolute-address",
+                         kind="absolute-address",
+                         values=_attack_vector(injected=0xdead))
+
+
+def code_injection_attack(guessed_tag: str = "") -> AttackPayload:
+    """Inject executable code and redirect the pointer to it.
+
+    The injected instructions carry ``guessed_tag``; with instruction
+    tagging enabled, a variant whose tag differs raises
+    :class:`~repro.exceptions.CodeInjectionFault` on the first injected
+    instruction.
+    """
+    shellcode = (
+        Instruction("const", (0x511,), guessed_tag),
+        Instruction("ret", (), guessed_tag),
+    )
+    return AttackPayload(name=f"code-injection[{guessed_tag or 'untagged'}]",
+                         kind="code-injection",
+                         values=_attack_vector(injected=shellcode))

@@ -1,0 +1,31 @@
+"""Experiment harness: seeded trials, workloads, and report tables.
+
+Every benchmark builds an :class:`Experiment`, runs seeded trials, and
+renders rows with :func:`render_table`, so EXPERIMENTS.md entries are
+regenerable verbatim.
+"""
+
+from repro.harness.campaign import CampaignCell, FaultCampaign
+from repro.harness.experiment import Experiment, TrialResult, run_trials
+from repro.harness.report import comparison_row, render_series, render_table
+from repro.harness.workload import (
+    attack_mix,
+    load_phases,
+    request_stream,
+    uniform_inputs,
+)
+
+__all__ = [
+    "CampaignCell",
+    "Experiment",
+    "FaultCampaign",
+    "TrialResult",
+    "attack_mix",
+    "comparison_row",
+    "load_phases",
+    "render_series",
+    "render_table",
+    "request_stream",
+    "run_trials",
+    "uniform_inputs",
+]

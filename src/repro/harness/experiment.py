@@ -1,0 +1,58 @@
+"""Seeded experiment trials."""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialResult:
+    """One trial's measurements: a flat ``metric -> value`` mapping."""
+
+    seed: int
+    metrics: Dict[str, float]
+
+
+@dataclasses.dataclass
+class Experiment:
+    """A named, seeded experiment.
+
+    Args:
+        name: Experiment id (e.g. ``"C4-rejuvenation"``).
+        trial: ``trial(seed) -> {metric: value}``; must be a pure function
+            of the seed so reruns reproduce EXPERIMENTS.md exactly.
+        seeds: The seeds to run.
+    """
+
+    name: str
+    trial: Callable[[int], Dict[str, float]]
+    seeds: Sequence[int] = tuple(range(5))
+
+    def run(self) -> List[TrialResult]:
+        return [TrialResult(seed=s, metrics=self.trial(s))
+                for s in self.seeds]
+
+    def summary(self) -> Dict[str, float]:
+        """Mean of every metric across trials."""
+        results = self.run()
+        return summarize(results)
+
+
+def run_trials(trial: Callable[[int], Dict[str, float]],
+               seeds: Sequence[int]) -> List[TrialResult]:
+    """Run ``trial`` over seeds (functional form of :class:`Experiment`)."""
+    return [TrialResult(seed=s, metrics=trial(s)) for s in seeds]
+
+
+def summarize(results: Sequence[TrialResult]) -> Dict[str, float]:
+    """Per-metric means over trial results."""
+    if not results:
+        return {}
+    keys = results[0].metrics.keys()
+    out = {}
+    for key in keys:
+        values = [r.metrics[key] for r in results]
+        out[key] = statistics.fmean(values)
+    return out

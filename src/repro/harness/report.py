@@ -1,0 +1,41 @@
+"""Report rendering for benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+from repro.taxonomy.tables import format_table
+
+__all__ = ["render_table", "render_series", "comparison_row", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """ASCII table with numeric formatting applied to every cell."""
+    formatted = [[format_cell(c) for c in row] for row in rows]
+    return format_table(headers, formatted, title=title)
+
+
+def render_series(x_label: str, y_labels: Sequence[str],
+                  points: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an x/y series (a paper 'figure') as a table of points."""
+    return render_table([x_label, *y_labels], points, title=title)
+
+
+def comparison_row(label: str, paper_claim: str,
+                   measured: Any, holds: bool) -> List[str]:
+    """One EXPERIMENTS.md row: claim vs measurement vs verdict."""
+    return [label, paper_claim, format_cell(measured),
+            "HOLDS" if holds else "DEVIATES"]

@@ -1,0 +1,71 @@
+"""Deterministic workload generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from repro.faults.malicious import (
+    absolute_address_attack,
+    code_injection_attack,
+)
+
+
+def uniform_inputs(count: int, low: int = 0, high: int = 1_000_000,
+                   seed: int = 0) -> List[int]:
+    """``count`` integers uniform in ``[low, high)``."""
+    if count < 0:
+        raise ValueError("count is non-negative")
+    if high <= low:
+        raise ValueError("empty input range")
+    rng = random.Random(seed)
+    return [rng.randrange(low, high) for _ in range(count)]
+
+
+def request_stream(count: int, seed: int = 0,
+                   kinds: Sequence[str] = ("read", "write", "compute")
+                   ) -> List[Tuple[str, int]]:
+    """A stream of typed requests for component/application workloads."""
+    if not kinds:
+        raise ValueError("at least one request kind")
+    rng = random.Random(seed)
+    return [(rng.choice(list(kinds)), rng.randrange(1_000_000))
+            for _ in range(count)]
+
+
+def attack_mix(benign: int, attacks: int, seed: int = 0,
+               guessed_tag: str = "") -> List[Any]:
+    """Interleaved benign requests and memory-attack payloads.
+
+    Benign entries are small ints; attack entries are
+    :class:`AttackPayload` objects alternating between absolute-address
+    and code-injection attacks.
+    """
+    if benign < 0 or attacks < 0:
+        raise ValueError("counts are non-negative")
+    rng = random.Random(seed)
+    items: List[Any] = [rng.randrange(100) for _ in range(benign)]
+    for i in range(attacks):
+        if i % 2 == 0:
+            items.append(absolute_address_attack())
+        else:
+            items.append(code_injection_attack(guessed_tag=guessed_tag))
+    rng.shuffle(items)
+    return items
+
+
+def load_phases(phases: Sequence[Tuple[int, float]], seed: int = 0
+                ) -> Iterator[Tuple[int, float]]:
+    """Yield ``(request_value, load_level)`` across load phases.
+
+    Args:
+        phases: ``(request_count, load_level)`` pairs, e.g. a quiet phase
+            followed by a burst — the workload of the self-optimizing
+            experiment.
+    """
+    rng = random.Random(seed)
+    for count, load in phases:
+        if count < 0 or load < 0:
+            raise ValueError("counts and loads are non-negative")
+        for _ in range(count):
+            yield rng.randrange(1_000_000), load

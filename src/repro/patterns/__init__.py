@@ -1,0 +1,30 @@
+"""Architectural patterns for inter-component redundancy (paper Fig. 1).
+
+The three engines differ in *where the adjudicator sits* and *when the
+alternatives run*:
+
+* :class:`ParallelEvaluation` (Fig. 1a) — all alternatives run on the same
+  configuration; one adjudicator evaluates the collected results.
+* :class:`ParallelSelection` (Fig. 1b) — all alternatives run; each has
+  its own adjudicator validating its result and disabling it on failure.
+* :class:`SequentialAlternatives` (Fig. 1c) — alternatives are activated
+  one at a time when the previous one's adjudicator reports failure.
+
+Techniques (:mod:`repro.techniques`) are thin policy layers over these
+engines plus the intra-component base.
+"""
+
+from repro.patterns.base import ExecutionUnit, GuardedUnit, PatternStats, RedundancyPattern
+from repro.patterns.parallel_evaluation import ParallelEvaluation
+from repro.patterns.parallel_selection import ParallelSelection
+from repro.patterns.sequential_alternatives import SequentialAlternatives
+
+__all__ = [
+    "ExecutionUnit",
+    "GuardedUnit",
+    "ParallelEvaluation",
+    "ParallelSelection",
+    "PatternStats",
+    "RedundancyPattern",
+    "SequentialAlternatives",
+]

@@ -1,0 +1,172 @@
+"""Shared machinery of the pattern engines."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, List, Sequence, Tuple
+
+from repro.adjudicators.acceptance import AcceptanceTest
+from repro.components.version import Version
+from repro.exceptions import RedundancyError, SimulatedFailure
+from repro.result import Outcome
+
+#: Exceptions a pattern engine captures as a *component* failure: raw
+#: simulated failures, and redundancy exhaustion of a *nested* technique
+#: (a composed redundant component whose own redundancy ran out has
+#: failed, from the enclosing pattern's point of view).
+CAPTURED_FAILURES = (SimulatedFailure, RedundancyError)
+
+
+@dataclasses.dataclass
+class PatternStats:
+    """Cost and efficacy accounting for one pattern instance.
+
+    These counters feed the C3 cost/efficacy experiment: NVP's execution
+    count grows with N on every request, recovery blocks' grows only on
+    failure, and the adjudication cost captures the design-side asymmetry.
+    """
+
+    invocations: int = 0
+    executions: int = 0
+    execution_cost: float = 0.0
+    adjudications: int = 0
+    adjudication_cost: float = 0.0
+    masked_failures: int = 0
+    unmasked_failures: int = 0
+    rollbacks: int = 0
+    disabled: int = 0
+
+    def merge(self, other: "PatternStats") -> "PatternStats":
+        return PatternStats(
+            invocations=self.invocations + other.invocations,
+            executions=self.executions + other.executions,
+            execution_cost=self.execution_cost + other.execution_cost,
+            adjudications=self.adjudications + other.adjudications,
+            adjudication_cost=(self.adjudication_cost
+                               + other.adjudication_cost),
+            masked_failures=self.masked_failures + other.masked_failures,
+            unmasked_failures=(self.unmasked_failures
+                               + other.unmasked_failures),
+            rollbacks=self.rollbacks + other.rollbacks,
+            disabled=self.disabled + other.disabled,
+        )
+
+
+class ExecutionUnit(abc.ABC):
+    """One redundant alternative as seen by a pattern engine."""
+
+    name: str = ""
+    enabled: bool = True
+
+    @abc.abstractmethod
+    def run(self, args: Tuple[Any, ...], env, charge: bool = True) -> Outcome:
+        """Execute and capture the result as an outcome.
+
+        ``charge=False`` suppresses billing virtual time to the
+        environment; parallel engines bill the *maximum* alternative cost
+        once instead of summing serial costs.
+        """
+
+    def validate(self, args: Tuple[Any, ...], outcome: Outcome) -> bool:
+        """Per-unit adjudication (parallel selection / sequential);
+        defaults to 'no explicit check': success == acceptable."""
+        return outcome.ok
+
+    def disable(self) -> None:
+        self.enabled = False
+
+
+class VersionUnit(ExecutionUnit):
+    """Adapter: a plain :class:`Version` as an execution unit."""
+
+    def __init__(self, version: Version) -> None:
+        self.version = version
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.version.name
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return self.version.enabled
+
+    @property
+    def exec_cost(self) -> float:
+        return self.version.exec_cost
+
+    def run(self, args: Tuple[Any, ...], env, charge: bool = True) -> Outcome:
+        try:
+            if charge or env is None:
+                value = self.version.execute(*args, env=env)
+            else:
+                value = self._run_uncharged(args, env)
+        except CAPTURED_FAILURES as exc:
+            return Outcome.failure(exc, producer=self.name,
+                                   cost=self.version.exec_cost,
+                                   args=args)
+        return Outcome.success(value, producer=self.name,
+                               cost=self.version.exec_cost, args=args)
+
+    def _run_uncharged(self, args: Tuple[Any, ...], env) -> Any:
+        """Run with fault evaluation against ``env`` but no time billing."""
+        version = self.version
+        if version.spec is not None:
+            version.spec.check_args(args)
+        version.calls += 1
+        correct = version.impl(*args)
+        return version.injector.apply(args, env, correct)
+
+    def disable(self) -> None:
+        self.version.disable()
+
+
+class GuardedUnit(VersionUnit):
+    """A version paired with its own explicit acceptance test."""
+
+    def __init__(self, version: Version, acceptance: AcceptanceTest) -> None:
+        super().__init__(version)
+        self.acceptance = acceptance
+
+    def validate(self, args: Tuple[Any, ...], outcome: Outcome) -> bool:
+        return self.acceptance.check(args, outcome)
+
+
+def as_units(alternatives: Sequence) -> List[ExecutionUnit]:
+    """Coerce versions/units into execution units."""
+    units: List[ExecutionUnit] = []
+    for alt in alternatives:
+        if isinstance(alt, ExecutionUnit):
+            units.append(alt)
+        elif isinstance(alt, Version):
+            units.append(VersionUnit(alt))
+        else:
+            raise TypeError(f"not an execution unit or version: {alt!r}")
+    return units
+
+
+class RedundancyPattern(abc.ABC):
+    """Base class of the three Figure-1 engines."""
+
+    #: Single-line ASCII sketch, rendered by the Figure-1 benchmark.
+    diagram: str = ""
+
+    def __init__(self, alternatives: Sequence) -> None:
+        units = as_units(alternatives)
+        if not units:
+            raise ValueError("a redundancy pattern needs alternatives")
+        self.units = units
+        self.stats = PatternStats()
+
+    @property
+    def active_units(self) -> List[ExecutionUnit]:
+        return [u for u in self.units if u.enabled]
+
+    @abc.abstractmethod
+    def execute(self, *args: Any, env=None) -> Any:
+        """Run the redundant computation; raises when redundancy is
+        exhausted or adjudication fails."""
+
+    def _record_execution(self, outcome: Outcome) -> None:
+        self.stats.executions += 1
+        self.stats.execution_cost += outcome.cost

@@ -1,0 +1,75 @@
+"""Parallel evaluation (paper Figure 1a).
+
+All alternatives execute with the same input configuration; a single
+adjudicator — typically a voter — evaluates the collected results.  This
+is the skeleton of N-version programming, N-copy data diversity, process
+replicas and N-variant data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.adjudicators.base import Adjudicator, Verdict
+from repro.adjudicators.voting import MajorityVoter
+from repro.exceptions import NoMajorityError
+from repro.patterns.base import RedundancyPattern
+
+
+class ParallelEvaluation(RedundancyPattern):
+    """Run every enabled alternative, adjudicate once over all results.
+
+    Parallel cost semantics: the environment is billed the *maximum*
+    alternative cost per invocation (the replicas run concurrently), while
+    the stats ledger accumulates the *total* execution cost — the
+    resources deliberately spent on redundancy.
+
+    Args:
+        alternatives: Versions or execution units.
+        adjudicator: The implicit adjudicator; defaults to a majority
+            voter, the paper's "general voting algorithm".
+        on_reject: What to do when adjudication fails: ``"raise"`` (default)
+            raises :class:`NoMajorityError`; ``"none"`` returns ``None`` —
+            used by detection-oriented techniques that translate rejection
+            themselves.
+    """
+
+    diagram = (
+        "configuration ──▶ [C1] [C2] ... [Cn] ──▶ adjudicator ──▶ result"
+    )
+
+    def __init__(self, alternatives: Sequence,
+                 adjudicator: Optional[Adjudicator] = None,
+                 on_reject: str = "raise") -> None:
+        super().__init__(alternatives)
+        if on_reject not in ("raise", "none"):
+            raise ValueError("on_reject is 'raise' or 'none'")
+        self.adjudicator = adjudicator or MajorityVoter()
+        self.on_reject = on_reject
+        self.last_verdict: Optional[Verdict] = None
+
+    def execute(self, *args: Any, env=None) -> Any:
+        self.stats.invocations += 1
+        units = self.active_units
+        outcomes = []
+        for unit in units:
+            outcome = unit.run(args, env, charge=False)
+            self._record_execution(outcome)
+            outcomes.append(outcome)
+        if env is not None and outcomes:
+            env.do_work(max(o.cost for o in outcomes))
+
+        verdict = self.adjudicator.adjudicate(outcomes)
+        self.last_verdict = verdict
+        self.stats.adjudications += 1
+        self.stats.adjudication_cost += verdict.cost
+
+        if verdict.accepted:
+            self.stats.masked_failures += len(verdict.dissenters)
+            return verdict.value
+        self.stats.unmasked_failures += 1
+        if self.on_reject == "none":
+            return None
+        raise NoMajorityError(
+            f"no adjudicated result among {len(outcomes)} alternatives",
+            tally=[(o.producer, o.ok) for o in outcomes])

@@ -1,0 +1,80 @@
+"""Parallel selection (paper Figure 1b).
+
+Every alternative executes in parallel and is followed by *its own*
+adjudicator, which validates the result and disables the component on
+failure ("FAIL" in the figure).  The highest-ranked alternative whose
+adjudicator said OK supplies the result: the first unit is the "acting"
+component, the others are "hot spares" (Laprie et al.'s self-checking
+programming).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.exceptions import AllAlternativesFailedError
+from repro.patterns.base import ExecutionUnit, RedundancyPattern
+from repro.result import Outcome
+
+
+class ParallelSelection(RedundancyPattern):
+    """Run all, validate each, select the best-ranked validated result.
+
+    Args:
+        alternatives: Versions or (preferably) guarded units carrying
+            their own acceptance checks; rank order = list order.
+        disable_failing: Whether a unit whose validation fails is taken
+            out of rotation permanently (the paper's semantics).  The
+            self-checking technique keeps this on; N-copy data diversity
+            turns it off because a failing *input expression* does not
+            condemn the code.
+    """
+
+    diagram = (
+        "──▶ [C1]─adj──▶ OK   [C2]─adj──▶ OK   [Cn]─adj──▶ FAIL(disabled)\n"
+        "     └──────── highest-ranked OK result is selected ────────┘"
+    )
+
+    def __init__(self, alternatives: Sequence,
+                 disable_failing: bool = True) -> None:
+        super().__init__(alternatives)
+        self.disable_failing = disable_failing
+
+    def execute(self, *args: Any, env=None) -> Any:
+        self.stats.invocations += 1
+        units = self.active_units
+        if not units:
+            self.stats.unmasked_failures += 1
+            raise AllAlternativesFailedError(
+                "every self-checking component has been disabled")
+
+        validated: List[Tuple[ExecutionUnit, Outcome]] = []
+        failures = []
+        max_cost = 0.0
+        for unit in units:
+            outcome = unit.run(args, env, charge=False)
+            self._record_execution(outcome)
+            max_cost = max(max_cost, outcome.cost)
+            self.stats.adjudications += 1
+            self.stats.adjudication_cost += 0.5
+            if unit.validate(args, outcome):
+                validated.append((unit, outcome))
+            else:
+                failures.append(outcome.error or
+                                AssertionError(f"{unit.name}: rejected by "
+                                               f"its adjudicator"))
+                if self.disable_failing:
+                    unit.disable()
+                    self.stats.disabled += 1
+        if env is not None:
+            env.do_work(max_cost)
+
+        if not validated:
+            self.stats.unmasked_failures += 1
+            raise AllAlternativesFailedError(
+                f"all {len(units)} parallel alternatives failed validation",
+                failures=failures)
+        self.stats.masked_failures += len(units) - len(validated)
+        # Rank order: the acting component is the first listed; spares
+        # only supply the result when the acting one failed its check.
+        return validated[0][1].value

@@ -1,0 +1,78 @@
+"""Sequential alternatives (paper Figure 1c).
+
+Alternatives are activated one at a time: each execution is judged by an
+adjudicator, and only on failure is the next alternative tried.  This is
+the skeleton of recovery blocks, retry blocks (data diversity), dynamic
+service substitution, rule engines and self-optimizing selection.
+
+Between attempts the pattern restores application state through an
+optional checkpointable subject — the rollback that Randell's recovery
+blocks require before retrying an alternate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.components.state import Checkpointable
+from repro.exceptions import AllAlternativesFailedError
+from repro.patterns.base import RedundancyPattern
+
+
+class SequentialAlternatives(RedundancyPattern):
+    """Try alternatives in order until one passes its adjudication.
+
+    Args:
+        alternatives: Versions or guarded units; order is priority order
+            (the primary block first).
+        subject: Optional checkpointable state rolled back between
+            attempts.
+        max_attempts: Cap on how many alternatives may run per invocation
+            (defaults to all of them).
+    """
+
+    diagram = (
+        "──▶ [C1]─adj─ NO ─▶ [C2]─adj─ NO ─▶ ... ─▶ [Cn]─adj─▶ OK/FAIL\n"
+        "     (state rolled back before each alternate)"
+    )
+
+    def __init__(self, alternatives: Sequence,
+                 subject: Optional[Checkpointable] = None,
+                 max_attempts: Optional[int] = None) -> None:
+        super().__init__(alternatives)
+        if max_attempts is not None and max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.subject = subject
+        self.max_attempts = max_attempts
+
+    def execute(self, *args: Any, env=None) -> Any:
+        self.stats.invocations += 1
+        checkpoint = (self.subject.capture_state()
+                      if self.subject is not None else None)
+        failures = []
+        attempts = 0
+        for unit in self.active_units:
+            if self.max_attempts is not None and attempts >= self.max_attempts:
+                break
+            if attempts > 0 and checkpoint is not None:
+                self.subject.restore_state(checkpoint)
+                self.stats.rollbacks += 1
+            attempts += 1
+            outcome = unit.run(args, env, charge=True)
+            self._record_execution(outcome)
+            self.stats.adjudications += 1
+            self.stats.adjudication_cost += 0.5
+            if unit.validate(args, outcome):
+                self.stats.masked_failures += attempts - 1
+                return outcome.value
+            failures.append(outcome.error or
+                            AssertionError(f"{unit.name}: rejected by "
+                                           f"acceptance test"))
+        self.stats.unmasked_failures += 1
+        if checkpoint is not None and attempts > 0:
+            # Leave the subject consistent even when giving up.
+            self.subject.restore_state(checkpoint)
+            self.stats.rollbacks += 1
+        raise AllAlternativesFailedError(
+            f"all {attempts} sequential alternatives failed",
+            failures=failures)

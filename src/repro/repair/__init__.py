@@ -1,0 +1,47 @@
+"""Genetic-programming fault fixing substrate.
+
+Weimer et al. and Arcuri & Yao fix faults by evolving program variants
+until a test suite passes.  The substrate provides:
+
+* a small statement/expression AST language with an interpreter
+  (:mod:`repro.repair.ast_ops`) — the stand-in for the C programs the
+  original work patched;
+* mutation and crossover operators over those ASTs
+  (:mod:`repro.repair.mutation`);
+* the evolutionary loop (:class:`GeneticRepairEngine`), whose adjudicator
+  is a :class:`~repro.adjudicators.TestSuiteAdjudicator` exactly as the
+  paper describes ("a set of test cases to be used as adjudicator").
+"""
+
+from repro.repair.ast_ops import (
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    If,
+    Interpreter,
+    Program,
+    Return,
+    Var,
+    While,
+)
+from repro.repair.engine import GeneticRepairEngine, RepairResult
+from repro.repair.mutation import all_sites, crossover, mutate
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Compare",
+    "Const",
+    "GeneticRepairEngine",
+    "If",
+    "Interpreter",
+    "Program",
+    "RepairResult",
+    "Return",
+    "Var",
+    "While",
+    "all_sites",
+    "crossover",
+    "mutate",
+]

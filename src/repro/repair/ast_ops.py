@@ -1,0 +1,264 @@
+"""A small program language: AST nodes and interpreter.
+
+The language is expression/statement structured, integer-valued, with
+bounded loops.  It is rich enough to seed realistic Bohrbugs (off-by-one
+constants, flipped comparisons, wrong operators) — the fault classes the
+GP-repair literature actually fixes — while staying trivially and safely
+interpretable.
+
+All nodes are immutable; mutation builds new trees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Tuple
+
+from repro.exceptions import SimulatedFailure
+
+
+class EvaluationError(SimulatedFailure):
+    """A program variant crashed (division by zero, unbound variable,
+    fuel exhaustion).  Crashing variants simply score zero fitness."""
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Const:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Var:
+    """A variable reference."""
+
+    name: str
+
+
+#: Binary arithmetic operators (// is total: x//0 raises EvaluationError).
+BIN_OPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: _safe_div(a, b),
+    "min": min,
+    "max": max,
+}
+
+CMP_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _safe_div(a: int, b: int) -> int:
+    if b == 0:
+        raise EvaluationError("division by zero")
+    return a // b
+
+
+@dataclasses.dataclass(frozen=True)
+class BinOp:
+    """Arithmetic: ``op(left, right)`` with op in :data:`BIN_OPS`."""
+
+    op: str
+    left: Any
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in BIN_OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Compare:
+    """Comparison: ``op(left, right)`` with op in :data:`CMP_OPS`."""
+
+    op: str
+    left: Any
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+
+
+# -- statements --------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Assign:
+    """``name = expr``."""
+
+    name: str
+    expr: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class If:
+    """``if cond: then else: orelse``."""
+
+    cond: Any
+    then: Tuple[Any, ...]
+    orelse: Tuple[Any, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class While:
+    """``while cond: body`` — bounded by interpreter fuel."""
+
+    cond: Any
+    body: Tuple[Any, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Return:
+    """``return expr`` — terminates the program."""
+
+    expr: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """A named function: parameters and a statement body."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Any, ...]
+
+    def __call__(self, *args: int) -> int:
+        """Programs are callable, so test suites treat them as functions.
+
+        Uses a modest fuel budget: GP fitness evaluation calls this for
+        thousands of mutants, and divergent loop mutants must fail fast
+        rather than burn the full default fuel.
+        """
+        return Interpreter(fuel=2_000).run(self, args)
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class Interpreter:
+    """Evaluates programs with execution-fuel and value-magnitude bounds.
+
+    Args:
+        fuel: Maximum statement/expression evaluations before the run is
+            declared divergent (mutated loops can easily spin forever).
+        max_value: Magnitude bound on intermediate values — fixed-width
+            integer semantics.  Without it, a mutant squaring a variable
+            inside a loop builds numbers with 2^fuel bits and a single
+            multiplication outlasts any fuel budget.
+    """
+
+    def __init__(self, fuel: int = 10_000,
+                 max_value: int = 10 ** 12) -> None:
+        if fuel <= 0:
+            raise ValueError("fuel must be positive")
+        if max_value <= 0:
+            raise ValueError("max_value must be positive")
+        self.fuel = fuel
+        self.max_value = max_value
+
+    def run(self, program: Program, args: Tuple[int, ...]) -> int:
+        if len(args) != len(program.params):
+            raise EvaluationError(
+                f"{program.name} expects {len(program.params)} args")
+        scope = dict(zip(program.params, args))
+        self._fuel = self.fuel
+        try:
+            self._exec_block(program.body, scope)
+        except _ReturnSignal as signal:
+            return signal.value
+        raise EvaluationError(f"{program.name}: fell off the end "
+                              f"without returning")
+
+    # -- internals ----------------------------------------------------
+
+    def _burn(self) -> None:
+        self._fuel -= 1
+        if self._fuel <= 0:
+            raise EvaluationError("fuel exhausted (divergent variant)")
+
+    def _exec_block(self, block: Tuple[Any, ...],
+                    scope: Dict[str, int]) -> None:
+        for statement in block:
+            self._exec(statement, scope)
+
+    def _exec(self, statement: Any, scope: Dict[str, int]) -> None:
+        self._burn()
+        if isinstance(statement, Assign):
+            scope[statement.name] = self._eval(statement.expr, scope)
+        elif isinstance(statement, If):
+            branch = (statement.then
+                      if self._eval(statement.cond, scope)
+                      else statement.orelse)
+            self._exec_block(branch, scope)
+        elif isinstance(statement, While):
+            while self._eval(statement.cond, scope):
+                self._burn()
+                self._exec_block(statement.body, scope)
+        elif isinstance(statement, Return):
+            raise _ReturnSignal(self._eval(statement.expr, scope))
+        else:
+            raise EvaluationError(f"not a statement: {statement!r}")
+
+    def _eval(self, expr: Any, scope: Dict[str, int]) -> Any:
+        self._burn()
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in scope:
+                raise EvaluationError(f"unbound variable {expr.name!r}")
+            return scope[expr.name]
+        if isinstance(expr, BinOp):
+            value = BIN_OPS[expr.op](self._eval(expr.left, scope),
+                                     self._eval(expr.right, scope))
+            if isinstance(value, int) and abs(value) > self.max_value:
+                raise EvaluationError(
+                    f"value overflow: |{expr.op}-result| > "
+                    f"{self.max_value}")
+            return value
+        if isinstance(expr, Compare):
+            return CMP_OPS[expr.op](self._eval(expr.left, scope),
+                                    self._eval(expr.right, scope))
+        raise EvaluationError(f"not an expression: {expr!r}")
+
+
+def render(node: Any, indent: int = 0) -> str:
+    """Pretty-print a node as pseudo-code (diagnostics and examples)."""
+    pad = "    " * indent
+    if isinstance(node, Program):
+        header = f"def {node.name}({', '.join(node.params)}):"
+        body = "\n".join(render(s, indent + 1) for s in node.body)
+        return f"{header}\n{body}"
+    if isinstance(node, Assign):
+        return f"{pad}{node.name} = {render(node.expr)}"
+    if isinstance(node, Return):
+        return f"{pad}return {render(node.expr)}"
+    if isinstance(node, If):
+        text = f"{pad}if {render(node.cond)}:\n"
+        text += "\n".join(render(s, indent + 1) for s in node.then)
+        if node.orelse:
+            text += f"\n{pad}else:\n"
+            text += "\n".join(render(s, indent + 1) for s in node.orelse)
+        return text
+    if isinstance(node, While):
+        text = f"{pad}while {render(node.cond)}:\n"
+        text += "\n".join(render(s, indent + 1) for s in node.body)
+        return text
+    if isinstance(node, (BinOp, Compare)):
+        return f"({render(node.left)} {node.op} {render(node.right)})"
+    if isinstance(node, Const):
+        return str(node.value)
+    if isinstance(node, Var):
+        return node.name
+    return repr(node)

@@ -1,0 +1,153 @@
+"""A corpus of reference programs with seeded Bohrbugs.
+
+Evaluation subjects for the genetic-repair experiments: each entry has a
+correct reference program, a buggy variant seeded with one of the fault
+kinds the repair literature targets, and a defining test suite.  Used by
+the C10 benchmark, the repair tests, and as ready-made demo material.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Tuple
+
+from repro.adjudicators.acceptance import TestSuiteAdjudicator
+from repro.repair.ast_ops import (
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    If,
+    Program,
+    Return,
+    Var,
+    While,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairSubject:
+    """One corpus entry.
+
+    Attributes:
+        name: Subject name.
+        fault_kind: The seeded fault class (diagnostic label).
+        correct: The reference program.
+        buggy: The seeded-fault variant.
+        suite: The adjudicating test suite (the buggy variant fails it,
+            the reference passes it).
+    """
+
+    name: str
+    fault_kind: str
+    correct: Program
+    buggy: Program
+    suite: TestSuiteAdjudicator
+
+
+def _suite(reference: Callable[..., int],
+           cases: List[Tuple[int, ...]]) -> TestSuiteAdjudicator:
+    return TestSuiteAdjudicator([(args, reference(*args))
+                                 for args in cases])
+
+
+def max_subject() -> RepairSubject:
+    """max(a, b) with a flipped comparison."""
+    def body(op):
+        return (If(cond=Compare(op, Var("a"), Var("b")),
+                   then=(Return(Var("a")),),
+                   orelse=(Return(Var("b")),)),)
+
+    cases = [(a, b) for a in (0, 2, 7, 9) for b in (1, 7, 8)]
+    return RepairSubject(
+        name="max",
+        fault_kind="flipped comparison",
+        correct=Program("max", ("a", "b"), body(">")),
+        buggy=Program("max", ("a", "b"), body("<")),
+        suite=_suite(max, cases))
+
+
+def clamp_subject() -> RepairSubject:
+    """clamp(x, lo, hi) with an off-by-one constant in the low bound."""
+    def body(low_const):
+        return (
+            If(cond=Compare("<", Var("x"), Const(low_const)),
+               then=(Return(Const(0)),)),
+            If(cond=Compare(">", Var("x"), Const(10)),
+               then=(Return(Const(10)),)),
+            Return(Var("x")),
+        )
+
+    def reference(x):
+        return min(max(x, 0), 10)
+
+    cases = [(x,) for x in (-3, -1, 0, 1, 5, 9, 10, 11, 15)]
+    return RepairSubject(
+        name="clamp",
+        fault_kind="off-by-one constant",
+        correct=Program("clamp", ("x",), body(0)),
+        buggy=Program("clamp", ("x",), body(2)),
+        suite=_suite(reference, cases))
+
+
+def abs_subject() -> RepairSubject:
+    """abs(x) with the wrong operator in the negation branch."""
+    def body(op):
+        return (If(cond=Compare("<", Var("x"), Const(0)),
+                   then=(Return(BinOp(op, Const(0), Var("x"))),),
+                   orelse=(Return(Var("x")),)),)
+
+    cases = [(x,) for x in (-9, -3, -1, 0, 1, 4, 8)]
+    return RepairSubject(
+        name="abs",
+        fault_kind="wrong operator",
+        correct=Program("abs", ("x",), body("-")),
+        buggy=Program("abs", ("x",), body("+")),
+        suite=_suite(abs, cases))
+
+
+def sum_to_n_subject() -> RepairSubject:
+    """sum(1..n) with a wrong loop boundary comparison."""
+    def body(cmp_op):
+        return (
+            Assign("acc", Const(0)),
+            Assign("i", Const(1)),
+            While(cond=Compare(cmp_op, Var("i"), Var("n")),
+                  body=(Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+                        Assign("i", BinOp("+", Var("i"), Const(1))))),
+            Return(Var("acc")),
+        )
+
+    def reference(n):
+        return n * (n + 1) // 2
+
+    cases = [(n,) for n in (0, 1, 2, 3, 5, 8)]
+    return RepairSubject(
+        name="sum_to_n",
+        fault_kind="wrong loop boundary",
+        correct=Program("sum_to_n", ("n",), body("<=")),
+        buggy=Program("sum_to_n", ("n",), body("<")),
+        suite=_suite(reference, cases))
+
+
+def min3_subject() -> RepairSubject:
+    """min(a, b, c) with a wrong variable reference."""
+    def body(second_var):
+        return (
+            Assign("m", BinOp("min", Var("a"), Var("b"))),
+            Return(BinOp("min", Var("m"), Var(second_var))),
+        )
+
+    cases = [(a, b, c) for a in (3, 9) for b in (1, 7) for c in (0, 8)]
+    return RepairSubject(
+        name="min3",
+        fault_kind="wrong variable",
+        correct=Program("min3", ("a", "b", "c"), body("c")),
+        buggy=Program("min3", ("a", "b", "c"), body("a")),
+        suite=_suite(min, cases))
+
+
+def all_subjects() -> List[RepairSubject]:
+    """The full corpus, hardest subjects last."""
+    return [max_subject(), abs_subject(), min3_subject(),
+            clamp_subject(), sum_to_n_subject()]

@@ -1,0 +1,163 @@
+"""The evolutionary repair loop."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Tuple
+
+from repro.adjudicators.acceptance import TestSuiteAdjudicator
+from repro.exceptions import RepairFailedError
+from repro.repair.ast_ops import Program
+from repro.repair.mutation import crossover, mutate
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairResult:
+    """Outcome of a repair run.
+
+    Attributes:
+        program: The best program found (passes all tests iff ``fixed``).
+        fixed: Whether a fully passing variant was found.
+        generations: Generations consumed.
+        evaluations: Fitness evaluations performed (the GP cost metric).
+        fitness: Passing fraction of the returned program.
+    """
+
+    program: Program
+    fixed: bool
+    generations: int
+    evaluations: int
+    fitness: float
+
+
+class GeneticRepairEngine:
+    """Evolves variants of a faulty program until the test suite passes.
+
+    Follows the loop the paper attributes to Weimer et al. / Arcuri & Yao:
+    "the runtime framework automatically generates a population of
+    variants of the original faulty program.  Genetic algorithms evolve
+    the initial population guided by the results of the test cases."
+
+    Args:
+        tests: The adjudicator; fitness is its passing fraction.
+        population_size: Variants per generation.
+        max_generations: Budget before declaring failure.
+        crossover_rate: Probability an offspring is produced by crossover
+            (otherwise by mutation of a selected parent).
+        elitism: How many best variants survive unchanged per generation.
+        tournament: Tournament size for parent selection.
+        seed: RNG seed (the engine owns its RNG for reproducibility).
+        max_nodes: Bloat control — offspring whose AST exceeds this many
+            nodes are replaced by a plain mutation of the parent.
+            Unchecked subtree crossover grows programs geometrically and
+            turns fitness evaluation pathological.
+    """
+
+    def __init__(self, tests: TestSuiteAdjudicator,
+                 population_size: int = 40,
+                 max_generations: int = 50,
+                 crossover_rate: float = 0.3,
+                 elitism: int = 2,
+                 tournament: int = 3,
+                 seed: int = 0,
+                 max_nodes: int = 150) -> None:
+        if population_size < 2:
+            raise ValueError("population needs at least two variants")
+        if max_generations <= 0:
+            raise ValueError("max_generations must be positive")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise ValueError("crossover_rate lies in [0, 1]")
+        if not 0 <= elitism < population_size:
+            raise ValueError("elitism must be below the population size")
+        if tournament <= 0:
+            raise ValueError("tournament size must be positive")
+        if max_nodes <= 0:
+            raise ValueError("max_nodes must be positive")
+        self.max_nodes = max_nodes
+        self.tests = tests
+        self.population_size = population_size
+        self.max_generations = max_generations
+        self.crossover_rate = crossover_rate
+        self.elitism = elitism
+        self.tournament = tournament
+        self.rng = random.Random(seed)
+        self._evaluations = 0
+
+    # -- fitness -------------------------------------------------------
+
+    def fitness(self, program: Program) -> float:
+        """Passing fraction of the test suite (1.0 == repaired)."""
+        self._evaluations += 1
+        return self.tests.passing_fraction(program)
+
+    # -- the loop ------------------------------------------------------
+
+    def repair(self, faulty: Program) -> RepairResult:
+        """Run the evolutionary search from a faulty seed program."""
+        self._evaluations = 0
+        population = [faulty] + [mutate(faulty, self.rng)
+                                 for _ in range(self.population_size - 1)]
+        scored = self._score(population)
+        best_program, best_fitness = scored[0]
+        if best_fitness == 1.0:
+            return RepairResult(program=best_program, fixed=True,
+                                generations=0,
+                                evaluations=self._evaluations,
+                                fitness=1.0)
+
+        for generation in range(1, self.max_generations + 1):
+            population = self._next_generation(scored)
+            scored = self._score(population)
+            if scored[0][1] > best_fitness:
+                best_program, best_fitness = scored[0]
+            if best_fitness == 1.0:
+                return RepairResult(program=best_program, fixed=True,
+                                    generations=generation,
+                                    evaluations=self._evaluations,
+                                    fitness=1.0)
+        return RepairResult(program=best_program, fixed=False,
+                            generations=self.max_generations,
+                            evaluations=self._evaluations,
+                            fitness=best_fitness)
+
+    def repair_or_raise(self, faulty: Program) -> Program:
+        """Like :meth:`repair` but raises :class:`RepairFailedError` when
+        the budget runs out — the technique-facing entry point."""
+        result = self.repair(faulty)
+        if not result.fixed:
+            raise RepairFailedError(
+                f"no passing variant of {faulty.name!r} within "
+                f"{self.max_generations} generations "
+                f"(best fitness {result.fitness:.2f})")
+        return result.program
+
+    # -- internals -----------------------------------------------------
+
+    def _score(self, population: List[Program]
+               ) -> List[Tuple[Program, float]]:
+        scored = [(program, self.fitness(program)) for program in population]
+        scored.sort(key=lambda pair: -pair[1])
+        return scored
+
+    def _select(self, scored: List[Tuple[Program, float]]) -> Program:
+        entrants = [scored[self.rng.randrange(len(scored))]
+                    for _ in range(self.tournament)]
+        return max(entrants, key=lambda pair: pair[1])[0]
+
+    def _next_generation(self, scored: List[Tuple[Program, float]]
+                         ) -> List[Program]:
+        from repro.repair.mutation import all_sites
+
+        next_pop: List[Program] = [program
+                                   for program, _ in scored[:self.elitism]]
+        while len(next_pop) < self.population_size:
+            parent = self._select(scored)
+            if self.rng.random() < self.crossover_rate:
+                child = crossover(parent, self._select(scored), self.rng)
+                if len(all_sites(child)) > self.max_nodes:
+                    child = mutate(parent, self.rng)  # bloat control
+            else:
+                child = mutate(parent, self.rng)
+            next_pop.append(child)
+        return next_pop

@@ -1,0 +1,145 @@
+"""Mutation and crossover over the repair AST.
+
+The operators mirror the fault classes the GP-repair literature actually
+fixes: perturbed constants (off-by-one), swapped arithmetic operators,
+flipped comparisons, and wrong variable references.  Mutation is the
+inverse of fault seeding, which is why search can find the patch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.repair.ast_ops import (
+    Assign,
+    BIN_OPS,
+    BinOp,
+    CMP_OPS,
+    Compare,
+    Const,
+    If,
+    Program,
+    Return,
+    Var,
+    While,
+)
+
+#: A path: sequence of (field_name, index_or_None) steps from the root.
+Path = Tuple[Tuple[str, Optional[int]], ...]
+
+_NODE_TYPES = (Const, Var, BinOp, Compare, Assign, If, While, Return)
+
+
+def _children(node: Any) -> List[Tuple[str, Optional[int], Any]]:
+    """(field, index, child) for every AST child of a dataclass node."""
+    out: List[Tuple[str, Optional[int], Any]] = []
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, _NODE_TYPES):
+            out.append((field.name, None, value))
+        elif isinstance(value, tuple):
+            for i, item in enumerate(value):
+                if isinstance(item, _NODE_TYPES):
+                    out.append((field.name, i, item))
+    return out
+
+
+def all_sites(root: Any, _prefix: Path = ()) -> List[Tuple[Path, Any]]:
+    """Every (path, node) below ``root``, in preorder (root excluded)."""
+    sites: List[Tuple[Path, Any]] = []
+    for field, index, child in _children(root):
+        path = _prefix + ((field, index),)
+        sites.append((path, child))
+        sites.extend(all_sites(child, path))
+    return sites
+
+
+def node_at(root: Any, path: Path) -> Any:
+    """The node a path points to."""
+    node = root
+    for field, index in path:
+        value = getattr(node, field)
+        node = value if index is None else value[index]
+    return node
+
+
+def replace(root: Any, path: Path, new_node: Any) -> Any:
+    """A copy of ``root`` with the node at ``path`` replaced."""
+    if not path:
+        return new_node
+    (field, index), rest = path[0], path[1:]
+    value = getattr(root, field)
+    if index is None:
+        new_value = replace(value, rest, new_node)
+    else:
+        items = list(value)
+        items[index] = replace(items[index], rest, new_node)
+        new_value = tuple(items)
+    return dataclasses.replace(root, **{field: new_value})
+
+
+def _visible_names(program: Program) -> List[str]:
+    names = set(program.params)
+    for _, node in all_sites(program):
+        if isinstance(node, Assign):
+            names.add(node.name)
+    return sorted(names)
+
+
+def _mutate_node(node: Any, names: List[str],
+                 rng: random.Random) -> Optional[Any]:
+    """One mutated copy of a leaf-mutable node, or None if not mutable."""
+    if isinstance(node, Const):
+        delta = rng.choice((-2, -1, 1, 2))
+        return Const(node.value + delta)
+    if isinstance(node, BinOp):
+        choices = [op for op in BIN_OPS if op != node.op]
+        return dataclasses.replace(node, op=rng.choice(choices))
+    if isinstance(node, Compare):
+        choices = [op for op in CMP_OPS if op != node.op]
+        return dataclasses.replace(node, op=rng.choice(choices))
+    if isinstance(node, Var):
+        choices = [n for n in names if n != node.name]
+        if not choices:
+            return None
+        return Var(rng.choice(choices))
+    return None
+
+
+def mutate(program: Program, rng: random.Random) -> Program:
+    """One random point mutation; returns a new program.
+
+    Picks uniformly among mutable sites (constants, operators,
+    comparisons, variable references).  Returns the program unchanged if
+    nothing is mutable (degenerate trees).
+    """
+    names = _visible_names(program)
+    mutable = [(path, node) for path, node in all_sites(program)
+               if isinstance(node, (Const, BinOp, Compare, Var))]
+    rng.shuffle(mutable)
+    for path, node in mutable:
+        mutant = _mutate_node(node, names, rng)
+        if mutant is not None:
+            return replace(program, path, mutant)
+    return program
+
+
+def crossover(parent_a: Program, parent_b: Program,
+              rng: random.Random) -> Program:
+    """Subtree crossover: graft a same-typed subtree of B into A.
+
+    Falls back to a plain copy of A when no type-compatible site pair
+    exists.
+    """
+    sites_a = all_sites(parent_a)
+    sites_b = all_sites(parent_b)
+    rng.shuffle(sites_a)
+    for path_a, node_a in sites_a:
+        compatible = [node_b for _, node_b in sites_b
+                      if type(node_b) is type(node_a)]
+        if compatible:
+            donor = rng.choice(compatible)
+            return replace(parent_a, path_a, donor)
+    return parent_a

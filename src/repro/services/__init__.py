@@ -1,0 +1,53 @@
+"""Service-oriented substrate.
+
+Several surveyed techniques live in the web-service world: WS-level
+N-version programming (Looker et al., Dobson), BPEL retry/self-checking
+(Dobson), dynamic service substitution (Subramanian, Taher, Sadjadi,
+Mosincat), and registry-based rule engines (Baresi, Pernici).  This
+package provides the in-process equivalent: services with availability
+models, a registry, a broker that finds exact or *similar* (adapter-
+bridged) substitutes, and a mini orchestration engine with the BPEL-ish
+control constructs those papers extend (sequence, parallel, retry,
+scopes with fault handlers).
+"""
+
+from repro.services.adapters import Adapter, identity_adapter
+from repro.services.broker import ServiceBroker
+from repro.services.ft_activities import (
+    AlternateInvoke,
+    SelfCheckingInvoke,
+    VotedInvoke,
+)
+from repro.services.process_engine import (
+    Assign,
+    Invoke,
+    OrchestrationEngine,
+    Parallel,
+    Retry,
+    Scope,
+    Sequence,
+    Switch,
+    While,
+)
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+
+__all__ = [
+    "Adapter",
+    "AlternateInvoke",
+    "Assign",
+    "Invoke",
+    "OrchestrationEngine",
+    "Parallel",
+    "Retry",
+    "Scope",
+    "SelfCheckingInvoke",
+    "Sequence",
+    "Service",
+    "ServiceBroker",
+    "ServiceRegistry",
+    "Switch",
+    "VotedInvoke",
+    "While",
+    "identity_adapter",
+]

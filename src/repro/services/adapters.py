@@ -1,0 +1,62 @@
+"""Interface adapters for near-matching services.
+
+Taher et al. extend substitution "to services implementing similar
+interfaces, by introducing suitable converters".  An :class:`Adapter`
+wraps a similar service so it presents the requested interface: it
+converts arguments on the way in and results on the way out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.components.interface import FunctionSpec
+from repro.services.service import Service
+
+
+def identity_adapter(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """The trivial conversion for interfaces differing only in name."""
+    return args
+
+
+class Adapter:
+    """Presents a similar service under a requested interface.
+
+    Args:
+        target: The wrapped service.
+        presented_spec: The interface callers expect.
+        convert_args: Maps caller arguments to target arguments.
+        convert_result: Maps the target result back to the caller's
+            expected form.
+    """
+
+    #: Virtual overhead per adapted call (conversion is not free).
+    CONVERSION_COST = 0.2
+
+    def __init__(self, target: Service, presented_spec: FunctionSpec,
+                 convert_args: Callable[[Tuple[Any, ...]],
+                                        Tuple[Any, ...]] = identity_adapter,
+                 convert_result: Optional[Callable[[Any], Any]] = None
+                 ) -> None:
+        if not (target.spec.similar_to(presented_spec)
+                or target.spec.matches(presented_spec)):
+            raise ValueError(
+                f"{target.name!r} ({target.spec.name}) is not similar to "
+                f"{presented_spec.name!r}; adaptation is unsound")
+        self.target = target
+        self.spec = presented_spec
+        self._convert_args = convert_args
+        self._convert_result = convert_result or (lambda value: value)
+
+    @property
+    def name(self) -> str:
+        return f"{self.target.name}(as {self.spec.name})"
+
+    def invoke(self, *args: Any, env=None) -> Any:
+        """Invoke the adapted service through the presented interface."""
+        self.spec.check_args(args)
+        if env is not None:
+            env.do_work(self.CONVERSION_COST)
+        converted = self._convert_args(args)
+        result = self.target.invoke(*converted, env=env)
+        return self._convert_result(result)

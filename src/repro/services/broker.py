@@ -1,0 +1,76 @@
+"""The service broker: discovery of substitutes, exact or adapted."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.components.interface import FunctionSpec
+from repro.exceptions import ServiceLookupError
+from repro.services.adapters import Adapter
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+
+#: Anything the broker can hand back for invocation.
+Endpoint = Union[Service, Adapter]
+
+
+class ServiceBroker:
+    """Finds substitute endpoints for a failing service binding.
+
+    Search order follows the escalation in the substitution literature:
+
+    1. exact interface matches (Subramanian et al.);
+    2. similar interfaces bridged by a registered converter
+       (Taher et al.) — only if a converter for the spec pair exists.
+
+    Args:
+        registry: The service pool.
+    """
+
+    def __init__(self, registry: ServiceRegistry) -> None:
+        self.registry = registry
+        #: Registered converters: (from_spec_name, to_spec_name) ->
+        #: (convert_args, convert_result).
+        self._converters: Dict[Tuple[str, str],
+                               Tuple[Callable, Optional[Callable]]] = {}
+        self.lookups = 0
+
+    def register_converter(self, from_spec: str, to_spec: str,
+                           convert_args: Callable,
+                           convert_result: Optional[Callable] = None) -> None:
+        """Teach the broker how to present ``from_spec`` as ``to_spec``."""
+        self._converters[(from_spec, to_spec)] = (convert_args,
+                                                  convert_result)
+
+    def substitutes(self, spec: FunctionSpec,
+                    exclude: str = "") -> List[Endpoint]:
+        """All viable substitute endpoints, best-first.
+
+        Exact matches come before adapted ones; within each tier, higher
+        advertised availability first.
+        """
+        self.lookups += 1
+        exact = sorted(self.registry.implementations_of(spec, exclude=exclude),
+                       key=lambda s: -s.availability)
+        endpoints: List[Endpoint] = list(exact)
+        for candidate in sorted(self.registry.similar_to(spec,
+                                                         exclude=exclude),
+                                key=lambda s: -s.availability):
+            converter = self._converters.get(
+                (candidate.spec.name, spec.name))
+            if converter is not None:
+                convert_args, convert_result = converter
+                endpoints.append(Adapter(candidate, spec,
+                                         convert_args=convert_args,
+                                         convert_result=convert_result))
+        return endpoints
+
+    def require_substitutes(self, spec: FunctionSpec,
+                            exclude: str = "") -> List[Endpoint]:
+        """Like :meth:`substitutes` but raises when nothing is found."""
+        endpoints = self.substitutes(spec, exclude=exclude)
+        if not endpoints:
+            raise ServiceLookupError(
+                f"no substitute implementations of {spec.name!r} "
+                f"(excluding {exclude!r})")
+        return endpoints

@@ -1,0 +1,166 @@
+"""Fault-tolerant orchestration activities — the Dobson/Looker layer.
+
+The paper surveys WS-level incarnations of the classic mechanisms:
+Looker et al.'s WS-FTM runs "the parallel execution of several
+independently-designed services ... validated on the basis of a quorum
+agreement"; Dobson "implements N-version programming in WS-BPEL" and
+"applies also the self-checking programming approach to service oriented
+applications, by calling multiple services in parallel and considering
+the results produced by the hot spare services only in case of failures
+of the acting one".
+
+These activities plug into the :class:`~repro.services.OrchestrationEngine`
+alongside Sequence/Parallel/Retry/Scope:
+
+* :class:`VotedInvoke` — call every registered implementation of an
+  interface and adjudicate with a voter (WS-level NVP);
+* :class:`SelfCheckingInvoke` — call acting + hot-spare services in
+  parallel, take the acting result unless its validation fails
+  (WS-level self-checking programming);
+* :class:`AlternateInvoke` — statically listed alternate services tried
+  in order (Dobson's retry-with-alternates, the WS recovery block).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.adjudicators.acceptance import AcceptanceTest
+from repro.adjudicators.base import Adjudicator
+from repro.adjudicators.voting import MajorityVoter
+from repro.components.interface import FunctionSpec
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    NoMajorityError,
+    ServiceFailure,
+    ServiceLookupError,
+    SimulatedFailure,
+)
+from repro.result import Outcome
+from repro.services.process_engine import Activity, ArgsSource, Invoke
+
+
+class _MultiServiceActivity(Activity):
+    """Shared machinery: resolve args, collect per-service outcomes."""
+
+    def __init__(self, spec: FunctionSpec, args: ArgsSource = (),
+                 result_key: str = "") -> None:
+        self.spec = spec
+        self._args = args
+        self.result_key = result_key or spec.name
+
+    def resolve_args(self, ctx: Dict[str, Any]):
+        if callable(self._args):
+            return tuple(self._args(ctx))
+        return tuple(self._args)
+
+    def _implementations(self, engine) -> List:
+        implementations = engine.registry.implementations_of(self.spec)
+        if not implementations:
+            raise ServiceLookupError(
+                f"no implementation of {self.spec.name!r} registered")
+        return implementations
+
+    @staticmethod
+    def _outcome_of(service, args, env) -> Outcome:
+        try:
+            value = service.invoke(*args, env=env)
+        except SimulatedFailure as exc:
+            return Outcome.failure(exc, producer=service.name, args=args)
+        return Outcome.success(value, producer=service.name, args=args)
+
+
+class VotedInvoke(_MultiServiceActivity):
+    """WS-level N-version programming: all implementations, one vote.
+
+    Args:
+        spec: The interface to call.
+        args: Static tuple or ``callable(ctx) -> tuple``.
+        voter: The quorum adjudicator (defaults to majority).
+        max_services: Cap on how many implementations participate
+            (highest advertised availability first); ``None`` uses all.
+    """
+
+    def __init__(self, spec: FunctionSpec, args: ArgsSource = (),
+                 result_key: str = "",
+                 voter: Optional[Adjudicator] = None,
+                 max_services: Optional[int] = None) -> None:
+        super().__init__(spec, args, result_key)
+        if max_services is not None and max_services < 2:
+            raise ValueError("a vote needs at least two services")
+        self.voter = voter or MajorityVoter()
+        self.max_services = max_services
+
+    def run(self, engine, ctx: Dict[str, Any]) -> Any:
+        args = self.resolve_args(ctx)
+        services = sorted(self._implementations(engine),
+                          key=lambda s: -s.availability)
+        if self.max_services is not None:
+            services = services[:self.max_services]
+        outcomes = [self._outcome_of(s, args, engine.env)
+                    for s in services]
+        verdict = self.voter.adjudicate(outcomes)
+        if not verdict.accepted:
+            raise NoMajorityError(
+                f"{self.spec.name}: no quorum among "
+                f"{len(outcomes)} services",
+                tally=[(o.producer, o.ok) for o in outcomes])
+        ctx[self.result_key] = verdict.value
+        return verdict.value
+
+
+class SelfCheckingInvoke(_MultiServiceActivity):
+    """WS-level self-checking: acting service + hot spares in parallel.
+
+    All services are invoked; each result is validated by the acceptance
+    test.  The acting (first-listed) service's result is used when it
+    validates; otherwise the highest-ranked validated spare's result is
+    — "considering the results produced by the hot spare services only
+    in case of failures of the acting one".
+    """
+
+    def __init__(self, spec: FunctionSpec, acceptance: AcceptanceTest,
+                 args: ArgsSource = (), result_key: str = "") -> None:
+        super().__init__(spec, args, result_key)
+        self.acceptance = acceptance
+
+    def run(self, engine, ctx: Dict[str, Any]) -> Any:
+        args = self.resolve_args(ctx)
+        services = self._implementations(engine)
+        failures = []
+        for service in services:
+            outcome = self._outcome_of(service, args, engine.env)
+            if self.acceptance.check(args, outcome):
+                ctx[self.result_key] = outcome.value
+                return outcome.value
+            failures.append(outcome.error
+                            or AssertionError(f"{service.name}: rejected"))
+        raise AllAlternativesFailedError(
+            f"{self.spec.name}: acting service and "
+            f"{len(services) - 1} spares all failed validation",
+            failures=failures)
+
+
+class AlternateInvoke(Activity):
+    """Statically provided alternates, tried in order (WS recovery block).
+
+    "As in the classic recovery-block approach, alternate services are
+    statically provided at design time" (Dobson).  Unlike dynamic
+    substitution, the list is fixed when the process is authored.
+    """
+
+    def __init__(self, alternates: Sequence[Invoke]) -> None:
+        if not alternates:
+            raise ValueError("need at least one alternate invoke")
+        self.alternates = list(alternates)
+
+    def run(self, engine, ctx: Dict[str, Any]) -> Any:
+        failures = []
+        for invoke in self.alternates:
+            try:
+                return invoke.run(engine, ctx)
+            except (ServiceFailure, ServiceLookupError) as exc:
+                failures.append(exc)
+        raise AllAlternativesFailedError(
+            f"all {len(self.alternates)} statically provided alternates "
+            f"failed", failures=failures)

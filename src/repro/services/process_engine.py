@@ -1,0 +1,271 @@
+"""A mini orchestration engine (the BPEL analogue).
+
+Dobson implements NVP, retry and self-checking "in WS-BPEL"; Baresi and
+Pernici attach recovery rules to BPEL processes.  This engine provides
+the same control skeleton in-process: an activity tree with sequences,
+parallel flows, retries and fault-handling scopes, executed against a
+service registry with rebindable endpoints.
+
+Activities evaluate in a mutable context dict; :class:`Invoke` resolves
+its endpoint at execution time through the engine's binding table, which
+is what makes runtime rebinding (service substitution) possible without
+touching the process definition — Sadjadi's "transparent shaping".
+"""
+
+from __future__ import annotations
+
+import abc
+# ``Sequence`` is aliased: this module defines an Activity named
+# Sequence (the BPEL construct), which must not shadow the typing name.
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence as SequenceType,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.components.interface import FunctionSpec
+from repro.exceptions import ServiceFailure, ServiceLookupError
+from repro.services.registry import ServiceRegistry
+
+
+class Activity(abc.ABC):
+    """A node of the orchestration tree."""
+
+    @abc.abstractmethod
+    def run(self, engine: "OrchestrationEngine",
+            ctx: Dict[str, Any]) -> Any:
+        """Execute in ``ctx`` through ``engine``."""
+
+
+ArgsSource = Union[Tuple, Callable[[Dict[str, Any]], Tuple]]
+
+
+class Invoke(Activity):
+    """Call the currently bound implementation of an interface.
+
+    Args:
+        spec: The interface to call.
+        args: Static argument tuple, or ``callable(ctx) -> tuple``.
+        result_key: Context key that receives the result.
+    """
+
+    def __init__(self, spec: FunctionSpec, args: ArgsSource = (),
+                 result_key: str = "") -> None:
+        self.spec = spec
+        self._args = args
+        self.result_key = result_key or spec.name
+
+    def resolve_args(self, ctx: Dict[str, Any]) -> Tuple:
+        if callable(self._args):
+            return tuple(self._args(ctx))
+        return tuple(self._args)
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        endpoint = engine.endpoint_for(self.spec)
+        value = endpoint.invoke(*self.resolve_args(ctx), env=engine.env)
+        ctx[self.result_key] = value
+        return value
+
+
+class Sequence(Activity):
+    """Run activities in order; the last result is the sequence result."""
+
+    def __init__(self, *activities: Activity) -> None:
+        if not activities:
+            raise ValueError("an empty sequence does nothing")
+        self.activities = activities
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        result = None
+        for activity in self.activities:
+            result = activity.run(engine, ctx)
+        return result
+
+
+class Parallel(Activity):
+    """Run all branches (simulated concurrency); returns their results.
+
+    All branches execute even if an early one fails; failures are
+    collected and re-raised after the join, so sibling effects on the
+    context are consistent with concurrent execution.
+    """
+
+    def __init__(self, *branches: Activity) -> None:
+        if not branches:
+            raise ValueError("an empty parallel does nothing")
+        self.branches = branches
+
+    def run(self, engine: "OrchestrationEngine",
+            ctx: Dict[str, Any]) -> List[Any]:
+        results, errors = [], []
+        for branch in self.branches:
+            try:
+                results.append(branch.run(engine, ctx))
+            except ServiceFailure as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results
+
+
+class Retry(Activity):
+    """Re-run the body on failure, up to ``attempts`` times total.
+
+    This is the BPEL ``retry`` Dobson leans on for recovery-block-style
+    execution of alternate services.
+    """
+
+    def __init__(self, body: Activity, attempts: int = 3,
+                 on: Tuple[Type[BaseException], ...] = (ServiceFailure,)
+                 ) -> None:
+        if attempts <= 0:
+            raise ValueError("attempts must be positive")
+        self.body = body
+        self.attempts = attempts
+        self.on = on
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        last: Optional[BaseException] = None
+        for _ in range(self.attempts):
+            try:
+                return self.body.run(engine, ctx)
+            except self.on as exc:
+                last = exc
+        raise last
+
+
+class Scope(Activity):
+    """A body with fault handlers — BPEL's scope/catch construct.
+
+    Args:
+        body: The protected activity.
+        handlers: Exception type -> handler; a handler is an
+            :class:`Activity` or a ``callable(engine, ctx, exc) -> Any``.
+    """
+
+    def __init__(self, body: Activity,
+                 handlers: Dict[Type[BaseException], Any]) -> None:
+        self.body = body
+        self.handlers = dict(handlers)
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        try:
+            return self.body.run(engine, ctx)
+        except tuple(self.handlers) as exc:
+            handler = self._handler_for(exc)
+            if isinstance(handler, Activity):
+                return handler.run(engine, ctx)
+            return handler(engine, ctx, exc)
+
+    def _handler_for(self, exc: BaseException):
+        for exc_type, handler in self.handlers.items():
+            if isinstance(exc, exc_type):
+                return handler
+        raise exc  # pragma: no cover - unreachable given except clause
+
+
+class Assign(Activity):
+    """Compute a context variable: ``ctx[key] = expr(ctx)`` (BPEL assign)."""
+
+    def __init__(self, key: str, expr: Callable[[Dict[str, Any]], Any]
+                 ) -> None:
+        if not key:
+            raise ValueError("an assign needs a target key")
+        self.key = key
+        self.expr = expr
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        value = self.expr(ctx)
+        ctx[self.key] = value
+        return value
+
+
+class Switch(Activity):
+    """First matching branch runs (BPEL switch/case).
+
+    Args:
+        cases: ``(condition(ctx), activity)`` pairs, evaluated in order.
+        otherwise: Optional fallback activity.
+    """
+
+    def __init__(self, cases: SequenceType[Any],
+                 otherwise: Optional[Activity] = None) -> None:
+        if not cases and otherwise is None:
+            raise ValueError("a switch needs cases or an otherwise")
+        self.cases = list(cases)
+        self.otherwise = otherwise
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        for condition, activity in self.cases:
+            if condition(ctx):
+                return activity.run(engine, ctx)
+        if self.otherwise is not None:
+            return self.otherwise.run(engine, ctx)
+        return None
+
+
+class While(Activity):
+    """Repeat the body while the condition holds (BPEL while).
+
+    Bounded by ``max_iterations`` — an orchestration engine must not let
+    a process spin forever on a miscoded condition.
+    """
+
+    def __init__(self, condition: Callable[[Dict[str, Any]], bool],
+                 body: Activity, max_iterations: int = 1000) -> None:
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self.condition = condition
+        self.body = body
+        self.max_iterations = max_iterations
+
+    def run(self, engine: "OrchestrationEngine", ctx: Dict[str, Any]) -> Any:
+        result = None
+        for _ in range(self.max_iterations):
+            if not self.condition(ctx):
+                return result
+            result = self.body.run(engine, ctx)
+        raise RuntimeError(
+            f"while loop exceeded {self.max_iterations} iterations")
+
+
+class OrchestrationEngine:
+    """Executes activity trees against a registry with rebindable endpoints.
+
+    Args:
+        registry: The service pool.
+        env: Optional simulated environment billed for latency.
+    """
+
+    def __init__(self, registry: ServiceRegistry, env=None) -> None:
+        self.registry = registry
+        self.env = env
+        #: Interface name -> endpoint; rebind to substitute services.
+        self.bindings: Dict[str, Any] = {}
+
+    def bind(self, spec_name: str, endpoint) -> None:
+        """(Re)bind an interface to an endpoint."""
+        self.bindings[spec_name] = endpoint
+
+    def endpoint_for(self, spec: FunctionSpec):
+        """The endpoint currently bound to an interface."""
+        endpoint = self.bindings.get(spec.name)
+        if endpoint is not None:
+            return endpoint
+        implementations = self.registry.implementations_of(spec)
+        if not implementations:
+            raise ServiceLookupError(
+                f"no implementation of {spec.name!r} registered")
+        self.bindings[spec.name] = implementations[0]
+        return implementations[0]
+
+    def run(self, activity: Activity,
+            ctx: Optional[Dict[str, Any]] = None) -> Any:
+        """Execute an activity tree; returns its result."""
+        return activity.run(self, {} if ctx is None else ctx)

@@ -1,0 +1,58 @@
+"""Service registry: the pool of independently operated implementations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.components.interface import FunctionSpec
+from repro.services.service import Service
+
+
+class ServiceRegistry:
+    """Name- and interface-indexed service directory.
+
+    The registry is the source of the *opportunistic* redundancy that
+    dynamic service substitution exploits: multiple teams publish
+    implementations of the same (or similar) interface, none of them for
+    fault-tolerance purposes.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Service] = {}
+
+    def publish(self, service: Service) -> Service:
+        """Add a service; names are unique."""
+        if service.name in self._by_name:
+            raise ValueError(f"service name {service.name!r} already taken")
+        self._by_name[service.name] = service
+        return service
+
+    def withdraw(self, name: str) -> None:
+        """Remove a service from the registry."""
+        del self._by_name[name]
+
+    def lookup(self, name: str) -> Optional[Service]:
+        return self._by_name.get(name)
+
+    def all_services(self) -> List[Service]:
+        return list(self._by_name.values())
+
+    def implementations_of(self, spec: FunctionSpec,
+                           exclude: str = "") -> List[Service]:
+        """Services whose interface exactly matches ``spec``."""
+        return [s for s in self._by_name.values()
+                if s.spec.matches(spec) and s.name != exclude]
+
+    def similar_to(self, spec: FunctionSpec,
+                   exclude: str = "") -> List[Service]:
+        """Services with a *similar* interface (same semantic key,
+        different name) — usable through an adapter (Taher et al.)."""
+        return [s for s in self._by_name.values()
+                if s.spec.similar_to(spec) and not s.spec.matches(spec)
+                and s.name != exclude]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

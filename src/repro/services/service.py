@@ -1,0 +1,76 @@
+"""Services: independently operated implementations of an interface."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro._util import stable_fraction
+from repro.components.interface import FunctionSpec
+from repro.exceptions import ServiceFailure
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+
+
+class Service:
+    """A remotely operated implementation of a :class:`FunctionSpec`.
+
+    Beyond a :class:`~repro.components.Version`, a service has an
+    *availability* model: each call may fail with
+    :class:`~repro.exceptions.ServiceFailure` independently of the input
+    (server overload, network partition) — the physical/interaction
+    failures that make service-oriented NVP "particularly appealing".
+
+    Availability draws come from the environment RNG when an environment
+    is supplied, and from a stable per-call hash otherwise, so both modes
+    are reproducible.
+
+    Args:
+        name: Service endpoint name (unique within a registry).
+        spec: The interface it implements.
+        impl: The behaviour.
+        availability: Probability a call is *not* dropped (in [0, 1]).
+        latency: Virtual time per call.
+        faults: Development faults of this implementation.
+    """
+
+    def __init__(self, name: str, spec: FunctionSpec,
+                 impl: Callable[..., Any],
+                 availability: float = 1.0,
+                 latency: float = 1.0,
+                 faults: Iterable[Fault] = ()) -> None:
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError("availability lies in [0, 1]")
+        if latency < 0:
+            raise ValueError("latency is non-negative")
+        self.name = name
+        self.spec = spec
+        self.impl = impl
+        self.availability = availability
+        self.latency = latency
+        self.injector = FaultInjector(faults)
+        self.calls = 0
+        self.drops = 0
+
+    def invoke(self, *args: Any, env=None) -> Any:
+        """Call the service; may raise :class:`ServiceFailure`."""
+        self.spec.check_args(args)
+        self.calls += 1
+        if env is not None:
+            env.do_work(self.latency)
+        if not self._up(args, env):
+            self.drops += 1
+            raise ServiceFailure(f"service {self.name!r} unavailable")
+        correct = self.impl(*args)
+        return self.injector.apply(args, env, correct)
+
+    def _up(self, args, env) -> bool:
+        if self.availability >= 1.0:
+            return True
+        if env is not None:
+            return env.chance(self.availability)
+        draw = stable_fraction(self.name, self.calls, args)
+        return draw < self.availability
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Service({self.name!r}, spec={self.spec.name!r}, "
+                f"availability={self.availability})")

@@ -1,0 +1,57 @@
+"""Diverse in-memory query engines — the Gashi et al. scenario.
+
+The paper singles out NVP over SQL servers as "particularly
+advantageous, since the interface of an SQL database is well defined,
+and several independent implementations are already available", while
+warning that "reconciling the output and the state of multiple,
+heterogeneous servers may not be trivial, due to concurrent scheduling
+and other sources of non-determinism".
+
+This package provides exactly that substrate, scaled to a library:
+
+* a small query model (:mod:`repro.sqlstore.query`) — INSERT, SELECT
+  with predicates and optional ORDER BY, UPDATE, DELETE over one table;
+* three *independently implemented* engines
+  (:mod:`repro.sqlstore.engines`) honouring the same interface but with
+  different internal organisations — and, crucially, different
+  (legitimate) row orders for unordered SELECTs;
+* a replicated server (:class:`ReplicatedStore`) running every statement
+  on all engines and voting, with the canonicalisation step that makes
+  votes meaningful despite non-deterministic row order, plus a state
+  reconciliation audit.
+"""
+
+from repro.sqlstore.engines import (
+    AppendLogEngine,
+    HashIndexEngine,
+    SortedStoreEngine,
+    StorageEngine,
+)
+from repro.sqlstore.query import (
+    Delete,
+    Insert,
+    Row,
+    Select,
+    Update,
+    eq,
+    gt,
+    lt,
+)
+from repro.sqlstore.replicated import ReplicatedStore, canonical_result
+
+__all__ = [
+    "AppendLogEngine",
+    "Delete",
+    "HashIndexEngine",
+    "Insert",
+    "ReplicatedStore",
+    "Row",
+    "Select",
+    "SortedStoreEngine",
+    "StorageEngine",
+    "Update",
+    "canonical_result",
+    "eq",
+    "gt",
+    "lt",
+]

@@ -1,0 +1,265 @@
+"""Three independently implemented storage engines.
+
+Each engine honours the same statement interface but organises storage
+differently — a hash index, an append-only log with tombstones, and a
+sorted array — so unordered SELECTs legitimately return rows in
+*different orders*, and injected faults live in genuinely different code
+paths.  This is the in-process analogue of Gashi et al.'s heterogeneous
+SQL servers.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SimulatedFailure
+from repro.faults.base import Fault, WRONG_VALUE
+from repro.faults.injector import FaultInjector
+from repro.sqlstore.query import Delete, Insert, Row, Select, Update
+
+
+class QueryError(SimulatedFailure):
+    """A statement the engine refuses (duplicate key, unknown kind)."""
+
+
+class StorageEngine(abc.ABC):
+    """Common contract: execute statements, expose a dump for audits.
+
+    Faults attached to an engine see the statement as the input vector,
+    so Bohrbugs can target particular statement shapes (e.g. updates
+    matching many rows) — how version-specific SQL bugs behave.
+    """
+
+    def __init__(self, name: str, faults: Iterable[Fault] = (),
+                 exec_cost: float = 1.0) -> None:
+        self.name = name
+        self.injector = FaultInjector(faults)
+        self.exec_cost = exec_cost
+        self.statements = 0
+
+    def execute(self, statement, env=None) -> Any:
+        """Run one statement, subject to this engine's faults.
+
+        Crash/hang faults have fail-stop semantics: they abort *before*
+        the statement mutates storage, so a crashed replica genuinely
+        misses the write and its state diverges (the condition
+        reconciliation exists for).  Wrong-value faults corrupt the
+        response of a statement that did execute.
+        """
+        self.statements += 1
+        if env is not None:
+            env.do_work(self.exec_cost)
+        for fault in self.injector.faults:
+            if fault.activates((statement,), env):
+                if fault.effect == WRONG_VALUE:
+                    result = self._dispatch(statement)
+                    return fault.manifest((statement,), result)
+                fault.manifest((statement,), None)  # raises; fail-stop
+        return self._dispatch(statement)
+
+    def _dispatch(self, statement) -> Any:
+        if isinstance(statement, Insert):
+            return self._insert(statement.as_dict())
+        if isinstance(statement, Select):
+            rows = self._select(statement.where)
+            if statement.order_by is not None:
+                # Contract: ties (and rows missing the column, which sort
+                # last) break by primary key.  Without this the tie order
+                # would leak each engine's internal iteration order —
+                # found by the differential property test.
+                column = statement.order_by
+                rows = sorted(
+                    rows,
+                    key=lambda r: (r.get(column) is None,
+                                   r.get(column, 0), r["id"]))
+            return [dict(r) for r in rows]
+        if isinstance(statement, Update):
+            return self._update(statement.where, dict(statement.changes))
+        if isinstance(statement, Delete):
+            return self._delete(statement.where)
+        raise QueryError(f"unknown statement {statement!r}")
+
+    # -- storage-specific primitives ------------------------------------
+
+    @abc.abstractmethod
+    def _insert(self, row: Row) -> int:
+        """Store a row; returns its id; duplicate ids are QueryErrors."""
+
+    @abc.abstractmethod
+    def _select(self, where) -> List[Row]:
+        """Matching rows in engine-defined order."""
+
+    @abc.abstractmethod
+    def _update(self, where, changes: Dict[str, Any]) -> int:
+        """Apply changes to matching rows; returns the count."""
+
+    @abc.abstractmethod
+    def _delete(self, where) -> int:
+        """Remove matching rows; returns the count."""
+
+    # -- administrative interface (reconciliation bypasses faults) --------
+
+    def clear(self) -> int:
+        """Drop every row (used when restoring from a healthy peer)."""
+        return self._delete(lambda row: True)
+
+    def load(self, rows: Iterable[Row]) -> int:
+        """Bulk-load rows from an authoritative dump."""
+        count = 0
+        for row in rows:
+            self._insert(dict(row))
+            count += 1
+        return count
+
+    # -- audit support ----------------------------------------------------
+
+    def dump(self) -> List[Row]:
+        """Every live row, sorted by id — the reconciliation view."""
+        return sorted((dict(r) for r in self._select(None)),
+                      key=lambda r: r["id"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class HashIndexEngine(StorageEngine):
+    """Rows in a dict keyed by id; iteration order is insertion order."""
+
+    def __init__(self, name: str = "hash-engine", **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self._rows: Dict[int, Row] = {}
+
+    def _insert(self, row: Row) -> int:
+        key = row["id"]
+        if key in self._rows:
+            raise QueryError(f"duplicate key {key}")
+        self._rows[key] = dict(row)
+        return key
+
+    def _select(self, where) -> List[Row]:
+        return [r for r in self._rows.values()
+                if where is None or where(r)]
+
+    def _update(self, where, changes: Dict[str, Any]) -> int:
+        count = 0
+        for row in self._rows.values():
+            if where(row):
+                row.update(changes)
+                count += 1
+        return count
+
+    def _delete(self, where) -> int:
+        doomed = [key for key, row in self._rows.items() if where(row)]
+        for key in doomed:
+            del self._rows[key]
+        return len(doomed)
+
+
+class AppendLogEngine(StorageEngine):
+    """An append-only log with tombstones, compacted on read.
+
+    The *newest* version of a row wins; iteration order is
+    reverse-chronological (most recently touched first) — deliberately
+    different from the hash engine's.
+    """
+
+    def __init__(self, name: str = "log-engine", **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        #: (id, row-or-None) entries; None is a tombstone.
+        self._log: List[Tuple[int, Optional[Row]]] = []
+
+    def _live_rows(self) -> Dict[int, Row]:
+        state: Dict[int, Optional[Row]] = {}
+        for key, row in self._log:
+            state[key] = dict(row) if row is not None else None
+        return {key: row for key, row in state.items() if row is not None}
+
+    def _recency(self) -> List[int]:
+        seen: List[int] = []
+        for key, _ in reversed(self._log):
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def _insert(self, row: Row) -> int:
+        key = row["id"]
+        if key in self._live_rows():
+            raise QueryError(f"duplicate key {key}")
+        self._log.append((key, dict(row)))
+        return key
+
+    def _select(self, where) -> List[Row]:
+        live = self._live_rows()
+        ordered = [live[key] for key in self._recency() if key in live]
+        return [r for r in ordered if where is None or where(r)]
+
+    def _update(self, where, changes: Dict[str, Any]) -> int:
+        count = 0
+        for key, row in self._live_rows().items():
+            if where(row):
+                row.update(changes)
+                self._log.append((key, row))
+                count += 1
+        return count
+
+    def _delete(self, where) -> int:
+        count = 0
+        for key, row in self._live_rows().items():
+            if where(row):
+                self._log.append((key, None))
+                count += 1
+        return count
+
+
+class SortedStoreEngine(StorageEngine):
+    """Rows in an id-sorted array; iteration order is ascending id."""
+
+    def __init__(self, name: str = "sorted-engine", **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self._keys: List[int] = []
+        self._rows: List[Row] = []
+
+    def _insert(self, row: Row) -> int:
+        key = row["id"]
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            raise QueryError(f"duplicate key {key}")
+        self._keys.insert(index, key)
+        self._rows.insert(index, dict(row))
+        return key
+
+    def _select(self, where) -> List[Row]:
+        return [r for r in self._rows if where is None or where(r)]
+
+    def _update(self, where, changes: Dict[str, Any]) -> int:
+        count = 0
+        for row in self._rows:
+            if where(row):
+                row.update(changes)
+                count += 1
+        return count
+
+    def _delete(self, where) -> int:
+        survivors = [(k, r) for k, r in zip(self._keys, self._rows)
+                     if not where(r)]
+        count = len(self._keys) - len(survivors)
+        self._keys = [k for k, _ in survivors]
+        self._rows = [r for _, r in survivors]
+        return count
+
+
+def diverse_engine_pool(faults_per_engine=None) -> List[StorageEngine]:
+    """One instance of each engine family, optionally with faults.
+
+    Args:
+        faults_per_engine: Optional mapping from engine index (0..2) to a
+            fault list for that engine.
+    """
+    faults_per_engine = faults_per_engine or {}
+    return [
+        HashIndexEngine(faults=faults_per_engine.get(0, ())),
+        AppendLogEngine(faults=faults_per_engine.get(1, ())),
+        SortedStoreEngine(faults=faults_per_engine.get(2, ())),
+    ]

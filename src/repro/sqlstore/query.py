@@ -1,0 +1,98 @@
+"""The query model shared by all diverse engines.
+
+A deliberately small relational core: one implicit table of rows keyed
+by an integer primary key, with typed statements instead of SQL text (no
+parser needed — the diversity of interest is in the *engines*, not the
+grammar).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: A row is an immutable mapping with an integer primary key under "id".
+Row = Dict[str, Any]
+
+#: A predicate over a row; built with :func:`eq`/:func:`lt`/:func:`gt`.
+Predicate = Callable[[Row], bool]
+
+
+def eq(column: str, value: Any) -> Predicate:
+    """``column = value``."""
+    def predicate(row: Row) -> bool:
+        return row.get(column) == value
+    predicate.description = f"{column} = {value!r}"
+    return predicate
+
+
+def lt(column: str, value: Any) -> Predicate:
+    """``column < value`` (missing columns never match)."""
+    def predicate(row: Row) -> bool:
+        return column in row and row[column] < value
+    predicate.description = f"{column} < {value!r}"
+    return predicate
+
+
+def gt(column: str, value: Any) -> Predicate:
+    """``column > value`` (missing columns never match)."""
+    def predicate(row: Row) -> bool:
+        return column in row and row[column] > value
+    predicate.description = f"{column} > {value!r}"
+    return predicate
+
+
+@dataclasses.dataclass(frozen=True)
+class Insert:
+    """INSERT one row; ``row`` must carry a unique integer ``id``."""
+
+    row: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def of(cls, **columns: Any) -> "Insert":
+        if "id" not in columns:
+            raise ValueError("rows need an 'id' primary key")
+        return cls(row=tuple(sorted(columns.items())))
+
+    def as_dict(self) -> Row:
+        return dict(self.row)
+
+
+@dataclasses.dataclass(frozen=True)
+class Select:
+    """SELECT rows matching ``where`` (all rows when ``None``).
+
+    ``order_by=None`` leaves the row order engine-defined — the
+    non-determinism Gashi et al. warn about; with a column name the
+    result order is part of the contract.
+    """
+
+    where: Optional[Predicate] = None
+    order_by: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Update:
+    """UPDATE matching rows, assigning ``changes``; returns the count."""
+
+    where: Predicate
+    changes: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def set(cls, where: Predicate, **changes: Any) -> "Update":
+        if "id" in changes:
+            raise ValueError("primary keys are immutable")
+        if not changes:
+            raise ValueError("an update needs at least one assignment")
+        return cls(where=where, changes=tuple(sorted(changes.items())))
+
+
+@dataclasses.dataclass(frozen=True)
+class Delete:
+    """DELETE matching rows; returns the count."""
+
+    where: Predicate
+
+
+#: Every statement kind, for isinstance dispatch in engines.
+Statement = (Insert, Select, Update, Delete)

@@ -1,0 +1,166 @@
+"""NVP over diverse storage engines, with result canonicalisation and
+state reconciliation.
+
+The two difficulties Gashi et al. report are modelled head-on:
+
+* **output reconciliation** — unordered SELECTs legitimately differ in
+  row order across engines, so naive value-equality voting false-alarms;
+  :func:`canonical_result` normalises results before the vote (and the
+  C-SQL ablation benchmark shows the false-alarm rate without it);
+* **state reconciliation** — after masking a failure, a replica that
+  produced the losing result may have diverged internally;
+  :meth:`ReplicatedStore.reconcile` audits the dumps and repairs
+  outvoted replicas from the majority state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Sequence, Tuple
+
+from repro.adjudicators.voting import MajorityVoter
+from repro.exceptions import NoMajorityError, SimulatedFailure
+from repro.result import Outcome
+from repro.sqlstore.engines import StorageEngine
+from repro.sqlstore.query import Select
+
+
+def canonical_result(statement: Any, result: Any) -> Any:
+    """Normalise a statement result so equivalent replies vote together.
+
+    Unordered SELECT results are canonicalised to an id-sorted tuple of
+    sorted column pairs; ordered SELECTs keep their order (it is part of
+    the contract); scalar results pass through.
+    """
+    if isinstance(statement, Select) and isinstance(result, list):
+        rows = [tuple(sorted(r.items())) for r in result]
+        if statement.order_by is None:
+            rows.sort()
+        return tuple(rows)
+    return result
+
+
+@dataclasses.dataclass
+class ReplicationStats:
+    """Counters for the replicated store."""
+
+    statements: int = 0
+    masked_failures: int = 0
+    vote_failures: int = 0
+    reconciliations: int = 0
+    repaired_replicas: int = 0
+
+
+class ReplicatedStore:
+    """A fault-tolerant store: every statement runs on all replicas.
+
+    Args:
+        engines: The diverse replicas (>= 2; 2k+1 masks k).
+        canonicalise: Normalise results before voting; disable only to
+            demonstrate the row-order false-alarm problem.
+        auto_reconcile: Repair outvoted replicas from the majority state
+            after each masked failure.
+    """
+
+    def __init__(self, engines: Sequence[StorageEngine],
+                 canonicalise: bool = True,
+                 auto_reconcile: bool = True) -> None:
+        if len(engines) < 2:
+            raise ValueError("replication needs at least two engines")
+        self.engines = list(engines)
+        self.canonicalise = canonicalise
+        self.auto_reconcile = auto_reconcile
+        self.stats = ReplicationStats()
+
+    def execute(self, statement, env=None) -> Any:
+        """Run a statement on every replica and adjudicate the replies.
+
+        Raises :class:`NoMajorityError` when no quorum of replicas
+        agrees — replication is exhausted.
+        """
+        self.stats.statements += 1
+        outcomes: List[Outcome] = []
+        raw_results: List[Tuple[StorageEngine, Any]] = []
+        for engine in self.engines:
+            try:
+                result = engine.execute(statement, env=env)
+            except SimulatedFailure as exc:
+                outcomes.append(Outcome.failure(exc, producer=engine.name))
+                raw_results.append((engine, exc))
+                continue
+            value = (canonical_result(statement, result)
+                     if self.canonicalise else _hashable(result))
+            outcomes.append(Outcome.success(value, producer=engine.name,
+                                            raw=result))
+            raw_results.append((engine, result))
+
+        verdict = MajorityVoter().adjudicate(outcomes)
+        if not verdict.accepted:
+            self.stats.vote_failures += 1
+            raise NoMajorityError(
+                f"replicas disagree on {type(statement).__name__}",
+                tally=[(o.producer, o.ok) for o in outcomes])
+
+        if verdict.dissenters:
+            self.stats.masked_failures += len(verdict.dissenters)
+            if self.auto_reconcile:
+                self.reconcile()
+
+        # Return a raw (non-canonicalised) result from a supporter.
+        for outcome in outcomes:
+            if outcome.ok and outcome.producer in verdict.supporters:
+                return outcome.meta.get("raw", outcome.value)
+        return verdict.value  # pragma: no cover - defensive
+
+    # -- state reconciliation --------------------------------------------
+
+    def state_digests(self) -> List[Tuple[str, Tuple]]:
+        """Per-replica canonical state digests (id-sorted dumps)."""
+        digests = []
+        for engine in self.engines:
+            dump = tuple(tuple(sorted(r.items())) for r in engine.dump())
+            digests.append((engine.name, dump))
+        return digests
+
+    def diverged_replicas(self) -> List[StorageEngine]:
+        """Replicas whose state differs from the majority state."""
+        digests = self.state_digests()
+        counts = {}
+        for _, dump in digests:
+            counts[dump] = counts.get(dump, 0) + 1
+        majority_dump = max(counts, key=counts.get)
+        if counts[majority_dump] <= len(self.engines) // 2:
+            return list(self.engines)  # no majority state at all
+        return [engine for engine, (_, dump) in zip(self.engines, digests)
+                if dump != majority_dump]
+
+    def reconcile(self) -> int:
+        """Rebuild diverged replicas from the majority state.
+
+        Returns the number of replicas repaired.  A diverged replica is
+        reset and re-populated row by row — the practical answer to
+        "reconciling the state of multiple, heterogeneous servers".
+        """
+        self.stats.reconciliations += 1
+        diverged = self.diverged_replicas()
+        if len(diverged) == len(self.engines):
+            return 0  # nothing authoritative to copy from
+        majority_engine = next(e for e in self.engines
+                               if e not in diverged)
+        authoritative = majority_engine.dump()
+        for engine in diverged:
+            # Administrative restore path: bypasses the replica's fault
+            # injector — reconciliation copies state, it does not re-run
+            # the buggy query processing.
+            engine.clear()
+            engine.load(authoritative)
+            self.stats.repaired_replicas += 1
+        return len(diverged)
+
+
+def _hashable(result: Any) -> Any:
+    """Best-effort hashable form for the no-canonicalisation ablation."""
+    if isinstance(result, list):
+        return tuple(tuple(sorted(r.items())) if isinstance(r, dict) else r
+                     for r in result)
+    return result

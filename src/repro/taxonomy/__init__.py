@@ -1,0 +1,49 @@
+"""The paper's taxonomy of redundancy-based fault handling, as code.
+
+The taxonomy has four dimensions (paper Table 1):
+
+* :class:`Intention` — was the redundancy *deliberately* designed in, or is
+  it *opportunistically* exploited latent redundancy?
+* :class:`RedundancyType` — what is replicated: *code*, *data*, or the
+  execution *environment*?
+* Triggers and adjudicators — is redundancy used *preventively* (implicit
+  adjudicator) or *reactively*, and is the reactive adjudicator *implicit*
+  (built into the mechanism, e.g. a vote) or *explicit* (designed per
+  application, e.g. an acceptance test)?  See :class:`AdjudicatorTiming`
+  and :class:`AdjudicatorKind`.
+* :class:`FaultClass` — which faults the mechanism addresses: development
+  faults (further split into Bohrbugs and Heisenbugs) and malicious
+  interaction faults.
+
+Each implemented technique carries a :class:`TaxonomyEntry`; the registry
+renders the generated classification and diffs it against the paper's
+Table 2 rows (:data:`repro.taxonomy.paper.PAPER_TABLE2`).
+"""
+
+from repro.taxonomy.dimensions import (
+    AdjudicatorKind,
+    AdjudicatorTiming,
+    ArchitecturalPattern,
+    FaultClass,
+    Intention,
+    RedundancyType,
+)
+from repro.taxonomy.entry import TaxonomyEntry
+from repro.taxonomy.registry import (
+    TechniqueRegistry,
+    default_registry,
+    register,
+)
+
+__all__ = [
+    "AdjudicatorKind",
+    "AdjudicatorTiming",
+    "ArchitecturalPattern",
+    "FaultClass",
+    "Intention",
+    "RedundancyType",
+    "TaxonomyEntry",
+    "TechniqueRegistry",
+    "default_registry",
+    "register",
+]

@@ -1,0 +1,150 @@
+"""Technique selection over the taxonomy.
+
+"The primary utility of this taxonomy is to classify and compare
+techniques to handle software faults" — this module makes the comparison
+executable: query Table 2 by fault class and constraints, and get ranked
+recommendations with the paper's own rationale attached.
+
+The ranking heuristics encode the paper's comparative statements:
+
+* techniques whose fault column names the class *specifically* beat
+  techniques that only cover it through the generic ``development``
+  entry;
+* under a low development budget, opportunistic redundancy wins —
+  "deliberately adding redundancy impacts on development costs, and is
+  thus exploited more often in safety critical applications, while
+  opportunistic redundancy has been explored more often in ...
+  self-healing systems";
+* implicit adjudicators are preferred when no application-specific
+  failure detector can be engineered ("N-version programming ... works
+  with inexpensive and reliable implicit adjudicators").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.taxonomy.dimensions import (
+    AdjudicatorKind,
+    AdjudicatorTiming,
+    FaultClass,
+    Intention,
+    RedundancyType,
+)
+from repro.taxonomy.entry import TaxonomyEntry
+from repro.taxonomy.registry import TechniqueRegistry, default_registry
+
+#: Development budget levels accepted by :func:`recommend`.
+BUDGET_LOW = "low"
+BUDGET_HIGH = "high"
+_BUDGETS = (BUDGET_LOW, BUDGET_HIGH)
+
+
+def addresses(entry: TaxonomyEntry, fault: FaultClass) -> bool:
+    """Whether a Table 2 row covers a fault class.
+
+    The generic ``development`` entry covers both of its refinements
+    (Bohrbugs and Heisenbugs), exactly as the paper's table uses it.
+    """
+    if fault in entry.faults:
+        return True
+    if fault in (FaultClass.BOHRBUG, FaultClass.HEISENBUG):
+        return FaultClass.DEVELOPMENT in entry.faults
+    return False
+
+
+def techniques_for(fault: FaultClass,
+                   intention: Optional[Intention] = None,
+                   rtype: Optional[RedundancyType] = None,
+                   timing: Optional[AdjudicatorTiming] = None,
+                   registry: Optional[TechniqueRegistry] = None
+                   ) -> List[TaxonomyEntry]:
+    """All Table 2 rows matching a fault class and optional filters."""
+    registry = registry or default_registry
+    matches = []
+    for entry in registry.entries():
+        if not addresses(entry, fault):
+            continue
+        if intention is not None and entry.intention is not intention:
+            continue
+        if rtype is not None and entry.rtype is not rtype:
+            continue
+        if timing is not None and entry.timing is not timing:
+            continue
+        matches.append(entry)
+    return matches
+
+
+@dataclasses.dataclass(frozen=True)
+class Recommendation:
+    """One ranked suggestion.
+
+    Attributes:
+        entry: The technique's Table 2 row.
+        score: Higher is better (comparable within one query only).
+        rationale: Why this technique fits, in the paper's terms.
+    """
+
+    entry: TaxonomyEntry
+    score: float
+    rationale: str
+
+
+def recommend(fault: FaultClass,
+              budget: str = BUDGET_HIGH,
+              can_design_adjudicator: bool = True,
+              registry: Optional[TechniqueRegistry] = None
+              ) -> List[Recommendation]:
+    """Ranked techniques for a fault class under engineering constraints.
+
+    Args:
+        fault: The fault class to defend against.
+        budget: ``"high"`` permits deliberate redundancy (extra versions,
+            engineered tests); ``"low"`` prefers opportunistic
+            mechanisms.
+        can_design_adjudicator: Whether the team can write
+            application-specific failure detectors; when False,
+            techniques needing explicit adjudicators are penalised.
+    """
+    if budget not in _BUDGETS:
+        raise ValueError(f"budget is one of {_BUDGETS}")
+    recommendations = []
+    for entry in techniques_for(fault, registry=registry):
+        score = 1.0
+        reasons = []
+
+        if fault in entry.faults:
+            score += 2.0
+            reasons.append(f"classified specifically for "
+                           f"'{entry.faults_cell}'")
+        else:
+            reasons.append("covers this class via generic development-"
+                           "fault handling")
+
+        if budget == BUDGET_LOW:
+            if entry.intention is Intention.OPPORTUNISTIC:
+                score += 2.0
+                reasons.append("opportunistic: no redundant development "
+                               "cost")
+            else:
+                score -= 1.0
+                reasons.append("deliberate redundancy raises development "
+                               "costs")
+
+        if not can_design_adjudicator:
+            if entry.adjudicator is AdjudicatorKind.EXPLICIT:
+                score -= 2.0
+                reasons.append("needs an application-specific explicit "
+                               "adjudicator")
+            elif entry.adjudicator is AdjudicatorKind.IMPLICIT:
+                score += 1.0
+                reasons.append("implicit adjudicator comes built in")
+            elif entry.timing is AdjudicatorTiming.PREVENTIVE:
+                score += 1.0
+                reasons.append("preventive: no failure detector needed")
+
+        recommendations.append(Recommendation(
+            entry=entry, score=score, rationale="; ".join(reasons)))
+    recommendations.sort(key=lambda r: (-r.score, r.entry.name))
+    return recommendations

@@ -1,0 +1,143 @@
+"""Enumerations for the four taxonomy dimensions (paper Table 1) plus the
+architectural patterns of the paper's Figure 1 / Section 2."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Intention(enum.Enum):
+    """Was the redundancy put there on purpose?
+
+    ``DELIBERATE`` redundancy is added by design (N-version programming,
+    recovery blocks, wrappers...).  ``OPPORTUNISTIC`` redundancy is latent
+    in the system or its environment and exploited without having been
+    designed for fault handling (micro-reboots, automatic workarounds,
+    dynamic service substitution).
+    """
+
+    DELIBERATE = "deliberate"
+    OPPORTUNISTIC = "opportunistic"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class RedundancyType(enum.Enum):
+    """Which element of the execution is replicated.
+
+    The paper distinguishes *code* (alternative implementations), *data*
+    (re-expressed or variant-encoded inputs and structures), and
+    *environment* (alternative execution environments, including the
+    processes themselves).  This refines Ammar et al.'s spatial /
+    information / temporal split for software faults.
+    """
+
+    CODE = "code"
+    DATA = "data"
+    ENVIRONMENT = "environment"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class AdjudicatorTiming(enum.Enum):
+    """When the redundancy is engaged.
+
+    ``PREVENTIVE`` mechanisms act before any failure is observed (software
+    rejuvenation, protective wrappers); the adjudicator is implicit in the
+    schedule or the check.  ``REACTIVE`` mechanisms engage redundancy in
+    response to a detected failure.
+    """
+
+    PREVENTIVE = "preventive"
+    REACTIVE = "reactive"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class AdjudicatorKind(enum.Enum):
+    """How failures are detected for reactive mechanisms.
+
+    ``IMPLICIT`` adjudicators are built into the mechanism (a majority vote
+    over redundant results); ``EXPLICIT`` adjudicators are designed per
+    application (acceptance tests, exception handlers, QoS monitors).
+    ``EXPLICIT_OR_IMPLICIT`` marks techniques the paper classifies as
+    admitting both (self-checking programming, data diversity).
+    ``NONE`` is used for preventive mechanisms, which need no failure
+    detector.
+    """
+
+    IMPLICIT = "implicit"
+    EXPLICIT = "explicit"
+    EXPLICIT_OR_IMPLICIT = "expl./impl."
+    NONE = "-"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class FaultClass(enum.Enum):
+    """Faults addressed, following Avizienis et al.'s taxonomy restricted to
+    software faults as the paper does.
+
+    ``DEVELOPMENT`` covers design/implementation faults generically;
+    ``BOHRBUG`` and ``HEISENBUG`` refine it into deterministically and
+    non-deterministically manifesting development faults; ``MALICIOUS``
+    covers interaction faults introduced with malicious objectives.
+    """
+
+    DEVELOPMENT = "development"
+    BOHRBUG = "Bohrbugs"
+    HEISENBUG = "Heisenbugs"
+    MALICIOUS = "malicious"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ArchitecturalPattern(enum.Enum):
+    """The architectural placements of redundancy (paper Section 2, Fig. 1).
+
+    The three inter-component patterns differ in where the adjudicator sits
+    and when alternatives run:
+
+    * ``PARALLEL_EVALUATION`` — all alternatives execute on the same
+      configuration; a single adjudicator (often a voter) evaluates the
+      collected results (Fig. 1a).
+    * ``PARALLEL_SELECTION`` — all alternatives execute, each followed by
+      its own adjudicator that validates the result and disables failing
+      components (Fig. 1b).
+    * ``SEQUENTIAL_ALTERNATIVES`` — alternatives are activated one at a
+      time, each guarded by an adjudicator; the next alternative runs only
+      if the previous one failed (Fig. 1c).
+    * ``INTRA_COMPONENT`` — redundancy inside a single component, leaving
+      inter-component connections untouched (wrappers, robust data
+      structures, automatic workarounds).
+    """
+
+    PARALLEL_EVALUATION = "parallel evaluation"
+    PARALLEL_SELECTION = "parallel selection"
+    SEQUENTIAL_ALTERNATIVES = "sequential alternatives"
+    INTRA_COMPONENT = "intra-component"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Table 1 of the paper, reconstructed as data: dimension name -> the
+#: admissible values, in the paper's presentation order.
+TABLE1_STRUCTURE = (
+    ("Intention", (Intention.DELIBERATE, Intention.OPPORTUNISTIC)),
+    ("Type", (RedundancyType.CODE, RedundancyType.DATA,
+              RedundancyType.ENVIRONMENT)),
+    ("Triggers and adjudicators",
+     ("preventive (implicit adjudicator)",
+      "reactive: implicit adjudicator",
+      "reactive: explicit adjudicator")),
+    ("Faults addressed by redundancy",
+     ("interaction - malicious",
+      "development: Bohrbugs",
+      "development: Heisenbugs")),
+)

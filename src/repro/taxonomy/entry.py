@@ -1,0 +1,83 @@
+"""The classification record attached to every implemented technique."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.taxonomy.dimensions import (
+    AdjudicatorKind,
+    AdjudicatorTiming,
+    ArchitecturalPattern,
+    FaultClass,
+    Intention,
+    RedundancyType,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TaxonomyEntry:
+    """One row of the paper's Table 2, as machine-checkable metadata.
+
+    Attributes:
+        name: The technique family name as printed in the paper's table.
+        intention: Deliberate vs opportunistic redundancy.
+        rtype: Code, data, or environment redundancy.
+        timing: Preventive vs reactive engagement.
+        adjudicator: Implicit / explicit / both / none (for preventive).
+        faults: Fault classes the technique primarily addresses, in the
+            paper's order.
+        patterns: The architectural pattern(s) the technique instantiates
+            (paper Section 2 / Figure 1); not a Table 2 column but part of
+            the paper's architectural analysis.
+        references: Citation keys from the paper's bibliography, for
+            traceability.
+    """
+
+    name: str
+    intention: Intention
+    rtype: RedundancyType
+    timing: AdjudicatorTiming
+    adjudicator: AdjudicatorKind
+    faults: Tuple[FaultClass, ...]
+    patterns: Tuple[ArchitecturalPattern, ...] = ()
+    references: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("taxonomy entry needs a technique name")
+        if not self.faults:
+            raise ValueError(f"{self.name}: at least one fault class required")
+        if (self.timing is AdjudicatorTiming.PREVENTIVE
+                and self.adjudicator not in (AdjudicatorKind.NONE,)):
+            raise ValueError(
+                f"{self.name}: preventive mechanisms have no reactive "
+                f"adjudicator (got {self.adjudicator})")
+
+    # -- presentation helpers -------------------------------------------
+
+    @property
+    def adjudicator_cell(self) -> str:
+        """Render the 'Adjudicator' column exactly as the paper does."""
+        if self.timing is AdjudicatorTiming.PREVENTIVE:
+            return "preventive"
+        return f"reactive {self.adjudicator.value}"
+
+    @property
+    def faults_cell(self) -> str:
+        """Render the 'Faults' column exactly as the paper does."""
+        return ", ".join(str(f) for f in self.faults)
+
+    def as_row(self) -> Tuple[str, str, str, str, str]:
+        """The (name, intention, type, adjudicator, faults) table row."""
+        return (self.name, str(self.intention), str(self.rtype),
+                self.adjudicator_cell, self.faults_cell)
+
+    def matches(self, other: "TaxonomyEntry") -> bool:
+        """Classification equality, ignoring references and patterns."""
+        return (self.name == other.name
+                and self.intention == other.intention
+                and self.rtype == other.rtype
+                and self.timing == other.timing
+                and self.adjudicator == other.adjudicator
+                and self.faults == other.faults)

@@ -1,0 +1,154 @@
+"""The paper's Table 2, transcribed verbatim as expected classification data.
+
+These entries are the *ground truth* the implementation is checked against:
+``benchmarks/bench_table2_classification.py`` regenerates Table 2 from the
+implemented techniques and diffs it against this transcription, and the
+taxonomy test suite asserts per-technique equality.
+
+Row order and cell wording follow the paper exactly (page with Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.taxonomy.dimensions import (
+    AdjudicatorKind,
+    AdjudicatorTiming,
+    ArchitecturalPattern,
+    FaultClass,
+    Intention,
+    RedundancyType,
+)
+from repro.taxonomy.entry import TaxonomyEntry
+
+_D = Intention.DELIBERATE
+_O = Intention.OPPORTUNISTIC
+_CODE = RedundancyType.CODE
+_DATA = RedundancyType.DATA
+_ENV = RedundancyType.ENVIRONMENT
+_PREV = AdjudicatorTiming.PREVENTIVE
+_REACT = AdjudicatorTiming.REACTIVE
+_IMPL = AdjudicatorKind.IMPLICIT
+_EXPL = AdjudicatorKind.EXPLICIT
+_BOTH = AdjudicatorKind.EXPLICIT_OR_IMPLICIT
+_NONE = AdjudicatorKind.NONE
+_DEV = FaultClass.DEVELOPMENT
+_BOHR = FaultClass.BOHRBUG
+_HEIS = FaultClass.HEISENBUG
+_MAL = FaultClass.MALICIOUS
+
+
+PAPER_TABLE2: Tuple[TaxonomyEntry, ...] = (
+    TaxonomyEntry(
+        name="N-version programming",
+        intention=_D, rtype=_CODE, timing=_REACT, adjudicator=_IMPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.PARALLEL_EVALUATION,),
+        references=("9", "29", "30", "31")),
+    TaxonomyEntry(
+        name="Recovery blocks",
+        intention=_D, rtype=_CODE, timing=_REACT, adjudicator=_EXPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.SEQUENTIAL_ALTERNATIVES,),
+        references=("28", "29")),
+    TaxonomyEntry(
+        name="Self-checking programming",
+        intention=_D, rtype=_CODE, timing=_REACT, adjudicator=_BOTH,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.PARALLEL_SELECTION,),
+        references=("32", "29", "33")),
+    TaxonomyEntry(
+        name="Self-optimizing code",
+        intention=_D, rtype=_CODE, timing=_REACT, adjudicator=_EXPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.SEQUENTIAL_ALTERNATIVES,),
+        references=("34", "35")),
+    TaxonomyEntry(
+        name="Exception handling, rule engines",
+        intention=_D, rtype=_CODE, timing=_REACT, adjudicator=_EXPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.SEQUENTIAL_ALTERNATIVES,),
+        references=("36", "37", "38")),
+    TaxonomyEntry(
+        name="Wrappers",
+        intention=_D, rtype=_CODE, timing=_PREV, adjudicator=_NONE,
+        faults=(_BOHR, _MAL),
+        patterns=(ArchitecturalPattern.INTRA_COMPONENT,),
+        references=("39", "40", "41", "42")),
+    TaxonomyEntry(
+        name="Robust data structures, audits",
+        intention=_D, rtype=_DATA, timing=_REACT, adjudicator=_IMPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.INTRA_COMPONENT,),
+        references=("43", "44")),
+    TaxonomyEntry(
+        name="Data diversity",
+        intention=_D, rtype=_DATA, timing=_REACT, adjudicator=_BOTH,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.PARALLEL_SELECTION,
+                  ArchitecturalPattern.SEQUENTIAL_ALTERNATIVES),
+        references=("26",)),
+    TaxonomyEntry(
+        name="Data diversity for security",
+        intention=_D, rtype=_DATA, timing=_REACT, adjudicator=_IMPL,
+        faults=(_MAL,),
+        patterns=(ArchitecturalPattern.PARALLEL_EVALUATION,),
+        references=("45",)),
+    TaxonomyEntry(
+        name="Rejuvenation",
+        intention=_D, rtype=_ENV, timing=_PREV, adjudicator=_NONE,
+        faults=(_HEIS,),
+        patterns=(),
+        references=("46", "15", "17")),
+    TaxonomyEntry(
+        name="Environment perturbation",
+        intention=_D, rtype=_ENV, timing=_REACT, adjudicator=_EXPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.SEQUENTIAL_ALTERNATIVES,),
+        references=("27",)),
+    TaxonomyEntry(
+        name="Process replicas",
+        intention=_D, rtype=_ENV, timing=_REACT, adjudicator=_IMPL,
+        faults=(_MAL,),
+        patterns=(ArchitecturalPattern.PARALLEL_EVALUATION,),
+        references=("47", "48")),
+    TaxonomyEntry(
+        name="Dynamic service substitution",
+        intention=_O, rtype=_CODE, timing=_REACT, adjudicator=_EXPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.SEQUENTIAL_ALTERNATIVES,),
+        references=("10", "49", "11", "50")),
+    TaxonomyEntry(
+        name="Fault fixing, genetic programming",
+        intention=_O, rtype=_CODE, timing=_REACT, adjudicator=_EXPL,
+        faults=(_BOHR,),
+        patterns=(ArchitecturalPattern.INTRA_COMPONENT,),
+        references=("51", "52")),
+    TaxonomyEntry(
+        name="Automatic workarounds",
+        intention=_O, rtype=_CODE, timing=_REACT, adjudicator=_EXPL,
+        faults=(_DEV,),
+        patterns=(ArchitecturalPattern.INTRA_COMPONENT,),
+        references=("53", "25")),
+    TaxonomyEntry(
+        name="Checkpoint-recovery",
+        intention=_O, rtype=_ENV, timing=_REACT, adjudicator=_EXPL,
+        faults=(_HEIS,),
+        patterns=(),
+        references=("21",)),
+    TaxonomyEntry(
+        name="Reboot and micro-reboot",
+        intention=_O, rtype=_ENV, timing=_REACT, adjudicator=_EXPL,
+        faults=(_HEIS,),
+        patterns=(),
+        references=("12", "13")),
+)
+
+
+def paper_entry(name: str) -> TaxonomyEntry:
+    """Look up a paper Table 2 row by technique name."""
+    for entry in PAPER_TABLE2:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no such technique in the paper's Table 2: {name!r}")

@@ -1,0 +1,87 @@
+"""Registry binding implemented techniques to their taxonomy entries.
+
+Technique classes register themselves (via the :func:`register` class
+decorator) so that the classification tables can be *generated from the
+implementation* rather than transcribed, and then diffed against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.taxonomy.entry import TaxonomyEntry
+
+
+class TechniqueRegistry:
+    """An ordered registry of technique classes keyed by taxonomy name."""
+
+    def __init__(self) -> None:
+        self._techniques: Dict[str, Type] = {}
+
+    def add(self, technique_cls: Type) -> Type:
+        """Register ``technique_cls``; it must expose a ``TAXONOMY`` entry."""
+        entry = getattr(technique_cls, "TAXONOMY", None)
+        if not isinstance(entry, TaxonomyEntry):
+            raise TypeError(
+                f"{technique_cls.__name__} lacks a TAXONOMY TaxonomyEntry")
+        if entry.name in self._techniques:
+            existing = self._techniques[entry.name]
+            if existing is not technique_cls:
+                raise ValueError(
+                    f"duplicate taxonomy registration for {entry.name!r}")
+            return technique_cls
+        self._techniques[entry.name] = technique_cls
+        return technique_cls
+
+    def __len__(self) -> int:
+        return len(self._techniques)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._techniques
+
+    def technique(self, name: str) -> Type:
+        """The registered class for a technique name."""
+        return self._techniques[name]
+
+    def entry(self, name: str) -> TaxonomyEntry:
+        """The taxonomy entry for a technique name."""
+        return self._techniques[name].TAXONOMY
+
+    def entries(self) -> List[TaxonomyEntry]:
+        """All registered entries, in registration order."""
+        return [cls.TAXONOMY for cls in self._techniques.values()]
+
+    def names(self) -> List[str]:
+        return list(self._techniques)
+
+    # -- comparison against the paper -----------------------------------
+
+    def diff_against(self, expected: Iterable[TaxonomyEntry]
+                     ) -> List[Tuple[str, Optional[TaxonomyEntry],
+                                     Optional[TaxonomyEntry]]]:
+        """Compare registered entries with an expected set.
+
+        Returns a list of (name, expected_entry, actual_entry) triples for
+        every mismatch: missing techniques, unexpected extras, and entries
+        whose classification cells differ.  An empty list means the
+        generated table equals the expected one.
+        """
+        expected_by_name = {e.name: e for e in expected}
+        mismatches = []
+        for name, exp in expected_by_name.items():
+            actual = self.entry(name) if name in self else None
+            if actual is None or not actual.matches(exp):
+                mismatches.append((name, exp, actual))
+        for name in self.names():
+            if name not in expected_by_name:
+                mismatches.append((name, None, self.entry(name)))
+        return mismatches
+
+
+#: Registry populated by ``repro.techniques`` at import time.
+default_registry = TechniqueRegistry()
+
+
+def register(technique_cls: Type) -> Type:
+    """Class decorator adding a technique to the default registry."""
+    return default_registry.add(technique_cls)

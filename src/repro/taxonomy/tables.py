@@ -1,0 +1,70 @@
+"""Plain-text rendering of the paper's tables from the live taxonomy.
+
+The renderers are deliberately dependency-free (no tabulate) and emit
+fixed-width ASCII tables, so benchmark output can be diffed in CI and
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.taxonomy.dimensions import TABLE1_STRUCTURE
+from repro.taxonomy.entry import TaxonomyEntry
+
+TABLE2_HEADERS = ("Technique", "Intention", "Type", "Adjudicator", "Faults")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: str = "") -> str:
+    """Render an ASCII table with a separator under the header."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_table1(title: str = "Table 1. Taxonomy for redundancy based "
+                               "mechanisms") -> str:
+    """Render the taxonomy dimensions exactly as the paper's Table 1."""
+    rows = []
+    for dimension, values in TABLE1_STRUCTURE:
+        first = True
+        for value in values:
+            label = f"{dimension}:" if first else ""
+            rows.append((label, str(value)))
+            first = False
+    return format_table(("Dimension", "Values"), rows, title=title)
+
+
+def render_table2(entries: Iterable[TaxonomyEntry],
+                  title: str = "Table 2. A taxonomy of redundancy for fault "
+                               "tolerance and self-managed systems") -> str:
+    """Render technique classifications as the paper's Table 2."""
+    return format_table(TABLE2_HEADERS,
+                        [e.as_row() for e in entries], title=title)
+
+
+def render_diff(mismatches) -> str:
+    """Human-readable rendering of ``TechniqueRegistry.diff_against``."""
+    if not mismatches:
+        return "generated classification matches the paper's Table 2 exactly"
+    lines = ["MISMATCHES between implementation and paper Table 2:"]
+    for name, expected, actual in mismatches:
+        lines.append(f"- {name}:")
+        lines.append(f"    paper: "
+                     f"{expected.as_row() if expected else '(absent)'}")
+        lines.append(f"    impl:  {actual.as_row() if actual else '(absent)'}")
+    return "\n".join(lines)

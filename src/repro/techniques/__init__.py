@@ -1,0 +1,138 @@
+"""The seventeen technique families of the paper's Table 2.
+
+Importing this package registers every technique with
+:data:`repro.taxonomy.default_registry`, from which Table 2 is generated
+and diffed against the paper's transcription.
+"""
+
+from repro.techniques.base import Technique
+from repro.techniques.checkpoint_recovery import (
+    CheckpointRecovery,
+    RecoveryReport,
+)
+from repro.techniques.data_diversity import (
+    DataDiversity,
+    Reexpression,
+    ReexpressedUnit,
+    shift_reexpression,
+)
+from repro.techniques.data_diversity_security import (
+    NVariantDataStore,
+    VariantEncoding,
+    default_encodings,
+    offset_encoding,
+    xor_encoding,
+)
+from repro.techniques.environment_perturbation import (
+    EnvironmentPerturbation,
+    RxReport,
+)
+from repro.techniques.genetic_repair import GeneticFaultFixing, HealReport
+from repro.techniques.microreboot import (
+    MicroReboot,
+    ModularApplication,
+    RebootStats,
+)
+from repro.techniques.nvp import NVersionProgramming
+from repro.techniques.process_replicas import ProcessReplicas, ReplicaVerdict
+from repro.techniques.recovery_blocks import RecoveryBlocks
+from repro.techniques.rejuvenation import (
+    CheckpointedExecution,
+    CompletionReport,
+    Rejuvenation,
+    RejuvenationPolicy,
+)
+from repro.techniques.robust_data import (
+    RepairReport,
+    RobustLinkedList,
+    SoftwareAudit,
+)
+from repro.techniques.rule_engine import (
+    RecoveryRegistry,
+    RecoveryRule,
+    RuleEngine,
+    retry_action,
+    substitute_value_action,
+)
+from repro.techniques.self_checking import (
+    CheckedComponent,
+    ComparedPair,
+    SelfCheckingProgramming,
+)
+from repro.techniques.self_optimizing import (
+    AdaptiveImplementation,
+    SelfOptimizing,
+)
+from repro.techniques.service_substitution import (
+    DynamicServiceSubstitution,
+    SubstitutionStats,
+)
+from repro.techniques.workaround_mining import (
+    MiningProbe,
+    RedundancyMiner,
+)
+from repro.techniques.workarounds import (
+    AutomaticWorkarounds,
+    RewriteRule,
+    WorkaroundReport,
+)
+from repro.techniques.wrappers import (
+    HealerWrapper,
+    ProtectiveWrapper,
+    clamp_guard,
+    reject_guard,
+)
+
+__all__ = [
+    "AdaptiveImplementation",
+    "AutomaticWorkarounds",
+    "CheckedComponent",
+    "CheckpointRecovery",
+    "CheckpointedExecution",
+    "ComparedPair",
+    "CompletionReport",
+    "DataDiversity",
+    "DynamicServiceSubstitution",
+    "EnvironmentPerturbation",
+    "GeneticFaultFixing",
+    "HealReport",
+    "HealerWrapper",
+    "MicroReboot",
+    "MiningProbe",
+    "ModularApplication",
+    "NVariantDataStore",
+    "NVersionProgramming",
+    "ProcessReplicas",
+    "ProtectiveWrapper",
+    "RebootStats",
+    "RecoveryBlocks",
+    "RecoveryRegistry",
+    "RecoveryReport",
+    "RecoveryRule",
+    "RedundancyMiner",
+    "Reexpression",
+    "ReexpressedUnit",
+    "Rejuvenation",
+    "RejuvenationPolicy",
+    "RepairReport",
+    "ReplicaVerdict",
+    "RewriteRule",
+    "RobustLinkedList",
+    "RuleEngine",
+    "RxReport",
+    "SelfCheckingProgramming",
+    "SelfOptimizing",
+    "SoftwareAudit",
+    "SubstitutionStats",
+    "Technique",
+    "VariantEncoding",
+    "WorkaroundReport",
+    "clamp_guard",
+    "default_encodings",
+    "offset_encoding",
+    "reject_guard",
+    "retry_action",
+    "shift_reexpression",
+    "substitute_value_action",
+    "xor_encoding",
+]

@@ -1,0 +1,30 @@
+"""Technique base class: behaviour plus taxonomy metadata."""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.taxonomy.entry import TaxonomyEntry
+
+
+class Technique(abc.ABC):
+    """A redundancy-based fault-handling technique.
+
+    Every concrete technique declares its paper classification as the
+    ``TAXONOMY`` class attribute and registers itself with
+    :func:`repro.taxonomy.register`; Table 2 is generated from these.
+    """
+
+    TAXONOMY: ClassVar[TaxonomyEntry]
+
+    @property
+    def taxonomy(self) -> TaxonomyEntry:
+        return type(self).TAXONOMY
+
+    @property
+    def technique_name(self) -> str:
+        return type(self).TAXONOMY.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

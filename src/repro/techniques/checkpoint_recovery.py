@@ -1,0 +1,136 @@
+"""Checkpoint-recovery (Elnozahy et al.).
+
+Opportunistic environment redundancy: the system periodically saves
+consistent states; on failure it rolls back and re-executes *without*
+modifying anything, "relying on spontaneous changes in the environment to
+avoid the conditions that created the failure".  Effective against
+Heisenbugs whose transient trigger drifts away; useless against Bohrbugs,
+which recur identically on re-execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Sequence, Tuple, Type
+
+from repro.components.state import Checkpointable
+from repro.environment.simenv import SimEnvironment
+from repro.environment.snapshot import EnvironmentSnapshot
+from repro.exceptions import NoCheckpointError, SimulatedFailure
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """Result of a protected run."""
+
+    completed: bool
+    steps_done: int
+    rollbacks: int
+    virtual_time: float
+
+
+@register
+class CheckpointRecovery(Technique):
+    """Periodic checkpoints plus rollback re-execution.
+
+    Args:
+        env: The environment (snapshot/restore provider).
+        subject: Optional application state checkpointed alongside.
+        interval: Steps between checkpoints.
+        checkpoint_cost: Virtual cost of writing one checkpoint.
+        recovery_cost: Virtual cost of one rollback.
+        max_rollbacks_per_step: Retry budget per step; a Bohrbug burns
+            through it and the run reports failure.
+        detects: Failure classes the explicit adjudicator recognises.
+    """
+
+    TAXONOMY = paper_entry("Checkpoint-recovery")
+
+    def __init__(self, env: SimEnvironment,
+                 subject: Optional[Checkpointable] = None,
+                 interval: int = 5,
+                 checkpoint_cost: float = 1.0,
+                 recovery_cost: float = 5.0,
+                 max_rollbacks_per_step: int = 25,
+                 detects: Tuple[Type[BaseException], ...] = (
+                     SimulatedFailure,)) -> None:
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if max_rollbacks_per_step <= 0:
+            raise ValueError("retry budget must be positive")
+        self.env = env
+        self.subject = subject
+        self.interval = interval
+        self.checkpoint_cost = checkpoint_cost
+        self.recovery_cost = recovery_cost
+        self.max_rollbacks_per_step = max_rollbacks_per_step
+        self.detects = detects
+        self._env_checkpoint: Optional[EnvironmentSnapshot] = None
+        self._state_checkpoint = None
+        self.total_rollbacks = 0
+        self.total_checkpoints = 0
+
+    # -- checkpointing ----------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a checkpoint of environment (and subject) state."""
+        self._env_checkpoint = self.env.snapshot()
+        if self.subject is not None:
+            self._state_checkpoint = self.subject.capture_state()
+        self.env.clock.advance(self.checkpoint_cost)
+        self.total_checkpoints += 1
+
+    def rollback(self) -> None:
+        """Restore the most recent checkpoint (not the nondeterminism
+        stream: re-execution sees fresh transient conditions)."""
+        if self._env_checkpoint is None:
+            raise NoCheckpointError("rollback requested before any "
+                                    "checkpoint was written")
+        self.env.restore(self._env_checkpoint,
+                         replay_nondeterminism=False)
+        if self.subject is not None and self._state_checkpoint is not None:
+            self.subject.restore_state(self._state_checkpoint)
+        self.env.clock.advance(self.recovery_cost)
+        self.total_rollbacks += 1
+
+    # -- protected execution --------------------------------------------------
+
+    def run(self, steps: Sequence[Callable[[SimEnvironment], Any]]
+            ) -> RecoveryReport:
+        """Run a sequence of steps under checkpoint protection.
+
+        Steps between two checkpoints are re-executed together after a
+        rollback, exactly as message-logging-free rollback recovery
+        behaves.
+        """
+        start = self.env.clock.now
+        rollbacks_at_start = self.total_rollbacks
+        self.checkpoint()
+        index = 0
+        segment_start = 0
+        retries_this_segment = 0
+        while index < len(steps):
+            try:
+                steps[index](self.env)
+            except self.detects:
+                retries_this_segment += 1
+                if retries_this_segment > self.max_rollbacks_per_step:
+                    return RecoveryReport(
+                        completed=False, steps_done=segment_start,
+                        rollbacks=self.total_rollbacks - rollbacks_at_start,
+                        virtual_time=self.env.clock.now - start)
+                self.rollback()
+                index = segment_start
+                continue
+            index += 1
+            if (index - segment_start) >= self.interval:
+                self.checkpoint()
+                segment_start = index
+                retries_this_segment = 0
+        return RecoveryReport(
+            completed=True, steps_done=len(steps),
+            rollbacks=self.total_rollbacks - rollbacks_at_start,
+            virtual_time=self.env.clock.now - start)

@@ -1,0 +1,137 @@
+"""Data diversity (Ammann & Knight).
+
+The *same* code runs on logically equivalent re-expressions of the input:
+faults whose failure regions cover only part of the input space can be
+escaped by slightly moving the input.  Two executions modes, matching the
+paper's description:
+
+* **retry blocks** — sequential: run on the original input, and on
+  failure re-express and retry (explicit adjudicator: an acceptance test
+  or the crash itself), borrowing the recovery-blocks skeleton;
+* **N-copy programming** — parallel: run all re-expressions at once and
+  vote (implicit adjudicator), borrowing the NVP skeleton.
+
+Deliberate *data* redundancy targeting development faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.adjudicators.base import Adjudicator
+from repro.adjudicators.voting import PluralityVoter
+from repro.components.version import Version
+from repro.exceptions import RedundancyError, SimulatedFailure
+from repro.patterns.base import ExecutionUnit
+from repro.patterns.parallel_evaluation import ParallelEvaluation
+from repro.patterns.sequential_alternatives import SequentialAlternatives
+from repro.result import Outcome
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass(frozen=True)
+class Reexpression:
+    """A logically equivalent transformation of the input.
+
+    Attributes:
+        name: Diagnostic name.
+        transform: Maps the argument tuple to an equivalent tuple.
+        exact: Exact re-expressions preserve the output identically;
+            approximate ones change it within an accepted envelope
+            (validated by the caller's adjudicator).
+    """
+
+    name: str
+    transform: Callable[[Tuple[Any, ...]], Tuple[Any, ...]]
+    exact: bool = True
+
+    @staticmethod
+    def identity() -> "Reexpression":
+        return Reexpression(name="identity", transform=lambda args: args)
+
+
+def shift_reexpression(delta: float, undo: Callable[[Any], Any] = None,
+                       name: str = "") -> Reexpression:
+    """Re-express a numeric first argument as ``x + delta``.
+
+    Exact for computations that are invariant under the shift (modular
+    arithmetic, periodic functions with ``delta`` a period); the classic
+    Ammann-Knight move of nudging the input off a failure region.
+    """
+    return Reexpression(
+        name=name or f"shift({delta})",
+        transform=lambda args: (args[0] + delta,) + tuple(args[1:]))
+
+
+class ReexpressedUnit(ExecutionUnit):
+    """The same program run on one particular re-expression."""
+
+    def __init__(self, program: Version, reexpression: Reexpression) -> None:
+        self.program = program
+        self.reexpression = reexpression
+        self.enabled = True
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.program.name}[{self.reexpression.name}]"
+
+    def run(self, args: Tuple[Any, ...], env, charge: bool = True) -> Outcome:
+        expressed = tuple(self.reexpression.transform(args))
+        try:
+            if charge or env is None:
+                value = self.program.execute(*expressed, env=env)
+            else:
+                self.program.calls += 1
+                correct = self.program.impl(*expressed)
+                value = self.program.injector.apply(expressed, env, correct)
+        except (SimulatedFailure, RedundancyError) as exc:
+            return Outcome.failure(exc, producer=self.name,
+                                   cost=self.program.exec_cost,
+                                   args=args, expressed=expressed)
+        return Outcome.success(value, producer=self.name,
+                               cost=self.program.exec_cost,
+                               args=args, expressed=expressed)
+
+
+@register
+class DataDiversity(Technique):
+    """Retry blocks and N-copy programming over input re-expressions.
+
+    Args:
+        program: The single implementation (code is *not* diversified).
+        reexpressions: Equivalent input transformations; the identity is
+            always tried first and does not need to be listed.
+        voter: Voter for the N-copy mode (defaults to plurality, since
+            with one code version agreement on any value is meaningful).
+    """
+
+    TAXONOMY = paper_entry("Data diversity")
+
+    def __init__(self, program: Version,
+                 reexpressions: Sequence[Reexpression],
+                 voter: Optional[Adjudicator] = None) -> None:
+        if not reexpressions:
+            raise ValueError("data diversity needs at least one "
+                             "re-expression beyond the identity")
+        self.program = program
+        self.reexpressions = [Reexpression.identity(), *reexpressions]
+        self._units = [ReexpressedUnit(program, r)
+                       for r in self.reexpressions]
+        self.retry_pattern = SequentialAlternatives(list(self._units))
+        self.ncopy_pattern = ParallelEvaluation(
+            list(self._units), adjudicator=voter or PluralityVoter())
+
+    def execute_retry(self, *args: Any, env=None) -> Any:
+        """Retry-block mode: sequential re-expressions until success."""
+        return self.retry_pattern.execute(*args, env=env)
+
+    def execute_ncopy(self, *args: Any, env=None) -> Any:
+        """N-copy mode: all re-expressions in parallel, then vote."""
+        return self.ncopy_pattern.execute(*args, env=env)
+
+    @property
+    def stats(self):
+        return self.retry_pattern.stats.merge(self.ncopy_pattern.stats)

@@ -1,0 +1,137 @@
+"""Data diversity for security — N-variant data (Nguyen-Tuong et al.).
+
+Data is stored under N variant encodings "with the property that
+identical concrete data values have different interpretations": an
+attacker who corrupts the underlying storage must alter *each* variant
+differently to keep the decoded values consistent, but can only send the
+same input to all variants.  On read, all variants are decoded and
+compared (reactive, implicit adjudicator); divergence means a corruption
+attack was detected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.adjudicators.voting import UnanimousVoter
+from repro.exceptions import AttackDetectedError
+from repro.result import Outcome
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantEncoding:
+    """One reversible encoding of stored integers.
+
+    Attributes:
+        name: Encoding name.
+        encode: Logical value -> concrete stored value.
+        decode: Concrete stored value -> logical value.
+    """
+
+    name: str
+    encode: Callable[[int], int]
+    decode: Callable[[int], int]
+
+
+def xor_encoding(mask: int) -> VariantEncoding:
+    """XOR with a variant-specific mask."""
+    return VariantEncoding(name=f"xor({mask:#x})",
+                           encode=lambda v: v ^ mask,
+                           decode=lambda v: v ^ mask)
+
+
+def offset_encoding(offset: int) -> VariantEncoding:
+    """Additive offset encoding."""
+    return VariantEncoding(name=f"offset({offset})",
+                           encode=lambda v: v + offset,
+                           decode=lambda v: v - offset)
+
+
+def default_encodings(n: int = 3, seed: int = 0) -> List[VariantEncoding]:
+    """``n`` distinct encodings: identity-free mix of xor and offsets."""
+    if n < 2:
+        raise ValueError("N-variant data needs at least 2 variants")
+    encodings: List[VariantEncoding] = []
+    for i in range(n):
+        if i % 2 == 0:
+            encodings.append(xor_encoding(0x5A5A + 7919 * (i + seed + 1)))
+        else:
+            encodings.append(offset_encoding(104729 * (i + seed + 1)))
+    return encodings
+
+
+@register
+class NVariantDataStore(Technique):
+    """A key-value store kept under N variant encodings.
+
+    Args:
+        encodings: The variant encodings (>= 2).
+
+    Writes through :meth:`put` keep all variants consistent; reads
+    through :meth:`get` decode every variant and require unanimity.
+    The attacker-facing surface is :meth:`tamper_raw`: direct writes to
+    one (or all) variants' concrete storage, modelling a data-corruption
+    exploit that bypasses the API.
+    """
+
+    TAXONOMY = paper_entry("Data diversity for security")
+
+    def __init__(self, encodings: Optional[Sequence[VariantEncoding]] = None
+                 ) -> None:
+        self.encodings = list(encodings or default_encodings())
+        if len(self.encodings) < 2:
+            raise ValueError("N-variant data needs at least 2 variants")
+        self._variants: List[Dict[str, int]] = [
+            {} for _ in self.encodings]
+        self._voter = UnanimousVoter()
+        self.detections = 0
+
+    @property
+    def n(self) -> int:
+        return len(self.encodings)
+
+    def put(self, key: str, value: int) -> None:
+        """Store a value under every variant encoding."""
+        for encoding, store in zip(self.encodings, self._variants):
+            store[key] = encoding.encode(value)
+
+    def get(self, key: str) -> int:
+        """Decode all variants and compare; divergence raises
+        :class:`AttackDetectedError`."""
+        outcomes = []
+        for encoding, store in zip(self.encodings, self._variants):
+            if key not in store:
+                raise KeyError(key)
+            decoded = encoding.decode(store[key])
+            outcomes.append(Outcome.success(decoded, producer=encoding.name))
+        verdict = self._voter.adjudicate(outcomes)
+        if not verdict.accepted:
+            self.detections += 1
+            raise AttackDetectedError(
+                f"variant divergence on key {key!r}",
+                evidence=[(o.producer, o.value) for o in outcomes])
+        return verdict.value
+
+    def __contains__(self, key: str) -> bool:
+        return all(key in store for store in self._variants)
+
+    # -- attacker surface -------------------------------------------------
+
+    def tamper_raw(self, key: str, concrete_value: int,
+                   variant: Optional[int] = None) -> None:
+        """Overwrite concrete storage directly, bypassing the encoders.
+
+        ``variant=None`` models the realistic attack: the same concrete
+        value lands in *every* variant (the attacker sends one payload),
+        which decodes differently everywhere and is caught on the next
+        read.  Targeting a single variant models a partial compromise.
+        """
+        if variant is None:
+            for store in self._variants:
+                store[key] = concrete_value
+        else:
+            self._variants[variant][key] = concrete_value

@@ -1,0 +1,85 @@
+"""Fault fixing with genetic programming (Weimer et al., Arcuri & Yao).
+
+Opportunistic code redundancy: the variants are *generated* from the
+faulty program itself, so no redundant functionality had to be developed.
+The reactive, explicit adjudicator is a test suite; when the deployed
+program fails it, the runtime evolves a population of variants until one
+passes, then hot-swaps it in.  Targets Bohrbugs — the fault must be
+reproducible for the tests to guide the search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.adjudicators.acceptance import TestSuiteAdjudicator
+from repro.exceptions import RepairFailedError
+from repro.repair.ast_ops import Program
+from repro.repair.engine import GeneticRepairEngine, RepairResult
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass(frozen=True)
+class HealReport:
+    """Result of one healing attempt."""
+
+    healed: bool
+    result: RepairResult
+
+
+@register
+class GeneticFaultFixing(Technique):
+    """A self-patching wrapper around a deployed AST program.
+
+    Args:
+        program: The deployed (possibly faulty) program.
+        tests: The adjudicating test suite.
+        engine: A configured repair engine; defaults to modest settings.
+    """
+
+    TAXONOMY = paper_entry("Fault fixing, genetic programming")
+
+    def __init__(self, program: Program, tests: TestSuiteAdjudicator,
+                 engine: Optional[GeneticRepairEngine] = None) -> None:
+        self.program = program
+        self.tests = tests
+        self.engine = engine or GeneticRepairEngine(tests)
+        self.heals = 0
+        self.failed_heals = 0
+
+    def __call__(self, *args: int) -> int:
+        """Run the (current) deployed program."""
+        return self.program(*args)
+
+    def is_healthy(self) -> bool:
+        """Does the deployed program pass its test suite?"""
+        return self.tests.passing_fraction(self.program) == 1.0
+
+    def heal(self) -> HealReport:
+        """If the deployed program fails its tests, evolve a fix and
+        hot-swap it in."""
+        if self.is_healthy():
+            return HealReport(healed=False,
+                              result=RepairResult(program=self.program,
+                                                  fixed=True, generations=0,
+                                                  evaluations=0, fitness=1.0))
+        result = self.engine.repair(self.program)
+        if result.fixed:
+            self.program = result.program
+            self.heals += 1
+        else:
+            self.failed_heals += 1
+        return HealReport(healed=result.fixed, result=result)
+
+    def heal_or_raise(self) -> Program:
+        """Heal, raising :class:`RepairFailedError` when search fails."""
+        report = self.heal()
+        if not self.is_healthy():
+            raise RepairFailedError(
+                f"could not evolve a passing variant of "
+                f"{self.program.name!r} (fitness "
+                f"{report.result.fitness:.2f})")
+        return self.program

@@ -1,0 +1,158 @@
+"""Process replicas — N-variant systems (Cox et al., Bruschi et al.).
+
+The same program runs as N automatically diversified process variants:
+address spaces are disjoint partitions and instructions carry
+variant-specific tags.  A monitor feeds every variant the same input and
+compares behaviours (reactive, implicit adjudicator).  A memory attack
+cannot be simultaneously valid in all variants, so it causes divergence
+— detected and stopped — while benign requests agree everywhere.
+Deliberate environment redundancy targeting malicious faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Tuple
+
+from repro.adjudicators.voting import UnanimousVoter
+from repro.environment.process import AddressSpace, Program, SimulatedProcess
+from repro.exceptions import AttackDetectedError, SimulatedFailure
+from repro.faults.malicious import AttackPayload, install_service
+from repro.result import Outcome
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicaVerdict:
+    """Outcome of one monitored request."""
+
+    value: Any
+    attack_detected: bool
+    behaviours: Tuple[Tuple[str, str], ...]  # (variant, behaviour summary)
+
+
+@register
+class ProcessReplicas(Technique):
+    """A monitor over N diversified process variants.
+
+    Args:
+        variants: Number of variants (>= 2).
+        partition_size: Size of each variant's address-space partition.
+        tagging: Enable instruction tagging (Cox's second mechanism);
+            without it, detection rests on address partitioning alone.
+        program: The service program (pre-variant); defaults to the
+            canonical vulnerable service from
+            :mod:`repro.faults.malicious`.
+    """
+
+    TAXONOMY = paper_entry("Process replicas")
+
+    def __init__(self, variants: int = 2, partition_size: int = 1000,
+                 tagging: bool = True,
+                 program: Optional[Program] = None) -> None:
+        if variants < 2:
+            raise ValueError("N-variant systems need at least 2 variants")
+        if partition_size <= 0:
+            raise ValueError("partitions have positive size")
+        self.tagging = tagging
+        self._base_program = program
+        self.processes: List[SimulatedProcess] = []
+        self.programs: List[Program] = []
+        for i in range(variants):
+            space = AddressSpace(base=i * partition_size,
+                                 size=partition_size)
+            process = SimulatedProcess(name=f"variant-{i}",
+                                       address_space=space,
+                                       tag=f"tag-{i}",
+                                       check_tags=tagging)
+            self.processes.append(process)
+            if program is None:
+                self.programs.append(install_service(process))
+            else:
+                base = space.base
+                variant = program.variant_for(base, process.tag)
+                self.programs.append(variant)
+        self._voter = UnanimousVoter()
+        self.requests = 0
+        self.detections = 0
+
+    def reset(self) -> None:
+        """Re-initialise every variant's memory image.
+
+        Called automatically after a detected attack: the aborted request
+        may already have scribbled over a variant's memory (the overflow
+        happened before the divergence was observed), so the monitor
+        restarts the replicas from a clean image — the same fail-stop
+        discipline Cox's monitor applies.
+        """
+        for process in self.processes:
+            process.memory.clear()
+            if self._base_program is None:
+                install_service(process)
+
+    @property
+    def n(self) -> int:
+        return len(self.processes)
+
+    def serve(self, request: Any) -> Any:
+        """Feed one request to all variants; returns the agreed value.
+
+        Raises :class:`AttackDetectedError` on behavioural divergence
+        (differing values *or* differing failure signatures), which is
+        the mechanism's success mode against attacks.
+        """
+        return self._serve(request).value
+
+    def serve_verdict(self, request: Any) -> ReplicaVerdict:
+        """Like :meth:`serve` but never raises: detection is reported in
+        the verdict (used by the C7 experiment to tally outcomes)."""
+        try:
+            verdict = self._serve(request)
+        except AttackDetectedError as exc:
+            return ReplicaVerdict(value=None, attack_detected=True,
+                                  behaviours=tuple(exc.evidence or ()))
+        except SimulatedFailure as exc:
+            # Common-mode failure in every variant: not an attack signal.
+            return ReplicaVerdict(
+                value=None, attack_detected=False,
+                behaviours=(("all-variants", type(exc).__name__),))
+        return verdict
+
+    def _serve(self, request: Any) -> ReplicaVerdict:
+        self.requests += 1
+        inputs = self._inputs_for(request)
+        outcomes = []
+        behaviours = []
+        for process, program in zip(self.processes, self.programs):
+            try:
+                value = process.execute(program, inputs)
+                outcomes.append(Outcome.success(value,
+                                                producer=process.name))
+                behaviours.append((process.name, f"value={value!r}"))
+            except SimulatedFailure as exc:
+                outcomes.append(Outcome.failure(exc, producer=process.name))
+                behaviours.append((process.name, type(exc).__name__))
+        verdict = self._voter.adjudicate(outcomes)
+        if verdict.accepted:
+            return ReplicaVerdict(value=verdict.value,
+                                  attack_detected=False,
+                                  behaviours=tuple(behaviours))
+        # Identical failure in every variant is a common-mode development
+        # fault, not an attack: divergence is the attack signature (Cox).
+        signatures = {summary for _, summary in behaviours}
+        if len(signatures) == 1 and all(o.failed for o in outcomes):
+            raise outcomes[0].error
+        self.detections += 1
+        self.reset()
+        raise AttackDetectedError(
+            "process replicas diverged", evidence=behaviours)
+
+    @staticmethod
+    def _inputs_for(request: Any) -> Tuple[Any, ...]:
+        if isinstance(request, AttackPayload):
+            return tuple(request.values)
+        if isinstance(request, (list, tuple)):
+            return tuple(request)
+        return (request,)

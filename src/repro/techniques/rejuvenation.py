@@ -1,0 +1,176 @@
+"""Software rejuvenation (Huang et al., Wang et al., Garg et al.).
+
+Deliberate, *preventive* environment redundancy: the volatile state is
+periodically cleaned by re-running initialisation, so aging failures
+(leaks, stale caches) never get the chance to strike.  No reactive
+adjudicator — the trigger is a schedule, not a failure detector.
+
+:class:`CheckpointedExecution` reproduces Garg et al.'s combination:
+checkpoint every segment, rejuvenate every N segments, minimising the
+expected completion time of a long-running program (experiment C4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.environment.simenv import SimEnvironment
+from repro.exceptions import AgingFailure, HeisenbugFailure
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass(frozen=True)
+class RejuvenationPolicy:
+    """When to rejuvenate.
+
+    Attributes:
+        max_age: Rejuvenate once environment age reaches this many work
+            units (``None`` disables the age trigger).
+        every_requests: Rejuvenate every N requests (``None`` disables).
+    """
+
+    max_age: Optional[float] = None
+    every_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_age is not None and self.max_age <= 0:
+            raise ValueError("max_age must be positive")
+        if self.every_requests is not None and self.every_requests <= 0:
+            raise ValueError("every_requests must be positive")
+        if self.max_age is None and self.every_requests is None:
+            raise ValueError("a policy needs at least one trigger")
+
+    def due(self, env: SimEnvironment, requests_since: int) -> bool:
+        if self.max_age is not None and env.age >= self.max_age:
+            return True
+        return (self.every_requests is not None
+                and requests_since >= self.every_requests)
+
+
+@register
+class Rejuvenation(Technique):
+    """Scheduled preventive re-initialisation of the environment.
+
+    Args:
+        env: The environment to rejuvenate.
+        policy: The schedule.
+
+    Call :meth:`maybe_rejuvenate` before serving each request; it returns
+    True when a rejuvenation was performed.  The adjudicator column of
+    Table 2 is 'preventive': this method never inspects results or
+    exceptions, only the schedule.
+    """
+
+    TAXONOMY = paper_entry("Rejuvenation")
+
+    def __init__(self, env: SimEnvironment,
+                 policy: RejuvenationPolicy) -> None:
+        self.env = env
+        self.policy = policy
+        self.rejuvenations = 0
+        self._requests_since = 0
+
+    def maybe_rejuvenate(self) -> bool:
+        if self.policy.due(self.env, self._requests_since):
+            self.env.rejuvenate()
+            self.rejuvenations += 1
+            self._requests_since = 0
+            return True
+        self._requests_since += 1
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletionReport:
+    """Result of a checkpointed long run."""
+
+    completed: bool
+    virtual_time: float
+    failures: int
+    rejuvenations: int
+    checkpoints: int
+
+
+class CheckpointedExecution:
+    """Garg-style long-running execution: checkpoints plus rejuvenation.
+
+    The program consists of ``segments`` segments of
+    ``segment_work`` units each.  After every segment a checkpoint is
+    written; an aging failure during a segment rolls back to the last
+    checkpoint (losing on average half a segment, charged explicitly) and
+    retries.  Every ``rejuvenate_every`` segments the environment is
+    rejuvenated, resetting its age.
+
+    Args:
+        env: The aging environment.
+        segment: ``segment(env) -> None`` performs one segment of work
+            and may raise :class:`AgingFailure`/:class:`HeisenbugFailure`.
+        segments: Number of segments.
+        checkpoint_cost: Virtual cost of writing a checkpoint.
+        recovery_cost: Virtual cost of a rollback.
+        rejuvenate_every: Segments between rejuvenations (``None``
+            disables rejuvenation).
+        max_retries_per_segment: Give up after this many failures of a
+            single segment (the run reports ``completed=False``).
+    """
+
+    def __init__(self, env: SimEnvironment,
+                 segment: Callable[[SimEnvironment], None],
+                 segments: int,
+                 checkpoint_cost: float = 1.0,
+                 recovery_cost: float = 5.0,
+                 rejuvenate_every: Optional[int] = None,
+                 max_retries_per_segment: int = 1000) -> None:
+        if segments <= 0:
+            raise ValueError("need at least one segment")
+        if rejuvenate_every is not None and rejuvenate_every <= 0:
+            raise ValueError("rejuvenate_every must be positive")
+        self.env = env
+        self.segment = segment
+        self.segments = segments
+        self.checkpoint_cost = checkpoint_cost
+        self.recovery_cost = recovery_cost
+        self.rejuvenate_every = rejuvenate_every
+        self.max_retries_per_segment = max_retries_per_segment
+
+    def run(self) -> CompletionReport:
+        start = self.env.clock.now
+        failures = 0
+        rejuvenations = 0
+        checkpoints = 0
+        since_rejuvenation = 0
+        for _ in range(self.segments):
+            retries = 0
+            while True:
+                snapshot = self.env.snapshot()
+                try:
+                    self.segment(self.env)
+                    break
+                except (AgingFailure, HeisenbugFailure):
+                    failures += 1
+                    retries += 1
+                    self.env.restore(snapshot)
+                    self.env.clock.advance(self.recovery_cost)
+                    if retries >= self.max_retries_per_segment:
+                        return CompletionReport(
+                            completed=False,
+                            virtual_time=self.env.clock.now - start,
+                            failures=failures,
+                            rejuvenations=rejuvenations,
+                            checkpoints=checkpoints)
+            self.env.clock.advance(self.checkpoint_cost)
+            checkpoints += 1
+            since_rejuvenation += 1
+            if (self.rejuvenate_every is not None
+                    and since_rejuvenation >= self.rejuvenate_every):
+                self.env.rejuvenate()
+                rejuvenations += 1
+                since_rejuvenation = 0
+        return CompletionReport(completed=True,
+                                virtual_time=self.env.clock.now - start,
+                                failures=failures,
+                                rejuvenations=rejuvenations,
+                                checkpoints=checkpoints)

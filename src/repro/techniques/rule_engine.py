@@ -1,0 +1,149 @@
+"""Exception handling and rule engines (registries).
+
+Classic exception handling catches predefined error classes and runs
+recovery procedures provided at design time (Goodenough); rule engines
+(Baresi et al.'s Dynamo, Pernici et al.'s SH-BPEL) extend this with a
+registry mapping failure descriptions to recovery actions, filled by
+developers and consulted at runtime.  Deliberate code redundancy with a
+reactive, explicit adjudicator; the sequential alternatives pattern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Sequence, Tuple, Type
+
+from repro.exceptions import AllAlternativesFailedError, SimulatedFailure
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+#: A recovery action: ``action(args, env, exc) -> value`` — may itself
+#: raise to signal the rule did not help.
+RecoveryAction = Callable[[Tuple[Any, ...], Any, BaseException], Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryRule:
+    """One registry entry: a failure matcher and its recovery action.
+
+    Attributes:
+        name: Rule name (diagnostics).
+        matches: Exception types this rule handles.
+        action: The recovery action.
+        priority: Lower runs first when several rules match.
+    """
+
+    name: str
+    matches: Tuple[Type[BaseException], ...]
+    action: RecoveryAction
+    priority: int = 100
+
+    def applies_to(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.matches)
+
+
+class RecoveryRegistry:
+    """The design-time-filled registry of failure -> recovery rules."""
+
+    def __init__(self) -> None:
+        self._rules: List[RecoveryRule] = []
+
+    def add(self, rule: RecoveryRule) -> RecoveryRule:
+        self._rules.append(rule)
+        return rule
+
+    def register(self, name: str,
+                 matches: Sequence[Type[BaseException]],
+                 priority: int = 100
+                 ) -> Callable[[RecoveryAction], RecoveryAction]:
+        """Decorator form: ``@registry.register("retry", [ServiceFailure])``."""
+        def decorate(action: RecoveryAction) -> RecoveryAction:
+            self.add(RecoveryRule(name=name, matches=tuple(matches),
+                                  action=action, priority=priority))
+            return action
+        return decorate
+
+    def rules_for(self, exc: BaseException) -> List[RecoveryRule]:
+        """Matching rules, best (lowest priority number) first."""
+        return sorted((r for r in self._rules if r.applies_to(exc)),
+                      key=lambda r: r.priority)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+@register
+class RuleEngine(Technique):
+    """Guard an operation with a registry of recovery actions.
+
+    On failure the engine consults the registry and runs matching rules
+    in priority order until one produces a value; if none helps, the
+    original failure propagates wrapped in
+    :class:`AllAlternativesFailedError`.
+
+    Args:
+        operation: The guarded operation ``operation(*args, env=...)``.
+        registry: The recovery registry.
+        detects: Exception classes treated as detected failures;
+            anything else propagates unhandled (detectors have limited
+            coverage).
+    """
+
+    TAXONOMY = paper_entry("Exception handling, rule engines")
+
+    def __init__(self, operation: Callable[..., Any],
+                 registry: RecoveryRegistry,
+                 detects: Tuple[Type[BaseException], ...] = (
+                     SimulatedFailure,)) -> None:
+        self.operation = operation
+        self.registry = registry
+        self.detects = detects
+        self.recoveries = 0
+        self.failures_seen = 0
+
+    def execute(self, *args: Any, env=None) -> Any:
+        try:
+            return self.operation(*args, env=env)
+        except self.detects as exc:
+            self.failures_seen += 1
+            return self._recover(args, env, exc)
+
+    def _recover(self, args: Tuple[Any, ...], env,
+                 exc: BaseException) -> Any:
+        attempts = []
+        for rule in self.registry.rules_for(exc):
+            try:
+                value = rule.action(args, env, exc)
+            except Exception as rule_exc:  # rule did not help; next one
+                attempts.append(rule_exc)
+                continue
+            self.recoveries += 1
+            return value
+        raise AllAlternativesFailedError(
+            f"no recovery rule handled {type(exc).__name__}: {exc}",
+            failures=[exc, *attempts])
+
+
+def retry_action(operation: Callable[..., Any],
+                 attempts: int = 2) -> RecoveryAction:
+    """A stock rule action: re-invoke the operation up to N times."""
+    if attempts <= 0:
+        raise ValueError("attempts must be positive")
+
+    def action(args: Tuple[Any, ...], env, exc: BaseException) -> Any:
+        last = exc
+        for _ in range(attempts):
+            try:
+                return operation(*args, env=env)
+            except SimulatedFailure as retry_exc:
+                last = retry_exc
+        raise last
+    return action
+
+
+def substitute_value_action(value: Any) -> RecoveryAction:
+    """A stock rule action: degrade gracefully to a default value."""
+    def action(args: Tuple[Any, ...], env, exc: BaseException) -> Any:
+        return value
+    return action

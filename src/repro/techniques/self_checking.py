@@ -1,0 +1,177 @@
+"""Self-checking programming (Laprie et al., after Yau & Cheung).
+
+A self-checking component is either (a) one implementation with a
+built-in acceptance test (explicit adjudicator), or (b) a pair of
+independently designed implementations with a final comparison (implicit
+adjudicator).  Components run in parallel; the highest-ranked component
+whose check passes is the "acting" one, the others are "hot spares" that
+replace it without rollback — the parallel selection pattern of
+Figure 1b.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.adjudicators.acceptance import AcceptanceTest
+from repro.adjudicators.comparison import DuplexComparator
+from repro.analysis.cost import CostLedger
+from repro.components.version import Version
+from repro.exceptions import RedundancyError, SimulatedFailure
+from repro.patterns.base import ExecutionUnit, GuardedUnit
+from repro.patterns.parallel_selection import ParallelSelection
+from repro.result import Outcome
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+from repro.techniques.recovery_blocks import ACCEPTANCE_TEST_DESIGN_COST
+
+
+class CheckedComponent(GuardedUnit):
+    """Flavour (a): an implementation with a built-in acceptance test."""
+
+    adjudicator_kind = "explicit"
+
+    @property
+    def versions(self) -> Tuple[Version, ...]:
+        return (self.version,)
+
+
+class ComparedPair(ExecutionUnit):
+    """Flavour (b): two independent implementations, compared at the end.
+
+    Both halves execute (the pair's execution cost is the max of the
+    two), and the pair's result is the first half's value, validated by
+    the comparison.
+    """
+
+    adjudicator_kind = "implicit"
+
+    def __init__(self, first: Version, second: Version,
+                 comparator: Optional[DuplexComparator] = None) -> None:
+        self.first = first
+        self.second = second
+        self.comparator = comparator or DuplexComparator()
+        self.enabled = True
+        self._last_pair: Tuple[Optional[Outcome], Optional[Outcome]] = (
+            None, None)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.first.name}+{self.second.name}"
+
+    @property
+    def versions(self) -> Tuple[Version, ...]:
+        return (self.first, self.second)
+
+    def run(self, args: Tuple[Any, ...], env, charge: bool = True) -> Outcome:
+        outcomes = []
+        for version in (self.first, self.second):
+            # Uncharged execution with environment visibility: faults see
+            # ``env`` but the pair bills the parallel (max) cost itself.
+            try:
+                version.calls += 1
+                correct = version.impl(*args)
+                value = version.injector.apply(args, env, correct)
+                outcomes.append(Outcome.success(
+                    value, producer=version.name, cost=version.exec_cost,
+                    args=args))
+            except (SimulatedFailure, RedundancyError) as exc:
+                outcomes.append(Outcome.failure(
+                    exc, producer=version.name, cost=version.exec_cost,
+                    args=args))
+        if charge and env is not None:
+            env.do_work(max(o.cost for o in outcomes))
+        self._last_pair = (outcomes[0], outcomes[1])
+        pair_cost = max(o.cost for o in outcomes)
+        head = outcomes[0]
+        if head.ok:
+            return Outcome.success(head.value, producer=self.name,
+                                   cost=pair_cost, args=args)
+        return Outcome.failure(head.error, producer=self.name,
+                               cost=pair_cost, args=args)
+
+    def validate(self, args: Tuple[Any, ...], outcome: Outcome) -> bool:
+        first, second = self._last_pair
+        if first is None or second is None:
+            return False
+        return self.comparator.adjudicate([first, second]).accepted
+
+
+@register
+class SelfCheckingProgramming(Technique):
+    """Acting/hot-spare execution of self-checking components.
+
+    Args:
+        components: Ranked self-checking components
+            (:class:`CheckedComponent` and/or :class:`ComparedPair`);
+            the first is the acting component.
+
+    A failing component is discarded ("an acting component that fails is
+    discarded and replaced by the hot spare") — redundancy is consumed as
+    faults manifest, with no rollback needed.
+
+    Raises:
+        AllAlternativesFailedError: when no component's check passes or
+            all have been consumed.
+    """
+
+    TAXONOMY = paper_entry("Self-checking programming")
+
+    def __init__(self, components: Sequence[ExecutionUnit]) -> None:
+        if not components:
+            raise ValueError("need at least one self-checking component")
+        for unit in components:
+            if not isinstance(unit, (CheckedComponent, ComparedPair)):
+                raise TypeError(
+                    f"{unit!r} is not a self-checking component")
+        self.components = list(components)
+        self.pattern = ParallelSelection(self.components,
+                                         disable_failing=True)
+
+    @classmethod
+    def with_acceptance_tests(
+            cls, versions: Sequence[Version],
+            acceptance: AcceptanceTest) -> "SelfCheckingProgramming":
+        """Build flavour (a) components sharing one acceptance test."""
+        return cls([CheckedComponent(v, acceptance) for v in versions])
+
+    @classmethod
+    def with_comparison_pairs(
+            cls, pairs: Sequence[Tuple[Version, Version]],
+            comparator: Optional[DuplexComparator] = None
+    ) -> "SelfCheckingProgramming":
+        """Build flavour (b) components from version pairs."""
+        return cls([ComparedPair(a, b, comparator) for a, b in pairs])
+
+    @property
+    def acting(self) -> Optional[ExecutionUnit]:
+        """The current acting component (highest-ranked enabled one)."""
+        for unit in self.components:
+            if unit.enabled:
+                return unit
+        return None
+
+    @property
+    def spares_left(self) -> int:
+        return max(0, sum(1 for u in self.components if u.enabled) - 1)
+
+    def execute(self, *args: Any, env=None) -> Any:
+        """Run all components; the best-ranked validated result wins."""
+        return self.pattern.execute(*args, env=env)
+
+    @property
+    def stats(self):
+        return self.pattern.stats
+
+    def cost_ledger(self, correct: int = 0) -> CostLedger:
+        """Costs: every underlying version's design cost; acceptance-test
+        design cost charged once per explicit-flavour component."""
+        versions = [v for unit in self.components
+                    for v in unit.versions]
+        explicit = sum(1 for unit in self.components
+                       if isinstance(unit, CheckedComponent))
+        return CostLedger.from_pattern(
+            self.pattern.stats, versions,
+            adjudicator_design_cost=ACCEPTANCE_TEST_DESIGN_COST * explicit,
+            correct=correct)

@@ -1,0 +1,110 @@
+"""Self-optimizing code (Diaconescu et al., Naccache & Gannod).
+
+The same functionality is deliberately implemented several times, each
+variant optimized for different runtime conditions; a QoS monitor — the
+reactive, explicit adjudicator — watches the running implementation and
+switches to another when quality degrades past a threshold.  Sequential
+alternatives over *time* rather than per request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.adjudicators.monitors import QoSMonitor
+from repro.result import Outcome
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass
+class AdaptiveImplementation:
+    """One implementation with a load-dependent latency profile.
+
+    Attributes:
+        name: Implementation name.
+        impl: The behaviour.
+        latency: ``latency(load) -> virtual cost`` — e.g. an in-memory
+            cache that is fast until load evicts it, vs a flat-latency
+            database path.
+    """
+
+    name: str
+    impl: Callable[..., Any]
+    latency: Callable[[float], float]
+
+    def invoke(self, *args: Any, load: float = 0.0, env=None) -> Outcome:
+        cost = self.latency(load)
+        if cost < 0:
+            raise ValueError(f"{self.name}: negative latency")
+        if env is not None:
+            env.do_work(cost)
+        value = self.impl(*args)
+        return Outcome.success(value, producer=self.name, cost=cost)
+
+
+@register
+class SelfOptimizing(Technique):
+    """Switch among implementations when the QoS monitor trips.
+
+    Args:
+        implementations: Candidate implementations; the first is the
+            initial selection.
+        monitor: The explicit adjudicator watching latency/error QoS.
+        settle: Minimum requests between switches, so one outlier cannot
+            thrash the selection.
+        reoptimize_every: Optionally re-evaluate the selection every N
+            requests even without a QoS violation, so the system can
+            move back to a lighter implementation once a load burst has
+            passed (Diaconescu's context re-adaptation).
+    """
+
+    TAXONOMY = paper_entry("Self-optimizing code")
+
+    def __init__(self, implementations: Sequence[AdaptiveImplementation],
+                 monitor: QoSMonitor, settle: int = 3,
+                 reoptimize_every: Optional[int] = None) -> None:
+        if not implementations:
+            raise ValueError("need at least one implementation")
+        if settle < 0:
+            raise ValueError("settle is non-negative")
+        if reoptimize_every is not None and reoptimize_every <= 0:
+            raise ValueError("reoptimize_every must be positive")
+        self.implementations = list(implementations)
+        self.monitor = monitor
+        self.settle = settle
+        self.reoptimize_every = reoptimize_every
+        self._current = 0
+        self._since_switch = 0
+        self.switches: List[str] = []
+
+    @property
+    def current(self) -> AdaptiveImplementation:
+        return self.implementations[self._current]
+
+    def handle(self, *args: Any, load: float = 0.0, env=None) -> Any:
+        """Serve one request under the given load level."""
+        outcome = self.current.invoke(*args, load=load, env=env)
+        self.monitor.observe(outcome)
+        self._since_switch += 1
+        violated = (self.monitor.violated
+                    and self._since_switch >= self.settle)
+        periodic = (self.reoptimize_every is not None
+                    and self._since_switch >= self.reoptimize_every)
+        if violated or periodic:
+            self._switch(load)
+        return outcome.value
+
+    def _switch(self, load: float) -> None:
+        """Select the implementation with the best expected latency at the
+        observed load (the framework "selects a suitable implementation
+        among the available ones")."""
+        best = min(range(len(self.implementations)),
+                   key=lambda i: self.implementations[i].latency(load))
+        if best != self._current:
+            self._current = best
+            self.switches.append(self.current.name)
+        self.monitor.reset()
+        self._since_switch = 0

@@ -1,0 +1,115 @@
+"""Dynamic service substitution (Subramanian, Taher, Sadjadi, Mosincat).
+
+Opportunistic code redundancy: popular interfaces have multiple
+independently operated implementations, published for business reasons,
+not for fault tolerance.  When the bound service fails (reactive,
+explicit adjudicator: the service fault itself or a response monitor),
+the broker finds substitutes — exact interface matches first, then
+similar interfaces bridged by converters — and rebinds transparently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Tuple
+
+from repro.components.interface import FunctionSpec
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    ServiceFailure,
+    ServiceLookupError,
+)
+from repro.services.broker import Endpoint, ServiceBroker
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+
+@dataclasses.dataclass
+class SubstitutionStats:
+    """Counters for the C9 experiment."""
+
+    calls: int = 0
+    failures_seen: int = 0
+    substitutions: int = 0
+    adapted_substitutions: int = 0
+    exhausted: int = 0
+
+
+@register
+class DynamicServiceSubstitution(Technique):
+    """A self-rebinding proxy for one service interface.
+
+    Args:
+        spec: The interface the application depends on.
+        broker: The discovery broker.
+        initial: Optional initially bound endpoint; defaults to the
+            broker's best substitute at construction time.
+        sticky: Keep the substitute bound after a successful failover
+            (Mosincat-style persistent rebinding) instead of retrying the
+            original first on the next call.
+
+    Raises:
+        AllAlternativesFailedError: when the bound service and every
+            substitute fail on one call.
+    """
+
+    TAXONOMY = paper_entry("Dynamic service substitution")
+
+    def __init__(self, spec: FunctionSpec, broker: ServiceBroker,
+                 initial: Optional[Endpoint] = None,
+                 sticky: bool = True) -> None:
+        self.spec = spec
+        self.broker = broker
+        self.sticky = sticky
+        self.stats = SubstitutionStats()
+        if initial is None:
+            candidates = broker.require_substitutes(spec)
+            initial = candidates[0]
+        self.bound: Endpoint = initial
+
+    def invoke(self, *args: Any, env=None) -> Any:
+        """Call the interface, substituting endpoints on failure."""
+        self.stats.calls += 1
+        try:
+            return self.bound.invoke(*args, env=env)
+        except ServiceFailure as exc:
+            self.stats.failures_seen += 1
+            return self._fail_over(args, env, exc)
+
+    def _fail_over(self, args: Tuple[Any, ...], env,
+                   original: ServiceFailure) -> Any:
+        failures: List[BaseException] = [original]
+        try:
+            candidates = self.broker.substitutes(
+                self.spec, exclude=self._bound_name())
+        except ServiceLookupError as exc:  # pragma: no cover - defensive
+            candidates = []
+            failures.append(exc)
+        for endpoint in candidates:
+            try:
+                value = endpoint.invoke(*args, env=env)
+            except ServiceFailure as exc:
+                failures.append(exc)
+                continue
+            self.stats.substitutions += 1
+            if not hasattr(endpoint, "availability"):
+                # Adapters lack a direct availability attribute.
+                self.stats.adapted_substitutions += 1
+            if self.sticky:
+                self.bound = endpoint
+            return value
+        self.stats.exhausted += 1
+        raise AllAlternativesFailedError(
+            f"{self.spec.name}: bound service and "
+            f"{len(candidates)} substitutes all failed",
+            failures=failures)
+
+    def _bound_name(self) -> str:
+        name = getattr(self.bound, "name", "")
+        # Adapter names look like "target(as spec)"; exclusion works on
+        # the underlying service name.
+        target = getattr(self.bound, "target", None)
+        if target is not None:
+            return target.name
+        return name

@@ -1,0 +1,205 @@
+"""Mining intrinsic redundancy: discovering equivalence rules.
+
+The paper's introduction flags "useful forms of latent redundancy, that
+is, forms of redundancy that, even though not intentionally designed
+within a system, may be exploited to increase reliability" — and the
+automatic-workarounds technique consumes exactly such knowledge, as
+rewrite rules "on the basis of a specification of the system or its
+interface".
+
+This module derives those rules *empirically*: it executes candidate
+operation sequences against fresh component states and keeps the ones
+whose final state matches the target operation's final state on every
+probe.  The discovered :class:`~repro.techniques.workarounds.RewriteRule`
+objects plug straight into :class:`AutomaticWorkarounds`.
+
+The mining runs against a *reference* implementation (e.g. a spec model
+or the component in a healthy configuration); the workarounds then apply
+the learned equivalences on the deployed, faulty component.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.components.state import Checkpointable
+from repro.exceptions import SimulatedFailure
+from repro.techniques.workarounds import Operation, RewriteRule
+
+#: Maps a target invocation's args to candidate args for another
+#: operation; return ``None`` when the mapping does not apply.
+ArgMapper = Callable[[Tuple[Any, ...]], Optional[Tuple[Any, ...]]]
+
+
+def identity_args(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Use the target invocation's arguments unchanged."""
+    return args
+
+
+def at_end_args(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Prefix a huge index: ``op(x) -> op(END, x)`` (append-as-insert)."""
+    return (10 ** 9,) + args
+
+
+@dataclasses.dataclass(frozen=True)
+class MiningProbe:
+    """One equivalence probe: a start state and target arguments.
+
+    Attributes:
+        build_state: Produces a fresh subject in the probe's start state.
+        args: Arguments for the target operation.
+    """
+
+    build_state: Callable[[], Checkpointable]
+    args: Tuple[Any, ...]
+
+
+class RedundancyMiner:
+    """Searches an API for operation sequences equivalent to a target.
+
+    Args:
+        operations: Operation name -> ``callable(subject, *args)`` — the
+            *reference* implementation to learn from.
+        arg_mappers: How candidate operations may derive their arguments
+            from the target's; defaults to identity and end-index
+            prefixing.
+        max_sequence_length: Longest candidate sequence explored
+            (combinatorial: keep small).
+    """
+
+    def __init__(self, operations: Dict[str, Callable[..., Any]],
+                 arg_mappers: Sequence[ArgMapper] = (identity_args,
+                                                     at_end_args),
+                 max_sequence_length: int = 2) -> None:
+        if not operations:
+            raise ValueError("an API needs operations")
+        if max_sequence_length <= 0:
+            raise ValueError("sequences have positive length")
+        self.operations = dict(operations)
+        self.arg_mappers = list(arg_mappers)
+        self.max_sequence_length = max_sequence_length
+
+    # -- execution helpers ---------------------------------------------
+
+    def _apply(self, subject, operation: Operation) -> Any:
+        name, args = operation
+        func = self.operations[name]
+        try:
+            return func(subject, *args, env=None)
+        except TypeError:
+            return func(subject, *args)
+
+    def _final_state(self, probe: MiningProbe,
+                     sequence: Sequence[Operation]):
+        """The candidate's final state, or ``None`` when it fails.
+
+        Candidates are speculative: a mapped argument tuple may not even
+        fit an operation's arity, and probe states may make operations
+        raise (popping an empty container).  Any exception disqualifies
+        the candidate — mining is a search, not an oracle.
+        """
+        subject = probe.build_state()
+        try:
+            for operation in sequence:
+                self._apply(subject, operation)
+        except Exception:
+            return None
+        return subject.capture_state().payload
+
+    # -- candidate generation --------------------------------------------
+
+    def _candidate_sequences(self, target: str, args: Tuple[Any, ...]
+                             ) -> List[List[Operation]]:
+        """Sequences over *other* operations with mapped arguments."""
+        steps: List[Operation] = []
+        for name in self.operations:
+            if name == target:
+                continue
+            for mapper in self.arg_mappers:
+                mapped = mapper(args)
+                if mapped is not None:
+                    steps.append((name, tuple(mapped)))
+        candidates: List[List[Operation]] = [[step] for step in steps]
+        for length in range(2, self.max_sequence_length + 1):
+            for combo in itertools.product(steps, repeat=length):
+                candidates.append(list(combo))
+        return candidates
+
+    # -- mining -------------------------------------------------------------
+
+    def equivalent_sequences(self, target: str,
+                             probes: Sequence[MiningProbe]
+                             ) -> List[List[Operation]]:
+        """Candidate sequences state-equivalent to ``target`` on every
+        probe (and successful on every probe)."""
+        if not probes:
+            raise ValueError("mining needs at least one probe")
+        survivors = None
+        for probe in probes:
+            reference = self._final_state(probe, [(target, probe.args)])
+            if reference is None:
+                raise ValueError(
+                    f"the reference implementation of {target!r} failed "
+                    f"on a probe; mine against a healthy configuration")
+            # Candidate shapes are derived per-probe (args differ), but
+            # a candidate is identified by its (op, mapper-shape); we
+            # key candidates by their structure relative to the probe.
+            matching = set()
+            for candidate in self._candidate_sequences(target, probe.args):
+                if self._final_state(probe, candidate) == reference:
+                    matching.add(self._shape(candidate, probe.args))
+            survivors = (matching if survivors is None
+                         else survivors & matching)
+            if not survivors:
+                return []
+        return [self._concretise(shape) for shape in sorted(survivors)]
+
+    def discover_rules(self, target: str,
+                       probes: Sequence[MiningProbe],
+                       base_likelihood: float = 0.5
+                       ) -> List[RewriteRule]:
+        """Turn surviving sequences into ready-to-use rewrite rules.
+
+        Shorter sequences get higher likelihood (they disturb less).
+        """
+        rules = []
+        for index, shape in enumerate(
+                self.equivalent_sequences(target, probes)):
+            ops = [name for name, _ in shape]
+            likelihood = base_likelihood + 0.4 / (len(shape)
+                                                  * (index + 1))
+            rules.append(RewriteRule(
+                name=f"mined:{target}->{'+'.join(ops)}",
+                op=target,
+                rewrite=self._rewriter(shape),
+                likelihood=min(0.99, likelihood)))
+        return rules
+
+    # -- shapes: candidates abstracted over the probe's arguments --------
+
+    def _shape(self, candidate: List[Operation],
+               probe_args: Tuple[Any, ...]) -> Tuple:
+        """Abstract concrete args back into mapper indices."""
+        shape = []
+        for name, args in candidate:
+            for index, mapper in enumerate(self.arg_mappers):
+                if mapper(probe_args) == args:
+                    shape.append((name, index))
+                    break
+            else:  # pragma: no cover - defensive
+                shape.append((name, -1))
+        return tuple(shape)
+
+    def _concretise(self, shape: Tuple) -> List[Tuple[str, int]]:
+        return list(shape)
+
+    def _rewriter(self, shape: Sequence[Tuple[str, int]]
+                  ) -> Callable[[Tuple[Any, ...]], List[Operation]]:
+        mappers = self.arg_mappers
+
+        def rewrite(args: Tuple[Any, ...]) -> List[Operation]:
+            return [(name, tuple(mappers[mapper_index](args)))
+                    for name, mapper_index in shape]
+        return rewrite

@@ -1,0 +1,180 @@
+"""Automatic workarounds (Carzaniga, Gorla, Pezzè).
+
+Opportunistic code redundancy *inside* an API: complex components offer
+the same functionality through different combinations of elementary
+operations ("intrinsic redundancy").  When a sequence of operations
+fails, equivalence rules — derived from the interface specification —
+generate alternative sequences with the same intended effect, sorted by
+likelihood of success, and execute them until one works, "mimicking what
+a real user would do in the attempt to work around emerging faulty
+behaviors".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.components.state import Checkpointable
+from repro.exceptions import SimulatedFailure, WorkaroundExhaustedError
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+#: One step of a sequence: (operation name, argument tuple).
+Operation = Tuple[str, Tuple[Any, ...]]
+
+
+@dataclasses.dataclass(frozen=True)
+class RewriteRule:
+    """An interface-level equivalence: one operation == a sequence.
+
+    Attributes:
+        name: Rule name.
+        op: The operation this rule can replace.
+        rewrite: ``rewrite(args) -> [(op, args), ...]`` — the equivalent
+            sequence for a concrete invocation.
+        likelihood: Higher-likelihood rules are tried first (the paper's
+            candidate ordering).
+    """
+
+    name: str
+    op: str
+    rewrite: Callable[[Tuple[Any, ...]], List[Operation]]
+    likelihood: float = 0.5
+
+    def applies_to(self, operation: Operation) -> bool:
+        return operation[0] == self.op
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkaroundReport:
+    """How a sequence was completed."""
+
+    results: Tuple[Any, ...]
+    workaround_used: Optional[str]
+    candidates_tried: int
+
+
+@register
+class AutomaticWorkarounds(Technique):
+    """Execute operation sequences, rewriting around failures.
+
+    Args:
+        operations: Operation name -> ``callable(subject, *args)``.
+        rules: The equivalence rules (the encoded intrinsic redundancy).
+        subject: The checkpointable component state; rolled back before
+            each candidate sequence (the technique "relies on other
+            mechanisms ... to bring the system back to a consistent
+            state").
+        max_candidates: Bound on generated alternative sequences.
+    """
+
+    TAXONOMY = paper_entry("Automatic workarounds")
+
+    def __init__(self, operations: Dict[str, Callable[..., Any]],
+                 rules: Sequence[RewriteRule],
+                 subject: Checkpointable,
+                 max_candidates: int = 32) -> None:
+        if not operations:
+            raise ValueError("an API needs operations")
+        if max_candidates <= 0:
+            raise ValueError("max_candidates must be positive")
+        self.operations = dict(operations)
+        self.rules = sorted(rules, key=lambda r: -r.likelihood)
+        self.subject = subject
+        self.max_candidates = max_candidates
+        self.workarounds_found = 0
+        self.exhausted = 0
+
+    # -- plain execution ---------------------------------------------------
+
+    def _apply(self, operation: Operation, env) -> Any:
+        name, args = operation
+        if name not in self.operations:
+            raise KeyError(f"unknown operation {name!r}")
+        func = self.operations[name]
+        try:
+            return func(self.subject, *args, env=env)
+        except TypeError:
+            return func(self.subject, *args)
+
+    def _run(self, sequence: Sequence[Operation], env) -> Tuple[Any, ...]:
+        return tuple(self._apply(op, env) for op in sequence)
+
+    # -- candidate generation ---------------------------------------------
+
+    def candidates_for(self, sequence: Sequence[Operation],
+                       failing_index: int) -> List[Tuple[str,
+                                                         List[Operation]]]:
+        """Alternative sequences, most promising first.
+
+        Rewrites of the *failing* operation come first (ordered by rule
+        likelihood), then rewrites of earlier operations whose effects the
+        failing one may depend on.
+        """
+        sequence = list(sequence)
+        positions = [failing_index] + [i for i in range(len(sequence))
+                                       if i != failing_index]
+        candidates: List[Tuple[str, List[Operation]]] = []
+        for position in positions:
+            operation = sequence[position]
+            for rule in self.rules:
+                if not rule.applies_to(operation):
+                    continue
+                replacement = rule.rewrite(operation[1])
+                candidate = (sequence[:position] + list(replacement)
+                             + sequence[position + 1:])
+                candidates.append((rule.name, candidate))
+                if len(candidates) >= self.max_candidates:
+                    return candidates
+        return candidates
+
+    # -- the technique -------------------------------------------------------
+
+    def execute(self, sequence: Sequence[Operation],
+                env=None) -> WorkaroundReport:
+        """Run a sequence; on failure, try workaround candidates.
+
+        Raises:
+            WorkaroundExhaustedError: when no candidate avoids the
+                failure.
+        """
+        sequence = list(sequence)
+        checkpoint = self.subject.capture_state()
+        try:
+            results = self._run(sequence, env)
+            return WorkaroundReport(results=results, workaround_used=None,
+                                    candidates_tried=0)
+        except SimulatedFailure:
+            failing_index = self._locate_failure(sequence, checkpoint, env)
+        tried = 0
+        for rule_name, candidate in self.candidates_for(sequence,
+                                                        failing_index):
+            self.subject.restore_state(checkpoint)
+            tried += 1
+            try:
+                results = self._run(candidate, env)
+            except SimulatedFailure:
+                continue
+            self.workarounds_found += 1
+            return WorkaroundReport(results=results,
+                                    workaround_used=rule_name,
+                                    candidates_tried=tried)
+        self.subject.restore_state(checkpoint)
+        self.exhausted += 1
+        raise WorkaroundExhaustedError(
+            f"no workaround among {tried} candidates avoided the failure")
+
+    def _locate_failure(self, sequence: Sequence[Operation],
+                        checkpoint, env) -> int:
+        """Re-execute step by step to find the failing position."""
+        self.subject.restore_state(checkpoint)
+        for index, operation in enumerate(sequence):
+            try:
+                self._apply(operation, env)
+            except SimulatedFailure:
+                self.subject.restore_state(checkpoint)
+                return index
+        self.subject.restore_state(checkpoint)
+        return len(sequence) - 1

@@ -1,0 +1,138 @@
+"""Wrappers (Popov et al., Chang et al., Salles et al., Fetzer & Xiao).
+
+Wrappers are deliberate, *preventive* code redundancy at the
+intra-component level: they mediate interactions to stop faults from
+manifesting at all — argument sanitisation against component misuse
+(Bohrbugs triggered by out-of-contract calls) and boundary-checking
+"healers" against heap smashing (malicious faults).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Sequence, Tuple
+
+from repro.environment.memory import HeapBlock, SimulatedHeap
+from repro.exceptions import MemoryViolation
+from repro.taxonomy.paper import paper_entry
+from repro.taxonomy.registry import register
+from repro.techniques.base import Technique
+
+#: An argument guard: validates and possibly repairs an argument tuple.
+#: Returns the (possibly fixed) arguments or raises to block the call.
+ArgumentGuard = Callable[[Tuple[Any, ...]], Tuple[Any, ...]]
+
+
+@register
+class ProtectiveWrapper(Technique):
+    """Intercepts calls to a component and fixes/blocks bad interactions.
+
+    Args:
+        component: The wrapped callable (e.g. an incompletely specified
+            COTS component).
+        guards: Argument guards applied in order before every call; each
+            may normalise arguments (fixing the misuse) or raise (blocking
+            it).  Designed at wrap time — hence *preventive*, with no
+            reactive adjudicator.
+    """
+
+    TAXONOMY = paper_entry("Wrappers")
+
+    def __init__(self, component: Callable[..., Any],
+                 guards: Sequence[ArgumentGuard] = ()) -> None:
+        self.component = component
+        self.guards = list(guards)
+        self.fixed_calls = 0
+        self.blocked_calls = 0
+
+    def __call__(self, *args: Any, env=None) -> Any:
+        original = args
+        for guard in self.guards:
+            try:
+                args = tuple(guard(args))
+            except Exception:
+                self.blocked_calls += 1
+                raise
+        if args != original:
+            self.fixed_calls += 1
+        try:
+            return self.component(*args, env=env)
+        except TypeError:
+            return self.component(*args)
+
+
+def clamp_guard(low: float, high: float) -> ArgumentGuard:
+    """A stock guard: clamp numeric arguments into the component's
+    specified domain (fixing out-of-contract calls)."""
+    if high < low:
+        raise ValueError("empty clamp range")
+
+    def guard(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(min(max(a, low), high) if isinstance(a, (int, float))
+                     else a for a in args)
+    return guard
+
+
+def reject_guard(predicate: Callable[[Tuple[Any, ...]], bool],
+                 message: str = "blocked by wrapper") -> ArgumentGuard:
+    """A stock guard: block calls whose arguments match ``predicate``."""
+    def guard(args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        if predicate(args):
+            raise MemoryViolation(message)
+        return args
+    return guard
+
+
+@dataclasses.dataclass
+class HealerStats:
+    """What the healer saw and did."""
+
+    writes: int = 0
+    prevented_overflows: int = 0
+
+
+class HealerWrapper:
+    """Fetzer & Xiao's 'healer': bounds-checked heap writes.
+
+    Embeds every write to the heap in a boundary check; an out-of-bounds
+    write is refused (and reported) instead of silently corrupting the
+    adjacent block.  Used by :class:`ProtectiveWrapper` deployments that
+    guard C-style buffer handling; exercised directly by experiment C14.
+
+    Args:
+        heap: The simulated heap to protect.
+        mode: ``"reject"`` raises :class:`MemoryViolation` on overflow
+            (fail fast); ``"truncate"`` silently drops the overflowing
+            write (degrade gracefully, Fetzer's default for strcpy-style
+            calls).
+    """
+
+    def __init__(self, heap: SimulatedHeap, mode: str = "truncate") -> None:
+        if mode not in ("reject", "truncate"):
+            raise ValueError("mode is 'reject' or 'truncate'")
+        self.heap = heap
+        self.mode = mode
+        self.stats = HealerStats()
+
+    def write(self, block: HeapBlock, offset: int, value: int) -> bool:
+        """A guarded write; returns True when the write landed."""
+        self.stats.writes += 1
+        if 0 <= offset < block.size:
+            self.heap.write(block, offset, value, checked=True)
+            return True
+        self.stats.prevented_overflows += 1
+        if self.mode == "reject":
+            raise MemoryViolation(
+                f"healer: write at offset {offset} past block size "
+                f"{block.size} refused")
+        return False
+
+    def write_buffer(self, block: HeapBlock, values: Sequence[int]) -> int:
+        """Guarded bulk copy (the strcpy shape); returns cells written."""
+        written = 0
+        for offset, value in enumerate(values):
+            if self.write(block, offset, value):
+                written += 1
+            elif self.mode == "truncate":
+                break
+        return written

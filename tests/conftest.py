@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.library import diverse_versions
+from repro.environment import SimEnvironment
+
+
+@pytest.fixture
+def env() -> SimEnvironment:
+    """A fresh deterministic environment."""
+    return SimEnvironment(seed=42)
+
+
+@pytest.fixture
+def small_heap_env() -> SimEnvironment:
+    """An environment whose heap exhausts quickly (aging experiments)."""
+    return SimEnvironment(seed=42, heap_capacity=64)
+
+
+def square(x):
+    """The oracle used across version-population tests."""
+    return x * x
+
+
+@pytest.fixture
+def oracle():
+    return square
+
+
+@pytest.fixture
+def five_versions():
+    """Five independent versions of ``square`` with 20% failure inputs."""
+    return diverse_versions(square, n=5, failure_probability=0.2, seed=7)

@@ -1,0 +1,155 @@
+"""Integration: redundancy mechanisms compose.
+
+The paper's architectural discussion treats techniques as patterns that
+can nest: a recovery block's alternates may themselves be N-version
+systems, an RX-protected operation can sit behind a rule engine, a
+rejuvenated environment can host checkpointed execution.  These tests
+exercise such stacks end to end.
+"""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.library import diverse_versions
+from repro.components.state import DictState
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    NoMajorityError,
+    ServiceFailure,
+    SimulatedFailure,
+)
+from repro.faults.development import Bohrbug, Heisenbug, InputRegion
+from repro.faults.environmental import OverflowBug
+from repro.faults.injector import FaultyFunction
+from repro.techniques import (
+    DataDiversity,
+    EnvironmentPerturbation,
+    NVersionProgramming,
+    RecoveryBlocks,
+    RuleEngine,
+)
+from repro.techniques.data_diversity import shift_reexpression
+from repro.techniques.rule_engine import (
+    RecoveryRegistry,
+    RecoveryRule,
+    substitute_value_action,
+)
+
+
+def oracle(x):
+    return x * 5
+
+
+class TestNvpInsideRecoveryBlocks:
+    """A recovery block whose primary is an entire NVP system."""
+
+    def _stack(self):
+        # The primary NVP population is so bad that votes often fail...
+        weak_nvp = NVersionProgramming(
+            diverse_versions(oracle, 3, 0.45, seed=3))
+        # ...while the alternate is a single solid implementation.
+        solid = Version("golden", impl=oracle)
+
+        primary = Version(
+            "nvp-front", impl=lambda x: weak_nvp.execute(x),
+            design_cost=300.0)
+        acceptance = PredicateAcceptanceTest(
+            lambda args, v: v == oracle(args[0]))
+        return RecoveryBlocks([primary, solid], acceptance), weak_nvp
+
+    def test_vote_failures_are_absorbed_by_the_block(self):
+        rb, weak_nvp = self._stack()
+        ok = 0
+        for x in range(300):
+            try:
+                ok += rb.execute(x) == oracle(x)
+            except AllAlternativesFailedError:
+                pass
+        assert ok == 300
+        # The NVP layer did reject some votes; the block masked them.
+        assert weak_nvp.stats.unmasked_failures > 0
+
+
+class TestDataDiversityInsideNvp:
+    """N versions, each wrapped in retry-block data diversity."""
+
+    def test_region_faults_cleared_before_the_vote(self):
+        period = 100
+
+        def periodic(x):
+            return (x % period) * 7
+
+        versions = []
+        for i in range(3):
+            inner = Version(
+                f"v{i}", impl=periodic,
+                faults=[Bohrbug(f"v{i}-region",
+                                region=InputRegion(10 * i, 10 * i + 5))])
+            dd = DataDiversity(inner, [shift_reexpression(period)])
+            versions.append(Version(f"dd-{i}",
+                                    impl=lambda x, dd=dd:
+                                    dd.execute_retry(x)))
+        nvp = NVersionProgramming(versions)
+        # Inputs inside every version's region: all recovered, unanimous.
+        for x in (2, 12, 22, 77):
+            assert nvp.execute(x) == periodic(x)
+        assert nvp.stats.masked_failures == 0  # diversity healed below
+
+
+class TestRuleEngineOverRx:
+    """Exception handling as the outer layer, RX as a recovery rule."""
+
+    def test_rx_rule_heals_overflow_then_default_rule_covers_rest(self):
+        env = SimEnvironment(seed=6)
+        flaky = FaultyFunction(
+            lambda x: x + 1,
+            faults=[OverflowBug("ovf", overflow_cells=4,
+                                trigger_modulo=2)])
+        rx = EnvironmentPerturbation(
+            lambda x, env=None: flaky(x, env=env), env)
+
+        registry = RecoveryRegistry()
+        registry.add(RecoveryRule(
+            "rx", (SimulatedFailure,),
+            lambda args, e, exc: rx.execute(*args), priority=1))
+        registry.add(RecoveryRule(
+            "degrade", (SimulatedFailure,),
+            substitute_value_action(-1), priority=2))
+
+        engine = RuleEngine(
+            lambda x, env=None: flaky(x, env=env), registry)
+        results = [engine.execute(x, env=env) for x in range(20)]
+        # Even inputs trigger the overflow; RX healed all of them, so
+        # the degrade rule was never needed.
+        assert results == [x + 1 for x in range(20)]
+        assert rx.recoveries > 0
+
+
+class TestRejuvenatedCheckpointing:
+    """Checkpoint-recovery inside a preventively rejuvenated environment."""
+
+    def test_rejuvenation_reduces_rollbacks(self):
+        from repro.techniques import CheckpointRecovery, Rejuvenation
+        from repro.techniques.rejuvenation import RejuvenationPolicy
+
+        def run(with_rejuvenation):
+            env = SimEnvironment(seed=9)
+            bug = Heisenbug("race", probability=0.02, aging_factor=0.002)
+            task = FaultyFunction(lambda: None, faults=[bug], cost=1.0)
+            rejuvenator = Rejuvenation(env,
+                                       RejuvenationPolicy(max_age=25))
+
+            def step(e):
+                if with_rejuvenation:
+                    rejuvenator.maybe_rejuvenate()
+                task(env=e)
+
+            cr = CheckpointRecovery(env, interval=5,
+                                    max_rollbacks_per_step=100_000)
+            report = cr.run([step] * 120)
+            assert report.completed
+            return report.rollbacks
+
+        assert run(True) < run(False)

@@ -1,0 +1,50 @@
+"""Docs/benchmark consistency: DESIGN.md, the CLI experiment index, and
+the benchmark files must name the same artifacts."""
+
+import pathlib
+import re
+
+from repro.cli import EXPERIMENT_INDEX
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _bench_files_on_disk():
+    return {path.name for path in (ROOT / "benchmarks").glob("bench_*.py")}
+
+
+class TestExperimentIndex:
+    def test_every_indexed_bench_exists(self):
+        on_disk = _bench_files_on_disk()
+        for eid, _, bench in EXPERIMENT_INDEX:
+            assert bench in on_disk, f"{eid} points at missing {bench}"
+
+    def test_every_bench_is_indexed(self):
+        indexed = {bench for _, _, bench in EXPERIMENT_INDEX}
+        assert _bench_files_on_disk() == indexed
+
+
+class TestDesignDocument:
+    def test_design_references_every_bench(self):
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for bench in _bench_files_on_disk():
+            assert bench in design, f"DESIGN.md does not mention {bench}"
+
+    def test_design_lists_all_seventeen_techniques(self):
+        from repro.taxonomy.paper import PAPER_TABLE2
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for entry in PAPER_TABLE2:
+            assert entry.name in design, entry.name
+
+
+class TestExperimentsDocument:
+    def test_every_experiment_id_has_a_row(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for eid, _, _ in EXPERIMENT_INDEX:
+            assert re.search(rf"\|\s*{eid}\s*\|", experiments), (
+                f"EXPERIMENTS.md lacks a row for {eid}")
+
+    def test_readme_links_the_docs(self):
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        assert "DESIGN.md" in readme
+        assert "EXPERIMENTS.md" in readme

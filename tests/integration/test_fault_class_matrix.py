@@ -1,0 +1,153 @@
+"""Integration: the 'Faults' column of Table 2 as executable claims.
+
+For each technique, check that it actually handles the fault class the
+paper assigns to it — and, where the paper is explicit, that it does NOT
+handle classes outside its reach (e.g. checkpoint-recovery "does not work
+well for Bohrbugs", process replicas "do not seem well suited to deal
+with other types of faults").
+"""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.library import diverse_versions
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    AttackDetectedError,
+    NoMajorityError,
+)
+from repro.faults.development import Bohrbug, Heisenbug, InputRegion
+from repro.faults.environmental import OverflowBug
+from repro.faults.injector import FaultyFunction
+from repro.faults.malicious import absolute_address_attack, benign_request
+from repro.techniques import (
+    CheckpointRecovery,
+    DataDiversity,
+    EnvironmentPerturbation,
+    NVersionProgramming,
+    ProcessReplicas,
+    RecoveryBlocks,
+)
+from repro.techniques.data_diversity import shift_reexpression
+
+
+def oracle(x):
+    return x * 7
+
+
+class TestNvpHandlesDevelopmentFaults:
+    def test_masks_minority_development_faults(self):
+        versions = diverse_versions(oracle, 5, 0.15, seed=21)
+        nvp = NVersionProgramming(versions)
+        ok = 0
+        for x in range(400):
+            try:
+                ok += nvp.execute(x) == oracle(x)
+            except NoMajorityError:
+                pass
+        # Far better than the ~0.85 of a single version.
+        assert ok / 400 > 0.95
+
+
+class TestRecoveryBlocksHandleDevelopmentFaults:
+    def test_alternate_masks_primary_bug(self):
+        primary = Version("p", impl=oracle,
+                          faults=[Bohrbug("p-bug",
+                                          region=InputRegion(0, 500))])
+        alternate = Version("alt", impl=oracle,
+                            faults=[Bohrbug("alt-bug",
+                                            region=InputRegion(500, 1000))])
+        rb = RecoveryBlocks(
+            [primary, alternate],
+            PredicateAcceptanceTest(lambda args, v: v == oracle(args[0])))
+        # Their failure regions are disjoint: together they cover all x.
+        for x in (100, 700, 2000):
+            assert rb.execute(x) == oracle(x)
+
+
+class TestDataDiversityHandlesInputRegionBugs:
+    def test_escapes_narrow_region(self):
+        period = 100
+        program = Version(
+            "prog", impl=lambda x: (x % period) + 1,
+            faults=[Bohrbug("narrow", region=InputRegion(40, 45))])
+        dd = DataDiversity(program, [shift_reexpression(period)])
+        for x in (42, 43, 44):
+            assert dd.execute_retry(x) == (x % period) + 1
+
+
+class TestRxFaultCoverage:
+    """RX: 'works mainly with Heisenbugs, but can be effective also with
+    some Bohrbugs and malicious faults'."""
+
+    def _rx(self, fault, env):
+        f = FaultyFunction(lambda x: x, faults=[fault])
+        return EnvironmentPerturbation(lambda x, env=None: f(x, env=env),
+                                       env)
+
+    def test_handles_heisenbug(self):
+        env = SimEnvironment(seed=8)
+        rx = self._rx(Heisenbug("h", probability=0.9), env)
+        assert rx.execute(1) == 1
+
+    def test_handles_environment_sensitive_bohrbug(self):
+        env = SimEnvironment(seed=8)
+        rx = self._rx(OverflowBug("o", overflow_cells=4,
+                                  trigger_modulo=1), env)
+        assert rx.execute(1) == 1
+
+    def test_does_not_handle_pure_bohrbug(self):
+        env = SimEnvironment(seed=8)
+        rx = self._rx(Bohrbug("b", region=InputRegion(0, 100)), env)
+        with pytest.raises(AllAlternativesFailedError):
+            rx.execute(1)
+
+
+class TestCheckpointRecoveryFaultCoverage:
+    """Checkpoint-recovery: 'effective in dealing with Heisenbugs ... but
+    do not work well for Bohrbugs'."""
+
+    def test_heisenbug_survived(self):
+        env = SimEnvironment(seed=1)
+        task = FaultyFunction(lambda: None,
+                              faults=[Heisenbug("h", probability=0.5)])
+        report = CheckpointRecovery(env, interval=2).run(
+            [lambda e: task(env=e) for _ in range(20)])
+        assert report.completed
+
+    def test_bohrbug_not_survived(self):
+        env = SimEnvironment(seed=1)
+        task = FaultyFunction(lambda x: x,
+                              faults=[Bohrbug("b",
+                                              region=InputRegion(0, 10))])
+        report = CheckpointRecovery(env, interval=1,
+                                    max_rollbacks_per_step=5).run(
+            [lambda e: task(3, env=e)])
+        assert not report.completed
+
+
+class TestProcessReplicasFaultCoverage:
+    """Process replicas target malicious faults and are 'not well suited
+    to deal with other types of faults' — a common-mode development crash
+    passes through undetected-as-attack."""
+
+    def test_attack_detected(self):
+        replicas = ProcessReplicas(variants=3)
+        with pytest.raises(AttackDetectedError):
+            replicas.serve(absolute_address_attack())
+
+    def test_benign_request_unharmed(self):
+        replicas = ProcessReplicas(variants=3)
+        assert replicas.serve(benign_request(1)) == 2
+
+    def test_common_mode_development_fault_not_flagged_as_attack(self):
+        replicas = ProcessReplicas(variants=2)
+        # A malformed request whose garbage pointer is invalid in *every*
+        # variant crashes them all identically: a common-mode failure,
+        # not behavioural divergence, so no attack alarm is raised.
+        malformed = (0, 0, 0, 0, 10 ** 9)
+        verdict = replicas.serve_verdict(malformed)
+        assert not verdict.attack_detected
+        assert replicas.detections == 0

@@ -1,0 +1,119 @@
+"""Soak test: a long randomized scenario over a full protection stack.
+
+A composite application (replicated store + substitutable services +
+micro-rebooted components + RX-guarded computation) is driven by a
+seeded random workload for a few thousand operations.  The assertions
+are invariants, not exact values: virtual time only moves forward, no
+exception other than the documented redundancy-exhaustion errors ever
+escapes, state stays consistent, and the system ends healthy.
+"""
+
+import random
+
+import pytest
+
+from repro.components.component import RestartableComponent
+from repro.components.interface import FunctionSpec
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    NoMajorityError,
+    RedundancyError,
+    SimulatedFailure,
+)
+from repro.faults.development import Heisenbug
+from repro.faults.environmental import LoadBug
+from repro.faults.injector import FaultyFunction
+from repro.services.broker import ServiceBroker
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+from repro.sqlstore.engines import diverse_engine_pool
+from repro.sqlstore.query import Insert, Select, Update, eq
+from repro.sqlstore.replicated import ReplicatedStore
+from repro.techniques import (
+    DynamicServiceSubstitution,
+    EnvironmentPerturbation,
+    MicroReboot,
+    ModularApplication,
+)
+
+OPERATIONS = 2500
+SPEC = FunctionSpec("price", arity=1)
+
+
+@pytest.mark.parametrize("seed", [11, 29])
+def test_soak_full_stack(seed):
+    rng = random.Random(seed)
+    env = SimEnvironment(seed=seed)
+
+    # Substrate 1: a replicated store.
+    store = ReplicatedStore(diverse_engine_pool())
+
+    # Substrate 2: substitutable pricing services.
+    registry = ServiceRegistry()
+    for i, availability in enumerate((0.7, 0.8, 0.95)):
+        registry.publish(Service(f"price-{i}", SPEC,
+                                 impl=lambda sku: sku * 2,
+                                 availability=availability))
+    pricing = DynamicServiceSubstitution(SPEC, ServiceBroker(registry))
+
+    # Substrate 3: a crashy session component under micro-reboot.
+    sessions = RestartableComponent(
+        "sessions",
+        lambda c, request, e: c.state.data.setdefault("seen", []).append(
+            request) or len(c.state.data["seen"]),
+        initializer=lambda: {"seen": []},
+        faults=[Heisenbug("session-race", probability=0.03)])
+    reboots = MicroReboot(ModularApplication([sessions]), env=env)
+
+    # Substrate 4: an RX-guarded load-sensitive computation.
+    flaky = FaultyFunction(lambda x: x * 3,
+                           faults=[LoadBug("overrun", probability=0.6)])
+    rx = EnvironmentPerturbation(lambda x, env=None: flaky(x, env=env),
+                                 env)
+
+    inserted = set()
+    redundancy_exhausted = 0
+    last_time = env.clock.now
+
+    for step in range(OPERATIONS):
+        action = rng.randrange(4)
+        try:
+            if action == 0:
+                key = rng.randrange(500)
+                if key in inserted:
+                    store.execute(Update.set(eq("id", key),
+                                             touch=step), env=env)
+                else:
+                    store.execute(Insert.of(id=key, v=step), env=env)
+                    inserted.add(key)
+            elif action == 1:
+                price = pricing.invoke(rng.randrange(100), env=env)
+                assert price % 2 == 0
+            elif action == 2:
+                reboots.handle("sessions", step)
+            else:
+                assert rx.execute(step) == step * 3
+        except (AllAlternativesFailedError, NoMajorityError):
+            redundancy_exhausted += 1
+        # Invariant: virtual time never goes backwards.
+        assert env.clock.now >= last_time
+        last_time = env.clock.now
+
+    # The redundancy held up for the overwhelming majority of operations.
+    assert redundancy_exhausted < OPERATIONS * 0.05
+
+    # The store's replicas agree and reflect every insert.
+    assert store.diverged_replicas() == []
+    rows = store.execute(Select())
+    assert {r["id"] for r in rows} == inserted
+
+    # The session component is healthy (or rebootable) at the end.
+    if sessions.down:
+        sessions.restart()
+    assert reboots.handle("sessions", "final") >= 1
+
+    # The environment is coherent.
+    description = env.describe()
+    assert description["time"] == env.clock.now
+    assert env.heap.pressure <= 1.0

@@ -1,0 +1,103 @@
+"""Property-based tests for the analytic models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.analysis.markov import MarkovChain
+from repro.analysis.reliability import (
+    correlated_vote_reliability,
+    k_tolerance,
+    series_availability,
+    substitution_availability,
+    vote_reliability,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def stochastic_chains(draw):
+    """A random 3-state DTMC with strictly positive self-loops (ergodic
+    enough for power iteration)."""
+    states = ["a", "b", "c"]
+    transitions = {}
+    for state in states:
+        weights = [draw(st.floats(min_value=0.1, max_value=1.0))
+                   for _ in states]
+        total = sum(weights)
+        transitions[state] = {s: w / total
+                              for s, w in zip(states, weights)}
+    return MarkovChain(states, transitions)
+
+
+class TestMarkovProperties:
+    @given(stochastic_chains())
+    @settings(max_examples=50)
+    def test_steady_state_is_a_distribution(self, chain):
+        pi = chain.steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(value >= -1e-12 for value in pi.values())
+
+    @given(stochastic_chains())
+    @settings(max_examples=50)
+    def test_steady_state_is_a_fixed_point(self, chain):
+        pi = chain.steady_state()
+        vector = [pi[s] for s in chain.states]
+        stepped = chain.step(vector)
+        for before, after in zip(vector, stepped):
+            assert after == pytest.approx(before, abs=1e-6)
+
+    @given(stochastic_chains())
+    @settings(max_examples=30)
+    def test_availability_bounded(self, chain):
+        availability = chain.availability(["a", "b"])
+        assert 0.0 <= availability <= 1.0 + 1e-9
+
+
+class TestReliabilityProperties:
+    @given(st.integers(min_value=1, max_value=11).filter(lambda n: n % 2),
+           probabilities)
+    def test_vote_reliability_is_a_probability(self, n, p):
+        assert 0.0 <= vote_reliability(n, p) <= 1.0 + 1e-12
+
+    @given(st.integers(min_value=1, max_value=9).filter(lambda n: n % 2),
+           st.floats(min_value=0.01, max_value=0.99))
+    def test_vote_reliability_decreases_in_p(self, n, p):
+        worse = min(0.99, p + 0.2)
+        assert vote_reliability(n, worse) <= vote_reliability(n, p) + 1e-12
+
+    @given(st.integers(min_value=3, max_value=9).filter(lambda n: n % 2),
+           st.floats(min_value=0.02, max_value=0.2),
+           st.floats(min_value=0.0, max_value=0.9))
+    def test_correlation_hurts_in_the_high_reliability_regime(self, n, p,
+                                                              rho):
+        # Brilliant et al.'s erosion is a *high-reliability-regime*
+        # property (per-version p well below 1/2).  At larger p the
+        # common shock concentrates failures into rare total outages and
+        # can even help the vote — a genuine model subtlety found by
+        # this property test at p≈0.38.
+        assert (correlated_vote_reliability(n, p, rho)
+                <= vote_reliability(n, p) + 1e-9)
+
+    @given(st.integers(min_value=1, max_value=9))
+    def test_k_tolerance_inverts_2k_plus_1(self, k):
+        assert k_tolerance(2 * k + 1) == k
+
+    @given(st.lists(probabilities, min_size=1, max_size=6))
+    def test_substitution_dominates_every_single_alternate(self, avail):
+        combined = substitution_availability(tuple(avail))
+        assert combined >= max(avail) - 1e-12
+        assert 0.0 <= combined <= 1.0
+
+    @given(st.lists(probabilities, min_size=1, max_size=6))
+    def test_series_is_dominated_by_every_element(self, avail):
+        combined = series_availability(tuple(avail))
+        assert combined <= min(avail) + 1e-12
+
+    @given(st.lists(probabilities, min_size=1, max_size=6))
+    def test_substitution_at_least_series(self, avail):
+        assert (substitution_availability(tuple(avail))
+                >= series_availability(tuple(avail)) - 1e-12)

@@ -1,0 +1,126 @@
+"""Property-based tests for the pattern engines and stats invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.version import Version
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    BohrbugFailure,
+    NoMajorityError,
+    RedundancyError,
+)
+from repro.patterns.base import GuardedUnit
+from repro.patterns.parallel_evaluation import ParallelEvaluation
+from repro.patterns.sequential_alternatives import SequentialAlternatives
+
+# A version profile: (kind, value_offset) where kind in
+# {"good", "wrong", "crash"}.
+_profiles = st.lists(
+    st.tuples(st.sampled_from(["good", "wrong", "crash"]),
+              st.integers(min_value=1, max_value=5)),
+    min_size=1, max_size=7)
+
+
+def _build_versions(profiles):
+    versions = []
+    for index, (kind, offset) in enumerate(profiles):
+        if kind == "good":
+            impl = lambda x: x * 2
+        elif kind == "wrong":
+            impl = lambda x, o=offset, i=index: x * 2 + o + 100 * i
+        else:
+            def impl(x):
+                raise BohrbugFailure("crash profile")
+        versions.append(Version(f"v{index}-{kind}", impl=impl))
+    return versions
+
+
+class TestParallelEvaluationProperties:
+    @given(_profiles, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100)
+    def test_majority_of_good_versions_guarantees_correctness(
+            self, profiles, x):
+        versions = _build_versions(profiles)
+        good = sum(1 for kind, _ in profiles if kind == "good")
+        pattern = ParallelEvaluation(versions)
+        try:
+            value = pattern.execute(x)
+        except NoMajorityError:
+            # No majority implies goodness did not reach a quorum.
+            assert good <= len(profiles) // 2
+            return
+        if good >= len(profiles) // 2 + 1:
+            assert value == x * 2
+
+    @given(_profiles, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100)
+    def test_stats_invariants(self, profiles, x):
+        pattern = ParallelEvaluation(_build_versions(profiles))
+        try:
+            pattern.execute(x)
+        except RedundancyError:
+            pass
+        stats = pattern.stats
+        assert stats.invocations == 1
+        assert stats.executions == len(profiles)
+        assert stats.adjudications == 1
+        assert stats.masked_failures + stats.unmasked_failures <= \
+            stats.executions + 1
+        assert stats.execution_cost >= 0
+
+    @given(_profiles, st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=60)
+    def test_version_order_does_not_change_the_verdict(self, profiles, x,
+                                                       seed):
+        versions = _build_versions(profiles)
+        shuffled = list(versions)
+        random.Random(seed).shuffle(shuffled)
+
+        def outcome(vs):
+            try:
+                return ("ok", ParallelEvaluation(vs).execute(x))
+            except NoMajorityError:
+                return ("no-majority", None)
+
+        assert outcome(versions) == outcome(shuffled)
+
+
+class TestSequentialAlternativesProperties:
+    @given(_profiles, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100)
+    def test_first_good_version_decides(self, profiles, x):
+        versions = _build_versions(profiles)
+        acceptance = PredicateAcceptanceTest(
+            lambda args, v: v == args[0] * 2)
+        units = [GuardedUnit(v, acceptance) for v in versions]
+        pattern = SequentialAlternatives(units)
+        kinds = [kind for kind, _ in profiles]
+        try:
+            value = pattern.execute(x)
+        except AllAlternativesFailedError:
+            assert "good" not in kinds
+            return
+        assert value == x * 2
+        # Executions = position of the first good version + 1.
+        assert pattern.stats.executions == kinds.index("good") + 1
+
+    @given(_profiles, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100)
+    def test_masked_plus_unmasked_bounded(self, profiles, x):
+        versions = _build_versions(profiles)
+        acceptance = PredicateAcceptanceTest(
+            lambda args, v: v == args[0] * 2)
+        pattern = SequentialAlternatives(
+            [GuardedUnit(v, acceptance) for v in versions])
+        try:
+            pattern.execute(x)
+        except AllAlternativesFailedError:
+            pass
+        stats = pattern.stats
+        assert stats.executions <= len(profiles)
+        assert stats.adjudications == stats.executions

@@ -1,0 +1,116 @@
+"""Property-based tests for the repair AST and data re-expression."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components.version import Version
+from repro.repair.ast_ops import (
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    EvaluationError,
+    If,
+    Program,
+    Return,
+    Var,
+)
+from repro.repair.mutation import all_sites, crossover, mutate, node_at
+from repro.techniques.data_diversity import shift_reexpression
+
+# -- AST generators ----------------------------------------------------------
+
+exprs = st.recursive(
+    st.one_of(st.builds(Const, st.integers(min_value=-20, max_value=20)),
+              st.builds(Var, st.sampled_from(["a", "b"]))),
+    lambda children: st.builds(
+        BinOp, st.sampled_from(["+", "-", "*", "min", "max"]),
+        children, children),
+    max_leaves=8)
+
+conds = st.builds(Compare, st.sampled_from(["<", "<=", ">", ">=", "==",
+                                            "!="]), exprs, exprs)
+
+
+@st.composite
+def programs(draw):
+    body = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        body.append(Assign(draw(st.sampled_from(["a", "b", "t"])),
+                           draw(exprs)))
+    if draw(st.booleans()):
+        body.append(If(cond=draw(conds), then=(Return(draw(exprs)),),
+                       orelse=(Return(draw(exprs)),)))
+    body.append(Return(draw(exprs)))
+    return Program("p", ("a", "b"), tuple(body))
+
+
+def run_or_none(program, args):
+    try:
+        return program(*args)
+    except EvaluationError:
+        return None
+
+
+class TestInterpreterProperties:
+    @given(programs(), st.integers(min_value=-10, max_value=10),
+           st.integers(min_value=-10, max_value=10))
+    @settings(max_examples=60)
+    def test_execution_is_deterministic(self, program, a, b):
+        assert run_or_none(program, (a, b)) == run_or_none(program, (a, b))
+
+    @given(programs())
+    @settings(max_examples=60)
+    def test_all_sites_consistent_with_node_at(self, program):
+        for path, node in all_sites(program):
+            assert node_at(program, path) is node
+
+
+class TestMutationProperties:
+    @given(programs(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60)
+    def test_mutants_are_valid_programs(self, program, seed):
+        rng = random.Random(seed)
+        mutant = mutate(program, rng)
+        assert isinstance(mutant, Program)
+        assert mutant.params == program.params
+        # Mutants may crash but never produce malformed trees.
+        run_or_none(mutant, (1, 2))
+
+    @given(programs(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60)
+    def test_mutation_never_aliases_the_original(self, program, seed):
+        rng = random.Random(seed)
+        before = program
+        mutate(program, rng)
+        assert program == before  # immutability: original unchanged
+
+    @given(programs(), programs(), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40)
+    def test_crossover_children_are_valid(self, parent_a, parent_b, seed):
+        rng = random.Random(seed)
+        child = crossover(parent_a, parent_b, rng)
+        assert isinstance(child, Program)
+        run_or_none(child, (1, 2))
+
+
+class TestReexpressionProperties:
+    @given(st.integers(min_value=-10 ** 6, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=5))
+    def test_exact_reexpression_preserves_output(self, x, k):
+        period = 360
+
+        def computation(v):
+            return (v % period) ** 2
+
+        program = Version("prog", impl=computation)
+        shifted = shift_reexpression(period * k)
+        expressed = shifted.transform((x,))
+        assert program.execute(*expressed) == program.execute(x)
+
+    @given(st.integers(min_value=-10 ** 6, max_value=10 ** 6))
+    def test_reexpression_moves_the_input(self, x):
+        shifted = shift_reexpression(17)
+        assert shifted.transform((x,))[0] != x

@@ -1,0 +1,135 @@
+"""Property-based tests for robust structures, heap, snapshots, and
+N-variant encodings."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.environment import SimEnvironment
+from repro.environment.memory import SimulatedHeap
+from repro.exceptions import DataCorruptionDetected
+from repro.techniques.data_diversity_security import default_encodings
+from repro.techniques.robust_data import RobustLinkedList
+
+values_strategy = st.lists(st.integers(), min_size=0, max_size=30)
+
+
+class TestRobustListProperties:
+    @given(values_strategy)
+    def test_roundtrip(self, values):
+        assert RobustLinkedList(values).to_list() == values
+
+    @given(values_strategy)
+    def test_healthy_audit_clean(self, values):
+        assert RobustLinkedList(values).audit() == []
+
+    @given(st.lists(st.integers(), min_size=2, max_size=25),
+           st.data())
+    def test_single_next_corruption_always_repairable(self, values, data):
+        lst = RobustLinkedList(values)
+        position = data.draw(st.integers(min_value=0,
+                                         max_value=len(values) - 1))
+        lst.corrupt_next(position)
+        report = lst.repair()
+        assert report.repaired
+        assert lst.to_list() == values
+
+    @given(st.lists(st.integers(), min_size=2, max_size=25),
+           st.data())
+    def test_single_prev_corruption_always_repairable(self, values, data):
+        lst = RobustLinkedList(values)
+        position = data.draw(st.integers(min_value=0,
+                                         max_value=len(values) - 1))
+        lst.corrupt_prev(position)
+        report = lst.repair()
+        assert report.repaired
+        assert lst.to_list() == values
+
+    @given(st.lists(st.integers(), min_size=1, max_size=25),
+           st.integers(min_value=-100, max_value=100))
+    def test_count_corruption_always_repairable(self, values, bogus):
+        assume(bogus != len(values))
+        lst = RobustLinkedList(values)
+        lst.corrupt_count(bogus)
+        assert lst.audit()
+        assert lst.repair().repaired
+        assert len(lst) == len(values)
+
+    @given(values_strategy)
+    def test_repair_is_idempotent(self, values):
+        lst = RobustLinkedList(values)
+        if len(values) >= 2:
+            lst.corrupt_next(0)
+        lst.repair()
+        second = lst.repair()
+        assert second.defects_found == 0
+
+
+class TestHeapProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=10),
+                    min_size=0, max_size=15))
+    def test_allocated_cells_equal_sum_of_blocks(self, sizes):
+        heap = SimulatedHeap(capacity=10_000)
+        blocks = [heap.alloc(size) for size in sizes]
+        assert heap.allocated_cells == sum(sizes)
+        for block in blocks:
+            heap.free(block)
+        assert heap.allocated_cells == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=10),
+                    min_size=1, max_size=15))
+    def test_blocks_never_overlap(self, sizes):
+        heap = SimulatedHeap(capacity=10_000, default_pad=2)
+        for size in sizes:
+            heap.alloc(size)
+        blocks = heap.blocks()
+        for first, second in zip(blocks, blocks[1:]):
+            assert first.end <= second.address
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=8),
+                              st.booleans()),
+                    min_size=0, max_size=12))
+    def test_capture_restore_is_exact(self, plan):
+        heap = SimulatedHeap(capacity=10_000)
+        for size, leak in plan:
+            block = heap.alloc(size)
+            if leak:
+                heap.leak(block)
+        state = heap.capture()
+        heap.rejuvenate()
+        heap.restore(state)
+        assert heap.capture() == state
+
+
+class TestEnvironmentSnapshotProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=0, max_size=10))
+    def test_snapshot_restore_preserves_age_and_heap(self, seed, works):
+        env = SimEnvironment(seed=seed)
+        for work in works:
+            env.do_work(work)
+        env.heap.alloc(4)
+        snap = env.snapshot()
+        env.do_work(99)
+        env.heap.alloc(4)
+        env.restore(snap)
+        assert env.age == snap.age
+        assert env.heap.capture() == snap.heap_state
+
+
+class TestEncodingProperties:
+    @given(st.integers(min_value=-2 ** 40, max_value=2 ** 40),
+           st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=100))
+    def test_encodings_roundtrip(self, value, n, seed):
+        for encoding in default_encodings(n, seed=seed):
+            assert encoding.decode(encoding.encode(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.integers(min_value=2, max_value=6))
+    def test_variants_disagree_on_concrete_values(self, value, n):
+        encodings = default_encodings(n)
+        concrete = [e.encode(value) for e in encodings]
+        assert len(set(concrete)) == n

@@ -1,0 +1,105 @@
+"""Property-based tests for voting adjudicators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adjudicators.voting import (
+    ConsensusVoter,
+    MajorityVoter,
+    MedianVoter,
+    PluralityVoter,
+    UnanimousVoter,
+)
+from repro.exceptions import SimulatedFailure
+from repro.result import Outcome
+
+
+def outcomes_from(values):
+    """values: list of ints (successes) and None (failures)."""
+    out = []
+    for i, value in enumerate(values):
+        if value is None:
+            out.append(Outcome.failure(SimulatedFailure("x"),
+                                       producer=f"p{i}"))
+        else:
+            out.append(Outcome.success(value, producer=f"p{i}"))
+    return out
+
+
+values_strategy = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=5), st.none()),
+    min_size=0, max_size=9)
+
+
+@given(values_strategy)
+def test_majority_winner_has_quorum(values):
+    outcomes = outcomes_from(values)
+    verdict = MajorityVoter().adjudicate(outcomes)
+    if verdict.accepted:
+        agreeing = sum(1 for v in values if v == verdict.value)
+        assert agreeing >= len(values) // 2 + 1
+        assert len(verdict.supporters) == agreeing
+
+
+@given(values_strategy)
+def test_majority_invariant_under_permutation(values):
+    outcomes = outcomes_from(values)
+    forward = MajorityVoter().adjudicate(outcomes)
+    backward = MajorityVoter().adjudicate(list(reversed(outcomes)))
+    assert forward.accepted == backward.accepted
+    if forward.accepted:
+        assert forward.value == backward.value
+
+
+@given(values_strategy)
+def test_majority_acceptance_implies_plurality_acceptance(values):
+    outcomes = outcomes_from(values)
+    if MajorityVoter().adjudicate(outcomes).accepted:
+        plurality = PluralityVoter().adjudicate(outcomes)
+        assert plurality.accepted
+        assert plurality.value == MajorityVoter().adjudicate(outcomes).value
+
+
+@given(values_strategy)
+def test_unanimous_acceptance_implies_majority_acceptance(values):
+    outcomes = outcomes_from(values)
+    if UnanimousVoter().adjudicate(outcomes).accepted:
+        assert MajorityVoter().adjudicate(outcomes).accepted
+
+
+@given(values_strategy, st.integers(min_value=1, max_value=9))
+def test_consensus_monotone_in_quorum(values, quorum):
+    """If m-of-n accepts, then (m-1)-of-n accepts the same value."""
+    outcomes = outcomes_from(values)
+    strict = ConsensusVoter(quorum=quorum + 1).adjudicate(outcomes)
+    if strict.accepted:
+        relaxed = ConsensusVoter(quorum=quorum).adjudicate(outcomes)
+        assert relaxed.accepted
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=1, max_size=9))
+def test_median_value_is_bracketed(values):
+    outcomes = outcomes_from(values)
+    verdict = MedianVoter().adjudicate(outcomes)
+    assert verdict.accepted
+    assert min(values) <= verdict.value <= max(values)
+
+
+@given(values_strategy)
+def test_supporters_and_dissenters_partition_producers(values):
+    outcomes = outcomes_from(values)
+    verdict = MajorityVoter().adjudicate(outcomes)
+    if verdict.accepted:
+        names = set(verdict.supporters) | set(verdict.dissenters)
+        assert names == {o.producer for o in outcomes}
+        assert not set(verdict.supporters) & set(verdict.dissenters)
+
+
+@given(values_strategy)
+def test_all_failures_never_accepted(values):
+    only_failures = [None] * len(values)
+    outcomes = outcomes_from(only_failures)
+    for voter in (MajorityVoter(), PluralityVoter(), UnanimousVoter(),
+                  MedianVoter(), ConsensusVoter(quorum=1)):
+        assert not voter.adjudicate(outcomes).accepted

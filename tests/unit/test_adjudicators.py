@@ -1,0 +1,320 @@
+"""Unit tests for voters, acceptance tests, comparators, and monitors."""
+
+import pytest
+
+from repro.adjudicators.acceptance import (
+    InverseCheck,
+    PredicateAcceptanceTest,
+    RangeAcceptanceTest,
+    TestSuiteAdjudicator,
+)
+from repro.adjudicators.comparison import DuplexComparator, ToleranceComparator
+from repro.adjudicators.monitors import (
+    ExceptionDetector,
+    LatencyMonitor,
+    QoSMonitor,
+)
+from repro.adjudicators.voting import (
+    ConsensusVoter,
+    MajorityVoter,
+    MedianVoter,
+    PluralityVoter,
+    UnanimousVoter,
+    WeightedVoter,
+)
+from repro.exceptions import SimulatedFailure
+from repro.result import Outcome
+
+
+def ok(value, producer=""):
+    return Outcome.success(value, producer=producer)
+
+
+def failed(producer=""):
+    return Outcome.failure(SimulatedFailure("x"), producer=producer)
+
+
+class TestMajorityVoter:
+    def test_unanimous(self):
+        verdict = MajorityVoter().adjudicate([ok(1, "a"), ok(1, "b"),
+                                              ok(1, "c")])
+        assert verdict.accepted and verdict.value == 1
+        assert set(verdict.supporters) == {"a", "b", "c"}
+
+    def test_majority_masks_minority(self):
+        verdict = MajorityVoter().adjudicate([ok(1, "a"), ok(2, "b"),
+                                              ok(1, "c")])
+        assert verdict.accepted and verdict.value == 1
+        assert verdict.dissenters == ("b",)
+
+    def test_failures_count_against_quorum(self):
+        # 2 agreeing out of 5 submitted: no majority.
+        outcomes = [ok(1), ok(1), failed(), failed(), failed()]
+        assert not MajorityVoter().adjudicate(outcomes).accepted
+
+    def test_three_of_five(self):
+        outcomes = [ok(1), ok(1), ok(1), failed(), ok(2)]
+        assert MajorityVoter().adjudicate(outcomes).accepted
+
+    def test_split_vote_rejected(self):
+        outcomes = [ok(1), ok(2), ok(3)]
+        assert not MajorityVoter().adjudicate(outcomes).accepted
+
+    def test_empty_rejected(self):
+        assert not MajorityVoter().adjudicate([]).accepted
+
+    def test_key_canonicalisation(self):
+        voter = MajorityVoter(key=lambda v: round(v, 2))
+        verdict = voter.adjudicate([ok(1.001), ok(1.0009), ok(5.0)])
+        assert verdict.accepted
+
+    def test_crashing_key_counts_as_failure(self):
+        voter = MajorityVoter(key=lambda v: v["k"])
+        outcomes = [ok({"k": 1}), ok({"k": 1}), ok(7)]
+        verdict = voter.adjudicate(outcomes)
+        assert verdict.accepted and verdict.value == {"k": 1}
+
+    def test_adjudication_cost_scales_with_outcomes(self):
+        voter = MajorityVoter()
+        verdict = voter.adjudicate([ok(1)] * 10)
+        assert verdict.cost == pytest.approx(10 * voter.unit_cost)
+
+
+class TestPluralityVoter:
+    def test_accepts_2_1_1(self):
+        verdict = PluralityVoter().adjudicate([ok(1), ok(1), ok(2), ok(3)])
+        assert verdict.accepted and verdict.value == 1
+
+    def test_tie_rejected(self):
+        assert not PluralityVoter().adjudicate([ok(1), ok(1), ok(2),
+                                                ok(2)]).accepted
+
+    def test_all_failed_rejected(self):
+        assert not PluralityVoter().adjudicate([failed(), failed()]).accepted
+
+    def test_single_success_wins(self):
+        verdict = PluralityVoter().adjudicate([ok(9), failed(), failed()])
+        assert verdict.accepted and verdict.value == 9
+
+
+class TestUnanimousVoter:
+    def test_agreement(self):
+        assert UnanimousVoter().adjudicate([ok(1), ok(1)]).accepted
+
+    def test_any_divergence_rejected(self):
+        assert not UnanimousVoter().adjudicate([ok(1), ok(2)]).accepted
+
+    def test_any_failure_rejected(self):
+        assert not UnanimousVoter().adjudicate([ok(1), failed()]).accepted
+
+
+class TestConsensusVoter:
+    def test_quorum_met(self):
+        voter = ConsensusVoter(quorum=2)
+        assert voter.adjudicate([ok(1), ok(1), ok(2), ok(3)]).accepted
+
+    def test_quorum_not_met(self):
+        voter = ConsensusVoter(quorum=3)
+        assert not voter.adjudicate([ok(1), ok(1), ok(2)]).accepted
+
+    def test_quorum_validated(self):
+        with pytest.raises(ValueError):
+            ConsensusVoter(quorum=0)
+
+
+class TestWeightedVoter:
+    def test_weight_majority(self):
+        voter = WeightedVoter(weights={"trusted": 5.0})
+        verdict = voter.adjudicate([ok(1, "trusted"), ok(2, "a"), ok(2, "b")])
+        assert verdict.accepted and verdict.value == 1
+
+    def test_unweighted_producers_default_to_one(self):
+        voter = WeightedVoter(weights={})
+        verdict = voter.adjudicate([ok(1, "a"), ok(1, "b"), ok(2, "c")])
+        assert verdict.accepted and verdict.value == 1
+
+    def test_no_weight_majority_rejected(self):
+        voter = WeightedVoter(weights={"a": 1.0, "b": 1.0})
+        assert not voter.adjudicate([ok(1, "a"), ok(2, "b")]).accepted
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedVoter(weights={"a": -1})
+
+
+class TestMedianVoter:
+    def test_median_of_odd_set(self):
+        verdict = MedianVoter().adjudicate([ok(10.0), ok(11.0), ok(99.0)])
+        assert verdict.accepted and verdict.value == 11.0
+
+    def test_outlier_masked(self):
+        verdict = MedianVoter().adjudicate([ok(1.0), ok(1.0), ok(1000.0)])
+        assert verdict.value == 1.0
+
+    def test_failures_ignored(self):
+        verdict = MedianVoter().adjudicate([failed(), ok(3.0), failed()])
+        assert verdict.accepted and verdict.value == 3.0
+
+    def test_non_numeric_rejected(self):
+        assert not MedianVoter().adjudicate([ok("a"), ok("b")]).accepted
+
+
+class TestAcceptanceTests:
+    def test_predicate(self):
+        test = PredicateAcceptanceTest(lambda args, v: v == args[0] * 2)
+        assert test.check((3,), ok(6))
+        assert not test.check((3,), ok(7))
+
+    def test_failure_never_passes(self):
+        test = PredicateAcceptanceTest(lambda args, v: True)
+        assert not test.check((3,), failed())
+
+    def test_crashing_test_rejects(self):
+        test = PredicateAcceptanceTest(lambda args, v: v["missing"])
+        assert not test.check((3,), ok(5))
+
+    def test_range(self):
+        test = RangeAcceptanceTest(0, 10)
+        assert test.check((1,), ok(5))
+        assert not test.check((1,), ok(11))
+        assert not test.check((1,), ok("five"))
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            RangeAcceptanceTest(10, 0)
+
+    def test_inverse_check(self):
+        test = InverseCheck(inverse=lambda y: y * y, tolerance=1e-9)
+        assert test.check((16,), ok(4.0))
+        assert not test.check((16,), ok(5.0))
+
+    def test_adjudicate_scans_in_order(self):
+        test = RangeAcceptanceTest(0, 10)
+        outcomes = [Outcome.success(99, producer="bad", args=(1,)),
+                    Outcome.success(5, producer="good", args=(1,))]
+        verdict = test.adjudicate(outcomes)
+        assert verdict.accepted and verdict.value == 5
+        assert verdict.supporters == ("good",)
+        assert verdict.dissenters == ("bad",)
+
+    def test_test_suite_passing_fraction(self):
+        suite = TestSuiteAdjudicator([((2,), 4), ((3,), 9), ((4,), 16)])
+        assert suite.passing_fraction(lambda x: x * x) == 1.0
+        assert suite.passing_fraction(lambda x: x + 1) == pytest.approx(0)
+        assert suite.passing_fraction(lambda x: 4) == pytest.approx(1 / 3)
+
+    def test_test_suite_crashing_candidate_scores_zero(self):
+        suite = TestSuiteAdjudicator([((2,), 4)])
+
+        def explode(x):
+            raise RuntimeError("bad candidate")
+
+        assert suite.passing_fraction(explode) == 0.0
+
+    def test_test_suite_needs_cases(self):
+        with pytest.raises(ValueError):
+            TestSuiteAdjudicator([])
+
+
+class TestComparators:
+    def test_duplex_agreement(self):
+        verdict = DuplexComparator().adjudicate([ok(1, "a"), ok(1, "b")])
+        assert verdict.accepted and set(verdict.supporters) == {"a", "b"}
+
+    def test_duplex_disagreement(self):
+        assert not DuplexComparator().adjudicate([ok(1), ok(2)]).accepted
+
+    def test_duplex_requires_exactly_two(self):
+        assert not DuplexComparator().adjudicate([ok(1)]).accepted
+        assert not DuplexComparator().adjudicate([ok(1)] * 3).accepted
+
+    def test_duplex_failure_rejected(self):
+        assert not DuplexComparator().adjudicate([ok(1), failed()]).accepted
+
+    def test_tolerance_comparator(self):
+        comp = ToleranceComparator(tolerance=0.01)
+        assert comp.adjudicate([ok(1.0), ok(1.005)]).accepted
+        assert not comp.adjudicate([ok(1.0), ok(1.5)]).accepted
+
+
+class TestMonitors:
+    def test_exception_detector(self):
+        detector = ExceptionDetector()
+        assert detector.detected(SimulatedFailure("x"))
+        assert not detector.detected(KeyError("x"))
+        assert detector.detections == 1
+
+    def test_latency_monitor_degrades(self):
+        monitor = LatencyMonitor(threshold=5.0, window=3)
+        for latency in (1, 1, 1):
+            monitor.observe(latency)
+        assert not monitor.degraded
+        for latency in (10, 10, 10):
+            monitor.observe(latency)
+        assert monitor.degraded
+
+    def test_latency_monitor_window_slides(self):
+        monitor = LatencyMonitor(threshold=5.0, window=2)
+        monitor.observe(100)
+        monitor.observe(1)
+        monitor.observe(1)
+        assert not monitor.degraded
+
+    def test_qos_monitor_error_rate(self):
+        monitor = QoSMonitor(latency_threshold=100, error_rate_threshold=0.4,
+                             window=4)
+        for _ in range(4):
+            monitor.observe(failed())
+        assert monitor.error_rate == 1.0
+        assert monitor.violated
+
+    def test_qos_monitor_reset(self):
+        monitor = QoSMonitor(latency_threshold=1, window=2)
+        monitor.observe(Outcome.success(1, cost=50))
+        monitor.observe(Outcome.success(1, cost=50))
+        assert monitor.violated
+        monitor.reset()
+        assert not monitor.violated
+
+
+class TestWatchdog:
+    def _env(self):
+        from repro.environment import SimEnvironment
+        return SimEnvironment()
+
+    def test_within_budget_passes_value_through(self):
+        from repro.adjudicators.monitors import Watchdog
+        env = self._env()
+        dog = Watchdog(env, budget=10.0)
+        assert dog.guard(lambda: env.do_work(3) or "done") == "done"
+        assert dog.detections == 0
+
+    def test_budget_overrun_detected(self):
+        from repro.adjudicators.monitors import Watchdog
+        from repro.exceptions import HangFailure
+        env = self._env()
+        dog = Watchdog(env, budget=5.0)
+        with pytest.raises(HangFailure):
+            dog.guard(lambda: env.do_work(50))
+        assert dog.detections == 1
+
+    def test_explicit_hang_detected(self):
+        from repro.adjudicators.monitors import Watchdog
+        from repro.exceptions import HangFailure
+        from repro.faults.base import HANG
+        from repro.faults.development import Bohrbug, InputRegion
+        from repro.faults.injector import FaultyFunction
+        env = self._env()
+        hanging = FaultyFunction(
+            lambda x: x,
+            faults=[Bohrbug("stuck", region=InputRegion(0, 10),
+                            effect=HANG)])
+        dog = Watchdog(env, budget=100.0)
+        with pytest.raises(HangFailure):
+            dog.guard(hanging, 5, env=env)
+        assert dog.detections == 1
+
+    def test_budget_validated(self):
+        from repro.adjudicators.monitors import Watchdog
+        with pytest.raises(ValueError):
+            Watchdog(self._env(), budget=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the taxonomy advisor."""
+
+import pytest
+
+import repro.techniques  # noqa: F401 - populates the registry
+from repro.taxonomy.advisor import (
+    BUDGET_LOW,
+    addresses,
+    recommend,
+    techniques_for,
+)
+from repro.taxonomy.dimensions import (
+    AdjudicatorTiming,
+    FaultClass,
+    Intention,
+    RedundancyType,
+)
+from repro.taxonomy.paper import paper_entry
+
+
+class TestAddresses:
+    def test_specific_class_matches(self):
+        assert addresses(paper_entry("Rejuvenation"), FaultClass.HEISENBUG)
+        assert addresses(paper_entry("Process replicas"),
+                         FaultClass.MALICIOUS)
+
+    def test_development_covers_both_refinements(self):
+        nvp = paper_entry("N-version programming")
+        assert addresses(nvp, FaultClass.BOHRBUG)
+        assert addresses(nvp, FaultClass.HEISENBUG)
+        assert addresses(nvp, FaultClass.DEVELOPMENT)
+
+    def test_specific_does_not_generalise(self):
+        rejuvenation = paper_entry("Rejuvenation")
+        assert not addresses(rejuvenation, FaultClass.BOHRBUG)
+        assert not addresses(rejuvenation, FaultClass.MALICIOUS)
+
+
+class TestTechniquesFor:
+    def test_malicious_set_matches_the_paper(self):
+        names = {e.name for e in techniques_for(FaultClass.MALICIOUS)}
+        assert names == {"Wrappers", "Data diversity for security",
+                         "Process replicas"}
+
+    def test_heisenbug_includes_env_techniques(self):
+        names = {e.name for e in techniques_for(FaultClass.HEISENBUG)}
+        assert "Rejuvenation" in names
+        assert "Checkpoint-recovery" in names
+        assert "Reboot and micro-reboot" in names
+        # ...and every generic development technique.
+        assert "N-version programming" in names
+
+    def test_filters_compose(self):
+        names = {e.name for e in techniques_for(
+            FaultClass.HEISENBUG,
+            intention=Intention.OPPORTUNISTIC,
+            rtype=RedundancyType.ENVIRONMENT)}
+        assert names == {"Checkpoint-recovery", "Reboot and micro-reboot"}
+
+    def test_preventive_filter(self):
+        names = {e.name for e in techniques_for(
+            FaultClass.HEISENBUG, timing=AdjudicatorTiming.PREVENTIVE)}
+        assert names == {"Rejuvenation"}
+
+
+class TestRecommend:
+    def test_ranked_and_rationalised(self):
+        recommendations = recommend(FaultClass.MALICIOUS)
+        assert recommendations
+        scores = [r.score for r in recommendations]
+        assert scores == sorted(scores, reverse=True)
+        assert all(r.rationale for r in recommendations)
+
+    def test_specific_beats_generic(self):
+        recommendations = recommend(FaultClass.HEISENBUG)
+        ranked = [r.entry.name for r in recommendations]
+        # Heisenbug-specific techniques outrank generic development ones.
+        assert ranked.index("Rejuvenation") < ranked.index(
+            "N-version programming")
+
+    def test_low_budget_prefers_opportunistic(self):
+        recommendations = recommend(FaultClass.HEISENBUG,
+                                    budget=BUDGET_LOW)
+        top = recommendations[0].entry
+        assert top.intention is Intention.OPPORTUNISTIC
+
+    def test_no_adjudicator_design_prefers_implicit_or_preventive(self):
+        recommendations = recommend(FaultClass.BOHRBUG,
+                                    can_design_adjudicator=False)
+        top = recommendations[0].entry
+        assert (top.adjudicator.value in ("implicit",)
+                or top.timing is AdjudicatorTiming.PREVENTIVE)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            recommend(FaultClass.BOHRBUG, budget="infinite")
+
+    def test_all_recommendations_address_the_fault(self):
+        for fault in (FaultClass.BOHRBUG, FaultClass.HEISENBUG,
+                      FaultClass.MALICIOUS, FaultClass.DEVELOPMENT):
+            for recommendation in recommend(fault):
+                assert addresses(recommendation.entry, fault)

@@ -1,0 +1,198 @@
+"""Unit tests for the analytic models."""
+
+import math
+
+import pytest
+
+from repro.analysis.aging_model import (
+    completion_time,
+    optimal_interval,
+    segment_failure_probability,
+)
+from repro.analysis.cost import CostLedger
+from repro.analysis.markov import MarkovChain, steady_state
+from repro.analysis.reliability import (
+    correlated_vote_reliability,
+    k_tolerance,
+    series_availability,
+    substitution_availability,
+    vote_reliability,
+)
+from repro.patterns.base import PatternStats
+from repro.components.version import Version
+
+
+class TestKTolerance:
+    def test_paper_rule_2k_plus_1(self):
+        # "a three-versions system can tolerate at most one faulty result,
+        #  a five-versions system can tolerate up to two"
+        assert k_tolerance(3) == 1
+        assert k_tolerance(5) == 2
+        assert k_tolerance(7) == 3
+
+    def test_even_sizes(self):
+        assert k_tolerance(4) == 1
+        assert k_tolerance(2) == 0
+
+    def test_simplex(self):
+        assert k_tolerance(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            k_tolerance(0)
+
+
+class TestVoteReliability:
+    def test_perfect_versions(self):
+        assert vote_reliability(5, 0.0) == 1.0
+
+    def test_hopeless_versions(self):
+        assert vote_reliability(5, 1.0) == 0.0
+
+    def test_three_version_closed_form(self):
+        p = 0.1
+        expected = (1 - p) ** 3 + 3 * p * (1 - p) ** 2
+        assert vote_reliability(3, p) == pytest.approx(expected)
+
+    def test_more_versions_help_when_versions_are_good(self):
+        p = 0.1
+        assert (vote_reliability(7, p) > vote_reliability(5, p)
+                > vote_reliability(3, p) > 1 - p - 0.03)
+
+    def test_more_versions_hurt_when_versions_are_bad(self):
+        p = 0.7  # worse than a coin: redundancy amplifies failure
+        assert vote_reliability(5, p) < vote_reliability(3, p) < 1 - p + 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vote_reliability(3, 1.5)
+
+
+class TestCorrelatedVoteReliability:
+    def test_zero_correlation_matches_independent(self):
+        assert correlated_vote_reliability(5, 0.1, 0.0) == pytest.approx(
+            vote_reliability(5, 0.1))
+
+    def test_correlation_erodes_the_gain(self):
+        p = 0.1
+        values = [correlated_vote_reliability(5, p, rho)
+                  for rho in (0.0, 0.2, 0.5, 0.8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_full_correlation_no_better_than_single_version(self):
+        p = 0.1
+        assert correlated_vote_reliability(5, p, 1.0) == pytest.approx(
+            1 - p, abs=1e-6)
+
+
+class TestAvailabilityFormulas:
+    def test_substitution(self):
+        assert substitution_availability((0.5, 0.5)) == pytest.approx(0.75)
+        assert substitution_availability(()) == 0.0
+
+    def test_series(self):
+        assert series_availability((0.9, 0.9)) == pytest.approx(0.81)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            substitution_availability((1.5,))
+        with pytest.raises(ValueError):
+            series_availability((-0.1,))
+
+
+class TestMarkov:
+    def test_two_state_chain(self):
+        chain = MarkovChain(
+            ["up", "down"],
+            {"up": {"up": 0.9, "down": 0.1},
+             "down": {"up": 0.5, "down": 0.5}})
+        pi = chain.steady_state()
+        # pi_up = 0.5/(0.1+0.5)
+        assert pi["up"] == pytest.approx(5 / 6, abs=1e-6)
+        assert chain.availability(["up"]) == pytest.approx(5 / 6, abs=1e-6)
+
+    def test_distribution_sums_to_one(self):
+        pi = steady_state(
+            ["a", "b", "c"],
+            {"a": {"b": 1.0}, "b": {"c": 1.0}, "c": {"a": 1.0}})
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MarkovChain(["a"], {"a": {"a": 0.5}})
+
+    def test_all_states_need_rows(self):
+        with pytest.raises(ValueError):
+            MarkovChain(["a", "b"], {"a": {"a": 1.0}})
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChain(["a", "a"], {"a": {"a": 1.0}})
+
+
+class TestAgingModel:
+    def test_segment_failure_grows_with_age(self):
+        young = segment_failure_probability(0, 10, beta=1e-4)
+        old = segment_failure_probability(1000, 10, beta=1e-4)
+        assert old > young
+
+    def test_completion_time_exceeds_ideal(self):
+        ideal = 1000.0
+        t = completion_time(work=ideal, checkpoint_interval=50,
+                            rejuvenate_every=4, beta=1e-6)
+        assert t > ideal
+
+    def test_u_shape_in_rejuvenation_period(self):
+        kwargs = dict(work=5000.0, checkpoint_interval=50, beta=1e-6,
+                      rejuvenation_cost=20.0)
+        times = {every: completion_time(rejuvenate_every=every, **kwargs)
+                 for every in (1, 8, 64)}
+        best_every, _ = optimal_interval(5000.0, 50, max_every=64,
+                                         beta=1e-6, rejuvenation_cost=20.0)
+        # The optimum is interior: both extremes are worse.
+        assert 1 < best_every < 64
+        best_time = completion_time(rejuvenate_every=best_every, **kwargs)
+        assert best_time < times[1]
+        assert best_time < times[64]
+
+    def test_no_rejuvenation_bad_under_strong_aging(self):
+        kwargs = dict(work=5000.0, checkpoint_interval=50, beta=1e-5)
+        never = completion_time(rejuvenate_every=None, **kwargs)
+        periodic = completion_time(rejuvenate_every=4, **kwargs)
+        assert periodic < never
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            completion_time(0, 10, None)
+        with pytest.raises(ValueError):
+            completion_time(10, 0, None)
+        with pytest.raises(ValueError):
+            completion_time(10, 5, 0)
+        with pytest.raises(ValueError):
+            segment_failure_probability(-1, 10, 0.1)
+
+
+class TestCostLedger:
+    def test_report_normalises_per_request(self):
+        stats = PatternStats(invocations=10, executions=30,
+                             execution_cost=30.0, adjudications=10,
+                             adjudication_cost=5.0)
+        versions = [Version(f"v{i}", impl=lambda x: x, design_cost=100.0)
+                    for i in range(3)]
+        ledger = CostLedger.from_pattern(stats, versions,
+                                         adjudicator_design_cost=50.0,
+                                         correct=9)
+        report = ledger.report("NVP")
+        assert report.design_cost == 350.0
+        assert report.executions_per_request == 3.0
+        assert report.adjudication_cost_per_request == 0.5
+        assert report.reliability == 0.9
+
+    def test_empty_ledger_report(self):
+        report = CostLedger().report("x")
+        assert report.reliability == 0.0
+        assert report.executions_per_request == 0.0
+
+    def test_as_row_keys(self):
+        row = CostLedger().report("x").as_row()
+        assert "technique" in row and "reliability" in row

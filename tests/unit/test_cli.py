@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_INDEX, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTables:
+    def test_renders_both_tables_and_verdict(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "matches the paper's Table 2 exactly" in out
+
+
+class TestTechniques:
+    def test_lists_all_seventeen(self, capsys):
+        assert main(["techniques"]) == 0
+        out = capsys.readouterr().out
+        assert "N-version programming" in out
+        assert "Reboot and micro-reboot" in out
+        assert out.count("intention:") == 17
+
+
+class TestExperiments:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for eid, _, bench in EXPERIMENT_INDEX:
+            assert bench in out
+        assert len(EXPERIMENT_INDEX) == 25
+
+    def test_index_ids_are_unique(self):
+        ids = [eid for eid, _, _ in EXPERIMENT_INDEX]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRecommend:
+    def test_heisenbug_low_budget(self, capsys):
+        assert main(["recommend", "heisenbug", "--budget", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "1." in out
+        # Opportunistic environment techniques lead under a low budget.
+        first_line = [l for l in out.splitlines() if l.startswith("1.")][0]
+        assert "opportunistic" in first_line
+
+    def test_malicious(self, capsys):
+        assert main(["recommend", "malicious"]) == 0
+        out = capsys.readouterr().out
+        assert "Process replicas" in out
+
+    def test_invalid_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["recommend", "gremlins"])
+
+    def test_top_limits_output(self, capsys):
+        main(["recommend", "development", "--top", "2"])
+        out = capsys.readouterr().out
+        assert "3." not in out
+
+
+class TestDemo:
+    def test_demo_reports_reliability(self, capsys):
+        assert main(["demo", "--versions", "3",
+                     "--failure-rate", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "3-version programming" in out
+        assert "voted system reliability" in out
+
+    def test_demo_is_seeded(self, capsys):
+        main(["demo", "--seed", "42"])
+        first = capsys.readouterr().out
+        main(["demo", "--seed", "42"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestCampaignCommand:
+    def test_matrix_rendered(self, capsys):
+        assert main(["campaign", "--requests", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "N-version (3)" in out
+        assert "unprotected" in out
+        assert "Bohrbug" in out
+
+    def test_deterministic_given_seed(self, capsys):
+        main(["campaign", "--requests", "30", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["campaign", "--requests", "30", "--seed", "5"])
+        assert capsys.readouterr().out == first

@@ -1,0 +1,86 @@
+"""Edge-case tests across substrates: execution fuel, approximate data
+diversity, weighted substitution corner cases, stats merging."""
+
+import pytest
+
+from repro.adjudicators.voting import MedianVoter
+from repro.components.version import Version
+from repro.environment.process import (
+    AddressSpace,
+    Instruction,
+    Program,
+    SimulatedProcess,
+)
+from repro.exceptions import MemoryViolation
+from repro.patterns.base import PatternStats
+from repro.techniques.data_diversity import DataDiversity, Reexpression
+
+
+class TestProcessFuel:
+    def test_self_referential_code_exhausts_fuel(self):
+        """Injected code that calls back through the same pointer must be
+        stopped by the fuel bound, not hang the monitor."""
+        process = SimulatedProcess("p", AddressSpace(0, 1000), tag="t")
+        # Code at 200 jumps through slot 300, which points back at 200.
+        loop_code = (Instruction("call_indirect", (300,), "t"),)
+        process.poke(200, loop_code)
+        process.poke(300, 200)
+        program = Program.build("spin", [("call_indirect", 300), ("ret",)],
+                                tag="t")
+        with pytest.raises(MemoryViolation):
+            process.execute(program, ())
+
+    def test_fuel_resets_between_executions(self):
+        process = SimulatedProcess("p", AddressSpace(0, 1000), tag="t")
+        program = Program.build("ok", [("const", 1), ("ret",)], tag="t")
+        for _ in range(3):
+            assert process.execute(program, ()) == 1
+
+
+class TestApproximateDataDiversity:
+    def test_approximate_reexpressions_with_median_vote(self):
+        """Ammann & Knight's *approximate* re-expressions: outputs differ
+        within an envelope, so the N-copy adjudicator must be inexact —
+        the median absorbs the spread."""
+        program = Version("smooth", impl=lambda x: float(x))
+        nudges = [Reexpression(name=f"+{d}",
+                               transform=lambda args, d=d: (args[0] + d,),
+                               exact=False)
+                  for d in (0.001, -0.001, 0.002)]
+        dd = DataDiversity(program, nudges, voter=MedianVoter())
+        value = dd.execute_ncopy(10.0)
+        assert value == pytest.approx(10.0, abs=0.01)
+
+    def test_reexpression_exactness_flag(self):
+        exact = Reexpression.identity()
+        assert exact.exact
+        approx = Reexpression(name="a", transform=lambda a: a, exact=False)
+        assert not approx.exact
+
+
+class TestPatternStatsMerge:
+    def test_merge_adds_every_field(self):
+        a = PatternStats(invocations=1, executions=2, execution_cost=3.0,
+                         adjudications=4, adjudication_cost=5.0,
+                         masked_failures=6, unmasked_failures=7,
+                         rollbacks=8, disabled=9)
+        b = PatternStats(invocations=10, executions=20,
+                         execution_cost=30.0, adjudications=40,
+                         adjudication_cost=50.0, masked_failures=60,
+                         unmasked_failures=70, rollbacks=80, disabled=90)
+        merged = a.merge(b)
+        assert merged.invocations == 11
+        assert merged.executions == 22
+        assert merged.execution_cost == 33.0
+        assert merged.adjudications == 44
+        assert merged.adjudication_cost == 55.0
+        assert merged.masked_failures == 66
+        assert merged.unmasked_failures == 77
+        assert merged.rollbacks == 88
+        assert merged.disabled == 99
+
+    def test_merge_leaves_operands_untouched(self):
+        a = PatternStats(invocations=1)
+        b = PatternStats(invocations=2)
+        a.merge(b)
+        assert a.invocations == 1 and b.invocations == 2

@@ -1,0 +1,159 @@
+"""Unit tests for the virtual clock and the simulated heap."""
+
+import pytest
+
+from repro.environment.clock import Stopwatch, VirtualClock
+from repro.environment.memory import SimulatedHeap
+from repro.exceptions import AgingFailure, MemoryViolation
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(3)
+        clock.advance(4.5)
+        assert clock.now == 7.5
+
+    def test_no_negative_advance(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_no_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-5)
+
+    def test_reset(self):
+        clock = VirtualClock(start=10)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_stopwatch_measures_elapsed(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        clock.advance(9)
+        assert watch.elapsed == 9
+        watch.restart()
+        assert watch.elapsed == 0
+
+
+class TestHeapAllocation:
+    def test_alloc_and_free(self):
+        heap = SimulatedHeap(capacity=100)
+        block = heap.alloc(10, owner="me")
+        assert heap.allocated_cells == 10
+        assert heap.live_blocks == 1
+        heap.free(block)
+        assert heap.allocated_cells == 0
+
+    def test_alloc_positive_size(self):
+        with pytest.raises(ValueError):
+            SimulatedHeap().alloc(0)
+
+    def test_exhaustion_raises_aging_failure(self):
+        heap = SimulatedHeap(capacity=16)
+        heap.alloc(10)
+        with pytest.raises(AgingFailure):
+            heap.alloc(10)
+
+    def test_double_free_detected(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        heap.free(block)
+        with pytest.raises(MemoryViolation):
+            heap.free(block)
+
+    def test_leak_keeps_cells_allocated(self):
+        heap = SimulatedHeap(capacity=32)
+        block = heap.alloc(8)
+        heap.leak(block)
+        assert heap.leaked_cells == 8
+        assert heap.allocated_cells == 8
+
+    def test_pressure(self):
+        heap = SimulatedHeap(capacity=100)
+        heap.alloc(25)
+        assert heap.pressure == 0.25
+
+    def test_pad_counts_against_capacity(self):
+        heap = SimulatedHeap(capacity=20, default_pad=4)
+        heap.alloc(6)
+        assert heap.allocated_cells == 10
+
+
+class TestHeapAccess:
+    def test_read_write_within_bounds(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        heap.write(block, 2, 99)
+        assert heap.read(block, 2) == 99
+
+    def test_out_of_bounds_read_raises(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        with pytest.raises(MemoryViolation):
+            heap.read(block, 4)
+
+    def test_checked_write_raises_on_overflow(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        with pytest.raises(MemoryViolation):
+            heap.write(block, 4, 1, checked=True)
+
+    def test_unchecked_overflow_into_pad_is_absorbed(self):
+        heap = SimulatedHeap(default_pad=4)
+        block = heap.alloc(4)
+        heap.write(block, 5, 1)  # lands in pad
+        assert heap.smash_count == 0
+
+    def test_unchecked_overflow_smashes_neighbour(self):
+        heap = SimulatedHeap()
+        a = heap.alloc(4)
+        b = heap.alloc(4)
+        heap.write(a, 4, 77)  # first cell of b
+        assert heap.smash_count == 1
+        assert b.corrupted
+        assert heap.read(b, 0) == 77
+
+    def test_negative_offset_rejected(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        with pytest.raises(MemoryViolation):
+            heap.write(block, -1, 0)
+
+
+class TestHeapLifecycle:
+    def test_rejuvenate_reclaims_everything(self):
+        heap = SimulatedHeap(capacity=64)
+        for _ in range(3):
+            heap.leak(heap.alloc(8))
+        reclaimed = heap.rejuvenate()
+        assert reclaimed == 24
+        assert heap.leaked_cells == 0
+        assert heap.allocated_cells == 0
+        # allocation works again
+        heap.alloc(32)
+
+    def test_capture_restore_roundtrip(self):
+        heap = SimulatedHeap(capacity=64)
+        a = heap.alloc(4, owner="a")
+        heap.write(a, 1, 42)
+        heap.leak(heap.alloc(8))
+        state = heap.capture()
+        heap.rejuvenate()
+        assert heap.allocated_cells == 0
+        heap.restore(state)
+        assert heap.allocated_cells == 12
+        assert heap.leaked_cells == 8
+        restored = heap.block_at(a.address)
+        assert restored.data[1] == 42
+
+    def test_restore_is_deep(self):
+        heap = SimulatedHeap()
+        a = heap.alloc(4)
+        state = heap.capture()
+        heap.write(a, 0, 5)
+        heap.restore(state)
+        assert heap.read(heap.block_at(a.address), 0) == 0

@@ -1,0 +1,181 @@
+"""Unit tests for the message scheduler and the process machine."""
+
+import pytest
+
+from repro.environment.process import (
+    AddressSpace,
+    Instruction,
+    Program,
+    SimulatedProcess,
+)
+from repro.environment.scheduler import FIFO, PRIORITY, SHUFFLE, MessageScheduler
+from repro.exceptions import (
+    CodeInjectionFault,
+    MemoryViolation,
+    SegmentationFault,
+)
+
+
+class TestScheduler:
+    def test_fifo_order(self):
+        sched = MessageScheduler(policy=FIFO)
+        for name in "abc":
+            sched.submit(name, name)
+        assert [m.sender for m in sched.drain()] == ["a", "b", "c"]
+
+    def test_priority_order(self):
+        sched = MessageScheduler(policy=PRIORITY)
+        sched.submit("low", 1, priority=0)
+        sched.submit("high", 2, priority=9)
+        assert [m.sender for m in sched.drain()] == ["high", "low"]
+
+    def test_priority_ties_break_by_arrival(self):
+        sched = MessageScheduler(policy=PRIORITY)
+        sched.submit("a", 1, priority=5)
+        sched.submit("b", 2, priority=5)
+        assert [m.sender for m in sched.drain()] == ["a", "b"]
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        def order(seed):
+            sched = MessageScheduler(policy=SHUFFLE, seed=seed)
+            for i in range(8):
+                sched.submit(f"s{i}", i)
+            return [m.sender for m in sched.drain()]
+
+        assert order(1) == order(1)
+        assert order(1) != order(2)
+
+    def test_set_priority_overrides(self):
+        sched = MessageScheduler(policy=PRIORITY)
+        sched.submit("a", 1, priority=0)
+        sched.set_priority("b", 10)
+        sched.submit("b", 2)
+        assert sched.drain()[0].sender == "b"
+
+    def test_next_removes_head(self):
+        sched = MessageScheduler()
+        sched.submit("a", 1)
+        sched.submit("b", 2)
+        assert sched.next().sender == "a"
+        assert sched.pending == 1
+
+    def test_next_on_empty_returns_none(self):
+        assert MessageScheduler().next() is None
+
+    def test_perturb_changes_policy(self):
+        sched = MessageScheduler()
+        sched.perturb(new_policy=SHUFFLE, new_seed=99)
+        assert sched.policy == SHUFFLE and sched.seed == 99
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MessageScheduler(policy="lifo")
+        with pytest.raises(ValueError):
+            MessageScheduler().perturb(new_policy="lifo")
+
+    def test_capture_restore_roundtrip(self):
+        sched = MessageScheduler(policy=PRIORITY, seed=3)
+        sched.submit("a", 1, priority=2)
+        state = sched.capture()
+        sched.drain()
+        sched.restore(state)
+        assert sched.pending == 1
+        assert sched.drain()[0].sender == "a"
+
+
+class TestAddressSpace:
+    def test_contains(self):
+        space = AddressSpace(base=100, size=50)
+        assert space.contains(100) and space.contains(149)
+        assert not space.contains(99) and not space.contains(150)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressSpace(base=0, size=0)
+        with pytest.raises(ValueError):
+            AddressSpace(base=-1, size=10)
+
+
+def _process(base=0, tag="t", check_tags=True):
+    return SimulatedProcess("p", AddressSpace(base=base, size=1000),
+                            tag=tag, check_tags=check_tags)
+
+
+class TestProcessMachine:
+    def test_arithmetic_program(self):
+        program = Program.build("add3", [("input", 0), ("add", 3), ("ret",)],
+                                tag="t")
+        assert _process().execute(program, (4,)) == 7
+
+    def test_load_store(self):
+        program = Program.build("ls", [
+            ("const", 5), ("store", 10), ("load", 10), ("add", 1), ("ret",),
+        ], tag="t")
+        assert _process().execute(program, ()) == 6
+
+    def test_out_of_partition_access_faults(self):
+        process = _process(base=1000)
+        with pytest.raises(SegmentationFault):
+            process.poke(5, 1)
+
+    def test_tag_mismatch_faults(self):
+        program = Program.build("x", [("const", 1), ("ret",)], tag="other")
+        with pytest.raises(CodeInjectionFault):
+            _process(tag="mine").execute(program, ())
+
+    def test_tag_checking_can_be_disabled(self):
+        program = Program.build("x", [("const", 1), ("ret",)], tag="other")
+        assert _process(tag="mine", check_tags=False).execute(program, ()) == 1
+
+    def test_variant_for_rebases_and_retags(self):
+        program = Program.build("v", [("store", 10), ("ret",)], tag="")
+        variant = program.variant_for(500, "tag-x")
+        ins = variant.instructions[0]
+        assert ins.args[0] == 510
+        assert ins.tag == "tag-x"
+
+    def test_const_operands_not_rebased(self):
+        program = Program.build("v", [("const", 10), ("ret",)], tag="")
+        variant = program.variant_for(500, "t")
+        assert variant.instructions[0].args[0] == 10
+
+    def test_call_indirect_runs_planted_code(self):
+        process = _process()
+        code = (Instruction("const", (11,), "t"), Instruction("ret", (), "t"))
+        process.poke(200, code)
+        process.poke(300, 200)
+        program = Program.build("c", [("call_indirect", 300), ("ret",)],
+                                tag="t")
+        assert process.execute(program, ()) == 11
+
+    def test_call_through_bad_pointer_faults(self):
+        process = _process()
+        process.poke(300, 5000)  # outside the partition
+        program = Program.build("c", [("call_indirect", 300), ("ret",)],
+                                tag="t")
+        with pytest.raises(SegmentationFault):
+            process.execute(program, ())
+
+    def test_call_target_without_code_faults(self):
+        process = _process()
+        process.poke(300, 200)  # points at data, not code
+        program = Program.build("c", [("call_indirect", 300), ("ret",)],
+                                tag="t")
+        with pytest.raises(MemoryViolation):
+            process.execute(program, ())
+
+    def test_copy_input_writes_sequentially(self):
+        process = _process()
+        program = Program.build("cp", [("copy_input", 50), ("load", 52),
+                                       ("ret",)], tag="t")
+        assert process.execute(program, (7, 8, 9)) == 9
+
+    def test_unknown_opcode_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            Instruction("jump", (0,))
+
+    def test_trace_records_ops(self):
+        program = Program.build("tr", [("const", 1), ("ret",)], tag="t")
+        process = _process()
+        process.execute(program, ())
+        assert process.trace == ["const", "ret"]

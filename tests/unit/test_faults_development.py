@@ -1,0 +1,186 @@
+"""Unit tests for development faults (Bohrbugs, Heisenbugs, aging)."""
+
+import pytest
+
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AgingFailure,
+    BohrbugFailure,
+    HangFailure,
+    HeisenbugFailure,
+)
+from repro.faults.base import CRASH, HANG, WRONG_VALUE
+from repro.faults.development import (
+    AgingBug,
+    Bohrbug,
+    Heisenbug,
+    InputRegion,
+    LeakFault,
+)
+
+
+class TestInputRegion:
+    def test_contains_half_open(self):
+        region = InputRegion(10, 20)
+        assert region.contains(10)
+        assert region.contains(19.9)
+        assert not region.contains(20)
+        assert not region.contains(9)
+
+    def test_non_numeric_never_contained(self):
+        assert not InputRegion(0, 10).contains("five")
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            InputRegion(5, 5)
+
+    def test_width(self):
+        assert InputRegion(2, 7).width == 5
+
+
+class TestBohrbug:
+    def test_region_activation_is_deterministic(self):
+        bug = Bohrbug("b", region=InputRegion(0, 100))
+        for _ in range(3):
+            assert bug.activates((50,), None)
+            assert not bug.activates((200,), None)
+
+    def test_predicate_activation(self):
+        bug = Bohrbug("b", predicate=lambda args: args[0] % 2 == 0)
+        assert bug.activates((4,), None)
+        assert not bug.activates((5,), None)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError):
+            Bohrbug("b")
+        with pytest.raises(ValueError):
+            Bohrbug("b", region=InputRegion(0, 1),
+                    predicate=lambda args: True)
+
+    def test_crash_effect(self):
+        bug = Bohrbug("b", region=InputRegion(0, 10), effect=CRASH)
+        with pytest.raises(BohrbugFailure):
+            bug.manifest((5,), 25)
+
+    def test_wrong_value_effect_is_stable_and_wrong(self):
+        bug = Bohrbug("b", region=InputRegion(0, 10), effect=WRONG_VALUE)
+        first = bug.manifest((5,), 25)
+        second = bug.manifest((5,), 25)
+        assert first == second
+        assert first != 25
+
+    def test_hang_effect(self):
+        bug = Bohrbug("b", region=InputRegion(0, 10), effect=HANG)
+        with pytest.raises(HangFailure):
+            bug.manifest((5,), 25)
+
+    def test_unknown_effect_rejected(self):
+        with pytest.raises(ValueError):
+            Bohrbug("b", region=InputRegion(0, 1), effect="explode")
+
+    def test_activation_counter(self):
+        bug = Bohrbug("b", region=InputRegion(0, 10), effect=WRONG_VALUE)
+        bug.maybe_manifest((5,), None, 1)
+        bug.maybe_manifest((50,), None, 1)
+        assert bug.activations == 1
+
+
+class TestHeisenbug:
+    def test_never_activates_without_environment(self):
+        bug = Heisenbug("h", probability=1.0)
+        assert not bug.activates((1,), None)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            Heisenbug("h", probability=1.5)
+        with pytest.raises(ValueError):
+            Heisenbug("h", probability=0.5, aging_factor=-1)
+
+    def test_activation_rate_tracks_probability(self):
+        env = SimEnvironment(seed=0)
+        bug = Heisenbug("h", probability=0.3)
+        hits = sum(bug.activates((1,), env) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_certain_heisenbug(self):
+        env = SimEnvironment(seed=0)
+        bug = Heisenbug("h", probability=1.0)
+        assert bug.activates((1,), env)
+
+    def test_aging_boosts_probability(self):
+        env = SimEnvironment(seed=0)
+        bug = Heisenbug("h", probability=0.1, aging_factor=0.001)
+        env.do_work(500)
+        assert bug.effective_probability(env) == pytest.approx(0.6)
+
+    def test_effective_probability_capped(self):
+        env = SimEnvironment(seed=0)
+        env.do_work(10_000)
+        bug = Heisenbug("h", probability=0.5, aging_factor=1.0)
+        assert bug.effective_probability(env) == 1.0
+
+
+class TestAgingBug:
+    def test_dormant_when_fresh(self):
+        env = SimEnvironment(seed=0)
+        bug = AgingBug("a", max_probability=0.9, age_to_saturation=100)
+        assert bug.effective_probability(env) == 0.0
+
+    def test_ramps_linearly(self):
+        env = SimEnvironment(seed=0)
+        bug = AgingBug("a", max_probability=0.8, age_to_saturation=100)
+        env.do_work(50)
+        assert bug.effective_probability(env) == pytest.approx(0.4)
+
+    def test_saturates(self):
+        env = SimEnvironment(seed=0)
+        bug = AgingBug("a", max_probability=0.8, age_to_saturation=100)
+        env.do_work(1000)
+        assert bug.effective_probability(env) == pytest.approx(0.8)
+
+    def test_rejuvenation_resets_hazard(self):
+        env = SimEnvironment(seed=0)
+        bug = AgingBug("a", max_probability=0.8, age_to_saturation=100)
+        env.do_work(500)
+        env.rejuvenate()
+        assert bug.effective_probability(env) == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AgingBug("a", max_probability=2.0)
+        with pytest.raises(ValueError):
+            AgingBug("a", age_to_saturation=0)
+
+
+class TestLeakFault:
+    def test_leaks_cells_without_failing_the_call(self):
+        env = SimEnvironment(seed=0, heap_capacity=100)
+        leak = LeakFault("l", cells_per_call=10)
+        assert not leak.activates((1,), env)
+        assert env.heap.leaked_cells == 10
+        assert leak.total_leaked == 10
+
+    def test_eventually_exhausts_the_heap(self):
+        env = SimEnvironment(seed=0, heap_capacity=32)
+        leak = LeakFault("l", cells_per_call=10)
+        leak.activates((1,), env)
+        leak.activates((1,), env)
+        leak.activates((1,), env)
+        with pytest.raises(AgingFailure):
+            leak.activates((1,), env)
+
+    def test_rejuvenation_restores_allocations(self):
+        env = SimEnvironment(seed=0, heap_capacity=32)
+        leak = LeakFault("l", cells_per_call=10)
+        for _ in range(3):
+            leak.activates((1,), env)
+        env.rejuvenate()
+        assert not leak.activates((1,), env)  # room again
+
+    def test_no_heap_no_leak(self):
+        leak = LeakFault("l")
+        assert not leak.activates((1,), None)
+
+    def test_positive_cells_required(self):
+        with pytest.raises(ValueError):
+            LeakFault("l", cells_per_call=0)

@@ -1,0 +1,160 @@
+"""Unit tests for environment-sensitive and malicious faults."""
+
+import pytest
+
+from repro.environment import SimEnvironment
+from repro.environment.simenv import (
+    CHANGE_PRIORITY,
+    PAD_ALLOCATIONS,
+    SHUFFLE_MESSAGES,
+    THROTTLE_REQUESTS,
+)
+from repro.faults.environmental import LoadBug, OrderingBug, OverflowBug
+from repro.faults.malicious import (
+    AttackPayload,
+    BUFFER_SIZE,
+    MaliciousInputFault,
+    absolute_address_attack,
+    benign_request,
+    code_injection_attack,
+    install_service,
+    vulnerable_program,
+)
+from repro.environment.process import AddressSpace, SimulatedProcess
+from repro.exceptions import CodeInjectionFault, SegmentationFault
+
+
+class TestOverflowBug:
+    def test_triggers_only_on_modulo_inputs(self):
+        bug = OverflowBug("o", overflow_cells=4, trigger_modulo=10)
+        env = SimEnvironment()
+        assert bug.activates((20,), env)
+        assert not bug.activates((21,), env)
+
+    def test_padding_absorbs_the_overflow(self):
+        bug = OverflowBug("o", overflow_cells=4, trigger_modulo=1)
+        env = SimEnvironment()
+        assert bug.activates((5,), env)
+        env.perturb(PAD_ALLOCATIONS)  # pad = 8 >= 4
+        assert not bug.activates((5,), env)
+
+    def test_insufficient_padding_still_fails(self):
+        bug = OverflowBug("o", overflow_cells=16, trigger_modulo=1)
+        env = SimEnvironment()
+        env.perturb(PAD_ALLOCATIONS)  # pad = 8 < 16
+        assert bug.activates((5,), env)
+
+    def test_non_numeric_inputs_never_trigger(self):
+        bug = OverflowBug("o", trigger_modulo=1)
+        assert not bug.activates(("hello",), SimEnvironment())
+
+
+class TestOrderingBug:
+    def test_deterministic_within_an_environment(self):
+        env = SimEnvironment(seed=1)
+        bug = OrderingBug("d", bad_fraction=0.5)
+        first = bug.activates((1,), env)
+        assert all(bug.activates((1,), env) == first for _ in range(5))
+
+    def test_reordering_changes_the_draw(self):
+        # With bad_fraction=0.5, some seed escapes after a shuffle.
+        bug = OrderingBug("d", bad_fraction=0.5)
+        escaped = False
+        for seed in range(20):
+            env = SimEnvironment(seed=seed)
+            if not bug.activates((1,), env):
+                continue  # need an initially-failing interleaving
+            env.perturb(SHUFFLE_MESSAGES)
+            if not bug.activates((1,), env):
+                escaped = True
+                break
+        assert escaped
+
+    def test_always_bad_fraction_means_priority_may_not_help(self):
+        bug = OrderingBug("d", bad_fraction=1.0)
+        env = SimEnvironment(seed=1)
+        env.perturb(CHANGE_PRIORITY)
+        assert bug.activates((1,), env)
+
+    def test_bad_fraction_validated(self):
+        with pytest.raises(ValueError):
+            OrderingBug("d", bad_fraction=0.0)
+
+
+class TestLoadBug:
+    def test_fires_under_load(self):
+        env = SimEnvironment(seed=0)
+        bug = LoadBug("l", probability=1.0)
+        assert bug.activates((1,), env)
+
+    def test_throttling_suppresses_it(self):
+        env = SimEnvironment(seed=0)
+        env.perturb(THROTTLE_REQUESTS)
+        bug = LoadBug("l", probability=1.0)
+        assert not bug.activates((1,), env)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            LoadBug("l", probability=-0.1)
+
+
+class TestMaliciousInputFault:
+    def test_detects_attack_payload_objects(self):
+        fault = MaliciousInputFault("m")
+        assert fault.activates((absolute_address_attack(),), None)
+
+    def test_detects_oversized_vectors(self):
+        fault = MaliciousInputFault("m")
+        oversized = tuple(range(BUFFER_SIZE + 1))
+        assert fault.activates((oversized,), None)
+        assert not fault.activates(((1, 2),), None)
+
+    def test_throttling_drops_attacks(self):
+        env = SimEnvironment()
+        env.perturb(THROTTLE_REQUESTS)
+        fault = MaliciousInputFault("m")
+        assert not fault.activates((absolute_address_attack(),), env)
+
+    def test_custom_predicate(self):
+        fault = MaliciousInputFault("m", is_attack=lambda args: args[0] < 0)
+        assert fault.activates((-1,), None)
+        assert not fault.activates((1,), None)
+
+
+class TestCanonicalAttacks:
+    def _victim(self, base=0, tag="tag-0", check_tags=True):
+        process = SimulatedProcess(
+            "victim", AddressSpace(base=base, size=1000),
+            tag=tag, check_tags=check_tags)
+        program = install_service(process)
+        return process, program
+
+    def test_benign_request_served(self):
+        process, program = self._victim()
+        assert process.execute(program, benign_request(41)) == 42
+
+    def test_benign_request_served_in_rebased_variant(self):
+        process, program = self._victim(base=3000)
+        assert process.execute(program, benign_request(9)) == 10
+
+    def test_code_injection_succeeds_without_tagging(self):
+        process, program = self._victim(check_tags=False)
+        attack = code_injection_attack()
+        assert process.execute(program, attack.values) == 0x511
+
+    def test_tagging_stops_injection(self):
+        process, program = self._victim(check_tags=True)
+        attack = code_injection_attack(guessed_tag="wrong")
+        with pytest.raises(CodeInjectionFault):
+            process.execute(program, attack.values)
+
+    def test_partitioning_stops_absolute_address_attack(self):
+        process, program = self._victim(base=5000, check_tags=False)
+        attack = absolute_address_attack()
+        with pytest.raises(SegmentationFault):
+            process.execute(program, attack.values)
+
+    def test_payload_kinds(self):
+        assert absolute_address_attack().kind == "absolute-address"
+        assert code_injection_attack().kind == "code-injection"
+        assert isinstance(absolute_address_attack(), AttackPayload)

@@ -1,0 +1,169 @@
+"""Unit tests for the WS-level fault-tolerance activities."""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.adjudicators.voting import PluralityVoter
+from repro.components.interface import FunctionSpec
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    NoMajorityError,
+    ServiceLookupError,
+)
+from repro.faults.base import WRONG_VALUE
+from repro.faults.development import Bohrbug
+from repro.services.ft_activities import (
+    AlternateInvoke,
+    SelfCheckingInvoke,
+    VotedInvoke,
+)
+from repro.services.process_engine import Invoke, OrchestrationEngine, Sequence
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+
+SPEC = FunctionSpec("convert", arity=1)
+
+
+def service(name, impl=None, availability=1.0, faults=()):
+    return Service(name, SPEC, impl=impl or (lambda x: x * 2),
+                   availability=availability, faults=faults)
+
+
+def engine_with(*services):
+    registry = ServiceRegistry()
+    for s in services:
+        registry.publish(s)
+    return OrchestrationEngine(registry, env=SimEnvironment(seed=1))
+
+
+def wrong_everywhere(name):
+    return Bohrbug(name, predicate=lambda args: True, effect=WRONG_VALUE)
+
+
+class TestVotedInvoke:
+    def test_unanimous_services(self):
+        engine = engine_with(service("a"), service("b"), service("c"))
+        ctx = {}
+        value = VotedInvoke(SPEC, args=(4,)).run(engine, ctx)
+        assert value == 8
+        assert ctx["convert"] == 8
+
+    def test_minority_wrong_service_outvoted(self):
+        engine = engine_with(
+            service("a"), service("b"),
+            service("c", faults=[wrong_everywhere("c-bug")]))
+        assert VotedInvoke(SPEC, args=(4,)).run(engine, {}) == 8
+
+    def test_minority_unavailable_service_outvoted(self):
+        engine = engine_with(service("a"), service("b"),
+                             service("c", availability=0.0))
+        assert VotedInvoke(SPEC, args=(4,)).run(engine, {}) == 8
+
+    def test_no_quorum_raises(self):
+        engine = engine_with(service("a", availability=0.0),
+                             service("b", availability=0.0),
+                             service("c"))
+        with pytest.raises(NoMajorityError):
+            VotedInvoke(SPEC, args=(4,)).run(engine, {})
+
+    def test_custom_voter(self):
+        engine = engine_with(service("a"),
+                             service("b", availability=0.0),
+                             service("c", availability=0.0))
+        voted = VotedInvoke(SPEC, args=(4,), voter=PluralityVoter())
+        assert voted.run(engine, {}) == 8
+
+    def test_max_services_prefers_available(self):
+        calls = {"low": 0}
+
+        def low_impl(x):
+            calls["low"] += 1
+            return x * 2
+
+        engine = engine_with(
+            service("high1"), service("high2"), service("high3"),
+            service("low", impl=low_impl, availability=0.5))
+        VotedInvoke(SPEC, args=(4,), max_services=3).run(engine, {})
+        assert calls["low"] == 0
+
+    def test_max_services_validated(self):
+        with pytest.raises(ValueError):
+            VotedInvoke(SPEC, max_services=1)
+
+    def test_args_from_context(self):
+        engine = engine_with(service("a"), service("b"))
+        ctx = {"x": 5}
+        voted = VotedInvoke(SPEC, args=lambda c: (c["x"],),
+                            result_key="out")
+        voted.run(engine, ctx)
+        assert ctx["out"] == 10
+
+    def test_no_implementations(self):
+        engine = engine_with()
+        with pytest.raises(ServiceLookupError):
+            VotedInvoke(SPEC, args=(1,)).run(engine, {})
+
+
+class TestSelfCheckingInvoke:
+    def _acceptance(self):
+        return PredicateAcceptanceTest(lambda args, v: v == args[0] * 2)
+
+    def test_acting_result_used(self):
+        engine = engine_with(service("acting"), service("spare"))
+        invoke = SelfCheckingInvoke(SPEC, self._acceptance(), args=(3,))
+        assert invoke.run(engine, {}) == 6
+
+    def test_spare_used_when_acting_fails_validation(self):
+        engine = engine_with(
+            service("acting", faults=[wrong_everywhere("a-bug")]),
+            service("spare"))
+        invoke = SelfCheckingInvoke(SPEC, self._acceptance(), args=(3,))
+        assert invoke.run(engine, {}) == 6
+
+    def test_spare_used_when_acting_unavailable(self):
+        engine = engine_with(service("acting", availability=0.0),
+                             service("spare"))
+        invoke = SelfCheckingInvoke(SPEC, self._acceptance(), args=(3,))
+        assert invoke.run(engine, {}) == 6
+
+    def test_all_failing_raises(self):
+        engine = engine_with(service("a", availability=0.0),
+                             service("b", availability=0.0))
+        invoke = SelfCheckingInvoke(SPEC, self._acceptance(), args=(3,))
+        with pytest.raises(AllAlternativesFailedError):
+            invoke.run(engine, {})
+
+
+class TestAlternateInvoke:
+    def test_first_healthy_alternate_wins(self):
+        alt_spec = FunctionSpec("convert-alt", arity=1)
+        engine = engine_with(service("dead", availability=0.0))
+        engine.registry.publish(Service("backup", alt_spec,
+                                        impl=lambda x: x * 2))
+        activity = AlternateInvoke([Invoke(SPEC, args=(4,)),
+                                    Invoke(alt_spec, args=(4,))])
+        assert activity.run(engine, {}) == 8
+
+    def test_exhaustion(self):
+        engine = engine_with(service("dead", availability=0.0))
+        activity = AlternateInvoke([Invoke(SPEC, args=(4,)),
+                                    Invoke(SPEC, args=(4,))])
+        with pytest.raises(AllAlternativesFailedError) as info:
+            activity.run(engine, {})
+        assert len(info.value.failures) == 2
+
+    def test_needs_alternates(self):
+        with pytest.raises(ValueError):
+            AlternateInvoke([])
+
+    def test_composes_in_sequences(self):
+        engine = engine_with(service("a"), service("b"), service("c"))
+        flow = Sequence(
+            VotedInvoke(SPEC, args=(2,), result_key="first"),
+            VotedInvoke(SPEC, args=lambda ctx: (ctx["first"],),
+                        result_key="second"),
+        )
+        ctx = {}
+        assert engine.run(flow, ctx) == 8
+        assert ctx == {"first": 4, "second": 8}

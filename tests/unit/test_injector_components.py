@@ -1,0 +1,201 @@
+"""Unit tests for fault injection, versions, components, and state."""
+
+import pytest
+
+from repro.components.component import Component, RestartableComponent
+from repro.components.interface import FunctionSpec
+from repro.components.state import DictState
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import BohrbugFailure, CrashFailure
+from repro.faults.base import CRASH, WRONG_VALUE
+from repro.faults.development import Bohrbug, InputRegion
+from repro.faults.injector import FaultInjector, FaultyFunction
+
+
+class TestFaultInjector:
+    def test_no_faults_passes_value_through(self):
+        injector = FaultInjector()
+        assert injector.apply((1,), None, 42) == 42
+
+    def test_first_activating_fault_wins(self):
+        calm = Bohrbug("calm", region=InputRegion(1000, 2000),
+                       effect=WRONG_VALUE)
+        loud = Bohrbug("loud", region=InputRegion(0, 100),
+                       effect=WRONG_VALUE)
+        injector = FaultInjector([calm, loud])
+        corrupted = injector.apply((5,), None, 10)
+        assert corrupted != 10
+        assert loud.activations == 1 and calm.activations == 0
+
+    def test_crash_fault_raises(self):
+        injector = FaultInjector([Bohrbug("b", region=InputRegion(0, 10))])
+        with pytest.raises(BohrbugFailure):
+            injector.apply((5,), None, 1)
+
+    def test_add_remove(self):
+        bug = Bohrbug("b", region=InputRegion(0, 10))
+        injector = FaultInjector()
+        injector.add(bug)
+        assert injector.faults == (bug,)
+        injector.remove(bug)
+        assert injector.faults == ()
+
+
+class TestFaultyFunction:
+    def test_calls_through(self):
+        f = FaultyFunction(lambda x: x * 3, name="triple")
+        assert f(4) == 12
+        assert f.calls == 1
+
+    def test_bills_environment(self):
+        env = SimEnvironment()
+        f = FaultyFunction(lambda x: x, cost=2.5)
+        f(1, env=env)
+        assert env.clock.now == 2.5
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            FaultyFunction(lambda x: x, cost=-1)
+
+    def test_default_env_used(self):
+        env = SimEnvironment()
+        f = FaultyFunction(lambda x: x, cost=1.0, env=env)
+        f(1)
+        assert env.clock.now == 1.0
+
+
+class TestFunctionSpec:
+    def test_matches_same_name_and_arity(self):
+        a = FunctionSpec("sqrt", arity=1)
+        assert a.matches(FunctionSpec("sqrt", arity=1))
+        assert not a.matches(FunctionSpec("sqrt", arity=2))
+        assert not a.matches(FunctionSpec("cbrt", arity=1))
+
+    def test_similarity_requires_semantic_key(self):
+        a = FunctionSpec("sqrt-v1", arity=1, semantic_key="sqrt")
+        b = FunctionSpec("sqrt-v2", arity=1, semantic_key="sqrt")
+        c = FunctionSpec("noop", arity=1)
+        assert a.similar_to(b)
+        assert not a.similar_to(c)
+        assert not c.similar_to(a)
+
+    def test_check_args(self):
+        spec = FunctionSpec("f", arity=2)
+        spec.check_args((1, 2))
+        with pytest.raises(TypeError):
+            spec.check_args((1,))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("", arity=1)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", arity=-1)
+
+
+class TestVersion:
+    def test_execute(self):
+        v = Version("v", impl=lambda x: x + 1)
+        assert v.execute(1) == 2
+        assert v(2) == 3
+        assert v.calls == 2
+
+    def test_spec_enforced(self):
+        v = Version("v", impl=lambda x: x, spec=FunctionSpec("f", arity=1))
+        with pytest.raises(TypeError):
+            v.execute(1, 2)
+
+    def test_faults_applied(self):
+        v = Version("v", impl=lambda x: x,
+                    faults=[Bohrbug("b", region=InputRegion(0, 10))])
+        with pytest.raises(BohrbugFailure):
+            v.execute(5)
+        assert v.execute(50) == 50
+
+    def test_env_billing(self):
+        env = SimEnvironment()
+        v = Version("v", impl=lambda x: x, exec_cost=3.0)
+        v.execute(1, env=env)
+        assert env.clock.now == 3.0
+
+    def test_disable(self):
+        v = Version("v", impl=lambda x: x)
+        assert v.enabled
+        v.disable()
+        assert not v.enabled
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            Version("v", impl=lambda x: x, exec_cost=-1)
+
+
+class TestDictState:
+    def test_capture_restore_roundtrip(self):
+        state = DictState(items=[1, 2])
+        snap = state.capture_state()
+        state["items"].append(3)
+        state.restore_state(snap)
+        assert state["items"] == [1, 2]
+
+    def test_capture_is_deep(self):
+        state = DictState(items=[1])
+        snap = state.capture_state()
+        state.data["items"].append(2)
+        # The snapshot must be unaffected by later mutation.
+        state.restore_state(snap)
+        assert state["items"] == [1]
+
+    def test_mapping_protocol(self):
+        state = DictState(a=1)
+        state["b"] = 2
+        assert "b" in state and state["b"] == 2
+
+    def test_equality(self):
+        assert DictState(a=1) == DictState(a=1)
+        assert DictState(a=1) != DictState(a=2)
+
+
+class TestComponent:
+    def test_handle_uses_state(self):
+        def handler(component, request, env):
+            component.state["count"] = component.state.data.get("count", 0) + 1
+            return component.state["count"]
+
+        c = Component("c", handler)
+        assert c.handle("r") == 1
+        assert c.handle("r") == 2
+        assert c.requests_served == 2
+
+    def test_restartable_crash_and_restart(self):
+        def handler(component, request, env):
+            if request == "boom":
+                raise CrashFailure("down")
+            return "ok"
+
+        c = RestartableComponent("c", handler,
+                                 initializer=lambda: {"fresh": True})
+        assert c.handle("x") == "ok"
+        with pytest.raises(CrashFailure):
+            c.handle("boom")
+        assert c.down
+        # Fails fast while down.
+        with pytest.raises(CrashFailure):
+            c.handle("x")
+        c.restart()
+        assert not c.down
+        assert c.state["fresh"]
+        assert c.restarts == 1
+        assert c.handle("x") == "ok"
+
+    def test_restart_cost_billed(self):
+        env = SimEnvironment()
+        c = RestartableComponent("c", lambda s, r, e: r, restart_cost=7.0)
+        c.restart(env=env)
+        assert env.clock.now == 7.0
+
+    def test_restart_resets_state(self):
+        c = RestartableComponent("c", lambda s, r, e: r,
+                                 initializer=lambda: {"n": 0})
+        c.state["n"] = 99
+        c.restart()
+        assert c.state["n"] == 0

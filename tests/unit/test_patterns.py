@@ -1,0 +1,231 @@
+"""Unit tests for the three Figure-1 pattern engines."""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.adjudicators.voting import MajorityVoter, UnanimousVoter
+from repro.components.state import DictState
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    BohrbugFailure,
+    NoMajorityError,
+)
+from repro.faults.development import Bohrbug, InputRegion
+from repro.patterns.base import GuardedUnit, VersionUnit, as_units
+from repro.patterns.parallel_evaluation import ParallelEvaluation
+from repro.patterns.parallel_selection import ParallelSelection
+from repro.patterns.sequential_alternatives import SequentialAlternatives
+
+
+def good(name="good", cost=1.0):
+    return Version(name, impl=lambda x: x * 2, exec_cost=cost)
+
+
+def bad(name="bad", cost=1.0):
+    """Fails on every input below 1e9."""
+    return Version(name, impl=lambda x: x * 2, exec_cost=cost,
+                   faults=[Bohrbug(f"{name}-bug",
+                                   region=InputRegion(0, 10 ** 9))])
+
+
+def wrong(name="wrong"):
+    """Silently returns a wrong value everywhere."""
+    return Version(name, impl=lambda x: x * 2 + 13)
+
+
+class TestAsUnits:
+    def test_wraps_versions(self):
+        units = as_units([good()])
+        assert isinstance(units[0], VersionUnit)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_units([42])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelEvaluation([])
+
+
+class TestParallelEvaluation:
+    def test_all_good_votes_value(self):
+        pattern = ParallelEvaluation([good("a"), good("b"), good("c")])
+        assert pattern.execute(4) == 8
+
+    def test_minority_crash_masked(self):
+        pattern = ParallelEvaluation([good("a"), good("b"), bad("c")])
+        assert pattern.execute(4) == 8
+        assert pattern.stats.masked_failures == 1
+
+    def test_minority_wrong_value_masked(self):
+        pattern = ParallelEvaluation([good("a"), good("b"), wrong("c")])
+        assert pattern.execute(4) == 8
+
+    def test_majority_failure_raises(self):
+        pattern = ParallelEvaluation([good("a"), bad("b"), bad("c")])
+        with pytest.raises(NoMajorityError):
+            pattern.execute(4)
+        assert pattern.stats.unmasked_failures == 1
+
+    def test_on_reject_none_mode(self):
+        pattern = ParallelEvaluation([bad("a"), bad("b")], on_reject="none")
+        assert pattern.execute(4) is None
+
+    def test_invalid_on_reject(self):
+        with pytest.raises(ValueError):
+            ParallelEvaluation([good()], on_reject="explode")
+
+    def test_parallel_billing_is_max_not_sum(self):
+        env = SimEnvironment()
+        pattern = ParallelEvaluation([good("a", cost=1.0),
+                                      good("b", cost=5.0),
+                                      good("c", cost=2.0)])
+        pattern.execute(1, env=env)
+        assert env.clock.now == 5.0
+
+    def test_stats_total_execution_cost_is_sum(self):
+        pattern = ParallelEvaluation([good("a", cost=1.0),
+                                      good("b", cost=5.0)])
+        pattern.execute(1)
+        assert pattern.stats.execution_cost == 6.0
+        assert pattern.stats.executions == 2
+
+    def test_custom_adjudicator(self):
+        pattern = ParallelEvaluation([good("a"), wrong("b")],
+                                     adjudicator=UnanimousVoter())
+        with pytest.raises(NoMajorityError):
+            pattern.execute(1)
+
+
+class TestParallelSelection:
+    def _accept_even_double(self):
+        return PredicateAcceptanceTest(lambda args, v: v == args[0] * 2)
+
+    def test_acting_component_wins_when_healthy(self):
+        test = self._accept_even_double()
+        pattern = ParallelSelection([GuardedUnit(good("acting"), test),
+                                     GuardedUnit(good("spare"), test)])
+        assert pattern.execute(3) == 6
+
+    def test_spare_takes_over_and_failed_is_disabled(self):
+        test = self._accept_even_double()
+        acting = bad("acting")
+        pattern = ParallelSelection([GuardedUnit(acting, test),
+                                     GuardedUnit(good("spare"), test)])
+        assert pattern.execute(3) == 6
+        assert not acting.enabled
+        assert pattern.stats.disabled == 1
+
+    def test_wrong_value_component_detected_by_check(self):
+        test = self._accept_even_double()
+        pattern = ParallelSelection([GuardedUnit(wrong("acting"), test),
+                                     GuardedUnit(good("spare"), test)])
+        assert pattern.execute(3) == 6
+
+    def test_all_fail_raises(self):
+        test = self._accept_even_double()
+        pattern = ParallelSelection([GuardedUnit(bad("a"), test),
+                                     GuardedUnit(bad("b"), test)])
+        with pytest.raises(AllAlternativesFailedError):
+            pattern.execute(3)
+
+    def test_exhausted_components_raise_immediately(self):
+        test = self._accept_even_double()
+        pattern = ParallelSelection([GuardedUnit(bad("a"), test)])
+        with pytest.raises(AllAlternativesFailedError):
+            pattern.execute(3)
+        with pytest.raises(AllAlternativesFailedError):
+            pattern.execute(3)  # disabled; nothing left
+
+    def test_disable_failing_off_keeps_units(self):
+        test = self._accept_even_double()
+        a = bad("a")
+        pattern = ParallelSelection([GuardedUnit(a, test),
+                                     GuardedUnit(good("b"), test)],
+                                    disable_failing=False)
+        pattern.execute(3)
+        assert a.enabled
+
+    def test_parallel_billing_is_max(self):
+        env = SimEnvironment()
+        test = self._accept_even_double()
+        pattern = ParallelSelection([GuardedUnit(good("a", cost=2.0), test),
+                                     GuardedUnit(good("b", cost=7.0), test)])
+        pattern.execute(1, env=env)
+        assert env.clock.now == 7.0
+
+
+class TestSequentialAlternatives:
+    def test_primary_suffices(self):
+        pattern = SequentialAlternatives([good("p"), good("alt")])
+        assert pattern.execute(5) == 10
+        assert pattern.stats.executions == 1  # alternates untouched
+
+    def test_alternate_used_on_failure(self):
+        pattern = SequentialAlternatives([bad("p"), good("alt")])
+        assert pattern.execute(5) == 10
+        assert pattern.stats.executions == 2
+        assert pattern.stats.masked_failures == 1
+
+    def test_sequential_billing_accumulates(self):
+        env = SimEnvironment()
+        pattern = SequentialAlternatives([bad("p", cost=3.0),
+                                          good("alt", cost=4.0)])
+        pattern.execute(5, env=env)
+        assert env.clock.now == 7.0
+
+    def test_exhaustion_raises_with_failures(self):
+        pattern = SequentialAlternatives([bad("a"), bad("b")])
+        with pytest.raises(AllAlternativesFailedError) as info:
+            pattern.execute(5)
+        assert len(info.value.failures) == 2
+        assert all(isinstance(f, BohrbugFailure)
+                   for f in info.value.failures)
+
+    def test_rollback_between_attempts(self):
+        state = DictState(log=[])
+
+        def dirty_fail(x):
+            state["log"].append("dirty")
+            raise BohrbugFailure("p failed")
+
+        def clean(x):
+            return len(state["log"])
+
+        pattern = SequentialAlternatives(
+            [Version("p", impl=dirty_fail), Version("alt", impl=clean)],
+            subject=state)
+        # The alternate must observe the rolled-back (empty) log.
+        assert pattern.execute(1) == 0
+        assert pattern.stats.rollbacks == 1
+
+    def test_state_restored_even_on_total_failure(self):
+        state = DictState(value=1)
+
+        def corrupt_and_fail(x):
+            state["value"] = 666
+            raise BohrbugFailure("boom")
+
+        pattern = SequentialAlternatives(
+            [Version("a", impl=corrupt_and_fail)], subject=state)
+        with pytest.raises(AllAlternativesFailedError):
+            pattern.execute(1)
+        assert state["value"] == 1
+
+    def test_max_attempts_caps_alternatives(self):
+        pattern = SequentialAlternatives([bad("a"), bad("b"), good("c")],
+                                         max_attempts=2)
+        with pytest.raises(AllAlternativesFailedError):
+            pattern.execute(5)
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            SequentialAlternatives([good()], max_attempts=0)
+
+    def test_guarded_units_reject_wrong_values(self):
+        test = PredicateAcceptanceTest(lambda args, v: v == args[0] * 2)
+        pattern = SequentialAlternatives(
+            [GuardedUnit(wrong("w"), test), GuardedUnit(good("g"), test)])
+        assert pattern.execute(4) == 8

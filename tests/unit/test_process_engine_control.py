@@ -1,0 +1,129 @@
+"""Unit tests for the orchestration control constructs (assign, switch,
+while) and a representative end-to-end process."""
+
+import pytest
+
+from repro.components.interface import FunctionSpec
+from repro.exceptions import ServiceFailure
+from repro.services.process_engine import (
+    Assign,
+    Invoke,
+    OrchestrationEngine,
+    Scope,
+    Sequence,
+    Switch,
+    While,
+)
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+
+DOUBLE = FunctionSpec("double", arity=1)
+
+
+def engine():
+    registry = ServiceRegistry()
+    registry.publish(Service("doubler", DOUBLE, impl=lambda x: x * 2))
+    return OrchestrationEngine(registry)
+
+
+class TestAssign:
+    def test_computes_into_context(self):
+        ctx = {"a": 3}
+        value = engine().run(Assign("b", lambda c: c["a"] + 1), ctx)
+        assert value == 4 and ctx["b"] == 4
+
+    def test_needs_a_key(self):
+        with pytest.raises(ValueError):
+            Assign("", lambda c: 1)
+
+
+class TestSwitch:
+    def _switch(self):
+        return Switch(
+            cases=[(lambda c: c["x"] < 0, Assign("sign", lambda c: -1)),
+                   (lambda c: c["x"] > 0, Assign("sign", lambda c: 1))],
+            otherwise=Assign("sign", lambda c: 0))
+
+    def test_first_matching_case(self):
+        ctx = {"x": -5}
+        engine().run(self._switch(), ctx)
+        assert ctx["sign"] == -1
+
+    def test_otherwise(self):
+        ctx = {"x": 0}
+        engine().run(self._switch(), ctx)
+        assert ctx["sign"] == 0
+
+    def test_no_match_no_otherwise_returns_none(self):
+        switch = Switch(cases=[(lambda c: False, Assign("y", lambda c: 1))])
+        assert engine().run(switch, {}) is None
+
+    def test_needs_cases_or_otherwise(self):
+        with pytest.raises(ValueError):
+            Switch(cases=[])
+
+
+class TestWhile:
+    def test_loops_until_condition_fails(self):
+        ctx = {"n": 0}
+        loop = While(lambda c: c["n"] < 5,
+                     Assign("n", lambda c: c["n"] + 1))
+        engine().run(loop, ctx)
+        assert ctx["n"] == 5
+
+    def test_returns_last_body_result(self):
+        ctx = {"n": 0}
+        loop = While(lambda c: c["n"] < 3,
+                     Assign("n", lambda c: c["n"] + 1))
+        assert engine().run(loop, ctx) == 3
+
+    def test_never_entering_returns_none(self):
+        assert engine().run(While(lambda c: False,
+                                  Assign("x", lambda c: 1)), {}) is None
+
+    def test_runaway_loop_bounded(self):
+        loop = While(lambda c: True, Assign("x", lambda c: 1),
+                     max_iterations=10)
+        with pytest.raises(RuntimeError):
+            engine().run(loop, {})
+
+    def test_max_iterations_validated(self):
+        with pytest.raises(ValueError):
+            While(lambda c: True, Assign("x", lambda c: 1),
+                  max_iterations=0)
+
+
+class TestEndToEndProcess:
+    def test_retrying_accumulator_process(self):
+        """A realistic process: accumulate doubled values until a
+        threshold, degrading gracefully if the service dies midway."""
+        registry = ServiceRegistry()
+        registry.publish(Service("doubler", DOUBLE, impl=lambda x: x * 2))
+        eng = OrchestrationEngine(registry)
+        process = Sequence(
+            Assign("total", lambda c: 0),
+            Assign("i", lambda c: 0),
+            While(lambda c: c["total"] < 20,
+                  Sequence(
+                      Invoke(DOUBLE, args=lambda c: (c["i"],),
+                             result_key="doubled"),
+                      Assign("total",
+                             lambda c: c["total"] + c["doubled"]),
+                      Assign("i", lambda c: c["i"] + 1))),
+        )
+        ctx = {}
+        eng.run(process, ctx)
+        # 0 + 2 + 4 + 6 + 8 = 20 after i reaches 5
+        assert ctx["total"] == 20 and ctx["i"] == 5
+
+    def test_switch_with_fault_scope(self):
+        registry = ServiceRegistry()
+        registry.publish(Service("dead", DOUBLE, impl=lambda x: x,
+                                 availability=0.0))
+        eng = OrchestrationEngine(registry)
+        process = Scope(
+            Switch(cases=[(lambda c: True, Invoke(DOUBLE, args=(1,)))]),
+            handlers={ServiceFailure: Assign("fallback", lambda c: True)})
+        ctx = {}
+        eng.run(process, ctx)
+        assert ctx["fallback"] is True

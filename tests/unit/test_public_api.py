@@ -1,0 +1,86 @@
+"""API stability: the documented public surface exists and is coherent."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = (
+    "repro.adjudicators",
+    "repro.analysis",
+    "repro.components",
+    "repro.environment",
+    "repro.faults",
+    "repro.harness",
+    "repro.patterns",
+    "repro.repair",
+    "repro.services",
+    "repro.sqlstore",
+    "repro.taxonomy",
+    "repro.techniques",
+)
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_is_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_version_is_set(self):
+        assert repro.__version__
+
+    def test_quickstart_docstring_example_works(self):
+        # The example embedded in the package docstring must run.
+        from repro import NVersionProgramming, diverse_versions
+        versions = diverse_versions(lambda x: x * x, n=5,
+                                    failure_probability=0.1, seed=1)
+        nvp = NVersionProgramming(versions)
+        assert nvp.execute(12) == 144
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("package", PUBLIC_PACKAGES)
+    def test_importable_with_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a package docstring"
+
+    @pytest.mark.parametrize("package", PUBLIC_PACKAGES)
+    def test_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{package}.{name}"
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize("package", PUBLIC_PACKAGES)
+    def test_public_classes_and_functions_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in getattr(module, "__all__", ()):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{package}.{name}")
+        assert not undocumented, undocumented
+
+
+class TestTechniqueSurface:
+    def test_every_technique_class_is_exported_from_techniques(self):
+        import repro.techniques as techniques
+        from repro.taxonomy import default_registry
+        exported = {getattr(techniques, name)
+                    for name in techniques.__all__
+                    if inspect.isclass(getattr(techniques, name))}
+        for name in default_registry.names():
+            assert default_registry.technique(name) in exported, name
+
+    def test_technique_names_match_table2(self):
+        from repro.taxonomy import default_registry
+        from repro.taxonomy.paper import PAPER_TABLE2
+        assert set(default_registry.names()) == {
+            e.name for e in PAPER_TABLE2}

@@ -1,0 +1,78 @@
+"""Unit tests for the Huang four-state rejuvenation model."""
+
+import pytest
+
+from repro.analysis.rejuvenation_model import (
+    FAILED,
+    PROBABLE,
+    REJUVENATING,
+    ROBUST,
+    RejuvenationModel,
+    optimal_rejuvenation_rate,
+)
+
+
+class TestModelConstruction:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            RejuvenationModel(p_age=1.5)
+        with pytest.raises(ValueError):
+            RejuvenationModel(p_fail=0.7, p_rejuvenate=0.5)
+
+    def test_steady_state_sums_to_one(self):
+        pi = RejuvenationModel(p_rejuvenate=0.1).steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0)
+        assert set(pi) == {ROBUST, PROBABLE, FAILED, REJUVENATING}
+
+
+class TestAvailability:
+    def test_no_rejuvenation_baseline(self):
+        model = RejuvenationModel(p_rejuvenate=0.0)
+        assert model.scheduled_downtime() == pytest.approx(0.0, abs=1e-9)
+        assert model.unscheduled_downtime() > 0.0
+
+    def test_rejuvenation_reduces_unscheduled_downtime(self):
+        without = RejuvenationModel(p_rejuvenate=0.0)
+        with_rej = RejuvenationModel(p_rejuvenate=0.2)
+        assert (with_rej.unscheduled_downtime()
+                < without.unscheduled_downtime())
+        assert with_rej.scheduled_downtime() > 0.0
+
+    def test_rejuvenation_lowers_downtime_cost(self):
+        # The Huang argument: crash downtime is ~10x costlier than a
+        # scheduled restart, so converting one into the other pays.
+        without = RejuvenationModel(p_rejuvenate=0.0)
+        with_rej = RejuvenationModel(p_rejuvenate=0.2)
+        assert (with_rej.downtime_cost(crash_cost=10, rejuvenation_cost=1)
+                < without.downtime_cost(crash_cost=10,
+                                        rejuvenation_cost=1))
+
+    def test_rejuvenation_not_free_when_costs_are_equal(self):
+        # If a scheduled restart cost as much as a crash, aggressive
+        # rejuvenation would not beat the baseline.
+        without = RejuvenationModel(p_rejuvenate=0.0,
+                                    p_refresh=0.10)  # as slow as repair
+        aggressive = RejuvenationModel(p_rejuvenate=0.9, p_refresh=0.10)
+        assert (aggressive.downtime_cost(crash_cost=1, rejuvenation_cost=1)
+                >= without.downtime_cost(crash_cost=1,
+                                         rejuvenation_cost=1) - 1e-9)
+
+
+class TestOptimalRate:
+    def test_positive_when_crashes_are_expensive(self):
+        base = RejuvenationModel()
+        rate = optimal_rejuvenation_rate(base, crash_cost=10.0,
+                                         rejuvenation_cost=1.0)
+        assert rate > 0.0
+
+    def test_zero_when_rejuvenation_is_worthless(self):
+        # Scheduled restarts as slow as repairs and as costly as crashes:
+        # the optimum is to never rejuvenate.
+        base = RejuvenationModel(p_refresh=0.05)  # slower than repair
+        rate = optimal_rejuvenation_rate(base, crash_cost=1.0,
+                                         rejuvenation_cost=2.0)
+        assert rate == 0.0
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            RejuvenationModel().downtime_cost(crash_cost=-1)

@@ -1,0 +1,243 @@
+"""Unit tests for the GP-repair substrate: AST, interpreter, mutation,
+engine."""
+
+import random
+
+import pytest
+
+from repro.adjudicators.acceptance import TestSuiteAdjudicator
+from repro.exceptions import RepairFailedError
+from repro.repair.ast_ops import (
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    EvaluationError,
+    If,
+    Interpreter,
+    Program,
+    Return,
+    Var,
+    While,
+    render,
+)
+from repro.repair.engine import GeneticRepairEngine
+from repro.repair.mutation import all_sites, crossover, mutate, node_at, replace
+
+
+def max_program():
+    """Correct: return max(a, b)."""
+    return Program(
+        name="maxp", params=("a", "b"),
+        body=(
+            If(cond=Compare(">", Var("a"), Var("b")),
+               then=(Return(Var("a")),),
+               orelse=(Return(Var("b")),)),
+        ))
+
+
+def buggy_max_program():
+    """Seeded Bohrbug: comparison flipped."""
+    return Program(
+        name="maxp", params=("a", "b"),
+        body=(
+            If(cond=Compare("<", Var("a"), Var("b")),
+               then=(Return(Var("a")),),
+               orelse=(Return(Var("b")),)),
+        ))
+
+
+def sum_to_n():
+    """Correct: sum of 1..n via a loop."""
+    return Program(
+        name="sum", params=("n",),
+        body=(
+            Assign("acc", Const(0)),
+            Assign("i", Const(1)),
+            While(cond=Compare("<=", Var("i"), Var("n")),
+                  body=(Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+                        Assign("i", BinOp("+", Var("i"), Const(1))))),
+            Return(Var("acc")),
+        ))
+
+
+class TestInterpreter:
+    def test_max(self):
+        program = max_program()
+        assert program(3, 9) == 9
+        assert program(9, 3) == 9
+
+    def test_loop(self):
+        assert sum_to_n()(10) == 55
+
+    def test_programs_are_callable(self):
+        assert max_program()(1, 2) == 2
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvaluationError):
+            max_program()(1)
+
+    def test_unbound_variable(self):
+        program = Program("p", ("x",), body=(Return(Var("y")),))
+        with pytest.raises(EvaluationError):
+            program(1)
+
+    def test_division_by_zero(self):
+        program = Program("p", ("x",),
+                          body=(Return(BinOp("//", Const(1), Var("x"))),))
+        assert program(2) == 0
+        with pytest.raises(EvaluationError):
+            program(0)
+
+    def test_fuel_stops_divergence(self):
+        diverging = Program(
+            "spin", ("x",),
+            body=(While(cond=Compare("==", Const(1), Const(1)), body=(
+                Assign("x", BinOp("+", Var("x"), Const(1))),)),
+                Return(Var("x"))))
+        with pytest.raises(EvaluationError):
+            Interpreter(fuel=500).run(diverging, (0,))
+
+    def test_fall_off_the_end(self):
+        program = Program("p", (), body=(Assign("x", Const(1)),))
+        with pytest.raises(EvaluationError):
+            program()
+
+    def test_min_max_ops(self):
+        program = Program("p", ("a", "b"),
+                          body=(Return(BinOp("min", Var("a"), Var("b"))),))
+        assert program(3, 9) == 3
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1), Const(2))
+        with pytest.raises(ValueError):
+            Compare("~", Const(1), Const(2))
+
+    def test_render_produces_pseudo_code(self):
+        text = render(sum_to_n())
+        assert "def sum(n):" in text
+        assert "while" in text
+        assert "return acc" in text
+
+
+class TestMutation:
+    def test_all_sites_nonempty(self):
+        sites = all_sites(max_program())
+        assert len(sites) >= 5
+
+    def test_node_at_roundtrip(self):
+        program = max_program()
+        for path, node in all_sites(program):
+            assert node_at(program, path) is node
+
+    def test_replace_changes_only_target(self):
+        program = max_program()
+        sites = [s for s in all_sites(program)
+                 if isinstance(s[1], Compare)]
+        path, node = sites[0]
+        patched = replace(program, path, Compare(">=", node.left, node.right))
+        assert node_at(patched, path).op == ">="
+        # original untouched (immutability)
+        assert node_at(program, path).op == ">"
+
+    def test_mutate_produces_different_program(self):
+        rng = random.Random(0)
+        program = max_program()
+        mutant = mutate(program, rng)
+        assert mutant != program
+
+    def test_mutate_preserves_validity(self):
+        rng = random.Random(1)
+        program = sum_to_n()
+        for _ in range(50):
+            program = mutate(program, rng)
+            try:
+                program(3)
+            except EvaluationError:
+                pass  # crashes allowed; invalid trees are not
+
+    def test_crossover_type_compatible(self):
+        rng = random.Random(2)
+        child = crossover(buggy_max_program(), max_program(), rng)
+        # Child remains a structurally valid program.
+        assert isinstance(child, Program)
+        try:
+            child(1, 2)
+        except EvaluationError:
+            pass
+
+
+class TestRepairEngine:
+    def _suite(self):
+        cases = [((a, b), max(a, b))
+                 for a in (0, 3, 7) for b in (1, 3, 9)]
+        return TestSuiteAdjudicator(cases)
+
+    def test_repairs_flipped_comparison(self):
+        engine = GeneticRepairEngine(self._suite(), population_size=30,
+                                     max_generations=30, seed=4)
+        result = engine.repair(buggy_max_program())
+        assert result.fixed
+        assert result.program(5, 2) == 5
+        assert result.fitness == 1.0
+
+    def test_healthy_program_needs_no_generations(self):
+        engine = GeneticRepairEngine(self._suite(), seed=0)
+        result = engine.repair(max_program())
+        assert result.fixed and result.generations == 0
+
+    def test_repair_or_raise(self):
+        # Unreachable target: tests demand a constant unrelated to params.
+        impossible = TestSuiteAdjudicator([((i,), 123456789 + i * 977)
+                                           for i in range(6)])
+        program = Program("p", ("x",), body=(Return(Var("x")),))
+        engine = GeneticRepairEngine(impossible, population_size=8,
+                                     max_generations=2, seed=0)
+        with pytest.raises(RepairFailedError):
+            engine.repair_or_raise(program)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            engine = GeneticRepairEngine(self._suite(), population_size=20,
+                                         max_generations=10, seed=seed)
+            return engine.repair(buggy_max_program())
+
+        a, b = run(7), run(7)
+        assert a.generations == b.generations
+        assert a.evaluations == b.evaluations
+
+    def test_parameter_validation(self):
+        suite = self._suite()
+        with pytest.raises(ValueError):
+            GeneticRepairEngine(suite, population_size=1)
+        with pytest.raises(ValueError):
+            GeneticRepairEngine(suite, max_generations=0)
+        with pytest.raises(ValueError):
+            GeneticRepairEngine(suite, crossover_rate=2.0)
+        with pytest.raises(ValueError):
+            GeneticRepairEngine(suite, elitism=40, population_size=10)
+        with pytest.raises(ValueError):
+            GeneticRepairEngine(suite, tournament=0)
+
+
+class TestBloatControl:
+    def test_population_size_stays_bounded(self):
+        from repro.repair.mutation import all_sites
+        from tests.unit.test_repair import buggy_max_program  # self-import
+        suite = TestSuiteAdjudicator(
+            [((a, b), max(a, b)) for a in (0, 3) for b in (1, 9)])
+        engine = GeneticRepairEngine(suite, population_size=20,
+                                     max_generations=15,
+                                     crossover_rate=0.9,  # bloat pressure
+                                     max_nodes=60, seed=5)
+        scored = engine._score([buggy_max_program()] * 20)
+        for _ in range(15):
+            population = engine._next_generation(scored)
+            scored = engine._score(population)
+            assert all(len(all_sites(p)) <= 60 * 3 for p in population)
+
+    def test_max_nodes_validated(self):
+        suite = TestSuiteAdjudicator([((1,), 1)])
+        with pytest.raises(ValueError):
+            GeneticRepairEngine(suite, max_nodes=0)

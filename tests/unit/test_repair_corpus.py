@@ -1,0 +1,54 @@
+"""Unit tests for the repair corpus: every subject is well-formed and
+repairable."""
+
+import pytest
+
+from repro.repair.corpus import RepairSubject, all_subjects
+from repro.repair.engine import GeneticRepairEngine
+
+SUBJECTS = all_subjects()
+
+
+@pytest.mark.parametrize("subject", SUBJECTS, ids=lambda s: s.name)
+class TestCorpusWellFormed:
+    def test_reference_passes_its_suite(self, subject):
+        assert subject.suite.passing_fraction(subject.correct) == 1.0
+
+    def test_buggy_variant_fails_its_suite(self, subject):
+        fraction = subject.suite.passing_fraction(subject.buggy)
+        assert fraction < 1.0
+
+    def test_buggy_variant_partially_works(self, subject):
+        # A seeded Bohrbug is not total destruction: some tests pass, so
+        # fitness has a gradient for the search to climb.
+        assert subject.suite.passing_fraction(subject.buggy) > 0.0
+
+    def test_same_signature(self, subject):
+        assert subject.correct.params == subject.buggy.params
+        assert subject.correct.name == subject.buggy.name
+
+
+@pytest.mark.parametrize("subject", SUBJECTS, ids=lambda s: s.name)
+def test_every_subject_is_gp_repairable(subject):
+    """At least one of three seeds repairs each corpus subject.
+
+    Budgets are modest (the point is repairability, not convergence
+    statistics — those live in the C10 benchmark).
+    """
+    for seed in (1, 2, 3):
+        engine = GeneticRepairEngine(subject.suite, population_size=30,
+                                     max_generations=25, seed=seed)
+        result = engine.repair(subject.buggy)
+        if result.fixed:
+            assert subject.suite.passing_fraction(result.program) == 1.0
+            return
+    pytest.fail(f"{subject.name} not repaired by any seed")
+
+
+def test_corpus_covers_distinct_fault_kinds():
+    kinds = {subject.fault_kind for subject in SUBJECTS}
+    assert len(kinds) == len(SUBJECTS)
+
+
+def test_corpus_size():
+    assert len(SUBJECTS) >= 5

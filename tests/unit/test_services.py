@@ -1,0 +1,266 @@
+"""Unit tests for the service substrate: services, registry, broker,
+adapters, orchestration engine."""
+
+import pytest
+
+from repro.components.interface import FunctionSpec
+from repro.environment import SimEnvironment
+from repro.exceptions import ServiceFailure, ServiceLookupError
+from repro.services.adapters import Adapter
+from repro.services.broker import ServiceBroker
+from repro.services.process_engine import (
+    Invoke,
+    OrchestrationEngine,
+    Parallel,
+    Retry,
+    Scope,
+    Sequence,
+)
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+
+SQRT = FunctionSpec("sqrt", arity=1, semantic_key="square-root")
+ROOT2 = FunctionSpec("root2", arity=1, semantic_key="square-root")
+ADD = FunctionSpec("add", arity=2)
+
+
+def sqrt_service(name, availability=1.0, latency=1.0):
+    return Service(name, SQRT, impl=lambda x: x ** 0.5,
+                   availability=availability, latency=latency)
+
+
+class TestService:
+    def test_invoke(self):
+        assert sqrt_service("s").invoke(16) == 4
+
+    def test_arity_enforced(self):
+        with pytest.raises(TypeError):
+            sqrt_service("s").invoke(1, 2)
+
+    def test_unavailable_service_raises(self):
+        service = sqrt_service("down", availability=0.0)
+        with pytest.raises(ServiceFailure):
+            service.invoke(4)
+        assert service.drops == 1
+
+    def test_availability_rate_with_env(self):
+        env = SimEnvironment(seed=1)
+        service = sqrt_service("flaky", availability=0.7)
+        drops = 0
+        for _ in range(2000):
+            try:
+                service.invoke(4, env=env)
+            except ServiceFailure:
+                drops += 1
+        assert 0.25 < drops / 2000 < 0.35
+
+    def test_availability_deterministic_without_env(self):
+        a = sqrt_service("flaky", availability=0.5)
+        b = sqrt_service("flaky", availability=0.5)
+        pattern_a, pattern_b = [], []
+        for service, pattern in ((a, pattern_a), (b, pattern_b)):
+            for _ in range(30):
+                try:
+                    service.invoke(4)
+                    pattern.append(True)
+                except ServiceFailure:
+                    pattern.append(False)
+        assert pattern_a == pattern_b
+
+    def test_latency_billed(self):
+        env = SimEnvironment()
+        sqrt_service("s", latency=3.5).invoke(4, env=env)
+        assert env.clock.now == 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sqrt_service("s", availability=1.5)
+        with pytest.raises(ValueError):
+            sqrt_service("s", latency=-1)
+
+
+class TestRegistry:
+    def test_publish_and_lookup(self):
+        registry = ServiceRegistry()
+        service = registry.publish(sqrt_service("a"))
+        assert registry.lookup("a") is service
+        assert "a" in registry and len(registry) == 1
+
+    def test_duplicate_names_rejected(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("a"))
+        with pytest.raises(ValueError):
+            registry.publish(sqrt_service("a"))
+
+    def test_withdraw(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("a"))
+        registry.withdraw("a")
+        assert registry.lookup("a") is None
+
+    def test_implementations_of(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("a"))
+        registry.publish(sqrt_service("b"))
+        registry.publish(Service("adder", ADD, impl=lambda a, b: a + b))
+        matches = registry.implementations_of(SQRT)
+        assert {s.name for s in matches} == {"a", "b"}
+
+    def test_exclusion(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("a"))
+        registry.publish(sqrt_service("b"))
+        assert {s.name for s in registry.implementations_of(
+            SQRT, exclude="a")} == {"b"}
+
+    def test_similar_to(self):
+        registry = ServiceRegistry()
+        registry.publish(Service("other-root", ROOT2, impl=lambda x: x ** 0.5))
+        similar = registry.similar_to(SQRT)
+        assert [s.name for s in similar] == ["other-root"]
+
+
+class TestAdapter:
+    def test_requires_similarity(self):
+        unrelated = Service("adder", ADD, impl=lambda a, b: a + b)
+        with pytest.raises(ValueError):
+            Adapter(unrelated, SQRT)
+
+    def test_adapts_arguments_and_result(self):
+        target = Service("root2", ROOT2, impl=lambda x: x ** 0.5)
+        adapter = Adapter(target, SQRT,
+                          convert_args=lambda args: (args[0] * 4,),
+                          convert_result=lambda y: y / 2)
+        assert adapter.invoke(16) == pytest.approx(4.0)
+
+    def test_conversion_cost_billed(self):
+        env = SimEnvironment()
+        target = Service("root2", ROOT2, impl=lambda x: x ** 0.5, latency=1.0)
+        adapter = Adapter(target, SQRT)
+        adapter.invoke(4, env=env)
+        assert env.clock.now == pytest.approx(1.0 + Adapter.CONVERSION_COST)
+
+
+class TestBroker:
+    def _pool(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("low", availability=0.5))
+        registry.publish(sqrt_service("high", availability=0.99))
+        registry.publish(Service("other-root", ROOT2,
+                                 impl=lambda x: x ** 0.5,
+                                 availability=0.9))
+        return registry, ServiceBroker(registry)
+
+    def test_exact_matches_first_by_availability(self):
+        _, broker = self._pool()
+        names = [getattr(e, "name") for e in broker.substitutes(SQRT)]
+        assert names[:2] == ["high", "low"]
+
+    def test_similar_requires_registered_converter(self):
+        _, broker = self._pool()
+        assert len(broker.substitutes(SQRT)) == 2
+        broker.register_converter("root2", "sqrt",
+                                  convert_args=lambda args: args)
+        endpoints = broker.substitutes(SQRT)
+        assert len(endpoints) == 3
+        assert isinstance(endpoints[-1], Adapter)
+
+    def test_require_substitutes_raises_when_empty(self):
+        registry = ServiceRegistry()
+        broker = ServiceBroker(registry)
+        with pytest.raises(ServiceLookupError):
+            broker.require_substitutes(SQRT)
+
+    def test_exclusion_respected(self):
+        _, broker = self._pool()
+        names = [e.name for e in broker.substitutes(SQRT, exclude="high")]
+        assert names == ["low"]
+
+
+class TestOrchestration:
+    def _engine(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("s"))
+        registry.publish(Service("adder", ADD, impl=lambda a, b: a + b))
+        return OrchestrationEngine(registry)
+
+    def test_invoke_binds_lazily(self):
+        engine = self._engine()
+        result = engine.run(Invoke(SQRT, args=(25,)))
+        assert result == 5
+        assert engine.bindings["sqrt"].name == "s"
+
+    def test_sequence_threads_context(self):
+        engine = self._engine()
+        flow = Sequence(
+            Invoke(SQRT, args=(16,), result_key="r"),
+            Invoke(ADD, args=lambda ctx: (ctx["r"], 1), result_key="out"),
+        )
+        ctx = {}
+        assert engine.run(flow, ctx) == 5
+        assert ctx["out"] == 5
+
+    def test_parallel_collects_results(self):
+        engine = self._engine()
+        flow = Parallel(Invoke(SQRT, args=(4,), result_key="a"),
+                        Invoke(SQRT, args=(9,), result_key="b"))
+        assert engine.run(flow) == [2, 3]
+
+    def test_retry_recovers_flaky_service(self):
+        registry = ServiceRegistry()
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            return x
+
+        service = Service("s", SQRT, impl=flaky, availability=0.5)
+        registry.publish(service)
+        engine = OrchestrationEngine(registry)
+        # availability draws are deterministic per call counter; with
+        # enough attempts the retry eventually lands.
+        result = engine.run(Retry(Invoke(SQRT, args=(7,)), attempts=20))
+        assert result == 7
+
+    def test_retry_exhausts(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("dead", availability=0.0))
+        engine = OrchestrationEngine(registry)
+        with pytest.raises(ServiceFailure):
+            engine.run(Retry(Invoke(SQRT, args=(4,)), attempts=3))
+
+    def test_scope_handler_catches(self):
+        registry = ServiceRegistry()
+        registry.publish(sqrt_service("dead", availability=0.0))
+        engine = OrchestrationEngine(registry)
+        flow = Scope(Invoke(SQRT, args=(4,)),
+                     handlers={ServiceFailure:
+                               lambda eng, ctx, exc: "fallback"})
+        assert engine.run(flow) == "fallback"
+
+    def test_scope_activity_handler(self):
+        engine = self._engine()
+        engine.registry.publish(sqrt_service("dead", availability=0.0))
+        engine.bind("sqrt", engine.registry.lookup("dead"))
+        flow = Scope(Invoke(SQRT, args=(4,)),
+                     handlers={ServiceFailure: Invoke(ADD, args=(1, 2))})
+        assert engine.run(flow) == 3
+
+    def test_rebinding_redirects_invocations(self):
+        engine = self._engine()
+        replacement = Service("s2", SQRT, impl=lambda x: -1.0)
+        engine.bind("sqrt", replacement)
+        assert engine.run(Invoke(SQRT, args=(25,))) == -1.0
+
+    def test_missing_implementation_raises(self):
+        engine = OrchestrationEngine(ServiceRegistry())
+        with pytest.raises(ServiceLookupError):
+            engine.run(Invoke(SQRT, args=(4,)))
+
+    def test_empty_composites_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence()
+        with pytest.raises(ValueError):
+            Parallel()
+        with pytest.raises(ValueError):
+            Retry(Invoke(SQRT), attempts=0)

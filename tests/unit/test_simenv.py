@@ -1,0 +1,150 @@
+"""Unit tests for the SimEnvironment facade."""
+
+import pytest
+
+from repro.environment.scheduler import FIFO, SHUFFLE
+from repro.environment.simenv import (
+    CHANGE_PRIORITY,
+    PAD_ALLOCATIONS,
+    PERTURBATIONS,
+    SHUFFLE_MESSAGES,
+    THROTTLE_REQUESTS,
+    SimEnvironment,
+)
+
+
+class TestWorkAndAging:
+    def test_work_advances_clock_and_age(self):
+        env = SimEnvironment()
+        env.do_work(5)
+        env.do_work(2)
+        assert env.clock.now == 7
+        assert env.age == 7
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            SimEnvironment().do_work(-1)
+
+    def test_chance_is_seeded(self):
+        a = SimEnvironment(seed=3)
+        b = SimEnvironment(seed=3)
+        assert [a.chance(0.5) for _ in range(20)] == \
+            [b.chance(0.5) for _ in range(20)]
+
+    def test_chance_extremes(self):
+        env = SimEnvironment()
+        assert not env.chance(0.0)
+        assert env.chance(1.0)
+
+    def test_chance_validates_probability(self):
+        with pytest.raises(ValueError):
+            SimEnvironment().chance(1.5)
+
+
+class TestPerturbations:
+    def test_pad_allocations(self):
+        env = SimEnvironment()
+        env.perturb(PAD_ALLOCATIONS)
+        assert env.heap.default_pad == 8
+        env.perturb(PAD_ALLOCATIONS)
+        assert env.heap.default_pad == 16
+
+    def test_shuffle_messages(self):
+        env = SimEnvironment()
+        env.perturb(SHUFFLE_MESSAGES)
+        assert env.scheduler.policy == SHUFFLE
+
+    def test_change_priority(self):
+        env = SimEnvironment()
+        env.perturb(CHANGE_PRIORITY)
+        assert env.scheduler.policy == "priority"
+
+    def test_throttle(self):
+        env = SimEnvironment()
+        env.perturb(THROTTLE_REQUESTS)
+        assert env.throttled
+
+    def test_unknown_perturbation_rejected(self):
+        with pytest.raises(ValueError):
+            SimEnvironment().perturb("defragment-disk")
+
+    def test_applied_perturbations_logged(self):
+        env = SimEnvironment()
+        for kind in PERTURBATIONS:
+            env.perturb(kind)
+        assert env.applied_perturbations == list(PERTURBATIONS)
+
+    def test_reset_perturbations(self):
+        env = SimEnvironment(seed=4)
+        for kind in PERTURBATIONS:
+            env.perturb(kind)
+        env.reset_perturbations()
+        assert env.heap.default_pad == 0
+        assert env.scheduler.policy == FIFO
+        assert not env.throttled
+        assert env.applied_perturbations == []
+
+
+class TestReinitialisation:
+    def test_reboot_clears_state_and_costs_downtime(self):
+        env = SimEnvironment()
+        env.heap.leak(env.heap.alloc(16))
+        env.do_work(50)
+        before = env.clock.now
+        downtime = env.reboot()
+        assert downtime == SimEnvironment.FULL_REBOOT_COST
+        assert env.clock.now == before + downtime
+        assert env.age == 0
+        assert env.heap.leaked_cells == 0
+        assert env.epoch == 1
+
+    def test_rejuvenation_is_cheaper_than_reboot(self):
+        assert (SimEnvironment.REJUVENATION_COST
+                < SimEnvironment.FULL_REBOOT_COST)
+
+    def test_micro_reboot_cost_is_much_cheaper(self):
+        assert (SimEnvironment.MICRO_REBOOT_COST * 10
+                < SimEnvironment.FULL_REBOOT_COST)
+
+
+class TestSnapshots:
+    def test_snapshot_restores_heap_and_age(self):
+        env = SimEnvironment()
+        env.heap.alloc(8)
+        env.do_work(5)
+        snap = env.snapshot(note="before")
+        env.heap.alloc(8)
+        env.do_work(5)
+        env.restore(snap)
+        assert env.heap.allocated_cells == 8
+        assert env.age == 5
+        assert snap.extra == {"note": "before"}
+
+    def test_clock_never_rolls_back(self):
+        env = SimEnvironment()
+        env.do_work(5)
+        snap = env.snapshot()
+        env.do_work(5)
+        env.restore(snap)
+        assert env.clock.now == 10
+
+    def test_nondeterminism_not_replayed_by_default(self):
+        env = SimEnvironment(seed=1)
+        snap = env.snapshot()
+        first = [env.chance(0.5) for _ in range(10)]
+        env.restore(snap)
+        second = [env.chance(0.5) for _ in range(10)]
+        assert first != second  # fresh draws after rollback
+
+    def test_nondeterminism_replayed_when_requested(self):
+        env = SimEnvironment(seed=1)
+        snap = env.snapshot()
+        first = [env.chance(0.5) for _ in range(10)]
+        env.restore(snap, replay_nondeterminism=True)
+        second = [env.chance(0.5) for _ in range(10)]
+        assert first == second
+
+    def test_describe_keys(self):
+        description = SimEnvironment().describe()
+        assert {"time", "age", "epoch", "heap_pressure",
+                "scheduler_policy"} <= set(description)

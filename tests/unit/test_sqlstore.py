@@ -1,0 +1,223 @@
+"""Unit tests for the diverse SQL-store substrate and replication."""
+
+import pytest
+
+from repro.exceptions import NoMajorityError
+from repro.faults.base import CRASH, WRONG_VALUE
+from repro.faults.development import Bohrbug
+from repro.sqlstore.engines import (
+    AppendLogEngine,
+    HashIndexEngine,
+    QueryError,
+    SortedStoreEngine,
+    diverse_engine_pool,
+)
+from repro.sqlstore.query import Delete, Insert, Select, Update, eq, gt, lt
+from repro.sqlstore.replicated import ReplicatedStore, canonical_result
+
+ALL_ENGINES = (HashIndexEngine, AppendLogEngine, SortedStoreEngine)
+
+
+def seeded(engine):
+    for i in range(5):
+        engine.execute(Insert.of(id=i, name=f"n{i}", score=i * 10))
+    return engine
+
+
+class TestQueryModel:
+    def test_insert_requires_id(self):
+        with pytest.raises(ValueError):
+            Insert.of(name="x")
+
+    def test_update_protects_primary_key(self):
+        with pytest.raises(ValueError):
+            Update.set(eq("name", "x"), id=9)
+
+    def test_update_needs_changes(self):
+        with pytest.raises(ValueError):
+            Update.set(eq("name", "x"))
+
+    def test_predicates(self):
+        row = {"id": 1, "score": 10}
+        assert eq("score", 10)(row)
+        assert lt("score", 11)(row)
+        assert gt("score", 9)(row)
+        assert not lt("missing", 5)(row)
+        assert not gt("missing", 5)(row)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+class TestEngineContract:
+    """Every engine must honour the identical functional contract."""
+
+    def test_insert_select_roundtrip(self, engine_cls):
+        engine = seeded(engine_cls())
+        rows = engine.execute(Select(where=eq("name", "n2")))
+        assert rows == [{"id": 2, "name": "n2", "score": 20}]
+
+    def test_duplicate_key_rejected(self, engine_cls):
+        engine = seeded(engine_cls())
+        with pytest.raises(QueryError):
+            engine.execute(Insert.of(id=2, name="dup"))
+
+    def test_select_all(self, engine_cls):
+        engine = seeded(engine_cls())
+        assert len(engine.execute(Select())) == 5
+
+    def test_ordered_select_is_contractual(self, engine_cls):
+        engine = seeded(engine_cls())
+        rows = engine.execute(Select(order_by="score"))
+        scores = [r["score"] for r in rows]
+        assert scores == sorted(scores)
+
+    def test_update_returns_count_and_applies(self, engine_cls):
+        engine = seeded(engine_cls())
+        count = engine.execute(Update.set(gt("score", 25), flag=True))
+        assert count == 2
+        flagged = engine.execute(Select(where=eq("flag", True)))
+        assert {r["id"] for r in flagged} == {3, 4}
+
+    def test_delete_returns_count(self, engine_cls):
+        engine = seeded(engine_cls())
+        assert engine.execute(Delete(where=lt("score", 25))) == 3
+        assert len(engine.execute(Select())) == 2
+
+    def test_update_after_delete(self, engine_cls):
+        engine = seeded(engine_cls())
+        engine.execute(Delete(where=eq("id", 3)))
+        assert engine.execute(Update.set(eq("id", 3), score=0)) == 0
+
+    def test_dump_is_id_sorted(self, engine_cls):
+        engine = seeded(engine_cls())
+        dump = engine.dump()
+        assert [r["id"] for r in dump] == [0, 1, 2, 3, 4]
+
+    def test_clear_and_load(self, engine_cls):
+        engine = seeded(engine_cls())
+        snapshot = engine.dump()
+        engine.clear()
+        assert engine.dump() == []
+        engine.load(snapshot)
+        assert engine.dump() == snapshot
+
+
+class TestEngineDiversity:
+    def test_unordered_iteration_orders_differ(self):
+        """The non-determinism Gashi et al. warn about: equivalent
+        engines legitimately return unordered SELECTs differently."""
+        engines = [seeded(cls()) for cls in ALL_ENGINES]
+        # Touch a row so the log engine's recency order diverges.
+        for engine in engines:
+            engine.execute(Update.set(eq("id", 0), score=5))
+        orders = [tuple(r["id"] for r in engine.execute(Select()))
+                  for engine in engines]
+        assert len(set(orders)) > 1
+
+    def test_dumps_agree_despite_order(self):
+        engines = [seeded(cls()) for cls in ALL_ENGINES]
+        dumps = [engine.dump() for engine in engines]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+
+class TestCanonicalisation:
+    def test_unordered_select_canonical_forms_agree(self):
+        engines = [seeded(cls()) for cls in ALL_ENGINES]
+        statement = Select()
+        forms = {canonical_result(statement, e.execute(statement))
+                 for e in engines}
+        assert len(forms) == 1
+
+    def test_ordered_select_keeps_order(self):
+        statement = Select(order_by="score")
+        result = [{"id": 2, "score": 20}, {"id": 1, "score": 30}]
+        form = canonical_result(statement, result)
+        assert form[0][0] == ("id", 2)
+
+    def test_scalars_pass_through(self):
+        assert canonical_result(Update.set(eq("id", 1), v=2), 3) == 3
+
+
+class TestReplicatedStore:
+    def test_needs_two_engines(self):
+        with pytest.raises(ValueError):
+            ReplicatedStore([HashIndexEngine()])
+
+    def test_healthy_replication(self):
+        store = ReplicatedStore(diverse_engine_pool())
+        store.execute(Insert.of(id=1, v=10))
+        assert store.execute(Select(where=eq("id", 1))) == [
+            {"id": 1, "v": 10}]
+        assert store.stats.masked_failures == 0
+
+    def test_unordered_select_does_not_false_alarm(self):
+        store = ReplicatedStore(diverse_engine_pool())
+        for i in range(6):
+            store.execute(Insert.of(id=i, v=i))
+        store.execute(Update.set(eq("id", 0), v=100))  # skew log order
+        result = store.execute(Select())
+        assert len(result) == 6
+        assert store.stats.vote_failures == 0
+
+    def test_without_canonicalisation_row_order_false_alarms(self):
+        store = ReplicatedStore(diverse_engine_pool(), canonicalise=False)
+        # Non-ascending inserts make all three iteration orders differ:
+        # insertion order (hash), recency (log), ascending id (sorted).
+        for i in (3, 1, 5, 0, 4, 2):
+            store.execute(Insert.of(id=i, v=i))
+        with pytest.raises(NoMajorityError):
+            store.execute(Select())
+
+    def test_wrong_value_replica_outvoted(self):
+        bug = Bohrbug("count-bug",
+                      predicate=lambda args: isinstance(args[0], Update),
+                      effect=WRONG_VALUE)
+        store = ReplicatedStore(diverse_engine_pool({1: [bug]}))
+        for i in range(3):
+            store.execute(Insert.of(id=i, v=i))
+        assert store.execute(Update.set(eq("id", 1), v=9)) == 1
+        assert store.stats.masked_failures == 1
+
+    def test_crashing_replica_masked_and_state_repaired(self):
+        bug = Bohrbug("insert-crash",
+                      predicate=lambda args: isinstance(args[0], Insert),
+                      effect=CRASH)
+        engines = diverse_engine_pool({2: [bug]})
+        store = ReplicatedStore(engines, auto_reconcile=True)
+        store.execute(Insert.of(id=1, v=1))
+        # The crashed replica missed the insert but reconciliation
+        # copied the majority state into it.
+        assert engines[2].dump() == [{"id": 1, "v": 1}]
+        assert store.stats.repaired_replicas >= 1
+        assert store.diverged_replicas() == []
+
+    def test_without_reconcile_state_diverges(self):
+        bug = Bohrbug("insert-crash",
+                      predicate=lambda args: isinstance(args[0], Insert),
+                      effect=CRASH)
+        engines = diverse_engine_pool({2: [bug]})
+        store = ReplicatedStore(engines, auto_reconcile=False)
+        store.execute(Insert.of(id=1, v=1))
+        assert engines[2] in store.diverged_replicas()
+
+    def test_majority_crash_raises(self):
+        def is_insert(args):
+            return isinstance(args[0], Insert)
+
+        engines = diverse_engine_pool(
+            {0: [Bohrbug("b0", predicate=is_insert)],
+             1: [Bohrbug("b1", predicate=is_insert)]})
+        store = ReplicatedStore(engines)
+        with pytest.raises(NoMajorityError):
+            store.execute(Insert.of(id=1, v=1))
+
+    def test_operator_error_repaired_by_reconcile(self):
+        engines = diverse_engine_pool()
+        store = ReplicatedStore(engines)
+        for i in range(4):
+            store.execute(Insert.of(id=i, v=i))
+        # Out-of-band corruption of one replica (operator mishap).
+        engines[0].clear()
+        assert engines[0] in store.diverged_replicas()
+        assert store.reconcile() == 1
+        assert store.diverged_replicas() == []
+        assert engines[0].dump() == engines[1].dump()

@@ -1,0 +1,215 @@
+"""Unit tests for the taxonomy model, registry, and paper transcription."""
+
+import pytest
+
+from repro.taxonomy import (
+    AdjudicatorKind,
+    AdjudicatorTiming,
+    ArchitecturalPattern,
+    FaultClass,
+    Intention,
+    RedundancyType,
+    TaxonomyEntry,
+    TechniqueRegistry,
+    default_registry,
+)
+from repro.taxonomy.dimensions import TABLE1_STRUCTURE
+from repro.taxonomy.paper import PAPER_TABLE2, paper_entry
+from repro.taxonomy.tables import (
+    format_table,
+    render_diff,
+    render_table1,
+    render_table2,
+)
+
+import repro.techniques  # noqa: F401 - populates the default registry
+
+
+def _entry(**overrides):
+    base = dict(name="Test technique",
+                intention=Intention.DELIBERATE,
+                rtype=RedundancyType.CODE,
+                timing=AdjudicatorTiming.REACTIVE,
+                adjudicator=AdjudicatorKind.IMPLICIT,
+                faults=(FaultClass.DEVELOPMENT,))
+    base.update(overrides)
+    return TaxonomyEntry(**base)
+
+
+class TestTaxonomyEntry:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            _entry(name="")
+
+    def test_requires_faults(self):
+        with pytest.raises(ValueError):
+            _entry(faults=())
+
+    def test_preventive_forbids_reactive_adjudicator(self):
+        with pytest.raises(ValueError):
+            _entry(timing=AdjudicatorTiming.PREVENTIVE,
+                   adjudicator=AdjudicatorKind.EXPLICIT)
+
+    def test_preventive_cell(self):
+        entry = _entry(timing=AdjudicatorTiming.PREVENTIVE,
+                       adjudicator=AdjudicatorKind.NONE)
+        assert entry.adjudicator_cell == "preventive"
+
+    def test_reactive_cell_wording(self):
+        assert _entry().adjudicator_cell == "reactive implicit"
+        assert (_entry(adjudicator=AdjudicatorKind.EXPLICIT_OR_IMPLICIT)
+                .adjudicator_cell == "reactive expl./impl.")
+
+    def test_faults_cell_joins_in_order(self):
+        entry = _entry(faults=(FaultClass.BOHRBUG, FaultClass.MALICIOUS))
+        assert entry.faults_cell == "Bohrbugs, malicious"
+
+    def test_matches_ignores_references(self):
+        a = _entry(references=("1",))
+        b = _entry(references=("2", "3"))
+        assert a.matches(b)
+
+    def test_matches_detects_cell_difference(self):
+        assert not _entry().matches(
+            _entry(adjudicator=AdjudicatorKind.EXPLICIT))
+
+    def test_as_row_shape(self):
+        row = _entry().as_row()
+        assert row == ("Test technique", "deliberate", "code",
+                       "reactive implicit", "development")
+
+
+class TestRegistry:
+    def test_add_requires_taxonomy(self):
+        registry = TechniqueRegistry()
+
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            registry.add(Bogus)
+
+    def test_add_and_lookup(self):
+        registry = TechniqueRegistry()
+
+        class T:
+            TAXONOMY = _entry()
+
+        registry.add(T)
+        assert "Test technique" in registry
+        assert registry.technique("Test technique") is T
+        assert registry.entry("Test technique").matches(_entry())
+
+    def test_duplicate_name_different_class_rejected(self):
+        registry = TechniqueRegistry()
+
+        class T1:
+            TAXONOMY = _entry()
+
+        class T2:
+            TAXONOMY = _entry()
+
+        registry.add(T1)
+        with pytest.raises(ValueError):
+            registry.add(T2)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        registry = TechniqueRegistry()
+
+        class T:
+            TAXONOMY = _entry()
+
+        registry.add(T)
+        registry.add(T)
+        assert len(registry) == 1
+
+    def test_diff_reports_missing(self):
+        registry = TechniqueRegistry()
+        mismatches = registry.diff_against([_entry()])
+        assert len(mismatches) == 1
+        name, expected, actual = mismatches[0]
+        assert name == "Test technique" and actual is None
+
+    def test_diff_reports_extra(self):
+        registry = TechniqueRegistry()
+
+        class T:
+            TAXONOMY = _entry()
+
+        registry.add(T)
+        mismatches = registry.diff_against([])
+        assert mismatches[0][1] is None
+
+
+class TestPaperTable2:
+    def test_seventeen_rows(self):
+        assert len(PAPER_TABLE2) == 17
+
+    def test_lookup_by_name(self):
+        assert paper_entry("N-version programming").adjudicator \
+            is AdjudicatorKind.IMPLICIT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            paper_entry("Nonexistent technique")
+
+    def test_wrappers_row_matches_paper(self):
+        entry = paper_entry("Wrappers")
+        assert entry.timing is AdjudicatorTiming.PREVENTIVE
+        assert entry.faults == (FaultClass.BOHRBUG, FaultClass.MALICIOUS)
+
+    def test_all_opportunistic_rows(self):
+        opportunistic = {e.name for e in PAPER_TABLE2
+                         if e.intention is Intention.OPPORTUNISTIC}
+        assert opportunistic == {
+            "Dynamic service substitution",
+            "Fault fixing, genetic programming",
+            "Automatic workarounds",
+            "Checkpoint-recovery",
+            "Reboot and micro-reboot",
+        }
+
+    def test_data_redundancy_rows(self):
+        data = {e.name for e in PAPER_TABLE2
+                if e.rtype is RedundancyType.DATA}
+        assert data == {"Robust data structures, audits", "Data diversity",
+                        "Data diversity for security"}
+
+
+class TestGeneratedTable2:
+    def test_all_seventeen_registered(self):
+        assert len(default_registry) == 17
+
+    def test_generated_matches_paper_exactly(self):
+        assert default_registry.diff_against(PAPER_TABLE2) == []
+
+    def test_every_technique_entry_matches_its_paper_row(self):
+        for expected in PAPER_TABLE2:
+            actual = default_registry.entry(expected.name)
+            assert actual.matches(expected), expected.name
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_render_table1_mentions_all_dimensions(self):
+        text = render_table1()
+        for dimension, _ in TABLE1_STRUCTURE:
+            assert dimension in text
+
+    def test_render_table2_contains_all_names(self):
+        text = render_table2(PAPER_TABLE2)
+        for entry in PAPER_TABLE2:
+            assert entry.name in text
+
+    def test_render_diff_empty(self):
+        assert "matches" in render_diff([])
+
+    def test_render_diff_nonempty(self):
+        text = render_diff([("X", _entry(name="X"), None)])
+        assert "MISMATCH" in text and "X" in text

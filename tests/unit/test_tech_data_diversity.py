@@ -1,0 +1,174 @@
+"""Unit tests for data diversity (Ammann & Knight) and N-variant data
+(data diversity for security)."""
+
+import pytest
+
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    AttackDetectedError,
+    NoMajorityError,
+)
+from repro.faults.development import Bohrbug, InputRegion
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.data_diversity import (
+    DataDiversity,
+    Reexpression,
+    shift_reexpression,
+)
+from repro.techniques.data_diversity_security import (
+    NVariantDataStore,
+    default_encodings,
+    offset_encoding,
+    xor_encoding,
+)
+
+PERIOD = 1000
+
+
+def periodic(x):
+    """A computation invariant under x -> x + PERIOD."""
+    return (x % PERIOD) * 3
+
+
+def faulty_periodic_version(lo=100, hi=120):
+    """Fails deterministically on a narrow input region."""
+    return Version("prog", impl=periodic,
+                   faults=[Bohrbug("region-bug",
+                                   region=InputRegion(lo, hi))])
+
+
+def period_shift(k=1):
+    return shift_reexpression(PERIOD * k, name=f"+{k}T")
+
+
+class TestReexpression:
+    def test_identity(self):
+        assert Reexpression.identity().transform((5, 6)) == (5, 6)
+
+    def test_shift(self):
+        assert period_shift().transform((7,)) == (1007,)
+        assert period_shift().transform((7, "extra")) == (1007, "extra")
+
+
+class TestRetryBlocks:
+    def test_taxonomy_matches_paper(self):
+        assert DataDiversity.TAXONOMY.matches(paper_entry("Data diversity"))
+
+    def test_original_input_preferred(self):
+        dd = DataDiversity(faulty_periodic_version(), [period_shift()])
+        assert dd.execute_retry(500) == periodic(500)
+        assert dd.retry_pattern.stats.executions == 1
+
+    def test_reexpression_escapes_failure_region(self):
+        dd = DataDiversity(faulty_periodic_version(), [period_shift()])
+        # 110 is inside [100, 120): original fails, shifted succeeds and
+        # produces the identical (exact re-expression) output.
+        assert dd.execute_retry(110) == periodic(110)
+        assert dd.retry_pattern.stats.masked_failures == 1
+
+    def test_multiple_reexpressions_cascade(self):
+        # Bug covers the shifted value too; only the second shift escapes.
+        program = Version("prog", impl=periodic,
+                          faults=[Bohrbug("wide",
+                                          predicate=lambda args:
+                                          args[0] in (110, 1110))])
+        dd = DataDiversity(program, [period_shift(1), period_shift(2)])
+        assert dd.execute_retry(110) == periodic(110)
+
+    def test_exhaustion_raises(self):
+        program = Version("prog", impl=periodic,
+                          faults=[Bohrbug("everywhere",
+                                          region=InputRegion(0, 10 ** 9))])
+        dd = DataDiversity(program, [period_shift()])
+        with pytest.raises(AllAlternativesFailedError):
+            dd.execute_retry(5)
+
+    def test_needs_reexpressions(self):
+        with pytest.raises(ValueError):
+            DataDiversity(faulty_periodic_version(), [])
+
+
+class TestNCopy:
+    def test_parallel_copies_vote(self):
+        dd = DataDiversity(faulty_periodic_version(),
+                           [period_shift(1), period_shift(2)])
+        assert dd.execute_ncopy(110) == periodic(110)
+
+    def test_all_copies_in_failure_region_rejected(self):
+        program = Version("prog", impl=periodic,
+                          faults=[Bohrbug("everywhere",
+                                          region=InputRegion(0, 10 ** 9))])
+        dd = DataDiversity(program, [period_shift()])
+        with pytest.raises(NoMajorityError):
+            dd.execute_ncopy(5)
+
+    def test_parallel_billing(self):
+        env = SimEnvironment()
+        dd = DataDiversity(faulty_periodic_version(),
+                           [period_shift(1), period_shift(2)])
+        dd.execute_ncopy(500, env=env)
+        assert env.clock.now == 1.0  # three copies at unit cost, parallel
+
+
+class TestEncodings:
+    def test_xor_roundtrip(self):
+        enc = xor_encoding(0xABCD)
+        assert enc.decode(enc.encode(42)) == 42
+
+    def test_offset_roundtrip(self):
+        enc = offset_encoding(1234)
+        assert enc.decode(enc.encode(-7)) == -7
+
+    def test_default_encodings_distinct(self):
+        encodings = default_encodings(4)
+        encoded = [e.encode(100) for e in encodings]
+        assert len(set(encoded)) == 4  # same value, different concrete form
+
+    def test_minimum_two(self):
+        with pytest.raises(ValueError):
+            default_encodings(1)
+
+
+class TestNVariantDataStore:
+    def test_taxonomy_matches_paper(self):
+        assert NVariantDataStore.TAXONOMY.matches(
+            paper_entry("Data diversity for security"))
+
+    def test_roundtrip(self):
+        store = NVariantDataStore()
+        store.put("k", 7)
+        assert store.get("k") == 7
+        assert "k" in store
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            NVariantDataStore().get("missing")
+
+    def test_uniform_tamper_detected(self):
+        store = NVariantDataStore()
+        store.put("k", 7)
+        store.tamper_raw("k", 999)  # same concrete value everywhere
+        with pytest.raises(AttackDetectedError) as info:
+            store.get("k")
+        assert store.detections == 1
+        assert info.value.evidence  # per-variant decoded values
+
+    def test_single_variant_tamper_detected(self):
+        store = NVariantDataStore()
+        store.put("k", 7)
+        store.tamper_raw("k", 999, variant=1)
+        with pytest.raises(AttackDetectedError):
+            store.get("k")
+
+    def test_legitimate_overwrite_not_flagged(self):
+        store = NVariantDataStore()
+        store.put("k", 7)
+        store.put("k", 8)
+        assert store.get("k") == 8
+        assert store.detections == 0
+
+    def test_needs_two_encodings(self):
+        with pytest.raises(ValueError):
+            NVariantDataStore(encodings=[xor_encoding(1)])

@@ -1,0 +1,127 @@
+"""Unit tests for N-version programming."""
+
+import pytest
+
+from repro.adjudicators.voting import MedianVoter
+from repro.analysis.reliability import vote_reliability
+from repro.components.library import diverse_versions
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import NoMajorityError, SimulatedFailure
+from repro.faults.development import Bohrbug, InputRegion
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.nvp import NVersionProgramming
+
+
+def oracle(x):
+    return x * x
+
+
+def crashing_version(name):
+    return Version(name, impl=oracle,
+                   faults=[Bohrbug(f"{name}-bug",
+                                   region=InputRegion(0, 10 ** 9))])
+
+
+class TestConstruction:
+    def test_taxonomy_matches_paper(self):
+        assert NVersionProgramming.TAXONOMY.matches(
+            paper_entry("N-version programming"))
+
+    def test_needs_at_least_two_versions(self):
+        with pytest.raises(ValueError):
+            NVersionProgramming([Version("v", impl=oracle)])
+
+    def test_tolerable_failures_rule(self):
+        nvp = NVersionProgramming.from_oracle(oracle, 7, 0.0)
+        assert nvp.n == 7
+        assert nvp.tolerable_failures == 3
+
+
+class TestVoting:
+    def test_masks_up_to_k_crashes(self):
+        # 5 versions, 2 crashing: still a 3-vote majority.
+        versions = [Version(f"g{i}", impl=oracle) for i in range(3)]
+        versions += [crashing_version(f"c{i}") for i in range(2)]
+        nvp = NVersionProgramming(versions)
+        assert nvp.execute(6) == 36
+        assert nvp.stats.masked_failures == 2
+
+    def test_k_plus_one_failures_defeat_the_vote(self):
+        versions = [Version(f"g{i}", impl=oracle) for i in range(2)]
+        versions += [crashing_version(f"c{i}") for i in range(3)]
+        nvp = NVersionProgramming(versions)
+        with pytest.raises(NoMajorityError):
+            nvp.execute(6)
+
+    def test_common_wrong_value_wins_vote(self):
+        # The Brilliant et al. hazard: agreeing wrong versions outvote
+        # the correct minority — the vote *accepts* a wrong answer.
+        wrong = [Version(f"w{i}", impl=lambda x: -1) for i in range(3)]
+        right = [Version(f"r{i}", impl=oracle) for i in range(2)]
+        nvp = NVersionProgramming(wrong + right)
+        assert nvp.execute(5) == -1
+
+    def test_median_voter_variant(self):
+        versions = [Version("a", impl=lambda x: float(x)),
+                    Version("b", impl=lambda x: float(x)),
+                    Version("c", impl=lambda x: 1e9)]
+        nvp = NVersionProgramming(versions, voter=MedianVoter())
+        assert nvp.execute(3) == 3.0
+
+
+class TestEmpiricalReliability:
+    def test_matches_binomial_prediction(self):
+        n, p = 5, 0.2
+        nvp = NVersionProgramming.from_oracle(oracle, n, p, seed=11)
+        trials = 3000
+        correct = 0
+        for x in range(trials):
+            try:
+                if nvp.execute(x) == oracle(x):
+                    correct += 1
+            except NoMajorityError:
+                pass
+        predicted = vote_reliability(n, p)
+        assert correct / trials == pytest.approx(predicted, abs=0.03)
+
+    def test_outperforms_single_version(self):
+        p = 0.2
+        nvp = NVersionProgramming.from_oracle(oracle, 5, p, seed=3)
+        single = diverse_versions(oracle, 1, p, seed=99)[0]
+        trials = 2000
+        nvp_ok = single_ok = 0
+        for x in range(trials):
+            try:
+                nvp_ok += nvp.execute(x) == oracle(x)
+            except NoMajorityError:
+                pass
+            try:
+                single_ok += single.execute(x) == oracle(x)
+            except SimulatedFailure:
+                pass
+        assert nvp_ok > single_ok
+
+
+class TestCosts:
+    def test_every_request_runs_all_versions(self):
+        nvp = NVersionProgramming.from_oracle(oracle, 5, 0.0)
+        for x in range(10):
+            nvp.execute(x)
+        assert nvp.stats.executions == 50
+
+    def test_env_billed_parallel_cost(self):
+        env = SimEnvironment()
+        nvp = NVersionProgramming.from_oracle(oracle, 5, 0.0)
+        nvp.execute(1, env=env)
+        assert env.clock.now == 1.0  # max of equal unit costs, not 5
+
+    def test_cost_ledger_design_cost(self):
+        nvp = NVersionProgramming.from_oracle(oracle, 5, 0.0)
+        nvp.execute(1)
+        ledger = nvp.cost_ledger(correct=1)
+        assert ledger.design_cost == 500.0
+        assert ledger.adjudicator_design_cost == 0.0  # implicit voter
+        report = ledger.report("NVP")
+        assert report.executions_per_request == 5.0
+        assert report.reliability == 1.0

@@ -1,0 +1,119 @@
+"""Unit tests for recovery blocks."""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.state import DictState
+from repro.components.version import Version
+from repro.environment import SimEnvironment
+from repro.exceptions import AllAlternativesFailedError, BohrbugFailure
+from repro.faults.base import WRONG_VALUE
+from repro.faults.development import Bohrbug, InputRegion
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.recovery_blocks import (
+    ACCEPTANCE_TEST_DESIGN_COST,
+    RecoveryBlocks,
+)
+
+
+def oracle(x):
+    return x + 100
+
+
+def acceptance():
+    return PredicateAcceptanceTest(lambda args, v: v == args[0] + 100,
+                                   name="plus-100")
+
+
+def primary_failing_below(limit, effect="crash"):
+    from repro.faults.base import CRASH
+    return Version("primary", impl=oracle,
+                   faults=[Bohrbug("p-bug", region=InputRegion(0, limit),
+                                   effect=CRASH if effect == "crash"
+                                   else WRONG_VALUE)])
+
+
+class TestRecoveryBlocks:
+    def test_taxonomy_matches_paper(self):
+        assert RecoveryBlocks.TAXONOMY.matches(paper_entry("Recovery blocks"))
+
+    def test_primary_path_runs_one_block(self):
+        rb = RecoveryBlocks([Version("p", impl=oracle),
+                             Version("alt", impl=oracle)], acceptance())
+        assert rb.execute(5) == 105
+        assert rb.stats.executions == 1
+
+    def test_alternate_masks_primary_crash(self):
+        rb = RecoveryBlocks([primary_failing_below(10 ** 9),
+                             Version("alt", impl=oracle)], acceptance())
+        assert rb.execute(5) == 105
+        assert rb.stats.masked_failures == 1
+
+    def test_acceptance_test_catches_wrong_value(self):
+        rb = RecoveryBlocks([primary_failing_below(10 ** 9,
+                                                   effect="wrong"),
+                             Version("alt", impl=oracle)], acceptance())
+        assert rb.execute(5) == 105
+
+    def test_cascading_alternates(self):
+        rb = RecoveryBlocks([primary_failing_below(10 ** 9),
+                             primary_failing_below(10 ** 9),
+                             Version("alt", impl=oracle)], acceptance())
+        assert rb.execute(5) == 105
+        assert rb.stats.executions == 3
+
+    def test_exhaustion_raises(self):
+        rb = RecoveryBlocks([primary_failing_below(10 ** 9)], acceptance())
+        with pytest.raises(AllAlternativesFailedError):
+            rb.execute(5)
+
+    def test_needs_a_primary(self):
+        with pytest.raises(ValueError):
+            RecoveryBlocks([], acceptance())
+
+    def test_rollback_restores_state_before_alternate(self):
+        state = DictState(ledger=[])
+
+        def corrupting_primary(x):
+            state["ledger"].append("partial-write")
+            raise BohrbugFailure("crash after side effect")
+
+        def alternate(x):
+            assert state["ledger"] == [], "alternate saw dirty state"
+            state["ledger"].append("committed")
+            return x + 100
+
+        rb = RecoveryBlocks(
+            [Version("p", impl=corrupting_primary),
+             Version("alt", impl=alternate)],
+            acceptance(), subject=state)
+        assert rb.execute(1) == 101
+        assert state["ledger"] == ["committed"]
+        assert rb.stats.rollbacks == 1
+
+    def test_sequential_cost_grows_only_on_failure(self):
+        env_ok = SimEnvironment()
+        rb_ok = RecoveryBlocks([Version("p", impl=oracle, exec_cost=2.0),
+                                Version("alt", impl=oracle, exec_cost=2.0)],
+                               acceptance())
+        rb_ok.execute(1, env=env_ok)
+        assert env_ok.clock.now == 2.0
+
+        env_fail = SimEnvironment()
+        rb_fail = RecoveryBlocks([primary_failing_below(10 ** 9),
+                                  Version("alt", impl=oracle,
+                                          exec_cost=2.0)], acceptance())
+        rb_fail.execute(1, env=env_fail)
+        assert env_fail.clock.now == 3.0  # 1.0 primary + 2.0 alternate
+
+    def test_cost_ledger_charges_explicit_adjudicator(self):
+        rb = RecoveryBlocks([Version("p", impl=oracle)], acceptance())
+        rb.execute(1)
+        ledger = rb.cost_ledger(correct=1)
+        assert ledger.adjudicator_design_cost == ACCEPTANCE_TEST_DESIGN_COST
+
+    def test_input_dependent_failure_only_fails_in_region(self):
+        rb = RecoveryBlocks([primary_failing_below(100)], acceptance())
+        assert rb.execute(500) == 600
+        with pytest.raises(AllAlternativesFailedError):
+            rb.execute(50)

@@ -1,0 +1,204 @@
+"""Unit tests for rejuvenation, checkpointed execution, and
+checkpoint-recovery."""
+
+import pytest
+
+from repro.environment import SimEnvironment
+from repro.exceptions import NoCheckpointError
+from repro.faults.development import AgingBug, Bohrbug, Heisenbug, InputRegion
+from repro.faults.injector import FaultyFunction
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.checkpoint_recovery import CheckpointRecovery
+from repro.techniques.rejuvenation import (
+    CheckpointedExecution,
+    Rejuvenation,
+    RejuvenationPolicy,
+)
+
+
+class TestRejuvenationPolicy:
+    def test_age_trigger(self):
+        env = SimEnvironment()
+        policy = RejuvenationPolicy(max_age=10)
+        assert not policy.due(env, 0)
+        env.do_work(10)
+        assert policy.due(env, 0)
+
+    def test_request_trigger(self):
+        policy = RejuvenationPolicy(every_requests=5)
+        env = SimEnvironment()
+        assert not policy.due(env, 4)
+        assert policy.due(env, 5)
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            RejuvenationPolicy()
+        with pytest.raises(ValueError):
+            RejuvenationPolicy(max_age=0)
+        with pytest.raises(ValueError):
+            RejuvenationPolicy(every_requests=-1)
+
+
+class TestRejuvenation:
+    def test_taxonomy_matches_paper(self):
+        assert Rejuvenation.TAXONOMY.matches(paper_entry("Rejuvenation"))
+
+    def test_rejuvenates_on_age(self):
+        env = SimEnvironment()
+        tech = Rejuvenation(env, RejuvenationPolicy(max_age=5))
+        env.do_work(6)
+        assert tech.maybe_rejuvenate()
+        assert env.age == 0
+        assert tech.rejuvenations == 1
+
+    def test_rejuvenates_every_n_requests(self):
+        env = SimEnvironment()
+        tech = Rejuvenation(env, RejuvenationPolicy(every_requests=3))
+        fired = [tech.maybe_rejuvenate() for _ in range(8)]
+        assert fired.count(True) == 2
+
+    def test_preventive_rejuvenation_avoids_aging_failures(self):
+        # An aging bug that saturates at age 200; rejuvenating at age 50
+        # keeps its probability at <= 0.25 * max instead of 1.0 * max.
+        bug = AgingBug("a", max_probability=1.0, age_to_saturation=200)
+        task = FaultyFunction(lambda: "ok", faults=[bug], cost=10.0)
+
+        def run(with_rejuvenation):
+            env = SimEnvironment(seed=7)
+            tech = Rejuvenation(env, RejuvenationPolicy(max_age=50))
+            failures = 0
+            for _ in range(100):
+                if with_rejuvenation:
+                    tech.maybe_rejuvenate()
+                try:
+                    task(env=env)
+                except Exception:
+                    failures += 1
+            return failures
+
+        assert run(True) < run(False)
+
+
+class TestCheckpointedExecution:
+    def _segment(self, work=10.0, bug=None):
+        faults = [bug] if bug is not None else []
+        task = FaultyFunction(lambda: None, faults=faults, cost=work)
+
+        def segment(env):
+            task(env=env)
+        return segment
+
+    def test_completes_without_faults(self):
+        env = SimEnvironment()
+        run = CheckpointedExecution(env, self._segment(), segments=10,
+                                    rejuvenate_every=3)
+        report = run.run()
+        assert report.completed
+        assert report.checkpoints == 10
+        assert report.rejuvenations == 3
+        assert report.failures == 0
+
+    def test_aging_failures_rolled_back_and_retried(self):
+        bug = AgingBug("a", max_probability=0.8, age_to_saturation=100)
+        env = SimEnvironment(seed=3)
+        run = CheckpointedExecution(env, self._segment(bug=bug),
+                                    segments=20, rejuvenate_every=2)
+        report = run.run()
+        assert report.completed
+
+    def test_rejuvenation_reduces_completion_time_under_aging(self):
+        bug = AgingBug("a", max_probability=0.9, age_to_saturation=300)
+
+        def time_with(every):
+            env = SimEnvironment(seed=5)
+            run = CheckpointedExecution(env, self._segment(bug=bug),
+                                        segments=30,
+                                        rejuvenate_every=every,
+                                        max_retries_per_segment=10_000)
+            report = run.run()
+            assert report.completed
+            return report.virtual_time
+
+        assert time_with(3) < time_with(None)
+
+    def test_validation(self):
+        env = SimEnvironment()
+        with pytest.raises(ValueError):
+            CheckpointedExecution(env, self._segment(), segments=0)
+        with pytest.raises(ValueError):
+            CheckpointedExecution(env, self._segment(), segments=1,
+                                  rejuvenate_every=0)
+
+
+class TestCheckpointRecovery:
+    def test_taxonomy_matches_paper(self):
+        assert CheckpointRecovery.TAXONOMY.matches(
+            paper_entry("Checkpoint-recovery"))
+
+    def test_rollback_before_checkpoint_rejected(self):
+        cr = CheckpointRecovery(SimEnvironment())
+        with pytest.raises(NoCheckpointError):
+            cr.rollback()
+
+    def test_completes_clean_run(self):
+        env = SimEnvironment()
+        steps = [lambda e: e.do_work(1) for _ in range(12)]
+        report = CheckpointRecovery(env, interval=4).run(steps)
+        assert report.completed and report.steps_done == 12
+        assert report.rollbacks == 0
+
+    def test_survives_heisenbugs(self):
+        env = SimEnvironment(seed=2)
+        task = FaultyFunction(lambda: None,
+                              faults=[Heisenbug("h", probability=0.4)])
+        steps = [lambda e: task(env=e) for _ in range(30)]
+        report = CheckpointRecovery(env, interval=3).run(steps)
+        assert report.completed
+        assert report.rollbacks > 0
+
+    def test_does_not_survive_bohrbugs(self):
+        env = SimEnvironment(seed=2)
+        task = FaultyFunction(lambda x: x,
+                              faults=[Bohrbug("b",
+                                              region=InputRegion(0, 10))])
+        steps = [lambda e: task(5, env=e)]
+        report = CheckpointRecovery(env, interval=1,
+                                    max_rollbacks_per_step=7).run(steps)
+        assert not report.completed
+        assert report.rollbacks == 7
+
+    def test_state_subject_rolled_back(self):
+        from repro.components.state import DictState
+        env = SimEnvironment(seed=0)
+        state = DictState(log=[])
+        calls = {"n": 0}
+
+        def step(e):
+            calls["n"] += 1
+            state["log"].append(calls["n"])
+            if calls["n"] == 1:
+                from repro.exceptions import HeisenbugFailure
+                raise HeisenbugFailure("once")
+
+        cr = CheckpointRecovery(env, subject=state, interval=1)
+        report = cr.run([step])
+        assert report.completed
+        # First attempt's partial write was rolled back.
+        assert state["log"] == [2]
+
+    def test_overhead_scales_with_interval(self):
+        def time_with(interval):
+            env = SimEnvironment()
+            steps = [lambda e: e.do_work(1) for _ in range(40)]
+            report = CheckpointRecovery(env, interval=interval,
+                                        checkpoint_cost=5.0).run(steps)
+            return report.virtual_time
+
+        # Fewer checkpoints => less overhead on a failure-free run.
+        assert time_with(20) < time_with(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointRecovery(SimEnvironment(), interval=0)
+        with pytest.raises(ValueError):
+            CheckpointRecovery(SimEnvironment(), max_rollbacks_per_step=0)

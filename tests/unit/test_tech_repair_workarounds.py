@@ -1,0 +1,186 @@
+"""Unit tests for genetic fault fixing and automatic workarounds."""
+
+import pytest
+
+from repro.adjudicators.acceptance import TestSuiteAdjudicator
+from repro.components.state import DictState
+from repro.exceptions import (
+    BohrbugFailure,
+    RepairFailedError,
+    WorkaroundExhaustedError,
+)
+from repro.repair.ast_ops import Compare, If, Program, Return, Var
+from repro.repair.engine import GeneticRepairEngine
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.genetic_repair import GeneticFaultFixing
+from repro.techniques.workarounds import (
+    AutomaticWorkarounds,
+    RewriteRule,
+)
+
+
+def buggy_max():
+    return Program(
+        name="maxp", params=("a", "b"),
+        body=(If(cond=Compare("<", Var("a"), Var("b")),
+                 then=(Return(Var("a")),),
+                 orelse=(Return(Var("b")),)),))
+
+
+def max_suite():
+    return TestSuiteAdjudicator([((a, b), max(a, b))
+                                 for a in (0, 2, 9) for b in (1, 5, 9)])
+
+
+class TestGeneticFaultFixing:
+    def test_taxonomy_matches_paper(self):
+        assert GeneticFaultFixing.TAXONOMY.matches(
+            paper_entry("Fault fixing, genetic programming"))
+
+    def test_detects_unhealthy_program(self):
+        fixer = GeneticFaultFixing(buggy_max(), max_suite())
+        assert not fixer.is_healthy()
+
+    def test_heal_swaps_in_fixed_program(self):
+        engine = GeneticRepairEngine(max_suite(), population_size=30,
+                                     max_generations=40, seed=8)
+        fixer = GeneticFaultFixing(buggy_max(), max_suite(), engine=engine)
+        report = fixer.heal()
+        assert report.healed
+        assert fixer.is_healthy()
+        assert fixer(3, 7) == 7
+        assert fixer.heals == 1
+
+    def test_healthy_program_not_touched(self):
+        good = Program("maxp", ("a", "b"),
+                       body=(If(cond=Compare(">", Var("a"), Var("b")),
+                                then=(Return(Var("a")),),
+                                orelse=(Return(Var("b")),)),))
+        fixer = GeneticFaultFixing(good, max_suite())
+        report = fixer.heal()
+        assert not report.healed  # nothing to do
+        assert fixer.is_healthy()
+
+    def test_heal_or_raise_on_impossible_target(self):
+        impossible = TestSuiteAdjudicator(
+            [((i,), 10 ** 9 + i * 7919) for i in range(5)])
+        program = Program("p", ("x",), body=(Return(Var("x")),))
+        engine = GeneticRepairEngine(impossible, population_size=6,
+                                     max_generations=2, seed=0)
+        fixer = GeneticFaultFixing(program, impossible, engine=engine)
+        with pytest.raises(RepairFailedError):
+            fixer.heal_or_raise()
+        assert fixer.failed_heals == 1
+
+
+def container_api():
+    """A container API with intrinsic redundancy: push == insert at end.
+
+    ``push`` carries a Bohrbug (fails once the container holds >= 3
+    items); ``insert`` implements the same functionality and is healthy.
+    """
+    def push(subject, value, env=None):
+        if len(subject["items"]) >= 3:
+            raise BohrbugFailure("push fails on containers >= 3")
+        subject["items"].append(value)
+        return len(subject["items"])
+
+    def insert(subject, index, value, env=None):
+        subject["items"].insert(index, value)
+        return len(subject["items"])
+
+    def size(subject, env=None):
+        return len(subject["items"])
+
+    operations = {"push": push, "insert": insert, "size": size}
+    rules = [
+        RewriteRule(
+            name="push-as-insert", op="push",
+            rewrite=lambda args: [("insert", (10 ** 9, args[0]))],
+            likelihood=0.9),
+    ]
+    return operations, rules
+
+
+class TestAutomaticWorkarounds:
+    def _technique(self, extra_rules=(), **kwargs):
+        operations, rules = container_api()
+        subject = DictState(items=[])
+        tech = AutomaticWorkarounds(operations, [*rules, *extra_rules],
+                                    subject, **kwargs)
+        return tech, subject
+
+    def test_taxonomy_matches_paper(self):
+        assert AutomaticWorkarounds.TAXONOMY.matches(
+            paper_entry("Automatic workarounds"))
+
+    def test_healthy_sequence_untouched(self):
+        tech, subject = self._technique()
+        report = tech.execute([("push", (1,)), ("push", (2,)),
+                               ("size", ())])
+        assert report.workaround_used is None
+        assert report.results[-1] == 2
+        assert subject["items"] == [1, 2]
+
+    def test_workaround_found_for_failing_operation(self):
+        tech, subject = self._technique()
+        sequence = [("push", (1,)), ("push", (2,)), ("push", (3,)),
+                    ("push", (4,)), ("size", ())]
+        report = tech.execute(sequence)
+        assert report.workaround_used == "push-as-insert"
+        assert subject["items"] == [1, 2, 3, 4]
+        assert tech.workarounds_found == 1
+
+    def test_state_rolled_back_between_candidates(self):
+        bad_rule = RewriteRule(
+            name="useless", op="push",
+            rewrite=lambda args: [("push", args)],  # same failing op
+            likelihood=0.99)  # tried first
+        tech, subject = self._technique(extra_rules=[bad_rule])
+        sequence = [("push", (i,)) for i in range(1, 5)]
+        report = tech.execute(sequence)
+        assert report.workaround_used == "push-as-insert"
+        assert report.candidates_tried >= 2
+        assert subject["items"] == [1, 2, 3, 4]
+
+    def test_candidates_sorted_by_likelihood(self):
+        operations, rules = container_api()
+        low = RewriteRule("low", "push", lambda args: [("size", ())],
+                          likelihood=0.1)
+        tech = AutomaticWorkarounds(operations, [low, *rules],
+                                    DictState(items=[]))
+        candidates = tech.candidates_for([("push", (1,))], 0)
+        assert candidates[0][0] == "push-as-insert"
+
+    def test_exhaustion_raises_and_restores_state(self):
+        operations, _ = container_api()
+        tech = AutomaticWorkarounds(operations, [], DictState(items=[]))
+        with pytest.raises(WorkaroundExhaustedError):
+            tech.execute([("push", (1,)), ("push", (2,)), ("push", (3,)),
+                          ("push", (4,))])
+        assert tech.subject["items"] == []
+        assert tech.exhausted == 1
+
+    def test_unknown_operation_rejected(self):
+        tech, _ = self._technique()
+        with pytest.raises(KeyError):
+            tech.execute([("frobnicate", ())])
+
+    def test_max_candidates_bound(self):
+        operations, rules = container_api()
+        many_rules = rules + [
+            RewriteRule(f"r{i}", "push",
+                        lambda args: [("push", args)], likelihood=1.0)
+            for i in range(50)]
+        tech = AutomaticWorkarounds(operations, many_rules,
+                                    DictState(items=[]), max_candidates=5)
+        candidates = tech.candidates_for([("push", (1,))], 0)
+        assert len(candidates) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutomaticWorkarounds({}, [], DictState())
+        operations, rules = container_api()
+        with pytest.raises(ValueError):
+            AutomaticWorkarounds(operations, rules, DictState(),
+                                 max_candidates=0)

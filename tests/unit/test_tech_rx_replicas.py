@@ -1,0 +1,183 @@
+"""Unit tests for environment perturbation (RX) and process replicas."""
+
+import pytest
+
+from repro.components.state import DictState
+from repro.environment import SimEnvironment
+from repro.environment.simenv import (
+    PAD_ALLOCATIONS,
+    SHUFFLE_MESSAGES,
+    THROTTLE_REQUESTS,
+)
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    AttackDetectedError,
+    BohrbugFailure,
+)
+from repro.faults.development import Bohrbug, Heisenbug, InputRegion
+from repro.faults.environmental import LoadBug, OrderingBug, OverflowBug
+from repro.faults.injector import FaultyFunction
+from repro.faults.malicious import (
+    absolute_address_attack,
+    benign_request,
+    code_injection_attack,
+)
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.environment_perturbation import EnvironmentPerturbation
+from repro.techniques.process_replicas import ProcessReplicas
+
+
+def guarded(fault, env):
+    f = FaultyFunction(lambda x: x * 2, faults=[fault], name="op")
+    return lambda x, env=None: f(x, env=env)
+
+
+class TestRx:
+    def test_taxonomy_matches_paper(self):
+        assert EnvironmentPerturbation.TAXONOMY.matches(
+            paper_entry("Environment perturbation"))
+
+    def test_healthy_operation_untouched(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(lambda x, env=None: x * 2, env)
+        report = rx.execute_report(4)
+        assert report.value == 8 and not report.recovered
+
+    def test_padding_heals_overflow(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(
+            guarded(OverflowBug("o", overflow_cells=4, trigger_modulo=1),
+                    env), env)
+        report = rx.execute_report(6)
+        assert report.recovered
+        assert report.perturbations_used == (PAD_ALLOCATIONS,)
+        assert rx.healing_log == [PAD_ALLOCATIONS]
+
+    def test_throttling_heals_load_bug(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(
+            guarded(LoadBug("l", probability=1.0), env), env,
+            menu=(THROTTLE_REQUESTS,))
+        report = rx.execute_report(6)
+        assert report.recovered
+        assert report.perturbations_used == (THROTTLE_REQUESTS,)
+
+    def test_menu_escalates_in_order(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(
+            guarded(LoadBug("l", probability=1.0), env), env,
+            menu=(PAD_ALLOCATIONS, SHUFFLE_MESSAGES, THROTTLE_REQUESTS))
+        report = rx.execute_report(6)
+        assert report.perturbations_used == (
+            PAD_ALLOCATIONS, SHUFFLE_MESSAGES, THROTTLE_REQUESTS)
+
+    def test_pure_bohrbug_not_survivable(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(
+            guarded(Bohrbug("b", region=InputRegion(0, 100)), env), env)
+        with pytest.raises(AllAlternativesFailedError):
+            rx.execute(6)
+        assert rx.unrecovered == 1
+
+    def test_state_rolled_back_between_attempts(self):
+        env = SimEnvironment(seed=1)
+        state = DictState(writes=0)
+        bug = LoadBug("l", probability=1.0)
+        inner = FaultyFunction(lambda x: x, faults=[bug])
+
+        def operation(x, env=None):
+            state["writes"] = state["writes"] + 1
+            return inner(x, env=env)
+
+        rx = EnvironmentPerturbation(operation, env, subject=state,
+                                     menu=(PAD_ALLOCATIONS,
+                                           THROTTLE_REQUESTS))
+        rx.execute(1)
+        # Only the successful attempt's write survives.
+        assert state["writes"] == 1
+
+    def test_perturbations_reset_after_recovery(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(
+            guarded(LoadBug("l", probability=1.0), env), env,
+            menu=(THROTTLE_REQUESTS,), reset_after=True)
+        rx.execute(6)
+        assert not env.throttled
+        assert env.applied_perturbations == []
+
+    def test_perturbations_kept_when_requested(self):
+        env = SimEnvironment(seed=1)
+        rx = EnvironmentPerturbation(
+            guarded(LoadBug("l", probability=1.0), env), env,
+            menu=(THROTTLE_REQUESTS,), reset_after=False)
+        rx.execute(6)
+        assert env.throttled
+
+    def test_empty_menu_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentPerturbation(lambda x: x, SimEnvironment(), menu=())
+
+
+class TestProcessReplicas:
+    def test_taxonomy_matches_paper(self):
+        assert ProcessReplicas.TAXONOMY.matches(
+            paper_entry("Process replicas"))
+
+    def test_benign_requests_agree(self):
+        replicas = ProcessReplicas(variants=3)
+        assert replicas.serve(benign_request(10)) == 11
+        assert replicas.detections == 0
+
+    def test_absolute_address_attack_detected(self):
+        replicas = ProcessReplicas(variants=2, tagging=False)
+        with pytest.raises(AttackDetectedError):
+            replicas.serve(absolute_address_attack())
+        assert replicas.detections == 1
+
+    def test_code_injection_detected_via_tags(self):
+        replicas = ProcessReplicas(variants=2, tagging=True)
+        verdict = replicas.serve_verdict(code_injection_attack())
+        assert verdict.attack_detected
+
+    def test_injection_with_guessed_tag_still_detected(self):
+        # Guessing one variant's tag cannot satisfy the others.
+        replicas = ProcessReplicas(variants=2, tagging=True)
+        verdict = replicas.serve_verdict(
+            code_injection_attack(guessed_tag="tag-0"))
+        assert verdict.attack_detected
+
+    def test_plain_int_request(self):
+        replicas = ProcessReplicas(variants=2)
+        assert replicas.serve(7) == 8
+
+    def test_needs_two_variants(self):
+        with pytest.raises(ValueError):
+            ProcessReplicas(variants=1)
+
+    def test_verdict_reports_behaviours(self):
+        replicas = ProcessReplicas(variants=2, tagging=False)
+        verdict = replicas.serve_verdict(absolute_address_attack())
+        assert len(verdict.behaviours) == 2
+        summaries = dict(verdict.behaviours)
+        assert "SegmentationFault" in summaries.values() or \
+            "MemoryViolation" in summaries.values()
+
+    def test_variants_reset_after_detection(self):
+        # The aborted attack already corrupted variant memory before the
+        # divergence was seen; the monitor must restart the replicas so
+        # later benign traffic is unaffected.
+        replicas = ProcessReplicas(variants=2)
+        with pytest.raises(AttackDetectedError):
+            replicas.serve(absolute_address_attack())
+        assert replicas.serve(benign_request(4)) == 5
+
+    def test_single_variant_baseline_is_exploitable(self):
+        # What the replicas protect against: an unprotected process runs
+        # the injected code.
+        from repro.environment.process import AddressSpace, SimulatedProcess
+        from repro.faults.malicious import install_service
+        process = SimulatedProcess("naked", AddressSpace(0, 1000), tag="",
+                                   check_tags=False)
+        program = install_service(process)
+        attack = code_injection_attack()
+        assert process.execute(program, attack.values) == 0x511

@@ -1,0 +1,128 @@
+"""Unit tests for self-checking programming."""
+
+import pytest
+
+from repro.adjudicators.acceptance import PredicateAcceptanceTest
+from repro.components.version import Version
+from repro.exceptions import AllAlternativesFailedError
+from repro.faults.base import WRONG_VALUE
+from repro.faults.development import Bohrbug, InputRegion
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.self_checking import (
+    CheckedComponent,
+    ComparedPair,
+    SelfCheckingProgramming,
+)
+
+
+def oracle(x):
+    return 3 * x
+
+
+def good(name):
+    return Version(name, impl=oracle)
+
+
+def broken(name, effect=WRONG_VALUE):
+    return Version(name, impl=oracle,
+                   faults=[Bohrbug(f"{name}-bug",
+                                   region=InputRegion(0, 10 ** 9),
+                                   effect=effect)])
+
+
+def acceptance():
+    return PredicateAcceptanceTest(lambda args, v: v == 3 * args[0])
+
+
+class TestConstruction:
+    def test_taxonomy_matches_paper(self):
+        assert SelfCheckingProgramming.TAXONOMY.matches(
+            paper_entry("Self-checking programming"))
+
+    def test_rejects_unchecked_units(self):
+        with pytest.raises(TypeError):
+            SelfCheckingProgramming([good("v")])
+
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            SelfCheckingProgramming([])
+
+
+class TestAcceptanceFlavour:
+    def test_acting_component_serves(self):
+        scp = SelfCheckingProgramming.with_acceptance_tests(
+            [good("acting"), good("spare")], acceptance())
+        assert scp.execute(4) == 12
+        assert scp.acting.name == "acting"
+
+    def test_hot_spare_takes_over_without_rollback(self):
+        scp = SelfCheckingProgramming.with_acceptance_tests(
+            [broken("acting"), good("spare")], acceptance())
+        assert scp.execute(4) == 12
+        # The failed acting component is discarded.
+        assert scp.acting.name == "spare"
+        assert scp.spares_left == 0
+
+    def test_redundancy_is_consumed(self):
+        scp = SelfCheckingProgramming.with_acceptance_tests(
+            [broken("a"), broken("b"), good("c")], acceptance())
+        assert scp.spares_left == 2
+        scp.execute(1)
+        assert scp.spares_left == 0
+        # Subsequent requests still work through the survivor.
+        assert scp.execute(2) == 6
+
+    def test_all_components_failing_raises(self):
+        scp = SelfCheckingProgramming.with_acceptance_tests(
+            [broken("a"), broken("b")], acceptance())
+        with pytest.raises(AllAlternativesFailedError):
+            scp.execute(1)
+
+
+class TestComparisonFlavour:
+    def test_agreeing_pair_serves(self):
+        scp = SelfCheckingProgramming.with_comparison_pairs(
+            [(good("a1"), good("a2"))])
+        assert scp.execute(5) == 15
+
+    def test_diverging_pair_detected_and_spare_used(self):
+        scp = SelfCheckingProgramming.with_comparison_pairs(
+            [(broken("a1"), good("a2")), (good("b1"), good("b2"))])
+        assert scp.execute(5) == 15
+        assert scp.acting.name == "b1+b2"
+
+    def test_pair_with_common_wrong_value_passes_undetected(self):
+        # The known blind spot of comparison pairs: identical wrong
+        # answers compare equal.
+        wrong_a = Version("w1", impl=lambda x: -7)
+        wrong_b = Version("w2", impl=lambda x: -7)
+        scp = SelfCheckingProgramming.with_comparison_pairs(
+            [(wrong_a, wrong_b)])
+        assert scp.execute(5) == -7
+
+    def test_crashing_half_detected(self):
+        from repro.faults.base import CRASH
+        scp = SelfCheckingProgramming.with_comparison_pairs(
+            [(broken("a1", effect=CRASH), good("a2")),
+             (good("b1"), good("b2"))])
+        assert scp.execute(5) == 15
+
+    def test_pair_versions_listed_in_cost_ledger(self):
+        scp = SelfCheckingProgramming.with_comparison_pairs(
+            [(good("a1"), good("a2"))])
+        scp.execute(1)
+        ledger = scp.cost_ledger(correct=1)
+        assert ledger.design_cost == 200.0  # both halves
+        assert ledger.adjudicator_design_cost == 0.0  # implicit comparison
+
+
+class TestMixedFlavours:
+    def test_explicit_flavour_charges_adjudicator_design(self):
+        scp = SelfCheckingProgramming([
+            CheckedComponent(good("a"), acceptance()),
+            ComparedPair(good("b1"), good("b2")),
+        ])
+        scp.execute(1)
+        ledger = scp.cost_ledger(correct=1)
+        assert ledger.adjudicator_design_cost == 50.0  # one explicit
+        assert ledger.design_cost == 300.0  # three versions total

@@ -1,0 +1,205 @@
+"""Unit tests for self-optimizing code and exception handling/rule engines."""
+
+import pytest
+
+from repro.adjudicators.monitors import QoSMonitor
+from repro.environment import SimEnvironment
+from repro.exceptions import (
+    AllAlternativesFailedError,
+    HeisenbugFailure,
+    ServiceFailure,
+    SimulatedFailure,
+)
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.rule_engine import (
+    RecoveryRegistry,
+    RecoveryRule,
+    RuleEngine,
+    retry_action,
+    substitute_value_action,
+)
+from repro.techniques.self_optimizing import (
+    AdaptiveImplementation,
+    SelfOptimizing,
+)
+
+
+def cache_impl():
+    """Fast when load is low, collapses under load."""
+    return AdaptiveImplementation(
+        name="cache", impl=lambda x: x,
+        latency=lambda load: 1.0 if load < 0.5 else 20.0)
+
+
+def db_impl():
+    """Flat latency regardless of load."""
+    return AdaptiveImplementation(
+        name="db", impl=lambda x: x, latency=lambda load: 5.0)
+
+
+class TestSelfOptimizing:
+    def test_taxonomy_matches_paper(self):
+        assert SelfOptimizing.TAXONOMY.matches(
+            paper_entry("Self-optimizing code"))
+
+    def test_stays_on_fast_impl_at_low_load(self):
+        monitor = QoSMonitor(latency_threshold=8.0, window=3)
+        opt = SelfOptimizing([cache_impl(), db_impl()], monitor, settle=1)
+        for _ in range(10):
+            opt.handle(1, load=0.1)
+        assert opt.current.name == "cache"
+        assert opt.switches == []
+
+    def test_switches_under_load(self):
+        monitor = QoSMonitor(latency_threshold=8.0, window=3)
+        opt = SelfOptimizing([cache_impl(), db_impl()], monitor, settle=1)
+        for _ in range(6):
+            opt.handle(1, load=0.9)
+        assert opt.current.name == "db"
+        assert "db" in opt.switches
+
+    def test_switch_picks_best_for_observed_load(self):
+        monitor = QoSMonitor(latency_threshold=2.0, window=2)
+        flat3 = AdaptiveImplementation("flat3", lambda x: x, lambda load: 3.0)
+        opt = SelfOptimizing([cache_impl(), flat3, db_impl()], monitor,
+                             settle=1)
+        for _ in range(5):
+            opt.handle(1, load=0.9)
+        assert opt.current.name == "flat3"
+
+    def test_latency_billed_to_env(self):
+        env = SimEnvironment()
+        monitor = QoSMonitor(latency_threshold=100, window=5)
+        opt = SelfOptimizing([db_impl()], monitor)
+        opt.handle(1, load=0.0, env=env)
+        assert env.clock.now == 5.0
+
+    def test_settle_prevents_thrashing(self):
+        monitor = QoSMonitor(latency_threshold=0.5, window=1)
+        opt = SelfOptimizing([cache_impl(), db_impl()], monitor, settle=100)
+        for _ in range(10):
+            opt.handle(1, load=0.9)
+        assert opt.switches == []  # settle window never reached
+
+    def test_validation(self):
+        monitor = QoSMonitor(latency_threshold=1.0)
+        with pytest.raises(ValueError):
+            SelfOptimizing([], monitor)
+        with pytest.raises(ValueError):
+            SelfOptimizing([db_impl()], monitor, settle=-1)
+
+
+class TestRecoveryRegistry:
+    def test_rules_sorted_by_priority(self):
+        registry = RecoveryRegistry()
+        registry.add(RecoveryRule("late", (SimulatedFailure,),
+                                  lambda a, e, x: 1, priority=200))
+        registry.add(RecoveryRule("early", (SimulatedFailure,),
+                                  lambda a, e, x: 2, priority=10))
+        rules = registry.rules_for(SimulatedFailure("x"))
+        assert [r.name for r in rules] == ["early", "late"]
+
+    def test_matching_by_exception_type(self):
+        registry = RecoveryRegistry()
+        registry.add(RecoveryRule("svc-only", (ServiceFailure,),
+                                  lambda a, e, x: 1))
+        assert registry.rules_for(ServiceFailure("x"))
+        assert not registry.rules_for(HeisenbugFailure("x"))
+
+    def test_decorator_registration(self):
+        registry = RecoveryRegistry()
+
+        @registry.register("r", [SimulatedFailure], priority=5)
+        def handle(args, env, exc):
+            return "handled"
+
+        assert len(registry) == 1
+        assert registry.rules_for(SimulatedFailure("x"))[0].name == "r"
+
+
+class TestRuleEngine:
+    def test_taxonomy_matches_paper(self):
+        assert RuleEngine.TAXONOMY.matches(
+            paper_entry("Exception handling, rule engines"))
+
+    def test_healthy_operation_untouched(self):
+        engine = RuleEngine(lambda x, env=None: x * 2, RecoveryRegistry())
+        assert engine.execute(4) == 8
+        assert engine.failures_seen == 0
+
+    def test_rule_recovers_failure(self):
+        registry = RecoveryRegistry()
+        registry.add(RecoveryRule("default", (SimulatedFailure,),
+                                  substitute_value_action(-1)))
+
+        def flaky(x, env=None):
+            raise ServiceFailure("down")
+
+        engine = RuleEngine(flaky, registry)
+        assert engine.execute(4) == -1
+        assert engine.recoveries == 1
+
+    def test_rules_cascade_until_one_helps(self):
+        registry = RecoveryRegistry()
+
+        def unhelpful(args, env, exc):
+            raise ServiceFailure("still down")
+
+        registry.add(RecoveryRule("first", (SimulatedFailure,), unhelpful,
+                                  priority=1))
+        registry.add(RecoveryRule("second", (SimulatedFailure,),
+                                  substitute_value_action("fallback"),
+                                  priority=2))
+
+        def flaky(x, env=None):
+            raise ServiceFailure("down")
+
+        engine = RuleEngine(flaky, registry)
+        assert engine.execute(4) == "fallback"
+
+    def test_no_matching_rule_raises(self):
+        def flaky(x, env=None):
+            raise ServiceFailure("down")
+
+        engine = RuleEngine(flaky, RecoveryRegistry())
+        with pytest.raises(AllAlternativesFailedError):
+            engine.execute(4)
+
+    def test_undetected_exception_propagates(self):
+        def broken(x, env=None):
+            raise KeyError("not a simulated failure")
+
+        engine = RuleEngine(broken, RecoveryRegistry())
+        with pytest.raises(KeyError):
+            engine.execute(4)
+
+    def test_retry_action_eventually_succeeds(self):
+        env = SimEnvironment(seed=1)
+        attempts = {"n": 0}
+
+        def flaky(x, env=None):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise ServiceFailure("transient")
+            return x
+
+        registry = RecoveryRegistry()
+        registry.add(RecoveryRule("retry", (ServiceFailure,),
+                                  retry_action(flaky, attempts=5)))
+        engine = RuleEngine(flaky, registry)
+        assert engine.execute(9) == 9
+
+    def test_retry_action_exhausts(self):
+        def dead(x, env=None):
+            raise ServiceFailure("permanently down")
+
+        registry = RecoveryRegistry()
+        registry.add(RecoveryRule("retry", (ServiceFailure,),
+                                  retry_action(dead, attempts=2)))
+        engine = RuleEngine(dead, registry)
+        with pytest.raises(AllAlternativesFailedError):
+            engine.execute(1)
+
+    def test_retry_action_validation(self):
+        with pytest.raises(ValueError):
+            retry_action(lambda: None, attempts=0)

@@ -1,0 +1,199 @@
+"""Unit tests for dynamic service substitution and (micro-)reboot."""
+
+import pytest
+
+from repro.components.component import RestartableComponent
+from repro.components.interface import FunctionSpec
+from repro.environment import SimEnvironment
+from repro.exceptions import AllAlternativesFailedError, CrashFailure
+from repro.faults.development import Heisenbug
+from repro.services.broker import ServiceBroker
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.microreboot import MicroReboot, ModularApplication
+from repro.techniques.service_substitution import DynamicServiceSubstitution
+
+QUOTE = FunctionSpec("quote", arity=1, semantic_key="stock-quote")
+QUOTE2 = FunctionSpec("quote-v2", arity=1, semantic_key="stock-quote")
+
+
+def quote_service(name, availability=1.0, value=100):
+    return Service(name, QUOTE, impl=lambda sym: value,
+                   availability=availability)
+
+
+class TestServiceSubstitution:
+    def _broker(self, *services):
+        registry = ServiceRegistry()
+        for service in services:
+            registry.publish(service)
+        return ServiceBroker(registry)
+
+    def test_taxonomy_matches_paper(self):
+        assert DynamicServiceSubstitution.TAXONOMY.matches(
+            paper_entry("Dynamic service substitution"))
+
+    def test_healthy_binding_used(self):
+        broker = self._broker(quote_service("a"))
+        proxy = DynamicServiceSubstitution(QUOTE, broker)
+        assert proxy.invoke("ACME") == 100
+        assert proxy.stats.substitutions == 0
+
+    def test_failover_to_substitute(self):
+        dead = quote_service("dead", availability=0.0)
+        alive = quote_service("alive", value=42)
+        broker = self._broker(dead, alive)
+        proxy = DynamicServiceSubstitution(QUOTE, broker, initial=dead)
+        assert proxy.invoke("ACME") == 42
+        assert proxy.stats.substitutions == 1
+        assert proxy.stats.failures_seen == 1
+
+    def test_sticky_rebinding(self):
+        dead = quote_service("dead", availability=0.0)
+        alive = quote_service("alive", value=42)
+        proxy = DynamicServiceSubstitution(QUOTE,
+                                           self._broker(dead, alive),
+                                           initial=dead, sticky=True)
+        proxy.invoke("ACME")
+        assert proxy.bound is alive
+        proxy.invoke("ACME")
+        assert proxy.stats.failures_seen == 1  # no repeat failure
+
+    def test_non_sticky_retries_original(self):
+        dead = quote_service("dead", availability=0.0)
+        alive = quote_service("alive", value=42)
+        proxy = DynamicServiceSubstitution(QUOTE,
+                                           self._broker(dead, alive),
+                                           initial=dead, sticky=False)
+        proxy.invoke("ACME")
+        assert proxy.bound is dead
+        proxy.invoke("ACME")
+        assert proxy.stats.failures_seen == 2
+
+    def test_adapted_substitute_used_when_no_exact_match(self):
+        dead = quote_service("dead", availability=0.0)
+        similar = Service("other", QUOTE2, impl=lambda sym: 7)
+        broker = self._broker(dead, similar)
+        broker.register_converter("quote-v2", "quote",
+                                  convert_args=lambda args: args)
+        proxy = DynamicServiceSubstitution(QUOTE, broker, initial=dead)
+        assert proxy.invoke("ACME") == 7
+        assert proxy.stats.adapted_substitutions == 1
+
+    def test_all_substitutes_down_raises(self):
+        dead1 = quote_service("dead1", availability=0.0)
+        dead2 = quote_service("dead2", availability=0.0)
+        proxy = DynamicServiceSubstitution(QUOTE,
+                                           self._broker(dead1, dead2),
+                                           initial=dead1)
+        with pytest.raises(AllAlternativesFailedError):
+            proxy.invoke("ACME")
+        assert proxy.stats.exhausted == 1
+
+    def test_more_alternates_raise_availability(self):
+        env = SimEnvironment(seed=6)
+
+        def success_rate(k):
+            services = [quote_service(f"s{i}-{k}", availability=0.6)
+                        for i in range(k)]
+            proxy = DynamicServiceSubstitution(
+                QUOTE, self._broker(*services), initial=services[0],
+                sticky=False)
+            ok = 0
+            for _ in range(400):
+                try:
+                    proxy.invoke("ACME", env=env)
+                    ok += 1
+                except AllAlternativesFailedError:
+                    pass
+            return ok / 400
+
+        assert success_rate(3) > success_rate(1)
+
+
+def flaky_component(name, crash_probability, restart_cost=2.0):
+    def handler(component, request, env):
+        return f"{name}:{request}"
+
+    return RestartableComponent(
+        name, handler,
+        faults=[Heisenbug(f"{name}-crash", probability=crash_probability,
+                          effect="crash")],
+        restart_cost=restart_cost)
+
+
+class TestMicroReboot:
+    def test_taxonomy_matches_paper(self):
+        assert MicroReboot.TAXONOMY.matches(
+            paper_entry("Reboot and micro-reboot"))
+
+    def test_unique_component_names_required(self):
+        a = flaky_component("a", 0)
+        with pytest.raises(ValueError):
+            ModularApplication([a, flaky_component("a", 0)])
+
+    def test_crash_recovered_by_micro_reboot(self):
+        env = SimEnvironment(seed=4)
+        app = ModularApplication([flaky_component("cart", 0.5),
+                                  flaky_component("catalog", 0.0)])
+        manager = MicroReboot(app, env=env, scope="micro")
+        for i in range(50):
+            assert manager.handle("cart", i) == f"cart:{i}"
+        assert manager.stats.crashes > 0
+        assert manager.stats.served == 50
+
+    def test_micro_reboot_restarts_only_crashed_component(self):
+        env = SimEnvironment(seed=4)
+        cart = flaky_component("cart", 1.0)
+        catalog = flaky_component("catalog", 0.0)
+        app = ModularApplication([cart, catalog])
+        manager = MicroReboot(app, env=env, scope="micro")
+        # cart crashes on first touch; retry crashes again -> propagates
+        with pytest.raises(Exception):
+            manager.handle("cart", 1)
+        assert catalog.restarts == 0
+
+    def test_full_reboot_restarts_everything(self):
+        env = SimEnvironment(seed=4)
+        cart = flaky_component("cart", 0.5)
+        catalog = flaky_component("catalog", 0.0)
+        app = ModularApplication([cart, catalog])
+        manager = MicroReboot(app, env=env, scope="full")
+        for i in range(30):
+            manager.handle("cart", i)
+        assert manager.stats.reboots > 0
+        assert catalog.restarts == cart.restarts  # all restarted together
+
+    def test_micro_downtime_much_less_than_full(self):
+        def downtime(scope):
+            env = SimEnvironment(seed=4)
+            app = ModularApplication([flaky_component("cart", 0.5),
+                                      flaky_component("catalog", 0.0)])
+            manager = MicroReboot(app, env=env, scope=scope)
+            for i in range(40):
+                manager.handle("cart", i)
+            assert manager.stats.reboots > 0
+            return manager.stats.downtime / manager.stats.reboots
+
+        assert downtime("micro") * 10 < downtime("full")
+
+    def test_state_lost_on_restart(self):
+        def handler(component, request, env):
+            count = component.state.data.get("count", 0) + 1
+            component.state["count"] = count
+            return count
+
+        comp = RestartableComponent("c", handler,
+                                    initializer=lambda: {"count": 0})
+        app = ModularApplication([comp])
+        manager = MicroReboot(app, scope="micro")
+        assert manager.handle("c", "r") == 1
+        assert manager.handle("c", "r") == 2
+        comp.down = True
+        assert manager.handle("c", "r") == 1  # fresh state after reboot
+
+    def test_scope_validated(self):
+        with pytest.raises(ValueError):
+            MicroReboot(ModularApplication([flaky_component("a", 0)]),
+                        scope="nano")

@@ -1,0 +1,112 @@
+"""Unit tests for protective wrappers and healer wrappers."""
+
+import pytest
+
+from repro.environment.memory import SimulatedHeap
+from repro.exceptions import BohrbugFailure, MemoryViolation
+from repro.faults.development import Bohrbug, InputRegion
+from repro.faults.injector import FaultyFunction
+from repro.taxonomy.paper import paper_entry
+from repro.techniques.wrappers import (
+    HealerWrapper,
+    ProtectiveWrapper,
+    clamp_guard,
+    reject_guard,
+)
+
+
+class TestProtectiveWrapper:
+    def test_taxonomy_matches_paper(self):
+        assert ProtectiveWrapper.TAXONOMY.matches(paper_entry("Wrappers"))
+
+    def test_passthrough_when_args_fine(self):
+        wrapper = ProtectiveWrapper(lambda x: x * 2,
+                                    guards=[clamp_guard(0, 100)])
+        assert wrapper(5) == 10
+        assert wrapper.fixed_calls == 0
+
+    def test_clamp_guard_prevents_bohrbug(self):
+        # The COTS component crashes on out-of-contract inputs (> 100).
+        cots = FaultyFunction(
+            lambda x: x * 2,
+            faults=[Bohrbug("contract",
+                            predicate=lambda args: args[0] > 100)])
+        with pytest.raises(BohrbugFailure):
+            cots(150)
+        wrapper = ProtectiveWrapper(cots, guards=[clamp_guard(0, 100)])
+        assert wrapper(150) == 200  # clamped to the valid domain
+        assert wrapper.fixed_calls == 1
+
+    def test_reject_guard_blocks_call(self):
+        wrapper = ProtectiveWrapper(
+            lambda x: x,
+            guards=[reject_guard(lambda args: args[0] < 0, "negative")])
+        with pytest.raises(MemoryViolation):
+            wrapper(-1)
+        assert wrapper.blocked_calls == 1
+        assert wrapper(1) == 1
+
+    def test_guards_compose_in_order(self):
+        wrapper = ProtectiveWrapper(
+            lambda x: x,
+            guards=[clamp_guard(0, 10),
+                    reject_guard(lambda args: args[0] == 10)])
+        # 50 clamps to 10, then the reject guard fires.
+        with pytest.raises(MemoryViolation):
+            wrapper(50)
+
+    def test_clamp_guard_validation(self):
+        with pytest.raises(ValueError):
+            clamp_guard(10, 0)
+
+
+class TestHealerWrapper:
+    def test_in_bounds_writes_land(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        healer = HealerWrapper(heap)
+        assert healer.write(block, 2, 9)
+        assert heap.read(block, 2) == 9
+        assert healer.stats.writes == 1
+
+    def test_truncate_mode_absorbs_overflow(self):
+        heap = SimulatedHeap()
+        victim_source = heap.alloc(4)
+        neighbour = heap.alloc(4)
+        healer = HealerWrapper(heap, mode="truncate")
+        assert not healer.write(victim_source, 4, 99)
+        assert healer.stats.prevented_overflows == 1
+        assert heap.smash_count == 0
+        assert not neighbour.corrupted
+
+    def test_reject_mode_raises(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        healer = HealerWrapper(heap, mode="reject")
+        with pytest.raises(MemoryViolation):
+            healer.write(block, 7, 1)
+        assert heap.smash_count == 0
+
+    def test_write_buffer_truncates_at_boundary(self):
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        neighbour = heap.alloc(4)
+        healer = HealerWrapper(heap, mode="truncate")
+        written = healer.write_buffer(block, list(range(10)))
+        assert written == 4
+        assert not neighbour.corrupted
+        assert [heap.read(block, i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_unprotected_bulk_copy_smashes(self):
+        # Baseline for C14: the same workload without the healer.
+        heap = SimulatedHeap()
+        block = heap.alloc(4)
+        neighbour = heap.alloc(4)
+        for offset, value in enumerate(range(10)):
+            heap.write(block, offset, value)
+        assert heap.smash_count > 0
+        assert neighbour.corrupted
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            HealerWrapper(SimulatedHeap(), mode="panic")

@@ -1,0 +1,139 @@
+"""Unit tests for diverse and correlated version populations."""
+
+import pytest
+
+from repro.components.library import (
+    correlated_version_population,
+    diverse_versions,
+    shock_parameters,
+)
+from repro.exceptions import SimulatedFailure
+
+
+def oracle(x):
+    return 2 * x + 1
+
+
+def _failure_rate(version, inputs):
+    failures = 0
+    for x in inputs:
+        try:
+            if version.execute(x) != oracle(x):
+                failures += 1
+        except SimulatedFailure:
+            failures += 1
+    return failures / len(inputs)
+
+
+class TestDiverseVersions:
+    def test_count_and_names(self):
+        versions = diverse_versions(oracle, 4, 0.1, seed=0)
+        assert len(versions) == 4
+        assert len({v.name for v in versions}) == 4
+
+    def test_failures_are_deterministic_per_input(self):
+        (version,) = diverse_versions(oracle, 1, 0.5, seed=0)
+        failing = [x for x in range(200)
+                   if version.execute(x) != oracle(x)]
+        again = [x for x in range(200)
+                 if version.execute(x) != oracle(x)]
+        assert failing == again
+        assert failing  # p=0.5 over 200 inputs certainly fails somewhere
+
+    def test_marginal_rate_close_to_p(self):
+        (version,) = diverse_versions(oracle, 1, 0.2, seed=3)
+        rate = _failure_rate(version, range(4000))
+        assert 0.17 < rate < 0.23
+
+    def test_versions_fail_on_different_inputs(self):
+        versions = diverse_versions(oracle, 2, 0.3, seed=1)
+        fail_sets = []
+        for version in versions:
+            fail_sets.append({x for x in range(500)
+                              if version.execute(x) != oracle(x)})
+        assert fail_sets[0] != fail_sets[1]
+
+    def test_different_versions_produce_different_wrong_values(self):
+        versions = diverse_versions(oracle, 2, 1.0, seed=1)
+        assert versions[0].execute(7) != versions[1].execute(7)
+
+    def test_seed_changes_population(self):
+        a = diverse_versions(oracle, 1, 0.3, seed=1)[0]
+        b = diverse_versions(oracle, 1, 0.3, seed=2)[0]
+        fails_a = {x for x in range(300) if a.execute(x) != oracle(x)}
+        fails_b = {x for x in range(300) if b.execute(x) != oracle(x)}
+        assert fails_a != fails_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diverse_versions(oracle, 0, 0.1)
+        with pytest.raises(ValueError):
+            diverse_versions(oracle, 3, 1.5)
+
+
+class TestShockParameters:
+    @pytest.mark.parametrize("p", [0.05, 0.2, 0.5])
+    @pytest.mark.parametrize("rho", [0.0, 0.1, 0.3, 0.7, 1.0])
+    def test_marginal_recovered(self, p, rho):
+        c, u = shock_parameters(p, rho)
+        assert c + (1 - c) * u == pytest.approx(p, abs=1e-6)
+
+    @pytest.mark.parametrize("rho", [0.1, 0.4, 0.8])
+    def test_correlation_recovered(self, rho):
+        p = 0.2
+        c, u = shock_parameters(p, rho)
+        p11 = c + (1 - c) * u * u
+        measured_rho = (p11 - p * p) / (p * (1 - p))
+        assert measured_rho == pytest.approx(rho, abs=1e-6)
+
+    def test_extremes(self):
+        assert shock_parameters(0.3, 0.0) == (0.0, 0.3)
+        c, u = shock_parameters(0.3, 1.0)
+        assert c == pytest.approx(0.3) and u == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shock_parameters(0.0, 0.5)
+        with pytest.raises(ValueError):
+            shock_parameters(0.2, 1.5)
+
+
+class TestCorrelatedPopulation:
+    def test_marginal_rate_preserved(self):
+        versions = correlated_version_population(oracle, 3, 0.2, 0.5, seed=5)
+        rate = _failure_rate(versions[0], range(3000))
+        assert 0.17 < rate < 0.23
+
+    def test_common_mode_inputs_fail_everywhere_with_same_value(self):
+        versions = correlated_version_population(oracle, 4, 0.3, 0.9, seed=2)
+        # Find an input where version 0 fails with the common-mode value.
+        common_failures = []
+        for x in range(2000):
+            values = [v.execute(x) for v in versions]
+            if all(value == values[0] != oracle(x) for value in values):
+                common_failures.append(x)
+        assert common_failures, "high correlation must produce common-mode " \
+                                "failures"
+
+    def test_zero_correlation_has_no_common_mode(self):
+        versions = correlated_version_population(oracle, 3, 0.2, 0.0, seed=5)
+        for x in range(500):
+            values = [v.execute(x) for v in versions]
+            wrong = [value for value in values if value != oracle(x)]
+            # wrong values, when simultaneous, must differ across versions
+            assert len(set(wrong)) == len(wrong)
+
+    def test_pairwise_correlation_empirically(self):
+        p, rho = 0.2, 0.5
+        versions = correlated_version_population(oracle, 2, p, rho, seed=9)
+        inputs = range(20_000)
+        fails = []
+        for version in versions:
+            fails.append({x for x in inputs
+                          if version.execute(x) != oracle(x)})
+        both = len(fails[0] & fails[1]) / len(inputs)
+        pa = len(fails[0]) / len(inputs)
+        pb = len(fails[1]) / len(inputs)
+        measured = (both - pa * pb) / (
+            (pa * (1 - pa)) ** 0.5 * (pb * (1 - pb)) ** 0.5)
+        assert measured == pytest.approx(rho, abs=0.05)

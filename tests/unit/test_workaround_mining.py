@@ -1,0 +1,146 @@
+"""Unit tests for intrinsic-redundancy mining."""
+
+import pytest
+
+from repro.components.state import DictState
+from repro.exceptions import BohrbugFailure
+from repro.techniques.workarounds import AutomaticWorkarounds
+from repro.techniques.workaround_mining import (
+    MiningProbe,
+    RedundancyMiner,
+    at_end_args,
+    identity_args,
+)
+
+
+def reference_operations():
+    """A healthy container API with latent redundancy."""
+
+    def append(subject, value):
+        subject["items"].append(value)
+        return tuple(subject["items"])
+
+    def insert(subject, index, value):
+        if index >= len(subject["items"]):
+            subject["items"].append(value)
+        else:
+            subject["items"].insert(index, value)
+        return tuple(subject["items"])
+
+    def pop_front(subject):
+        return subject["items"].pop(0)
+
+    def size(subject):
+        return len(subject["items"])
+
+    return {"append": append, "insert": insert, "pop_front": pop_front,
+            "size": size}
+
+
+def probes():
+    return [
+        MiningProbe(build_state=lambda: DictState(items=[]), args=(7,)),
+        MiningProbe(build_state=lambda: DictState(items=[1, 2]),
+                    args=(9,)),
+        MiningProbe(build_state=lambda: DictState(items=[5, 5, 5]),
+                    args=(0,)),
+    ]
+
+
+class TestArgMappers:
+    def test_identity(self):
+        assert identity_args((1, 2)) == (1, 2)
+
+    def test_at_end(self):
+        assert at_end_args((7,)) == (10 ** 9, 7)
+
+
+class TestMining:
+    def test_discovers_append_as_insert(self):
+        miner = RedundancyMiner(reference_operations(),
+                                max_sequence_length=1)
+        sequences = miner.equivalent_sequences("append", probes())
+        assert [("insert", 1)] in sequences  # insert with END-prefixed args
+
+    def test_no_false_equivalences(self):
+        miner = RedundancyMiner(reference_operations(),
+                                max_sequence_length=1)
+        sequences = miner.equivalent_sequences("append", probes())
+        ops = {tuple(name for name, _ in seq) for seq in sequences}
+        # size() and pop_front() do not replicate append's effect.
+        assert ("size",) not in ops
+        assert ("pop_front",) not in ops
+
+    def test_single_probe_overfits_more_probes_prune(self):
+        miner = RedundancyMiner(reference_operations(),
+                                max_sequence_length=1)
+        # On an empty container, insert(0, x) mimics append(x)...
+        single = miner.equivalent_sequences(
+            "append",
+            [MiningProbe(build_state=lambda: DictState(items=[]),
+                         args=(7,))])
+        # ...but the identity-mapped insert (index=x!) survives only the
+        # single lucky probe; with the full probe set it is pruned.
+        full = miner.equivalent_sequences("append", probes())
+        assert len(full) <= len(single)
+
+    def test_reference_must_be_healthy(self):
+        operations = reference_operations()
+
+        def broken_append(subject, value):
+            raise BohrbugFailure("reference down")
+
+        operations["append"] = broken_append
+        miner = RedundancyMiner(operations)
+        with pytest.raises(ValueError):
+            miner.equivalent_sequences("append", probes())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedundancyMiner({})
+        with pytest.raises(ValueError):
+            RedundancyMiner(reference_operations(), max_sequence_length=0)
+        with pytest.raises(ValueError):
+            RedundancyMiner(reference_operations()).equivalent_sequences(
+                "append", [])
+
+
+class TestMinedRulesDriveWorkarounds:
+    def test_end_to_end(self):
+        # Mine rules from the healthy reference implementation...
+        miner = RedundancyMiner(reference_operations(),
+                                max_sequence_length=1)
+        rules = miner.discover_rules("append", probes())
+        assert rules
+        assert all(rule.op == "append" for rule in rules)
+
+        # ...then deploy them on a component whose append is buggy.
+        deployed = reference_operations()
+        healthy_append = deployed["append"]
+
+        def faulty_append(subject, value):
+            if len(subject["items"]) >= 2:
+                raise BohrbugFailure("append broken on larger lists")
+            return healthy_append(subject, value)
+
+        deployed["append"] = faulty_append
+        subject = DictState(items=[])
+        workarounds = AutomaticWorkarounds(deployed, rules, subject)
+        report = workarounds.execute(
+            [("append", (1,)), ("append", (2,)), ("append", (3,))])
+        assert report.workaround_used.startswith("mined:")
+        assert subject["items"] == [1, 2, 3]
+
+    def test_shorter_sequences_rank_higher(self):
+        miner = RedundancyMiner(reference_operations(),
+                                max_sequence_length=2)
+        rules = miner.discover_rules("append", probes())
+        if len(rules) > 1:
+            likelihoods = [r.likelihood for r in rules]
+            lengths = [r.name.count("+") for r in rules]
+            # Any strictly shorter mined sequence has >= likelihood.
+            for (l1, k1), (l2, k2) in zip(zip(likelihoods, lengths),
+                                          zip(likelihoods[1:],
+                                              lengths[1:])):
+                if k1 < k2:
+                    assert l1 >= l2
