@@ -61,6 +61,7 @@ from repro.faults import (
     InputRegion,
     LeakFault,
 )
+from repro import observe
 from repro.patterns import (
     ParallelEvaluation,
     ParallelSelection,
@@ -160,4 +161,5 @@ __all__ = [
     "correlated_version_population",
     "default_registry",
     "diverse_versions",
+    "observe",
 ]

@@ -6,6 +6,11 @@ another component or service is selected" — that monitor is a
 :class:`QoSMonitor`.  :class:`ExceptionDetector` is the explicit failure
 detector of reactive techniques that are triggered "by exceptions or by
 sensors" (RX, micro-reboot, rule engines).
+
+Monitors need not be hand-wired into every producer: each exposes a
+``subscribe`` method that attaches it to a telemetry
+:class:`~repro.observe.events.EventBus` topic (``unit.outcome`` by
+default), so any instrumented pattern feeds any listening monitor.
 """
 
 from __future__ import annotations
@@ -16,6 +21,23 @@ from typing import Deque, Sequence, Type
 from repro.adjudicators.base import Adjudicator, Verdict
 from repro.exceptions import SimulatedFailure
 from repro.result import Outcome
+
+
+def _subclass_names(classes: Sequence[Type[BaseException]]) -> set:
+    """The names of ``classes`` and all their (transitive) subclasses.
+
+    Event payloads carry exception *class names*, not instances, so a
+    detector subscribed to a bus matches by name against the closure of
+    the classes it detects.
+    """
+    names = set()
+    stack = list(classes)
+    while stack:
+        cls = stack.pop()
+        if cls.__name__ not in names:
+            names.add(cls.__name__)
+            stack.extend(cls.__subclasses__())
+    return names
 
 
 class ExceptionDetector(Adjudicator):
@@ -36,6 +58,22 @@ class ExceptionDetector(Adjudicator):
         if hit:
             self.detections += 1
         return hit
+
+    def subscribe(self, bus, topic: str = "unit.outcome"):
+        """Count detections from bus events instead of direct wiring.
+
+        Failed ``unit.outcome`` events whose ``error`` class name falls
+        within the detected exception hierarchy bump
+        :attr:`detections`.  Returns the subscription handle.
+        """
+        names = _subclass_names(self.detects)
+
+        def _on_event(event) -> None:
+            if (not event.payload.get("ok", True)
+                    and event.payload.get("error") in names):
+                self.detections += 1
+
+        return bus.subscribe(topic, _on_event)
 
     def adjudicate(self, outcomes: Sequence[Outcome]) -> Verdict:
         cost = self.unit_cost * len(outcomes)
@@ -110,6 +148,13 @@ class LatencyMonitor:
             raise ValueError("latency is non-negative")
         self._samples.append(latency)
 
+    def subscribe(self, bus, topic: str = "unit.outcome"):
+        """Feed the window from ``cost`` fields of bus events."""
+        return bus.subscribe(
+            topic,
+            lambda event: self.observe(
+                float(event.payload.get("cost", 0.0))))
+
     @property
     def average(self) -> float:
         if not self._samples:
@@ -141,6 +186,21 @@ class QoSMonitor:
     def observe(self, outcome: Outcome) -> None:
         self.latency.observe(outcome.cost)
         self._errors.append(outcome.failed)
+
+    def subscribe(self, bus, topic: str = "unit.outcome"):
+        """Watch a telemetry bus topic instead of being hand-wired.
+
+        Each matching event contributes its ``cost`` to the latency
+        window and its ``ok`` flag to the error-rate window, exactly as
+        a direct :meth:`observe` call would.  Returns the subscription
+        handle (cancel it when switching implementations).
+        """
+
+        def _on_event(event) -> None:
+            self.latency.observe(float(event.payload.get("cost", 0.0)))
+            self._errors.append(not event.payload.get("ok", True))
+
+        return bus.subscribe(topic, _on_event)
 
     @property
     def error_rate(self) -> float:

@@ -8,7 +8,11 @@ without writing code:
 * ``techniques`` — one line per implemented technique with its
   classification cells;
 * ``experiments`` — the experiment index (id, claim, benchmark target);
-* ``demo`` — run a tiny end-to-end NVP demonstration.
+* ``demo`` — run a tiny end-to-end NVP demonstration;
+* ``trace`` — run a named scenario under telemetry and print the span
+  timeline (optionally exporting the raw spans as JSONL);
+* ``metrics`` — run a scenario and dump its metrics registry in
+  Prometheus text format.
 """
 
 from __future__ import annotations
@@ -203,6 +207,46 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _run_scenario(args):
+    """Run ``args.scenario`` inside a telemetry session.
+
+    Returns ``(telemetry, summary_metrics)``; shared by ``trace`` and
+    ``metrics``.
+    """
+    from repro import observe
+    from repro.harness.scenarios import SCENARIOS
+
+    with observe.session() as tel:
+        metrics = SCENARIOS[args.scenario](args.requests, args.seed)
+    return tel, metrics
+
+
+def _cmd_trace(args) -> int:
+    tel, metrics = _run_scenario(args)
+    print(f"scenario {args.scenario} "
+          f"(requests={args.requests}, seed={args.seed}):")
+    for key, value in metrics.items():
+        print(f"  {key} = {value}")
+    print()
+    print(tel.tracer.timeline(limit=args.limit))
+    if args.jsonl:
+        try:
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                handle.write(tel.tracer.export_jsonl())
+        except OSError as exc:
+            print(f"error: cannot write {args.jsonl}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\n{len(tel.tracer.spans)} spans written to {args.jsonl}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    tel, _ = _run_scenario(args)
+    print(tel.metrics.render_prometheus(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +288,27 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--failure-rate", type=float, default=0.15)
     demo.add_argument("--seed", type=int, default=0)
     demo.set_defaults(func=_cmd_demo)
+
+    from repro.harness.scenarios import SCENARIOS
+
+    def scenario_args(sub_parser):
+        sub_parser.add_argument("scenario", choices=sorted(SCENARIOS))
+        sub_parser.add_argument("--requests", type=int, default=50)
+        sub_parser.add_argument("--seed", type=int, default=7)
+
+    trace = sub.add_parser(
+        "trace", help="trace a scenario and print its span timeline")
+    scenario_args(trace)
+    trace.add_argument("--limit", type=int, default=200,
+                       help="maximum timeline rows to print")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="also export raw spans as JSON lines")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a scenario and dump Prometheus-format metrics")
+    scenario_args(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -14,6 +14,8 @@ import dataclasses
 import random
 from typing import Any, Dict, List, Optional
 
+from repro.observe import current as _telemetry
+
 FIFO = "fifo"
 SHUFFLE = "shuffle"
 PRIORITY = "priority"
@@ -91,6 +93,13 @@ class MessageScheduler:
         """Deliver everything queued, in policy order, and empty the queue."""
         order = self.delivery_order()
         self._queue.clear()
+        if order:
+            tel = _telemetry()
+            if tel.enabled:
+                tel.publish("scheduler.delivered", count=len(order),
+                            policy=self.policy)
+                tel.metrics.inc("repro_messages_delivered_total",
+                                len(order), policy=self.policy)
         return order
 
     def next(self) -> Optional[Message]:
@@ -99,6 +108,11 @@ class MessageScheduler:
             return None
         head = self.delivery_order()[0]
         self._queue.remove(head)
+        tel = _telemetry()
+        if tel.enabled:
+            tel.publish("scheduler.delivered", count=1, policy=self.policy)
+            tel.metrics.inc("repro_messages_delivered_total",
+                            policy=self.policy)
         return head
 
     def perturb(self, new_policy: Optional[str] = None,
@@ -110,6 +124,10 @@ class MessageScheduler:
             self.policy = new_policy
         if new_seed is not None:
             self.seed = new_seed
+        tel = _telemetry()
+        if tel.enabled:
+            tel.publish("scheduler.perturbed", policy=self.policy,
+                        seed=self.seed)
 
     # -- snapshotting ----------------------------------------------------
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, List, Tuple
 
 from repro.faults.base import Fault
+from repro.observe import current as _telemetry
 
 
 class FaultInjector:
@@ -38,9 +39,20 @@ class FaultInjector:
         The first activating fault wins: it either raises (CRASH/HANG) or
         substitutes a corrupted value.  Returns the correct value when all
         faults stay dormant.
+
+        Every activation is reported to the installed telemetry session
+        as a ``fault.injected`` event and a
+        ``repro_faults_injected_total`` counter labelled by fault class.
         """
         for fault in self._faults:
             if fault.activates(args, env):
+                tel = _telemetry()
+                if tel.enabled:
+                    tel.publish("fault.injected", fault=fault.name,
+                                fault_class=type(fault).__name__,
+                                effect=fault.effect)
+                    tel.metrics.inc("repro_faults_injected_total",
+                                    fault_class=type(fault).__name__)
                 return fault.manifest(args, correct_value)
         return correct_value
 

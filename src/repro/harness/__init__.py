@@ -6,8 +6,18 @@ regenerable verbatim.
 """
 
 from repro.harness.campaign import CampaignCell, FaultCampaign
-from repro.harness.experiment import Experiment, TrialResult, run_trials
-from repro.harness.report import comparison_row, render_series, render_table
+from repro.harness.experiment import (
+    Experiment,
+    TrialResult,
+    run_trials,
+    summarize,
+)
+from repro.harness.report import (
+    comparison_row,
+    render_series,
+    render_table,
+    render_telemetry,
+)
 from repro.harness.workload import (
     attack_mix,
     load_phases,
@@ -25,7 +35,9 @@ __all__ = [
     "load_phases",
     "render_series",
     "render_table",
+    "render_telemetry",
     "request_stream",
     "run_trials",
+    "summarize",
     "uniform_inputs",
 ]

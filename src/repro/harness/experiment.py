@@ -4,15 +4,23 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import observe
 
 
 @dataclasses.dataclass(frozen=True)
 class TrialResult:
-    """One trial's measurements: a flat ``metric -> value`` mapping."""
+    """One trial's measurements: a flat ``metric -> value`` mapping.
+
+    When the owning experiment runs instrumented, ``telemetry`` carries
+    the trial's telemetry digest (span/event/metric summaries from
+    :meth:`repro.observe.Telemetry.summary`); otherwise it is ``None``.
+    """
 
     seed: int
     metrics: Dict[str, float]
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclasses.dataclass
@@ -24,19 +32,44 @@ class Experiment:
         trial: ``trial(seed) -> {metric: value}``; must be a pure function
             of the seed so reruns reproduce EXPERIMENTS.md exactly.
         seeds: The seeds to run.
+        instrument: When true, each trial runs inside a fresh telemetry
+            session and its :class:`TrialResult` carries the session's
+            summary.  Telemetry never feeds back into the trial (no RNG
+            draws, no clock writes), so metric values are identical
+            either way.
     """
 
     name: str
     trial: Callable[[int], Dict[str, float]]
     seeds: Sequence[int] = tuple(range(5))
+    instrument: bool = False
 
     def run(self) -> List[TrialResult]:
-        return [TrialResult(seed=s, metrics=self.trial(s))
-                for s in self.seeds]
+        results = []
+        for seed in self.seeds:
+            if self.instrument:
+                with observe.session() as tel:
+                    metrics = self.trial(seed)
+                results.append(TrialResult(seed=seed, metrics=metrics,
+                                           telemetry=tel.summary()))
+            else:
+                results.append(TrialResult(seed=seed,
+                                           metrics=self.trial(seed)))
+        return results
 
-    def summary(self) -> Dict[str, float]:
-        """Mean of every metric across trials."""
-        results = self.run()
+    def summary(self, results: Optional[Sequence[TrialResult]] = None
+                ) -> Dict[str, float]:
+        """Mean and stdev of every metric across trials.
+
+        Args:
+            results: Precomputed trial results (e.g. from a preceding
+                :meth:`run`); when omitted the trials are (re)run.
+                Passing them avoids executing every trial twice in
+                benchmarks that need both the raw results and the
+                summary.
+        """
+        if results is None:
+            results = self.run()
         return summarize(results)
 
 
@@ -47,12 +80,25 @@ def run_trials(trial: Callable[[int], Dict[str, float]],
 
 
 def summarize(results: Sequence[TrialResult]) -> Dict[str, float]:
-    """Per-metric means over trial results."""
+    """Per-metric means (and ``<metric>_stdev``) over trial results.
+
+    Trials may report heterogeneous metric sets (e.g. a metric only
+    meaningful when a fault actually struck): each metric is averaged
+    over the trials that reported it.  The sample standard deviation is
+    reported alongside every mean under ``<metric>_stdev`` (0.0 when
+    only one trial reported the metric).
+    """
     if not results:
         return {}
-    keys = results[0].metrics.keys()
+    keys: List[str] = []
+    for result in results:
+        for key in result.metrics:
+            if key not in keys:
+                keys.append(key)
     out = {}
     for key in keys:
-        values = [r.metrics[key] for r in results]
+        values = [r.metrics[key] for r in results if key in r.metrics]
         out[key] = statistics.fmean(values)
+        out[f"{key}_stdev"] = (statistics.stdev(values)
+                               if len(values) > 1 else 0.0)
     return out

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 from repro.taxonomy.tables import format_table
 
-__all__ = ["render_table", "render_series", "comparison_row", "format_cell"]
+__all__ = ["render_table", "render_series", "comparison_row", "format_cell",
+           "render_telemetry"]
 
 
 def format_cell(value: Any) -> str:
@@ -39,3 +40,26 @@ def comparison_row(label: str, paper_claim: str,
     """One EXPERIMENTS.md row: claim vs measurement vs verdict."""
     return [label, paper_claim, format_cell(measured),
             "HOLDS" if holds else "DEVIATES"]
+
+
+def render_telemetry(summary: Dict[str, Any], title: str = "telemetry"
+                     ) -> str:
+    """Render a per-trial telemetry digest as one ASCII table.
+
+    ``summary`` is the dict produced by
+    :meth:`repro.observe.Telemetry.summary` (and attached to
+    :class:`~repro.harness.experiment.TrialResult` by instrumented
+    experiments): span digests become ``span`` rows with count, total
+    cost and error count; event topics and metric samples become
+    ``event``/``metric`` rows with their counts or values.
+    """
+    rows: List[List[Any]] = []
+    for name, digest in sorted(summary.get("spans", {}).items()):
+        rows.append(["span", name, digest["count"], digest["cost"],
+                     digest["errors"]])
+    for topic, count in sorted(summary.get("events", {}).items()):
+        rows.append(["event", topic, count, "", ""])
+    for sample, value in sorted(summary.get("metrics", {}).items()):
+        rows.append(["metric", sample, "", value, ""])
+    return render_table(("kind", "name", "count", "value/cost", "errors"),
+                        rows, title=title)

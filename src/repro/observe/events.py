@@ -1,0 +1,123 @@
+"""A topic-based event bus for fault-handling telemetry.
+
+Producers — pattern engines, techniques, the fault injector, the
+message scheduler — publish named events; monitors and experiment
+probes subscribe instead of being hand-wired into each producer (the
+separation of fault-tolerance logic from the application layer that
+De Florio's application-layer protocols argue for).
+
+Topics are dotted names.  A subscription matches an exact topic
+(``"fault.injected"``), a prefix wildcard (``"fault.*"``) or everything
+(``"*"``).  Canonical topics published by the framework:
+
+* ``unit.outcome`` — one redundant alternative finished (payload:
+  ``pattern``, ``producer``, ``ok``, ``cost``, ``error``);
+* ``adjudication.verdict`` — an adjudicator decided (``accepted``…);
+* ``pattern.rollback`` — a sequential pattern rolled state back;
+* ``unit.disabled`` — an alternative was taken out of rotation;
+* ``fault.injected`` — a fault activated (``fault``, ``fault_class``);
+* ``reboot`` / ``rejuvenation.performed`` / ``checkpoint.written`` /
+  ``checkpoint.rollback`` — environment-redundancy recoveries;
+* ``replicas.attack_detected`` — N-variant divergence;
+* ``scheduler.perturbed`` / ``scheduler.delivered`` — message-level
+  environment changes.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One published event.
+
+    Attributes:
+        topic: Dotted event name.
+        time: Virtual time at publication.
+        seq: Monotonic publication order.
+        payload: Free-form event data.
+    """
+
+    topic: str
+    time: float
+    seq: int
+    payload: Dict[str, Any]
+
+
+Handler = Callable[[Event], None]
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call
+    :meth:`cancel` to detach the handler."""
+
+    __slots__ = ("topic", "handler", "_bus", "delivered")
+
+    def __init__(self, bus: "EventBus", topic: str, handler: Handler) -> None:
+        self._bus = bus
+        self.topic = topic
+        self.handler = handler
+        #: Number of events delivered to this subscription.
+        self.delivered = 0
+
+    def matches(self, topic: str) -> bool:
+        pattern = self.topic
+        if pattern == "*" or pattern == topic:
+            return True
+        return pattern.endswith(".*") and topic.startswith(pattern[:-1])
+
+    def cancel(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Synchronous publish/subscribe with topic wildcards.
+
+    Args:
+        now: Zero-argument callable supplying event timestamps.
+        history: Ring-buffer size of retained events (diagnostics and
+            the ``repro trace`` event log).
+    """
+
+    def __init__(self, now: Optional[Callable[[], float]] = None,
+                 history: int = 4096) -> None:
+        self._now = now or (lambda: 0.0)
+        self._subscriptions: List[Subscription] = []
+        self._seq = 0
+        self.history: Deque[Event] = collections.deque(maxlen=history)
+        #: Per-topic publication counts (cheap aggregate, never trimmed).
+        self.counts: Dict[str, int] = {}
+
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Attach ``handler`` to a topic pattern; returns the handle."""
+        subscription = Subscription(self, topic, handler)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach a subscription (no-op if already detached)."""
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
+    def publish(self, topic: str, **payload: Any) -> Event:
+        """Publish an event and deliver it to matching subscribers."""
+        event = Event(topic=topic, time=self._now(), seq=self._seq,
+                      payload=payload)
+        self._seq += 1
+        self.history.append(event)
+        self.counts[topic] = self.counts.get(topic, 0) + 1
+        for subscription in tuple(self._subscriptions):
+            if subscription.matches(topic):
+                subscription.delivered += 1
+                subscription.handler(event)
+        return event
+
+    @property
+    def published(self) -> int:
+        """Total number of events published so far."""
+        return self._seq

@@ -1,0 +1,204 @@
+"""A labelled metrics registry with a Prometheus text dump.
+
+Counters, gauges and histograms keyed by ``(name, labels)``.  The
+registry is the single accounting surface of the framework: pattern
+engines feed it through :class:`~repro.patterns.base.PatternStats`,
+techniques and the fault injector feed it directly, and
+``repro metrics`` dumps it in the Prometheus exposition format so the
+virtual-time experiments read like any production service.
+
+Metric name conventions follow Prometheus: monotonic counters end in
+``_total``; histogram values are virtual-time units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds, in virtual time units.
+DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing value."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A value that can move in both directions."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A fixed-bucket distribution (count, sum, min, max, buckets)."""
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics.
+
+    Convenience mutators (:meth:`inc`, :meth:`set_gauge`,
+    :meth:`observe`) cover the common one-liner call sites; the typed
+    accessors (:meth:`counter`, :meth:`gauge`, :meth:`histogram`) return
+    the metric object for repeated updates.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+        self._kinds: Dict[str, type] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, cls, name: str, labels: Mapping[str, object],
+             **extra) -> object:
+        kind = self._kinds.setdefault(name, cls)
+        if kind is not cls:
+            raise ValueError(f"metric {name!r} already registered as "
+                             f"{kind.__name__}, not {cls.__name__}")
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **extra)
+            self._metrics[key] = metric
+        return metric
+
+    # -- typed accessors ---------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create a counter for this label set."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create a gauge for this label set."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: object) -> Histogram:
+        """Get or create a histogram for this label set."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- convenience mutators ----------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Increment the counter ``name`` for this label set."""
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name`` for this label set."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one histogram observation for this label set."""
+        self.histogram(name, **labels).observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge (0.0 when never touched)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return 0.0
+        return metric.value  # type: ignore[union-attr]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``rendered-sample-name -> value`` mapping.
+
+        Histograms contribute their ``_count`` and ``_sum`` samples.
+        """
+        out: Dict[str, float] = {}
+        for (name, key), metric in sorted(self._metrics.items()):
+            labels = _render_labels(key)
+            if isinstance(metric, Histogram):
+                out[f"{name}_count{labels}"] = float(metric.count)
+                out[f"{name}_sum{labels}"] = metric.sum
+            else:
+                out[f"{name}{labels}"] = metric.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        by_name: Dict[str, List[Tuple[LabelKey, object]]] = {}
+        for (name, key), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append((key, metric))
+        lines: List[str] = []
+        for name, series in by_name.items():
+            kind = self._kinds[name]
+            lines.append(f"# TYPE {name} {kind.__name__.lower()}")
+            for key, metric in series:
+                if isinstance(metric, Histogram):
+                    # bucket_counts are maintained cumulatively (every
+                    # bucket whose bound covers the value is bumped).
+                    for bound, count in zip(metric.buckets,
+                                            metric.bucket_counts):
+                        bucket_key = key + (("le", f"{bound:g}"),)
+                        lines.append(f"{name}_bucket"
+                                     f"{_render_labels(bucket_key)}"
+                                     f" {count}")
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(f"{name}_bucket{_render_labels(inf_key)}"
+                                 f" {metric.count}")
+                    lines.append(f"{name}_sum{_render_labels(key)}"
+                                 f" {metric.sum:g}")
+                    lines.append(f"{name}_count{_render_labels(key)}"
+                                 f" {metric.count}")
+                else:
+                    value = metric.value  # type: ignore[union-attr]
+                    lines.append(f"{name}{_render_labels(key)} {value:g}")
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The telemetry facade and the globally installed session.
+
+One :class:`Telemetry` object bundles the three cooperating pieces of
+the observe subsystem — a :class:`~repro.observe.tracer.Tracer`, a
+:class:`~repro.observe.metrics.MetricsRegistry` and an
+:class:`~repro.observe.events.EventBus` — behind a single ``enabled``
+flag that instrumented code checks before doing any telemetry work.
+
+The module-level default is a *disabled* singleton: with no session
+installed, every instrumentation site reduces to one attribute check
+(no allocation, no locking, no RNG use), so benchmark outputs are
+bit-identical to an uninstrumented build.  Enable collection with::
+
+    from repro import observe
+
+    with observe.session() as tel:
+        nvp.execute(7, env=env)
+    print(tel.tracer.timeline())
+    print(tel.metrics.render_prometheus())
+
+or imperatively with :func:`install` / :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional
+
+from repro.observe.events import EventBus
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import Tracer
+
+
+class _SeqClock:
+    """Fallback clock: ticks one unit per reading.
+
+    Used when a telemetry session is not bound to a virtual clock; it
+    keeps timestamps strictly ordered so timelines stay readable.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        self._now += 1.0
+        return self._now
+
+
+class Telemetry:
+    """Tracer + metrics + event bus behind one ``enabled`` flag.
+
+    Args:
+        clock: Object exposing ``.now`` (duck-typed
+            :class:`~repro.environment.clock.VirtualClock`); rebind at
+            any time via :meth:`bind_clock`.  Defaults to an internal
+            ticking clock.
+        enabled: Whether instrumentation sites should record anything.
+    """
+
+    def __init__(self, clock: Optional[Any] = None,
+                 enabled: bool = True) -> None:
+        self._clock = clock if clock is not None else _SeqClock()
+        self.enabled = enabled
+        self.tracer = Tracer(now=self._now)
+        self.metrics = MetricsRegistry()
+        self.bus = EventBus(now=self._now)
+
+    def _now(self) -> float:
+        return self._clock.now
+
+    def bind_clock(self, clock: Any) -> None:
+        """Timestamp subsequent spans/events from ``clock.now``.
+
+        Typically called with a
+        :class:`~repro.environment.simenv.SimEnvironment`'s virtual
+        clock once the environment exists.
+        """
+        self._clock = clock
+
+    # -- producer conveniences --------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Record a span (see :meth:`Tracer.span`)."""
+        return self.tracer.span(name, **attrs)
+
+    def publish(self, topic: str, **payload: Any) -> None:
+        """Publish an event when enabled; silently drop otherwise."""
+        if self.enabled:
+            self.bus.publish(topic, **payload)
+
+    def count(self, name: str, amount: float = 1.0,
+              **labels: Any) -> None:
+        """Increment a counter when enabled."""
+        if self.enabled:
+            self.metrics.inc(name, amount, **labels)
+
+    # -- summaries ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact per-session digest.
+
+        Returns a dict with ``spans`` (per span-name count / total cost
+        / error count), ``events`` (per-topic counts) and ``metrics``
+        (flat sample map) — the payload the experiment harness attaches
+        to each trial.
+        """
+        spans: Dict[str, Dict[str, float]] = {}
+        for span in self.tracer.spans:
+            digest = spans.setdefault(span.name,
+                                      {"count": 0, "cost": 0.0, "errors": 0})
+            digest["count"] += 1
+            digest["cost"] += span.cost
+            if span.status != "ok":
+                digest["errors"] += 1
+        return {
+            "spans": spans,
+            "events": dict(self.bus.counts),
+            "metrics": self.metrics.as_dict(),
+        }
+
+
+#: The permanently-disabled default session.  Instrumented code holds a
+#: reference only transiently (``tel = current()`` per call), so
+#: installing a real session takes effect on the next invocation.
+_DISABLED = Telemetry(enabled=False)
+_current = _DISABLED
+
+
+def current() -> Telemetry:
+    """The installed telemetry session (a disabled no-op by default)."""
+    return _current
+
+
+def enabled() -> bool:
+    """True when a live telemetry session is installed."""
+    return _current.enabled
+
+
+def install(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the current session; returns it."""
+    global _current
+    _current = telemetry
+    return telemetry
+
+
+def disable() -> None:
+    """Restore the disabled no-op default."""
+    global _current
+    _current = _DISABLED
+
+
+@contextlib.contextmanager
+def session(clock: Optional[Any] = None) -> Iterator[Telemetry]:
+    """Install a fresh :class:`Telemetry` for the duration of a block.
+
+    The previously installed session (usually the disabled default) is
+    restored on exit, so sessions nest and never leak across tests or
+    trials.
+    """
+    telemetry = Telemetry(clock=clock)
+    previous = _current
+    install(telemetry)
+    try:
+        yield telemetry
+    finally:
+        install(previous)

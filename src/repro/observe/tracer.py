@@ -1,0 +1,205 @@
+"""Span tracing for redundant executions.
+
+A :class:`Tracer` records nested :class:`Span` objects — the telemetry
+backbone of the framework.  The canonical span vocabulary mirrors the
+lifecycle of a redundant request:
+
+* ``technique.execute`` — one request through a technique facade;
+* ``pattern.execute`` — one invocation of a Figure-1 pattern engine;
+* ``unit.run`` — one redundant alternative executing (attribute
+  ``cost`` carries its virtual execution cost);
+* ``adjudicate`` — one adjudication (attribute ``cost`` carries the
+  adjudication cost);
+* ``recover`` — a recovery action (rollback, reboot, rejuvenation;
+  attribute ``kind`` names it).
+
+Timestamps come from whatever clock the owning
+:class:`~repro.observe.telemetry.Telemetry` is bound to — normally the
+virtual clock of a :class:`~repro.environment.simenv.SimEnvironment`,
+so span durations are expressed in the same virtual time units as every
+cost in the framework.  Spans additionally carry a monotonic sequence
+number so ordering is stable even when the clock does not advance.
+
+Exports: :meth:`Tracer.export_jsonl` (one JSON object per span, machine
+readable) and :meth:`Tracer.timeline` (indented human-readable tree).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Span statuses.
+OK = "ok"
+ERROR = "error"
+REJECTED = "rejected"
+
+
+@dataclasses.dataclass
+class Span:
+    """One traced operation.
+
+    Attributes:
+        name: Span kind (see the module docstring vocabulary).
+        span_id: Unique id within the owning tracer.
+        parent_id: Enclosing span's id, or ``None`` for a root span.
+        start: Virtual time at which the span opened.
+        end: Virtual time at which it closed (``None`` while open).
+        seq: Monotonic start order, stable even on a frozen clock.
+        status: ``"ok"``, ``"error"`` or ``"rejected"``.
+        attrs: Free-form attributes (``producer``, ``pattern``, ``cost``…).
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int] = None
+    start: float = 0.0
+    end: Optional[float] = None
+    seq: int = 0
+    status: str = OK
+    attrs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed virtual time (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def cost(self) -> float:
+        """The span's ``cost`` attribute as a float (0.0 when absent)."""
+        return float(self.attrs.get("cost", 0.0) or 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (used by JSONL export)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "seq": self.seq,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Records spans with parent/child nesting.
+
+    Args:
+        now: Zero-argument callable returning the current (virtual)
+            time.  Defaults to a constant 0.0 — sequence numbers still
+            give a total order; bind a real virtual clock through the
+            telemetry facade to get meaningful timestamps.
+        capacity: Maximum number of retained spans; recording silently
+            stops beyond it (the count keeps growing) so a runaway
+            workload cannot exhaust memory.
+    """
+
+    def __init__(self, now: Optional[Callable[[], float]] = None,
+                 capacity: int = 100_000) -> None:
+        self._now = now or (lambda: 0.0)
+        self.capacity = capacity
+        self.spans: List[Span] = []
+        self.started = 0
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span (nested under the innermost open span)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name=name, span_id=self._next_id, parent_id=parent,
+                    start=self._now(), seq=self.started, attrs=attrs)
+        self._next_id += 1
+        self.started += 1
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, status: Optional[str] = None) -> Span:
+        """Close a span (and any child accidentally left open)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end = self._now()
+            if top is span:
+                break
+        else:
+            span.end = self._now()
+        if status is not None:
+            span.status = status
+        elif span.end is None:  # pragma: no cover - defensive
+            span.end = self._now()
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Context manager recording one span.
+
+        An exception escaping the block marks the span ``"error"``
+        (unless the block already set a status) and propagates.
+        """
+        sp = self.start(name, **attrs)
+        try:
+            yield sp
+        except BaseException:
+            if sp.status == OK:
+                sp.status = ERROR
+            raise
+        finally:
+            self.finish(sp)
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, name: str, **attrs: Any) -> List[Span]:
+        """Spans with this name whose attrs contain every given item."""
+        return [s for s in self.spans
+                if s.name == name
+                and all(s.attrs.get(k) == v for k, v in attrs.items())]
+
+    def total_cost(self, name: str, **attrs: Any) -> float:
+        """Sum of the ``cost`` attribute over matching spans.
+
+        Summation follows recording order, so totals are bit-identical
+        to counters accumulated by the instrumented code itself.
+        """
+        total = 0.0
+        for span in self.find(name, **attrs):
+            total += span.cost
+        return total
+
+    # -- exports -----------------------------------------------------------
+
+    def export_jsonl(self) -> str:
+        """One JSON object per recorded span, in start order."""
+        return "\n".join(json.dumps(s.to_dict(), sort_keys=True, default=str)
+                         for s in self.spans)
+
+    def timeline(self, limit: int = 200) -> str:
+        """Human-readable indented span tree.
+
+        Args:
+            limit: Maximum number of lines (a trailing marker reports
+                how many spans were elided).
+        """
+        depth: Dict[Optional[int], int] = {None: -1}
+        lines = []
+        for span in self.spans:
+            depth[span.span_id] = depth.get(span.parent_id, -1) + 1
+            if len(lines) >= limit:
+                continue
+            indent = "  " * depth[span.span_id]
+            end = "…" if span.end is None else f"{span.end:g}"
+            extras = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            lines.append(f"[{span.start:g} → {end}] {indent}{span.name}"
+                         f" ({span.status})" + (f" {extras}" if extras else ""))
+        if len(self.spans) > limit:
+            lines.append(f"… {len(self.spans) - limit} more spans")
+        if self.started > len(self.spans):
+            lines.append(f"… {self.started - len(self.spans)} spans dropped "
+                         f"(capacity {self.capacity})")
+        return "\n".join(lines)

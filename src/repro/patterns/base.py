@@ -9,6 +9,7 @@ from typing import Any, List, Sequence, Tuple
 from repro.adjudicators.acceptance import AcceptanceTest
 from repro.components.version import Version
 from repro.exceptions import RedundancyError, SimulatedFailure
+from repro.observe import current as _telemetry
 from repro.result import Outcome
 
 #: Exceptions a pattern engine captures as a *component* failure: raw
@@ -16,6 +17,10 @@ from repro.result import Outcome
 #: (a composed redundant component whose own redundancy ran out has
 #: failed, from the enclosing pattern's point of view).
 CAPTURED_FAILURES = (SimulatedFailure, RedundancyError)
+
+#: Virtual cost of one per-unit adjudication (acceptance test or
+#: self-check) in the parallel-selection and sequential engines.
+UNIT_ADJUDICATION_COST = 0.5
 
 
 @dataclasses.dataclass
@@ -36,6 +41,30 @@ class PatternStats:
     unmasked_failures: int = 0
     rollbacks: int = 0
     disabled: int = 0
+    #: Name of the owning pattern instance — the ``pattern`` label every
+    #: increment carries into the telemetry metrics registry.
+    owner: str = ""
+
+    def inc(self, counter: str, amount=1) -> None:
+        """Increment one counter — the single write path for pattern
+        accounting.
+
+        Besides updating the dataclass field, the increment is forwarded
+        to the installed telemetry session's metrics registry (as
+        ``repro_pattern_<counter>_total{pattern=<owner>}``), so the
+        ledger and the telemetry view can never disagree.
+        """
+        setattr(self, counter, getattr(self, counter) + amount)
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.inc(f"repro_pattern_{counter}_total", amount,
+                            pattern=self.owner or "pattern")
+
+    def as_dict(self) -> dict:
+        """The counters as a plain ``name -> value`` dict (no owner)."""
+        out = dataclasses.asdict(self)
+        del out["owner"]
+        return out
 
     def merge(self, other: "PatternStats") -> "PatternStats":
         return PatternStats(
@@ -50,6 +79,7 @@ class PatternStats:
                                + other.unmasked_failures),
             rollbacks=self.rollbacks + other.rollbacks,
             disabled=self.disabled + other.disabled,
+            owner=self.owner if self.owner == other.owner else "",
         )
 
 
@@ -146,7 +176,14 @@ def as_units(alternatives: Sequence) -> List[ExecutionUnit]:
 
 
 class RedundancyPattern(abc.ABC):
-    """Base class of the three Figure-1 engines."""
+    """Base class of the three Figure-1 engines.
+
+    :meth:`execute` is a template method: it opens the
+    ``pattern.execute`` telemetry span (when a session is installed)
+    and delegates to the engine-specific :meth:`_execute`.  With the
+    default no-op telemetry session, the added cost is one attribute
+    check per invocation.
+    """
 
     #: Single-line ASCII sketch, rendered by the Figure-1 benchmark.
     diagram: str = ""
@@ -156,17 +193,73 @@ class RedundancyPattern(abc.ABC):
         if not units:
             raise ValueError("a redundancy pattern needs alternatives")
         self.units = units
-        self.stats = PatternStats()
+        #: Diagnostic name used as the ``pattern`` label on every span,
+        #: event and metric; assign a distinctive one when running
+        #: several instances of the same engine side by side.
+        self.name = type(self).__name__
+        self.stats = PatternStats(owner=self.name)
 
     @property
     def active_units(self) -> List[ExecutionUnit]:
         return [u for u in self.units if u.enabled]
 
-    @abc.abstractmethod
     def execute(self, *args: Any, env=None) -> Any:
         """Run the redundant computation; raises when redundancy is
         exhausted or adjudication fails."""
+        tel = _telemetry()
+        if not tel.enabled:
+            return self._execute(args, env, tel)
+        with tel.span("pattern.execute", pattern=self.name):
+            return self._execute(args, env, tel)
+
+    @abc.abstractmethod
+    def _execute(self, args: Tuple[Any, ...], env, tel) -> Any:
+        """Engine-specific execution over ``args`` (already a tuple).
+
+        ``tel`` is the current telemetry session; instrumentation sites
+        must guard on ``tel.enabled`` so the disabled path stays
+        allocation-free.
+        """
+
+    def _run_unit(self, unit: ExecutionUnit, args: Tuple[Any, ...], env,
+                  tel, charge: bool) -> Outcome:
+        """Run one alternative with execution accounting and telemetry."""
+        if tel.enabled:
+            with tel.span("unit.run", pattern=self.name,
+                          producer=unit.name) as span:
+                outcome = unit.run(args, env, charge=charge)
+                span.attrs["cost"] = outcome.cost
+                if outcome.failed:
+                    span.status = "error"
+            tel.publish("unit.outcome", pattern=self.name,
+                        producer=unit.name, ok=outcome.ok,
+                        cost=outcome.cost,
+                        error=type(outcome.error).__name__
+                        if outcome.error is not None else "")
+        else:
+            outcome = unit.run(args, env, charge=charge)
+        self._record_execution(outcome)
+        return outcome
+
+    def _validate_unit(self, unit: ExecutionUnit, args: Tuple[Any, ...],
+                       outcome: Outcome, tel) -> bool:
+        """Run one per-unit adjudication (cost 0.5) with telemetry."""
+        if tel.enabled:
+            with tel.span("adjudicate", pattern=self.name,
+                          producer=unit.name,
+                          cost=UNIT_ADJUDICATION_COST) as span:
+                accepted = unit.validate(args, outcome)
+                if not accepted:
+                    span.status = "rejected"
+            tel.publish("adjudication.verdict", pattern=self.name,
+                        producer=unit.name, accepted=accepted,
+                        cost=UNIT_ADJUDICATION_COST)
+        else:
+            accepted = unit.validate(args, outcome)
+        self.stats.inc("adjudications")
+        self.stats.inc("adjudication_cost", UNIT_ADJUDICATION_COST)
+        return accepted
 
     def _record_execution(self, outcome: Outcome) -> None:
-        self.stats.executions += 1
-        self.stats.execution_cost += outcome.cost
+        self.stats.inc("executions")
+        self.stats.inc("execution_cost", outcome.cost)

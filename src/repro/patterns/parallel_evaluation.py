@@ -48,26 +48,37 @@ class ParallelEvaluation(RedundancyPattern):
         self.on_reject = on_reject
         self.last_verdict: Optional[Verdict] = None
 
-    def execute(self, *args: Any, env=None) -> Any:
-        self.stats.invocations += 1
+    def _execute(self, args, env, tel) -> Any:
+        self.stats.inc("invocations")
         units = self.active_units
         outcomes = []
         for unit in units:
-            outcome = unit.run(args, env, charge=False)
-            self._record_execution(outcome)
-            outcomes.append(outcome)
+            outcomes.append(self._run_unit(unit, args, env, tel,
+                                           charge=False))
         if env is not None and outcomes:
             env.do_work(max(o.cost for o in outcomes))
 
-        verdict = self.adjudicator.adjudicate(outcomes)
+        if tel.enabled:
+            with tel.span("adjudicate", pattern=self.name,
+                          adjudicator=type(self.adjudicator).__name__
+                          ) as span:
+                verdict = self.adjudicator.adjudicate(outcomes)
+                span.attrs["cost"] = verdict.cost
+                if not verdict.accepted:
+                    span.status = "rejected"
+            tel.publish("adjudication.verdict", pattern=self.name,
+                        accepted=verdict.accepted, cost=verdict.cost,
+                        dissenters=len(verdict.dissenters))
+        else:
+            verdict = self.adjudicator.adjudicate(outcomes)
         self.last_verdict = verdict
-        self.stats.adjudications += 1
-        self.stats.adjudication_cost += verdict.cost
+        self.stats.inc("adjudications")
+        self.stats.inc("adjudication_cost", verdict.cost)
 
         if verdict.accepted:
-            self.stats.masked_failures += len(verdict.dissenters)
+            self.stats.inc("masked_failures", len(verdict.dissenters))
             return verdict.value
-        self.stats.unmasked_failures += 1
+        self.stats.inc("unmasked_failures")
         if self.on_reject == "none":
             return None
         raise NoMajorityError(

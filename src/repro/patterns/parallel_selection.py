@@ -40,11 +40,11 @@ class ParallelSelection(RedundancyPattern):
         super().__init__(alternatives)
         self.disable_failing = disable_failing
 
-    def execute(self, *args: Any, env=None) -> Any:
-        self.stats.invocations += 1
+    def _execute(self, args, env, tel) -> Any:
+        self.stats.inc("invocations")
         units = self.active_units
         if not units:
-            self.stats.unmasked_failures += 1
+            self.stats.inc("unmasked_failures")
             raise AllAlternativesFailedError(
                 "every self-checking component has been disabled")
 
@@ -52,12 +52,9 @@ class ParallelSelection(RedundancyPattern):
         failures = []
         max_cost = 0.0
         for unit in units:
-            outcome = unit.run(args, env, charge=False)
-            self._record_execution(outcome)
+            outcome = self._run_unit(unit, args, env, tel, charge=False)
             max_cost = max(max_cost, outcome.cost)
-            self.stats.adjudications += 1
-            self.stats.adjudication_cost += 0.5
-            if unit.validate(args, outcome):
+            if self._validate_unit(unit, args, outcome, tel):
                 validated.append((unit, outcome))
             else:
                 failures.append(outcome.error or
@@ -65,16 +62,18 @@ class ParallelSelection(RedundancyPattern):
                                                f"its adjudicator"))
                 if self.disable_failing:
                     unit.disable()
-                    self.stats.disabled += 1
+                    self.stats.inc("disabled")
+                    tel.publish("unit.disabled", pattern=self.name,
+                                producer=unit.name)
         if env is not None:
             env.do_work(max_cost)
 
         if not validated:
-            self.stats.unmasked_failures += 1
+            self.stats.inc("unmasked_failures")
             raise AllAlternativesFailedError(
                 f"all {len(units)} parallel alternatives failed validation",
                 failures=failures)
-        self.stats.masked_failures += len(units) - len(validated)
+        self.stats.inc("masked_failures", len(units) - len(validated))
         # Rank order: the acting component is the first listed; spares
         # only supply the result when the acting one failed its check.
         return validated[0][1].value

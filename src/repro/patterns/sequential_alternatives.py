@@ -45,8 +45,8 @@ class SequentialAlternatives(RedundancyPattern):
         self.subject = subject
         self.max_attempts = max_attempts
 
-    def execute(self, *args: Any, env=None) -> Any:
-        self.stats.invocations += 1
+    def _execute(self, args, env, tel) -> Any:
+        self.stats.inc("invocations")
         checkpoint = (self.subject.capture_state()
                       if self.subject is not None else None)
         failures = []
@@ -55,24 +55,28 @@ class SequentialAlternatives(RedundancyPattern):
             if self.max_attempts is not None and attempts >= self.max_attempts:
                 break
             if attempts > 0 and checkpoint is not None:
-                self.subject.restore_state(checkpoint)
-                self.stats.rollbacks += 1
+                self._rollback(checkpoint, tel)
             attempts += 1
-            outcome = unit.run(args, env, charge=True)
-            self._record_execution(outcome)
-            self.stats.adjudications += 1
-            self.stats.adjudication_cost += 0.5
-            if unit.validate(args, outcome):
-                self.stats.masked_failures += attempts - 1
+            outcome = self._run_unit(unit, args, env, tel, charge=True)
+            if self._validate_unit(unit, args, outcome, tel):
+                self.stats.inc("masked_failures", attempts - 1)
                 return outcome.value
             failures.append(outcome.error or
                             AssertionError(f"{unit.name}: rejected by "
                                            f"acceptance test"))
-        self.stats.unmasked_failures += 1
+        self.stats.inc("unmasked_failures")
         if checkpoint is not None and attempts > 0:
             # Leave the subject consistent even when giving up.
-            self.subject.restore_state(checkpoint)
-            self.stats.rollbacks += 1
+            self._rollback(checkpoint, tel)
         raise AllAlternativesFailedError(
             f"all {attempts} sequential alternatives failed",
             failures=failures)
+
+    def _rollback(self, checkpoint, tel) -> None:
+        if tel.enabled:
+            with tel.span("recover", pattern=self.name, kind="rollback"):
+                self.subject.restore_state(checkpoint)
+            tel.publish("pattern.rollback", pattern=self.name)
+        else:
+            self.subject.restore_state(checkpoint)
+        self.stats.inc("rollbacks")

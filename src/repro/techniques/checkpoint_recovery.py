@@ -17,6 +17,7 @@ from repro.components.state import Checkpointable
 from repro.environment.simenv import SimEnvironment
 from repro.environment.snapshot import EnvironmentSnapshot
 from repro.exceptions import NoCheckpointError, SimulatedFailure
+from repro.observe import current as _telemetry
 from repro.taxonomy.paper import paper_entry
 from repro.taxonomy.registry import register
 from repro.techniques.base import Technique
@@ -82,6 +83,13 @@ class CheckpointRecovery(Technique):
             self._state_checkpoint = self.subject.capture_state()
         self.env.clock.advance(self.checkpoint_cost)
         self.total_checkpoints += 1
+        tel = _telemetry()
+        if tel.enabled:
+            tel.publish("checkpoint.written",
+                        technique=self.technique_name,
+                        cost=self.checkpoint_cost)
+            tel.metrics.inc("repro_checkpoints_total",
+                            technique=self.technique_name)
 
     def rollback(self) -> None:
         """Restore the most recent checkpoint (not the nondeterminism
@@ -89,12 +97,27 @@ class CheckpointRecovery(Technique):
         if self._env_checkpoint is None:
             raise NoCheckpointError("rollback requested before any "
                                     "checkpoint was written")
+        tel = _telemetry()
+        if tel.enabled:
+            with tel.span("recover", kind="rollback",
+                          technique=self.technique_name,
+                          cost=self.recovery_cost):
+                self._restore_checkpoint()
+            tel.publish("checkpoint.rollback",
+                        technique=self.technique_name,
+                        cost=self.recovery_cost)
+            tel.metrics.inc("repro_rollbacks_total",
+                            technique=self.technique_name)
+        else:
+            self._restore_checkpoint()
+        self.env.clock.advance(self.recovery_cost)
+        self.total_rollbacks += 1
+
+    def _restore_checkpoint(self) -> None:
         self.env.restore(self._env_checkpoint,
                          replay_nondeterminism=False)
         if self.subject is not None and self._state_checkpoint is not None:
             self.subject.restore_state(self._state_checkpoint)
-        self.env.clock.advance(self.recovery_cost)
-        self.total_rollbacks += 1
 
     # -- protected execution --------------------------------------------------
 

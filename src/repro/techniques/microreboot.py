@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional, Sequence
 from repro.components.component import RestartableComponent
 from repro.environment.simenv import SimEnvironment
 from repro.exceptions import CrashFailure
+from repro.observe import current as _telemetry
 from repro.taxonomy.paper import paper_entry
 from repro.taxonomy.registry import register
 from repro.techniques.base import Technique
@@ -96,6 +97,7 @@ class MicroReboot(Technique):
         times per request (Heisenbug crashes may recur on retry); a
         request that exhausts the budget propagates its last failure.
         """
+        tel = _telemetry()
         self.stats.requests += 1
         retries = 0
         while True:
@@ -105,19 +107,41 @@ class MicroReboot(Technique):
                 break
             except CrashFailure:
                 self.stats.crashes += 1
-                self._reboot(component_name)
+                if tel.enabled:
+                    tel.publish("component.crash", component=component_name,
+                                scope=self.scope)
+                self._reboot(component_name, tel)
                 retries += 1
                 if retries > self.max_retries:
                     raise
+        if tel.enabled and retries:
+            # Reboot depth: how many restarts one request needed.
+            tel.metrics.observe("repro_reboot_depth", retries,
+                                scope=self.scope)
         self.stats.served += 1
         return value
 
-    def _reboot(self, crashed_component: str) -> float:
+    def _reboot(self, crashed_component: str, tel=None) -> float:
+        if tel is None:
+            tel = _telemetry()
         self.stats.reboots += 1
-        if self.scope == "micro":
-            downtime = self.app.components[crashed_component].restart(
-                env=self.env)
+        if tel.enabled:
+            with tel.span("recover", kind=f"{self.scope}-reboot",
+                          component=crashed_component) as span:
+                downtime = self._restart(crashed_component)
+                span.attrs["cost"] = downtime
+            tel.publish("reboot", scope=self.scope,
+                        component=crashed_component, downtime=downtime)
+            tel.metrics.inc("repro_reboots_total", scope=self.scope)
+            tel.metrics.observe("repro_reboot_downtime", downtime,
+                                scope=self.scope)
         else:
-            downtime = self.app.restart_all(self.env)
+            downtime = self._restart(crashed_component)
         self.stats.downtime += downtime
         return downtime
+
+    def _restart(self, crashed_component: str) -> float:
+        if self.scope == "micro":
+            return self.app.components[crashed_component].restart(
+                env=self.env)
+        return self.app.restart_all(self.env)

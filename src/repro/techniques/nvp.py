@@ -16,6 +16,7 @@ from repro.adjudicators.voting import MajorityVoter
 from repro.analysis.cost import CostLedger
 from repro.components.library import diverse_versions
 from repro.components.version import Version
+from repro.observe import current as _telemetry
 from repro.patterns.parallel_evaluation import ParallelEvaluation
 from repro.taxonomy.paper import paper_entry
 from repro.taxonomy.registry import register
@@ -65,7 +66,11 @@ class NVersionProgramming(Technique):
 
     def execute(self, *args: Any, env=None) -> Any:
         """Run all versions and return the voted result."""
-        return self.pattern.execute(*args, env=env)
+        tel = _telemetry()
+        if not tel.enabled:
+            return self.pattern.execute(*args, env=env)
+        with tel.span("technique.execute", technique=self.technique_name):
+            return self.pattern.execute(*args, env=env)
 
     @property
     def stats(self):

@@ -18,6 +18,7 @@ from repro.adjudicators.voting import UnanimousVoter
 from repro.environment.process import AddressSpace, Program, SimulatedProcess
 from repro.exceptions import AttackDetectedError, SimulatedFailure
 from repro.faults.malicious import AttackPayload, install_service
+from repro.observe import current as _telemetry
 from repro.result import Outcome
 from repro.taxonomy.paper import paper_entry
 from repro.taxonomy.registry import register
@@ -121,20 +122,41 @@ class ProcessReplicas(Technique):
         return verdict
 
     def _serve(self, request: Any) -> ReplicaVerdict:
+        tel = _telemetry()
+        if not tel.enabled:
+            return self._serve_inner(request, tel)
+        with tel.span("technique.execute", technique=self.technique_name):
+            return self._serve_inner(request, tel)
+
+    def _serve_inner(self, request: Any, tel) -> ReplicaVerdict:
         self.requests += 1
+        if tel.enabled:
+            tel.metrics.inc("repro_replica_requests_total")
         inputs = self._inputs_for(request)
         outcomes = []
         behaviours = []
         for process, program in zip(self.processes, self.programs):
             try:
-                value = process.execute(program, inputs)
+                if tel.enabled:
+                    with tel.span("unit.run", producer=process.name,
+                                  pattern="ProcessReplicas"):
+                        value = process.execute(program, inputs)
+                else:
+                    value = process.execute(program, inputs)
                 outcomes.append(Outcome.success(value,
                                                 producer=process.name))
                 behaviours.append((process.name, f"value={value!r}"))
             except SimulatedFailure as exc:
                 outcomes.append(Outcome.failure(exc, producer=process.name))
                 behaviours.append((process.name, type(exc).__name__))
-        verdict = self._voter.adjudicate(outcomes)
+        if tel.enabled:
+            with tel.span("adjudicate", pattern="ProcessReplicas",
+                          adjudicator=type(self._voter).__name__) as span:
+                verdict = self._voter.adjudicate(outcomes)
+                if not verdict.accepted:
+                    span.status = "rejected"
+        else:
+            verdict = self._voter.adjudicate(outcomes)
         if verdict.accepted:
             return ReplicaVerdict(value=verdict.value,
                                   attack_detected=False,
@@ -145,6 +167,10 @@ class ProcessReplicas(Technique):
         if len(signatures) == 1 and all(o.failed for o in outcomes):
             raise outcomes[0].error
         self.detections += 1
+        if tel.enabled:
+            tel.publish("replicas.attack_detected", variants=self.n,
+                        behaviours=len(behaviours))
+            tel.metrics.inc("repro_attack_detections_total")
         self.reset()
         raise AttackDetectedError(
             "process replicas diverged", evidence=behaviours)

@@ -15,6 +15,7 @@ from repro.adjudicators.acceptance import AcceptanceTest
 from repro.analysis.cost import CostLedger
 from repro.components.state import Checkpointable
 from repro.components.version import Version
+from repro.observe import current as _telemetry
 from repro.patterns.base import GuardedUnit
 from repro.patterns.sequential_alternatives import SequentialAlternatives
 from repro.taxonomy.paper import paper_entry
@@ -57,7 +58,11 @@ class RecoveryBlocks(Technique):
 
     def execute(self, *args: Any, env=None) -> Any:
         """Run blocks in order until one passes the acceptance test."""
-        return self.pattern.execute(*args, env=env)
+        tel = _telemetry()
+        if not tel.enabled:
+            return self.pattern.execute(*args, env=env)
+        with tel.span("technique.execute", technique=self.technique_name):
+            return self.pattern.execute(*args, env=env)
 
     @property
     def stats(self):

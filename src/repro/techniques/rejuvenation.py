@@ -17,6 +17,7 @@ from typing import Callable, Optional
 
 from repro.environment.simenv import SimEnvironment
 from repro.exceptions import AgingFailure, HeisenbugFailure
+from repro.observe import current as _telemetry
 from repro.taxonomy.paper import paper_entry
 from repro.taxonomy.registry import register
 from repro.techniques.base import Technique
@@ -75,7 +76,17 @@ class Rejuvenation(Technique):
 
     def maybe_rejuvenate(self) -> bool:
         if self.policy.due(self.env, self._requests_since):
-            self.env.rejuvenate()
+            tel = _telemetry()
+            if tel.enabled:
+                age = self.env.age
+                with tel.span("recover", kind="rejuvenation",
+                              technique=self.technique_name) as span:
+                    span.attrs["cost"] = self.env.rejuvenate()
+                tel.publish("rejuvenation.performed", age=age,
+                            epoch=self.env.epoch)
+                tel.metrics.inc("repro_rejuvenations_total")
+            else:
+                self.env.rejuvenate()
             self.rejuvenations += 1
             self._requests_since = 0
             return True
@@ -137,6 +148,7 @@ class CheckpointedExecution:
         self.max_retries_per_segment = max_retries_per_segment
 
     def run(self) -> CompletionReport:
+        tel = _telemetry()
         start = self.env.clock.now
         failures = 0
         rejuvenations = 0
@@ -149,10 +161,21 @@ class CheckpointedExecution:
                 try:
                     self.segment(self.env)
                     break
-                except (AgingFailure, HeisenbugFailure):
+                except (AgingFailure, HeisenbugFailure) as exc:
                     failures += 1
                     retries += 1
-                    self.env.restore(snapshot)
+                    if tel.enabled:
+                        with tel.span("recover", kind="rollback",
+                                      technique="Rejuvenation",
+                                      cost=self.recovery_cost):
+                            self.env.restore(snapshot)
+                        tel.publish("checkpoint.rollback",
+                                    technique="Rejuvenation",
+                                    error=type(exc).__name__)
+                        tel.metrics.inc("repro_rollbacks_total",
+                                        technique="Rejuvenation")
+                    else:
+                        self.env.restore(snapshot)
                     self.env.clock.advance(self.recovery_cost)
                     if retries >= self.max_retries_per_segment:
                         return CompletionReport(
@@ -164,9 +187,21 @@ class CheckpointedExecution:
             self.env.clock.advance(self.checkpoint_cost)
             checkpoints += 1
             since_rejuvenation += 1
+            if tel.enabled:
+                tel.publish("checkpoint.written", technique="Rejuvenation")
+                tel.metrics.inc("repro_checkpoints_total",
+                                technique="Rejuvenation")
             if (self.rejuvenate_every is not None
                     and since_rejuvenation >= self.rejuvenate_every):
-                self.env.rejuvenate()
+                if tel.enabled:
+                    with tel.span("recover", kind="rejuvenation",
+                                  technique="Rejuvenation") as span:
+                        span.attrs["cost"] = self.env.rejuvenate()
+                    tel.publish("rejuvenation.performed",
+                                epoch=self.env.epoch)
+                    tel.metrics.inc("repro_rejuvenations_total")
+                else:
+                    self.env.rejuvenate()
                 rejuvenations += 1
                 since_rejuvenation = 0
         return CompletionReport(completed=True,

@@ -105,3 +105,57 @@ class TestCampaignCommand:
         first = capsys.readouterr().out
         main(["campaign", "--requests", "30", "--seed", "5"])
         assert capsys.readouterr().out == first
+
+
+class TestTraceCommand:
+    def test_trace_prints_timeline(self, capsys):
+        assert main(["trace", "nvp", "--requests", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario nvp" in out
+        assert "pattern.execute" in out
+        assert "unit.run" in out
+        assert "adjudicate" in out
+
+    def test_trace_limit_elides(self, capsys):
+        main(["trace", "nvp", "--requests", "10", "--limit", "5"])
+        assert "more spans" in capsys.readouterr().out
+
+    def test_trace_exports_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        main(["trace", "recovery-blocks", "--requests", "4",
+              "--jsonl", str(path)])
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert rows and {"name", "span_id", "attrs"} <= rows[0].keys()
+
+    def test_trace_is_seeded(self, capsys):
+        main(["trace", "microreboot", "--requests", "20", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["trace", "microreboot", "--requests", "20", "--seed", "9"])
+        assert capsys.readouterr().out == first
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope"])
+
+    def test_trace_leaves_no_session_installed(self):
+        from repro import observe
+
+        main(["trace", "nvp", "--requests", "2"])
+        assert observe.current().enabled is False
+
+
+class TestMetricsCommand:
+    def test_metrics_prometheus_output(self, capsys):
+        assert main(["metrics", "nvp", "--requests", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_pattern_executions_total counter" in out
+        assert 'repro_pattern_executions_total{pattern="nvp"} 18' in out
+
+    def test_metrics_cover_recovery_counters(self, capsys):
+        main(["metrics", "microreboot", "--requests", "40", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "repro_reboots_total" in out
+        assert "repro_reboot_downtime_bucket" in out

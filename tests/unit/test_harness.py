@@ -38,6 +38,65 @@ class TestExperiment:
     def test_summarize_empty(self):
         assert summarize([]) == {}
 
+    def test_summarize_reports_stdev(self):
+        results = run_trials(lambda s: {"x": float(s)}, seeds=[0, 4])
+        summary = summarize(results)
+        assert summary["x"] == 2.0
+        assert summary["x_stdev"] == pytest.approx(2.8284271247461903)
+
+    def test_summarize_single_trial_stdev_is_zero(self):
+        assert summarize(run_trials(lambda s: {"x": 3.0},
+                                    seeds=[1]))["x_stdev"] == 0.0
+
+    def test_summarize_tolerates_heterogeneous_keys(self):
+        # A metric only reported by some trials (e.g. recovery latency
+        # when a fault actually struck) averages over its reporters.
+        results = run_trials(
+            lambda s: {"x": 1.0, "rare": 10.0} if s else {"x": 3.0},
+            seeds=[0, 1, 2])
+        summary = summarize(results)
+        assert summary["x"] == pytest.approx(5.0 / 3.0)
+        assert summary["rare"] == 10.0
+        assert summary["rare_stdev"] == 0.0
+
+    def test_summary_accepts_precomputed_results(self):
+        calls = []
+
+        def trial(seed):
+            calls.append(seed)
+            return {"x": float(seed)}
+
+        exp = Experiment(name="e", trial=trial, seeds=(1, 3))
+        results = exp.run()
+        summary = exp.summary(results)
+        assert summary["x"] == 2.0
+        assert calls == [1, 3]  # trials ran once, not twice
+
+    def test_instrumented_run_attaches_telemetry(self):
+        from repro import observe
+        from repro.environment import SimEnvironment
+        from repro.techniques.nvp import NVersionProgramming
+        from repro.components.library import diverse_versions
+
+        def trial(seed):
+            env = SimEnvironment(seed=seed)
+            nvp = NVersionProgramming(
+                diverse_versions(lambda x: x + 1, 3, 0.1, seed=seed))
+            for x in range(5):
+                nvp.execute(x, env=env)
+            return {"executions": float(nvp.stats.executions)}
+
+        plain = Experiment(name="e", trial=trial, seeds=(0, 1)).run()
+        instrumented = Experiment(name="e", trial=trial, seeds=(0, 1),
+                                  instrument=True).run()
+        assert all(r.telemetry is None for r in plain)
+        for r in instrumented:
+            assert r.telemetry["spans"]["unit.run"]["count"] == 15
+        # telemetry never feeds back into the trial
+        assert ([r.metrics for r in plain]
+                == [r.metrics for r in instrumented])
+        assert observe.current().enabled is False
+
 
 class TestWorkloads:
     def test_uniform_inputs_deterministic(self):
@@ -101,3 +160,15 @@ class TestReport:
         row = comparison_row("C1", "2k+1 tolerates k", 0.99, True)
         assert row[-1] == "HOLDS"
         assert comparison_row("C1", "x", 1, False)[-1] == "DEVIATES"
+
+    def test_render_telemetry_rows(self):
+        from repro.harness.report import render_telemetry
+
+        text = render_telemetry({
+            "spans": {"unit.run": {"count": 3, "cost": 3.0, "errors": 1}},
+            "events": {"fault.injected": 2},
+            "metrics": {"repro_reboots_total": 1.0},
+        })
+        assert "span" in text and "unit.run" in text
+        assert "event" in text and "fault.injected" in text
+        assert "metric" in text and "repro_reboots_total" in text

@@ -1,0 +1,284 @@
+"""Unit tests for the repro.observe telemetry subsystem."""
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.observe import EventBus, MetricsRegistry, Telemetry, Tracer
+from repro.observe.telemetry import _SeqClock
+
+
+class TestTracer:
+    def test_nesting_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+
+    def test_sequence_numbers_are_monotonic(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        assert [s.seq for s in tracer.spans] == [0, 1, 2]
+
+    def test_timestamps_come_from_clock(self):
+        ticks = iter([1.0, 2.5])
+        tracer = Tracer(now=lambda: next(ticks))
+        with tracer.span("work") as span:
+            pass
+        assert span.start == 1.0 and span.end == 2.5
+        assert span.duration == 1.5
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].status == "error"
+        assert tracer.spans[0].end is not None
+
+    def test_explicit_status_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("checked") as span:
+                span.status = "rejected"
+                raise RuntimeError("boom")
+        assert tracer.spans[0].status == "rejected"
+
+    def test_find_filters_by_attrs(self):
+        tracer = Tracer()
+        with tracer.span("unit.run", producer="a"):
+            pass
+        with tracer.span("unit.run", producer="b"):
+            pass
+        assert len(tracer.find("unit.run")) == 2
+        assert [s.attrs["producer"]
+                for s in tracer.find("unit.run", producer="b")] == ["b"]
+
+    def test_total_cost_sums_cost_attrs(self):
+        tracer = Tracer()
+        for cost in (1.0, 2.5, 0.5):
+            with tracer.span("unit.run") as span:
+                span.attrs["cost"] = cost
+        assert tracer.total_cost("unit.run") == 4.0
+
+    def test_capacity_drops_spans_but_keeps_count(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.started == 5
+        assert "3 spans dropped" in tracer.timeline()
+
+    def test_export_jsonl_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("outer", pattern="nvp"):
+            with tracer.span("inner"):
+                pass
+        rows = [json.loads(line)
+                for line in tracer.export_jsonl().splitlines()]
+        assert [r["name"] for r in rows] == ["outer", "inner"]
+        assert rows[0]["attrs"] == {"pattern": "nvp"}
+        assert rows[1]["parent_id"] == rows[0]["span_id"]
+
+    def test_timeline_indents_children_and_elides(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            for _ in range(3):
+                with tracer.span("inner"):
+                    pass
+        text = tracer.timeline(limit=2)
+        assert "  inner" in text
+        assert "2 more spans" in text
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        registry.inc("hits_total")
+        registry.inc("hits_total", 2.0)
+        assert registry.value("hits_total") == 3.0
+        with pytest.raises(ValueError):
+            registry.counter("hits_total").inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", pattern="nvp")
+        registry.inc("runs_total", pattern="rb")
+        registry.inc("runs_total", pattern="nvp")
+        assert registry.value("runs_total", pattern="nvp") == 2.0
+        assert registry.value("runs_total", pattern="rb") == 1.0
+        assert registry.value("runs_total", pattern="none") == 0.0
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 5.0)
+        registry.gauge("depth").add(-2.0)
+        assert registry.value("depth") == 3.0
+
+    def test_histogram_statistics(self):
+        registry = MetricsRegistry()
+        for v in (1.0, 4.0, 10.0):
+            registry.observe("latency", v)
+        hist = registry.histogram("latency")
+        assert hist.count == 3
+        assert hist.sum == 15.0
+        assert hist.mean == 5.0
+        assert hist.min == 1.0 and hist.max == 10.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for v in (0.4, 1.5, 3.0):
+            registry.observe("cost", v, buckets=(1.0, 2.0, 5.0))
+        hist = registry.histogram("cost", buckets=(1.0, 2.0, 5.0))
+        assert hist.bucket_counts == [1, 2, 3]
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.inc("reboots_total", scope="micro")
+        registry.observe("downtime", 2.0, buckets=(1.0, 5.0))
+        text = registry.render_prometheus()
+        assert "# TYPE reboots_total counter" in text
+        assert 'reboots_total{scope="micro"} 1' in text
+        assert 'downtime_bucket{le="5"} 1' in text
+        assert 'downtime_bucket{le="+Inf"} 1' in text
+        assert "downtime_sum 2" in text
+
+    def test_as_dict_flattens_samples(self):
+        registry = MetricsRegistry()
+        registry.inc("a_total", k="v")
+        registry.observe("h", 3.0)
+        samples = registry.as_dict()
+        assert samples['a_total{k="v"}'] == 1.0
+        assert samples["h_count"] == 1.0
+        assert samples["h_sum"] == 3.0
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("fault.injected", got.append)
+        bus.publish("fault.injected", fault="f1")
+        bus.publish("other.topic")
+        assert [e.payload for e in got] == [{"fault": "f1"}]
+
+    def test_prefix_and_global_wildcards(self):
+        bus = EventBus()
+        prefix, everything = [], []
+        bus.subscribe("checkpoint.*", prefix.append)
+        bus.subscribe("*", everything.append)
+        bus.publish("checkpoint.written")
+        bus.publish("checkpoint.rollback")
+        bus.publish("reboot")
+        assert [e.topic for e in prefix] == ["checkpoint.written",
+                                             "checkpoint.rollback"]
+        assert len(everything) == 3
+
+    def test_cancel_stops_delivery(self):
+        bus = EventBus()
+        got = []
+        subscription = bus.subscribe("t", got.append)
+        bus.publish("t")
+        subscription.cancel()
+        bus.publish("t")
+        assert len(got) == 1
+        assert subscription.delivered == 1
+
+    def test_history_and_counts(self):
+        bus = EventBus(history=2)
+        for _ in range(3):
+            bus.publish("a")
+        bus.publish("b")
+        assert bus.counts == {"a": 3, "b": 1}
+        assert bus.published == 4
+        assert len(bus.history) == 2
+
+    def test_events_are_ordered_and_timestamped(self):
+        ticks = iter([5.0, 7.0])
+        bus = EventBus(now=lambda: next(ticks))
+        first = bus.publish("x")
+        second = bus.publish("y")
+        assert (first.seq, second.seq) == (0, 1)
+        assert (first.time, second.time) == (5.0, 7.0)
+
+
+class TestTelemetryFacade:
+    def test_default_session_is_disabled(self):
+        assert observe.current().enabled is False
+        assert observe.enabled() is False
+
+    def test_session_installs_and_restores(self):
+        before = observe.current()
+        with observe.session() as tel:
+            assert observe.current() is tel
+            assert tel.enabled
+        assert observe.current() is before
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with observe.session():
+                raise RuntimeError("boom")
+        assert observe.current().enabled is False
+
+    def test_sessions_nest(self):
+        with observe.session() as outer:
+            with observe.session() as inner:
+                assert observe.current() is inner
+            assert observe.current() is outer
+
+    def test_disabled_publish_and_count_are_noops(self):
+        tel = Telemetry(enabled=False)
+        tel.publish("topic", k=1)
+        tel.count("c_total")
+        assert tel.bus.published == 0
+        assert len(tel.metrics) == 0
+
+    def test_seq_clock_fallback_orders_spans(self):
+        tel = Telemetry()
+        with tel.span("a") as first:
+            pass
+        with tel.span("b") as second:
+            pass
+        assert first.start < first.end <= second.start
+
+    def test_bind_clock_switches_time_source(self):
+        class FixedClock:
+            now = 42.0
+
+        tel = Telemetry()
+        tel.bind_clock(FixedClock())
+        with tel.span("s") as span:
+            pass
+        assert span.start == 42.0 and span.end == 42.0
+
+    def test_summary_digest(self):
+        tel = Telemetry()
+        with tel.span("unit.run") as span:
+            span.attrs["cost"] = 2.0
+        with pytest.raises(RuntimeError):
+            with tel.span("unit.run"):
+                raise RuntimeError("boom")
+        tel.publish("unit.outcome", ok=True)
+        tel.count("runs_total")
+        digest = tel.summary()
+        assert digest["spans"]["unit.run"] == {"count": 2, "cost": 2.0,
+                                               "errors": 1}
+        assert digest["events"] == {"unit.outcome": 1}
+        assert digest["metrics"] == {"runs_total": 1.0}
+
+    def test_seq_clock_ticks(self):
+        clock = _SeqClock()
+        assert clock.now < clock.now

@@ -1,0 +1,156 @@
+"""Telemetry integration: instrumented engines, monitors, invariance.
+
+The acceptance bar for the observe subsystem:
+
+* span cost totals must equal :class:`PatternStats` counters *exactly*
+  (bit-identical floats, not approximately);
+* monitors subscribe to the bus instead of being hand-wired;
+* with no session installed, a seeded run is indistinguishable from an
+  uninstrumented build.
+"""
+
+import json
+
+from repro import observe
+from repro.adjudicators import PredicateAcceptanceTest
+from repro.adjudicators.monitors import (
+    ExceptionDetector,
+    LatencyMonitor,
+    QoSMonitor,
+)
+from repro.components.library import diverse_versions
+from repro.environment import SimEnvironment
+from repro.exceptions import RedundancyError
+from repro.techniques.nvp import NVersionProgramming
+from repro.techniques.recovery_blocks import RecoveryBlocks
+
+
+def _oracle(x):
+    return x * 3
+
+
+def _run_c3_style(requests=60, seed=11, env=None):
+    """A miniature C3 workload (NVP + recovery blocks, faulty versions)."""
+    nvp = NVersionProgramming(diverse_versions(_oracle, 3, 0.1, seed=seed))
+    rb = RecoveryBlocks(
+        diverse_versions(_oracle, 3, 0.1, seed=seed + 1),
+        PredicateAcceptanceTest(lambda args, v: v == _oracle(args[0])))
+    correct = 0
+    for x in range(requests):
+        for technique in (nvp, rb):
+            try:
+                correct += technique.execute(x, env=env) == _oracle(x)
+            except RedundancyError:
+                pass
+    return nvp, rb, correct
+
+
+class TestCostConsistency:
+    def test_span_costs_match_pattern_stats_exactly(self):
+        env = SimEnvironment(seed=3)
+        with observe.session(clock=env.clock) as tel:
+            nvp, rb, _ = _run_c3_style(env=env)
+        for technique in (nvp, rb):
+            stats = technique.stats
+            name = stats.owner
+            assert tel.tracer.total_cost(
+                "unit.run", pattern=name) == stats.execution_cost
+            assert tel.tracer.total_cost(
+                "adjudicate", pattern=name) == stats.adjudication_cost
+            assert len(tel.tracer.find(
+                "unit.run", pattern=name)) == stats.executions
+            assert len(tel.tracer.find(
+                "adjudicate", pattern=name)) == stats.adjudications
+
+    def test_jsonl_export_parses_and_nests(self):
+        env = SimEnvironment(seed=3)
+        with observe.session(clock=env.clock) as tel:
+            _run_c3_style(requests=10, env=env)
+        rows = [json.loads(line)
+                for line in tel.tracer.export_jsonl().splitlines()]
+        assert rows
+        ids = {r["span_id"] for r in rows}
+        roots = [r for r in rows if r["parent_id"] is None]
+        assert roots and all(r["name"] == "technique.execute" for r in roots)
+        assert all(r["parent_id"] in ids for r in rows
+                   if r["parent_id"] is not None)
+
+    def test_stats_feed_metrics_registry(self):
+        env = SimEnvironment(seed=3)
+        with observe.session(clock=env.clock) as tel:
+            nvp, _, _ = _run_c3_style(requests=20, env=env)
+        assert tel.metrics.value(
+            "repro_pattern_executions_total",
+            pattern=nvp.stats.owner) == nvp.stats.executions
+        assert tel.metrics.value(
+            "repro_pattern_execution_cost_total",
+            pattern=nvp.stats.owner) == nvp.stats.execution_cost
+
+
+class TestNoOpInvariance:
+    def test_disabled_run_identical_to_instrumented_metrics(self):
+        def run():
+            env = SimEnvironment(seed=5)
+            nvp, rb, correct = _run_c3_style(seed=7, env=env)
+            return (correct, nvp.stats.as_dict(), rb.stats.as_dict(),
+                    env.clock.now)
+
+        baseline = run()
+        with observe.session():
+            instrumented = run()
+        assert observe.current().enabled is False
+        assert baseline == run()
+        assert instrumented == baseline
+
+    def test_disabled_session_records_nothing(self):
+        env = SimEnvironment(seed=5)
+        _run_c3_style(requests=5, env=env)
+        tel = observe.current()
+        assert not tel.tracer.spans
+        assert tel.bus.published == 0
+        assert len(tel.metrics) == 0
+
+
+class TestMonitorSubscriptions:
+    def test_exception_detector_counts_bus_failures(self):
+        from repro.components.version import Version
+        from repro.exceptions import HeisenbugFailure
+
+        def crash(x):
+            raise HeisenbugFailure("transient")
+
+        env = SimEnvironment(seed=13)
+        nvp = NVersionProgramming(
+            [Version("crashy", impl=crash),
+             *diverse_versions(_oracle, 2, 0.0, seed=13)])
+        detector = ExceptionDetector()
+        with observe.session(clock=env.clock) as tel:
+            detector.subscribe(tel.bus)
+            for x in range(10):
+                nvp.execute(x, env=env)
+            failures = sum(
+                1 for event in tel.bus.history
+                if event.topic == "unit.outcome"
+                and not event.payload["ok"])
+        assert failures == 10
+        assert detector.detections == failures
+
+    def test_latency_monitor_feeds_from_unit_costs(self):
+        monitor = LatencyMonitor(threshold=0.5, window=4)
+        with observe.session() as tel:
+            monitor.subscribe(tel.bus)
+            for _ in range(4):
+                tel.publish("unit.outcome", ok=True, cost=1.0)
+        assert monitor.average == 1.0
+        assert monitor.degraded
+
+    def test_qos_monitor_tracks_error_rate(self):
+        monitor = QoSMonitor(latency_threshold=100.0,
+                             error_rate_threshold=0.25, window=4)
+        with observe.session() as tel:
+            subscription = monitor.subscribe(tel.bus)
+            for ok in (True, False, False, True):
+                tel.publish("unit.outcome", ok=ok, cost=1.0)
+        assert monitor.error_rate == 0.5
+        assert monitor.violated
+        assert subscription.delivered == 4

@@ -14,6 +14,7 @@ PUBLIC_PACKAGES = (
     "repro.environment",
     "repro.faults",
     "repro.harness",
+    "repro.observe",
     "repro.patterns",
     "repro.repair",
     "repro.services",
