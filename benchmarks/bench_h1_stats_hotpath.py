@@ -1,0 +1,83 @@
+"""H1 — harness hot path: ``PatternStats.inc`` with telemetry disabled.
+
+``PatternStats.inc`` is the single write path for pattern accounting
+and runs on every execution and adjudication of every redundant unit.
+With no telemetry session installed it must remain a direct attribute
+bump: this micro-benchmark times the disabled path against an enabled
+session and asserts the disabled path retains no allocations beyond
+the counter values themselves.
+
+Only deterministic facts (counter exactness, the allocation-free
+verdict) go into the saved table; raw nanosecond timings are printed
+but kept out of ``results/`` so drift detection stays meaningful.
+"""
+
+import time
+import tracemalloc
+
+from repro import observe
+from repro.harness.report import render_table
+from repro.patterns.base import PatternStats
+
+from _common import save_result
+
+N = 50_000
+
+#: Retained-bytes budget for the disabled path: the two counter value
+#: objects themselves (an int and a float) and nothing else.
+ALLOCATION_BUDGET = 512
+
+
+def _time_incs(stats, n):
+    start = time.perf_counter()
+    for _ in range(n):
+        stats.inc("invocations")
+    return time.perf_counter() - start
+
+
+def _net_allocation(stats, n):
+    """Bytes retained after ``n`` disabled-path increments."""
+    stats.inc("invocations")  # warm both counter paths first
+    stats.inc("execution_cost", 0.5)
+    tracemalloc.start()
+    for _ in range(n):
+        stats.inc("invocations")
+        stats.inc("execution_cost", 0.5)
+    net, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return net
+
+
+def _experiment():
+    disabled = PatternStats(owner="bench")
+    disabled_seconds = _time_incs(disabled, N)
+    with observe.session():
+        enabled = PatternStats(owner="bench")
+        enabled_seconds = _time_incs(enabled, N)
+    net = _net_allocation(PatternStats(owner="bench"), 2_000)
+
+    rows = [
+        ("telemetry disabled", N, disabled.invocations == N,
+         net < ALLOCATION_BUDGET),
+        ("telemetry enabled", N, enabled.invocations == N, "n/a"),
+    ]
+    table = render_table(
+        ("path", "increments", "counter exact", "allocation-free"),
+        rows, title="H1: PatternStats.inc hot path")
+    timings = {
+        "disabled_ns_per_inc": disabled_seconds / N * 1e9,
+        "enabled_ns_per_inc": enabled_seconds / N * 1e9,
+    }
+    return rows, timings, net, table
+
+
+def test_h1_stats_inc_disabled_path_is_allocation_free(benchmark):
+    rows, timings, net, table = benchmark(_experiment)
+    save_result("H1_stats_hotpath", table)
+    print(f"disabled: {timings['disabled_ns_per_inc']:.0f} ns/inc, "
+          f"enabled: {timings['enabled_ns_per_inc']:.0f} ns/inc")
+
+    assert net < ALLOCATION_BUDGET, \
+        f"disabled inc path retained {net} bytes"
+    for _path, _n, exact, _alloc in rows:
+        assert exact

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Run every benchmark through the deterministic parallel runtime.
+
+Thin standalone wrapper over :mod:`repro.runtime.bench` (the same code
+behind ``repro bench``), so the suite can be driven without installing
+the package::
+
+    python benchmarks/run_all.py --workers 4
+    python benchmarks/run_all.py --quick --workers 2   # CI smoke
+
+Exits non-zero when a benchmark fails or a regenerated table drifts
+from the committed ``benchmarks/results/*.txt``.
+"""
+
+import pathlib
+import sys
+
+try:
+    from repro.runtime.bench import main
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0,
+                    str(pathlib.Path(__file__).resolve().parent.parent
+                        / "src"))
+    from repro.runtime.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,12 +62,14 @@ from repro.faults import (
     LeakFault,
 )
 from repro import observe
+from repro import runtime
 from repro.patterns import (
     ParallelEvaluation,
     ParallelSelection,
     SequentialAlternatives,
 )
 from repro.result import Outcome
+from repro.runtime import MemoCache, ParallelMap, parallel_map
 from repro.services import (
     Service,
     ServiceBroker,
@@ -122,6 +124,7 @@ __all__ = [
     "LeakFault",
     "MajorityVoter",
     "MedianVoter",
+    "MemoCache",
     "MicroReboot",
     "ModularApplication",
     "NVariantDataStore",
@@ -129,6 +132,7 @@ __all__ = [
     "NoMajorityError",
     "Outcome",
     "ParallelEvaluation",
+    "ParallelMap",
     "ParallelSelection",
     "PluralityVoter",
     "PredicateAcceptanceTest",
@@ -162,4 +166,6 @@ __all__ = [
     "default_registry",
     "diverse_versions",
     "observe",
+    "parallel_map",
+    "runtime",
 ]

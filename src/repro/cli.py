@@ -12,7 +12,10 @@ without writing code:
 * ``trace`` — run a named scenario under telemetry and print the span
   timeline (optionally exporting the raw spans as JSONL);
 * ``metrics`` — run a scenario and dump its metrics registry in
-  Prometheus text format.
+  Prometheus text format;
+* ``bench`` — run the benchmark suite through the deterministic
+  parallel runtime, check for results drift, and write
+  ``BENCH_harness.json`` timings.
 """
 
 from __future__ import annotations
@@ -73,6 +76,8 @@ EXPERIMENT_INDEX = (
      "bench_a4_sql_replication.py"),
     ("A5", "ablation: RX perturbation menu order",
      "bench_a5_rx_menu_order.py"),
+    ("H1", "harness: PatternStats.inc disabled path is allocation-free",
+     "bench_h1_stats_hotpath.py"),
 )
 
 
@@ -177,7 +182,8 @@ def _cmd_campaign(args) -> int:
                 "overflow": lambda: OverflowBug("o", overflow_cells=4,
                                                 trigger_modulo=1),
                 "load": lambda: LoadBug("l", probability=0.9)},
-        oracle=oracle, requests=args.requests, seed=args.seed)
+        oracle=oracle, requests=args.requests, seed=args.seed,
+        workers=args.workers)
     print(campaign.render(
         title="correct-result rate: technique x fault class"))
     return 0
@@ -281,7 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="run a technique x fault-class injection matrix")
     campaign.add_argument("--requests", type=int, default=120)
     campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="fan cells out over a worker pool "
+                               "(byte-identical to serial)")
     campaign.set_defaults(func=_cmd_campaign)
+
+    from repro.runtime.bench import configure_parser as _configure_bench
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite through the parallel "
+                      "runtime and check for results drift")
+    _configure_bench(bench)
 
     demo = sub.add_parser("demo", help="run a small NVP demonstration")
     demo.add_argument("--versions", type=int, default=5)

@@ -12,6 +12,7 @@ suite's coverage claims.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.environment import SimEnvironment
@@ -28,6 +29,32 @@ FaultFactory = Callable[[], Fault]
 #: ``factory(faulty, env) -> callable(x) -> value``.
 ProtectorFactory = Callable[[FaultyFunction, SimEnvironment],
                             Callable[[Any], Any]]
+
+
+def _default_oracle(x: Any) -> Any:
+    """The default intended computation (module-level so campaigns
+    built on it stay picklable for process-pool fan-out)."""
+    return x + 1
+
+
+def _unprotected(faulty: FaultyFunction, env: SimEnvironment
+                 ) -> Callable[[Any], Any]:
+    """The always-present baseline: the faulty function, bare."""
+    def call(x: Any) -> Any:
+        return faulty(x, env=env)
+    return call
+
+
+def _cell_seed(base: int, protector_label: str, fault_label: str) -> int:
+    """Derive a cell's environment seed from its labels.
+
+    Uses a stable CRC-32 digest rather than the builtin ``hash`` so the
+    derivation is independent of ``PYTHONHASHSEED`` — campaign results
+    reproduce across interpreter runs and across pool workers.
+    """
+    digest = zlib.crc32(f"{protector_label}|{fault_label}"
+                        .encode("utf-8"))
+    return base + digest % 10_000
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,15 +77,26 @@ class FaultCampaign:
         faults: Label -> fault factory.
         oracle: The intended computation (defaults to ``x + 1``).
         requests: Workload size per cell.
-        seed: Base seed; each cell derives its own.
+        seed: Base seed; each cell derives its own from a stable digest
+            of its labels, so the matrix reproduces across interpreter
+            runs regardless of ``PYTHONHASHSEED``.
+        workers: Fan the matrix's cells out over this many pool
+            workers.  Every cell is a pure function of its labels and
+            the base seed, and results are gathered in matrix order, so
+            any worker count yields a byte-identical table;
+            ``workers <= 1`` keeps the serial loop.
+        backend: Pool backend; ``auto`` uses processes when the
+            campaign's factories pickle and threads otherwise.
     """
 
     def __init__(self,
                  protectors: Dict[str, ProtectorFactory],
                  faults: Dict[str, FaultFactory],
-                 oracle: Callable[[Any], Any] = lambda x: x + 1,
+                 oracle: Callable[[Any], Any] = _default_oracle,
                  requests: int = 100,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 workers: int = 1,
+                 backend: str = "auto") -> None:
         if not protectors:
             raise ValueError("a campaign needs protectors")
         if not faults:
@@ -66,19 +104,19 @@ class FaultCampaign:
         if requests <= 0:
             raise ValueError("requests must be positive")
         self.protectors = dict(protectors)
-        self.protectors.setdefault("unprotected",
-                                   lambda faulty, env:
-                                   lambda x: faulty(x, env=env))
+        self.protectors.setdefault("unprotected", _unprotected)
         self.faults = dict(faults)
         self.oracle = oracle
         self.requests = requests
         self.seed = seed
+        self.workers = workers
+        self.backend = backend
 
     def run_cell(self, protector_label: str, fault_label: str
                  ) -> CampaignCell:
         """Measure one (protector, fault) combination."""
         env = SimEnvironment(
-            seed=self.seed + hash((protector_label, fault_label)) % 10_000)
+            seed=_cell_seed(self.seed, protector_label, fault_label))
         fault = self.faults[fault_label]()
         faulty = FaultyFunction(self.oracle, faults=[fault])
         protected = self.protectors[protector_label](faulty, env)
@@ -95,11 +133,22 @@ class FaultCampaign:
                             correct_rate=correct / self.requests,
                             requests=self.requests)
 
+    def _run_pair(self, pair: Tuple[str, str]) -> CampaignCell:
+        """Pool task: one labelled cell (picklable when the campaign's
+        factories and oracle are)."""
+        return self.run_cell(*pair)
+
     def run(self) -> List[CampaignCell]:
         """The full matrix, protector-major."""
-        return [self.run_cell(protector, fault)
-                for protector in self.protectors
-                for fault in self.faults]
+        pairs = [(protector, fault)
+                 for protector in self.protectors
+                 for fault in self.faults]
+        if self.workers <= 1:
+            return [self.run_cell(*pair) for pair in pairs]
+        from repro.runtime.pmap import ParallelMap
+
+        pool = ParallelMap(workers=self.workers, backend=self.backend)
+        return pool.map(self._run_pair, pairs)
 
     def matrix(self) -> Dict[Tuple[str, str], CampaignCell]:
         """The matrix keyed by (protector, fault)."""

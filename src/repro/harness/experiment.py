@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import functools
 import statistics
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -37,25 +38,37 @@ class Experiment:
             summary.  Telemetry never feeds back into the trial (no RNG
             draws, no clock writes), so metric values are identical
             either way.
+        workers: Fan the trials out over this many pool workers
+            (``repro.runtime.ParallelMap``).  Every trial is a pure
+            function of its seed and results are gathered in seed
+            order, so any worker count produces byte-identical results;
+            ``workers <= 1`` keeps the plain serial loop.
+        backend: Pool backend (``auto``/``serial``/``thread``/
+            ``process``); ``auto`` uses processes when the trial
+            pickles.
     """
 
     name: str
     trial: Callable[[int], Dict[str, float]]
     seeds: Sequence[int] = tuple(range(5))
     instrument: bool = False
+    workers: int = 1
+    backend: str = "auto"
 
     def run(self) -> List[TrialResult]:
-        results = []
-        for seed in self.seeds:
-            if self.instrument:
-                with observe.session() as tel:
-                    metrics = self.trial(seed)
-                results.append(TrialResult(seed=seed, metrics=metrics,
-                                           telemetry=tel.summary()))
-            else:
-                results.append(TrialResult(seed=seed,
-                                           metrics=self.trial(seed)))
-        return results
+        runner = functools.partial(_execute_trial, self.trial,
+                                   self.instrument)
+        if self.workers <= 1:
+            return [runner(seed) for seed in self.seeds]
+        from repro.runtime.pmap import ParallelMap
+
+        # Instrumented trials install a process-global telemetry
+        # session, so unpicklable trials must degrade to serial (not
+        # threads) to keep per-trial digests isolated.
+        pool = ParallelMap(workers=self.workers, backend=self.backend,
+                           fallback="serial" if self.instrument
+                           else "thread")
+        return pool.map(runner, list(self.seeds))
 
     def summary(self, results: Optional[Sequence[TrialResult]] = None
                 ) -> Dict[str, float]:
@@ -73,10 +86,24 @@ class Experiment:
         return summarize(results)
 
 
+def _execute_trial(trial: Callable[[int], Dict[str, float]],
+                   instrument: bool, seed: int) -> TrialResult:
+    """Run one seed — shared by the serial loop and the pool workers,
+    so both paths are the same code and stay byte-identical."""
+    if instrument:
+        with observe.session() as tel:
+            metrics = trial(seed)
+        return TrialResult(seed=seed, metrics=metrics,
+                           telemetry=tel.summary())
+    return TrialResult(seed=seed, metrics=trial(seed))
+
+
 def run_trials(trial: Callable[[int], Dict[str, float]],
-               seeds: Sequence[int]) -> List[TrialResult]:
+               seeds: Sequence[int], workers: int = 1,
+               backend: str = "auto") -> List[TrialResult]:
     """Run ``trial`` over seeds (functional form of :class:`Experiment`)."""
-    return [TrialResult(seed=s, metrics=trial(s)) for s in seeds]
+    return Experiment(name="trials", trial=trial, seeds=tuple(seeds),
+                      workers=workers, backend=backend).run()
 
 
 def summarize(results: Sequence[TrialResult]) -> Dict[str, float]:
@@ -90,11 +117,12 @@ def summarize(results: Sequence[TrialResult]) -> Dict[str, float]:
     """
     if not results:
         return {}
-    keys: List[str] = []
+    # Dict-as-ordered-set: first-seen key order, O(1) membership.
+    keys: Dict[str, None] = {}
     for result in results:
         for key in result.metrics:
             if key not in keys:
-                keys.append(key)
+                keys[key] = None
     out = {}
     for key in keys:
         values = [r.metrics[key] for r in results if key in r.metrics]

@@ -53,8 +53,15 @@ class PatternStats:
         to the installed telemetry session's metrics registry (as
         ``repro_pattern_<counter>_total{pattern=<owner>}``), so the
         ledger and the telemetry view can never disagree.
+
+        This runs on every execution and adjudication of every
+        redundant unit, so with telemetry disabled it must stay a
+        direct attribute bump: the ``__dict__`` update below skips the
+        ``setattr``/``getattr`` string-dispatch machinery (see
+        ``benchmarks/bench_h1_stats_hotpath.py``).
         """
-        setattr(self, counter, getattr(self, counter) + amount)
+        fields = self.__dict__
+        fields[counter] = fields[counter] + amount
         tel = _telemetry()
         if tel.enabled:
             tel.metrics.inc(f"repro_pattern_{counter}_total", amount,

@@ -1,0 +1,30 @@
+"""repro.runtime — deterministic parallel execution for the harness.
+
+The paper's trade-off is redundancy cost vs. fault coverage; this
+package removes the *wall-clock* part of that cost without touching a
+single output byte.  Three cooperating pieces:
+
+* :mod:`~repro.runtime.pmap` — :class:`ParallelMap`, an ordered,
+  chunked scatter/gather over pure tasks with serial / thread / process
+  backends, per-chunk timeouts and a retry-once-serial fallback;
+* :mod:`~repro.runtime.cache` — :class:`MemoCache`, an opt-in LRU memo
+  for deterministic fault-free fast paths, with hit/miss counters
+  mirrored into the telemetry metrics;
+* :mod:`~repro.runtime.bench` — the ``repro bench`` runner: the whole
+  benchmark suite through the pool, with drift detection against
+  ``benchmarks/results/`` and a ``BENCH_harness.json`` timing report.
+
+The determinism contract (ordered gather, seed partitioning, no shared
+RNG) is documented in ``docs/PERFORMANCE.md``.
+"""
+
+from repro.runtime.cache import MemoCache
+from repro.runtime.pmap import BACKENDS, ParallelMap, PoolStats, parallel_map
+
+__all__ = [
+    "BACKENDS",
+    "MemoCache",
+    "ParallelMap",
+    "PoolStats",
+    "parallel_map",
+]

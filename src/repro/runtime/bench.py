@@ -1,0 +1,323 @@
+"""The ``repro bench`` runner: the benchmark suite through the pool.
+
+Discovers every ``benchmarks/bench_*.py``, fans them out over a
+:class:`~repro.runtime.pmap.ParallelMap` (each file is one pure task:
+import the module, call its ``test_*`` functions with a timing-aware
+stand-in for the pytest-benchmark fixture), and reports:
+
+* per-benchmark wall-clock and pass/fail;
+* **drift detection** — after the run, every ``benchmarks/results/*.txt``
+  is compared against its pre-run content; any change means the code no
+  longer reproduces the committed tables, and the runner exits non-zero;
+* ``BENCH_harness.json`` — per-benchmark timings, the estimated serial
+  time (sum of per-benchmark wall-clocks), measured wall time, the
+  speedup ratio, worker count and host info, so the perf trajectory of
+  the harness itself is tracked run over run.
+
+Running a file in-process (instead of one ``pytest`` subprocess per
+file) lets forked pool workers share the parent's warm imports, which
+is where most of a small benchmark's serial cost goes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import dataclasses
+import importlib.util
+import io
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.report import render_table
+from repro.runtime.pmap import ParallelMap
+
+#: The ``--quick`` subset: deterministic, sub-second artifacts that
+#: still exercise discovery, the pool, drift detection and reporting.
+QUICK_BENCHMARKS = (
+    "bench_table1_taxonomy",
+    "bench_table2_classification",
+    "bench_figure1_patterns",
+    "bench_h1_stats_hotpath",
+)
+
+#: Default per-benchmark deadline (real seconds).
+DEFAULT_TIMEOUT = 300.0
+
+
+@dataclasses.dataclass
+class BenchOutcome:
+    """One benchmark file's run, as returned from a pool worker."""
+
+    name: str
+    path: str
+    #: Wall-clock inside the worker.  Under CPU contention (more
+    #: workers than cores) this includes descheduled time, so the sum
+    #: over benchmarks over-estimates a true serial run.
+    seconds: float
+    #: CPU time inside the (single-threaded) worker — contention-free,
+    #: so the sum is a faithful serial-compute estimate.
+    cpu_seconds: float
+    ok: bool
+    tests: int = 0
+    output: str = ""
+    error: str = ""
+
+
+class TimingBenchmark:
+    """Stand-in for the pytest-benchmark fixture: run once, record wall.
+
+    Supports the two call shapes the suite uses — ``benchmark(fn)`` and
+    ``benchmark.pedantic(fn, rounds=..., iterations=...)`` — and keeps
+    the measured seconds on ``.seconds``.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __call__(self, fn, *args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.seconds += time.perf_counter() - start
+        return result
+
+    def pedantic(self, fn, args=(), kwargs=None, **_options):
+        return self(fn, *args, **(kwargs or {}))
+
+
+def discover(benchmarks_dir: pathlib.Path) -> List[pathlib.Path]:
+    """Every ``bench_*.py`` under ``benchmarks_dir``, sorted by name."""
+    return sorted(benchmarks_dir.glob("bench_*.py"))
+
+
+def default_benchmarks_dir() -> pathlib.Path:
+    """Locate the benchmark suite: ``./benchmarks`` or next to the
+    source tree (``src/repro/../../benchmarks``)."""
+    candidates = [pathlib.Path.cwd() / "benchmarks"]
+    package_root = pathlib.Path(__file__).resolve().parents[3]
+    candidates.append(package_root / "benchmarks")
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate
+    return candidates[0]
+
+
+def run_bench_file(path_str: str) -> Dict[str, Any]:
+    """Run one benchmark file in-process (the pool task).
+
+    Imports the module from its path (with the benchmarks directory on
+    ``sys.path`` so ``from _common import save_result`` resolves) and
+    calls every ``test_*`` function with a :class:`TimingBenchmark`.
+    Returns a plain dict so the result pickles across process pools.
+    """
+    path = pathlib.Path(path_str)
+    parent = str(path.parent)
+    if parent not in sys.path:
+        sys.path.insert(0, parent)
+    # A previously-run suite may have cached a different directory's
+    # ``_common`` helper; evict it so this suite's copy is imported.
+    common = sys.modules.get("_common")
+    if common is not None and getattr(common, "__file__", None) != str(
+            path.parent / "_common.py"):
+        del sys.modules["_common"]
+    buffer = io.StringIO()
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        with contextlib.redirect_stdout(buffer):
+            spec.loader.exec_module(module)
+            tests = [getattr(module, attr) for attr in dir(module)
+                     if attr.startswith("test_")
+                     and callable(getattr(module, attr))]
+            for test in tests:
+                test(TimingBenchmark())
+    except BaseException:
+        return dataclasses.asdict(BenchOutcome(
+            name=path.stem, path=path_str,
+            seconds=time.perf_counter() - start,
+            cpu_seconds=time.process_time() - cpu_start, ok=False,
+            output=buffer.getvalue(), error=traceback.format_exc()))
+    return dataclasses.asdict(BenchOutcome(
+        name=path.stem, path=path_str,
+        seconds=time.perf_counter() - start,
+        cpu_seconds=time.process_time() - cpu_start, ok=True,
+        tests=len(tests), output=buffer.getvalue()))
+
+
+def snapshot_results(benchmarks_dir: pathlib.Path) -> Dict[str, str]:
+    """``filename -> content`` for every committed results table."""
+    results_dir = benchmarks_dir / "results"
+    if not results_dir.is_dir():
+        return {}
+    return {path.name: path.read_text(encoding="utf-8")
+            for path in sorted(results_dir.glob("*.txt"))}
+
+
+def diff_results(before: Dict[str, str],
+                 after: Dict[str, str]) -> List[str]:
+    """Names of results files whose content changed (or appeared)."""
+    return [name for name in sorted(after)
+            if before.get(name) != after[name]]
+
+
+def run_suite(benchmarks_dir: pathlib.Path,
+              workers: Optional[int] = None,
+              backend: str = "auto",
+              only: Sequence[str] = (),
+              quick: bool = False,
+              timeout: Optional[float] = DEFAULT_TIMEOUT,
+              ) -> Dict[str, Any]:
+    """Run the (filtered) suite; returns the harness report document."""
+    paths = discover(benchmarks_dir)
+    if quick:
+        paths = [p for p in paths if p.stem in QUICK_BENCHMARKS]
+    if only:
+        paths = [p for p in paths
+                 if any(token in p.stem for token in only)]
+    before = snapshot_results(benchmarks_dir)
+    pool = ParallelMap(workers=workers, backend=backend, timeout=timeout)
+    wall_start = time.perf_counter()
+    outcomes = pool.map(run_bench_file, [str(p) for p in paths])
+    wall_seconds = time.perf_counter() - wall_start
+    after = snapshot_results(benchmarks_dir)
+
+    serial_seconds = sum(o["seconds"] for o in outcomes)
+    serial_cpu_seconds = sum(o["cpu_seconds"] for o in outcomes)
+    drift = diff_results(before, after)
+    failures = [o["name"] for o in outcomes if not o["ok"]]
+    return {
+        "schema": "repro-bench-harness/v1",
+        "generated_unix": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks_dir": str(benchmarks_dir),
+        "workers": pool.workers,
+        "backend": pool.stats.backend,
+        "pool": dataclasses.asdict(pool.stats),
+        "benchmarks": [
+            {"name": o["name"], "seconds": round(o["seconds"], 4),
+             "cpu_seconds": round(o["cpu_seconds"], 4),
+             "ok": o["ok"], "tests": o["tests"]}
+            for o in outcomes
+        ],
+        "outputs": {o["name"]: o["output"] for o in outcomes},
+        "errors": {o["name"]: o["error"] for o in outcomes
+                   if not o["ok"]},
+        "serial_seconds": round(serial_seconds, 4),
+        "serial_cpu_seconds": round(serial_cpu_seconds, 4),
+        "wall_seconds": round(wall_seconds, 4),
+        "speedup_vs_serial": round(serial_seconds / wall_seconds, 3)
+        if wall_seconds > 0 else 0.0,
+        "speedup_vs_serial_cpu": round(serial_cpu_seconds
+                                       / wall_seconds, 3)
+        if wall_seconds > 0 else 0.0,
+        "results_drift": drift,
+        "failures": failures,
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """The harness report as a text table plus the run's vitals."""
+    rows = [(entry["name"], f"{entry['seconds']:.3f}",
+             "ok" if entry["ok"] else "FAIL")
+            for entry in report["benchmarks"]]
+    table = render_table(("benchmark", "seconds", "status"), rows,
+                         title=f"repro bench — {len(rows)} benchmarks, "
+                               f"{report['workers']} workers "
+                               f"({report['backend']})")
+    lines = [table, ""]
+    lines.append(f"serial estimate  {report['serial_seconds']:.3f}s wall "
+                 f"/ {report['serial_cpu_seconds']:.3f}s cpu "
+                 f"(per-benchmark sums)")
+    lines.append(f"wall time        {report['wall_seconds']:.3f}s")
+    lines.append(f"speedup          {report['speedup_vs_serial']:.2f}x "
+                 f"wall-based, {report['speedup_vs_serial_cpu']:.2f}x "
+                 f"cpu-based, on {report['host']['cpu_count']} CPU(s)")
+    if report["results_drift"]:
+        lines.append("results drift    "
+                     + ", ".join(report["results_drift"]))
+    else:
+        lines.append("results drift    none — tables match "
+                     "benchmarks/results/")
+    if report["failures"]:
+        lines.append("failures         " + ", ".join(report["failures"]))
+    return "\n".join(lines)
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Install the ``bench`` arguments (shared by the ``repro`` CLI and
+    ``benchmarks/run_all.py``)."""
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: CPU count)")
+    parser.add_argument("--backend",
+                        choices=("auto", "serial", "thread", "process"),
+                        default="auto")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the fast deterministic subset")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="run benchmarks whose name contains SUBSTR "
+                             "(repeatable)")
+    parser.add_argument("--benchmarks-dir", type=pathlib.Path,
+                        default=None,
+                        help="suite location (default: auto-detected)")
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
+                        help="per-benchmark deadline in seconds")
+    parser.add_argument("--json", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_harness.json"),
+                        metavar="PATH",
+                        help="where to write the harness report")
+    parser.add_argument("--verbose", action="store_true",
+                        help="echo each benchmark's captured output")
+    parser.set_defaults(func=cmd_bench)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Entry point behind ``repro bench``; returns the exit code."""
+    benchmarks_dir = args.benchmarks_dir or default_benchmarks_dir()
+    if not benchmarks_dir.is_dir():
+        print(f"error: no benchmark suite at {benchmarks_dir}",
+              file=sys.stderr)
+        return 2
+    report = run_suite(benchmarks_dir, workers=args.workers,
+                       backend=args.backend, only=args.only,
+                       quick=args.quick, timeout=args.timeout)
+    if args.verbose:
+        for name, output in report["outputs"].items():
+            if output:
+                print(f"--- {name} ---")
+                print(output)
+    for name, error in report["errors"].items():
+        print(f"--- {name} FAILED ---", file=sys.stderr)
+        print(error, file=sys.stderr)
+    print(render_report(report))
+    if args.json:
+        args.json.write_text(json.dumps(report, indent=2) + "\n",
+                             encoding="utf-8")
+        print(f"\nharness report written to {args.json}")
+    return 1 if (report["failures"] or report["results_drift"]) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``benchmarks/run_all.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the benchmark suite through the deterministic "
+                    "parallel runtime and check for results drift.")
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return cmd_bench(args)

@@ -1,0 +1,130 @@
+"""Outcome memo-cache for deterministic fault-free fast paths.
+
+Redundancy masks faults by *re-executing*, so caching results would
+bypass fault handling if applied blindly — a cached answer is never
+re-voted, re-checked, or re-expressed.  The cache is therefore an
+**explicit opt-in** for the one place it is sound: the deterministic,
+fault-free fast path of a repeated workload (replaying an oracle over
+the same request stream, re-rendering a taxonomy table, the reference
+version of a duplex pair).
+
+Entries are keyed on ``(version name, args)``; eviction is LRU.  Hit
+and miss counters are kept on the cache itself and mirrored into an
+installed telemetry session as
+``repro_cache_{hits,misses}_total{cache=<name>}``, so cache efficacy
+shows up next to the execution-cost accounting it is meant to offset.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
+
+from repro.observe import current as _telemetry
+
+R = TypeVar("R")
+
+
+class MemoCache:
+    """An LRU memo-cache over named deterministic callables.
+
+    Args:
+        name: The ``cache`` label on the telemetry counters.
+        max_entries: LRU capacity; ``None`` means unbounded.
+    """
+
+    def __init__(self, name: str = "memo",
+                 max_entries: Optional[int] = 4096) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.name = name
+        self.max_entries = max_entries
+        self._store: "collections.OrderedDict[Tuple, Any]" = \
+            collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Calls whose arguments were unhashable — computed but never
+        #: stored (counted as misses as well).
+        self.uncacheable = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- core --------------------------------------------------------------
+
+    def get_or_call(self, version_name: str, fn: Callable[..., R],
+                    *args: Any) -> R:
+        """Return the memoised ``fn(*args)`` for this version name.
+
+        The first call with a given ``(version_name, args)`` key
+        computes and stores; later calls return the stored value
+        without executing ``fn``.
+        """
+        try:
+            key = (version_name, args)
+            cached = self._store[key]
+        except KeyError:
+            self._count_miss()
+            value = fn(*args)
+            self._store[key] = value
+            if (self.max_entries is not None
+                    and len(self._store) > self.max_entries):
+                self._store.popitem(last=False)
+                self.evictions += 1
+            return value
+        except TypeError:
+            # Unhashable arguments cannot be memoised; fall through to
+            # a plain call.
+            self.uncacheable += 1
+            self._count_miss()
+            return fn(*args)
+        self._store.move_to_end(key)
+        self._count_hit()
+        return cached
+
+    def wrap(self, fn: Callable[..., R],
+             name: Optional[str] = None) -> Callable[..., R]:
+        """A memoised view of ``fn``, keyed under ``name``.
+
+        ``name`` defaults to the callable's ``__name__`` — pass the
+        owning version's name when wrapping a version implementation.
+        """
+        label = name if name is not None else getattr(fn, "__name__",
+                                                      repr(fn))
+
+        def cached(*args: Any) -> R:
+            return self.get_or_call(label, fn, *args)
+
+        cached.__name__ = f"cached_{label}"
+        return cached
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._store.clear()
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """The counters as a flat dict (for reports and assertions)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "uncacheable": self.uncacheable,
+                "size": len(self._store), "hit_rate": self.hit_rate}
+
+    def _count_hit(self) -> None:
+        self.hits += 1
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.inc("repro_cache_hits_total", cache=self.name)
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.inc("repro_cache_misses_total", cache=self.name)

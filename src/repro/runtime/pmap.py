@@ -1,0 +1,213 @@
+"""Deterministic parallel map: ordered scatter/gather over pure tasks.
+
+The harness's unit of work — a seeded trial, a campaign cell, a
+benchmark file — is a pure function of its arguments, so fanning work
+out across workers must not change a single byte of output.
+:class:`ParallelMap` enforces that:
+
+* **ordered gather** — results always come back in submission order,
+  regardless of completion order;
+* **seed partitioning** — items are split into contiguous chunks, so a
+  chunk sees exactly the items (and therefore the seeds) the serial
+  loop would have given it;
+* **no shared RNG** — the pool never touches ``random``; every task
+  derives its randomness from its own item;
+* **retry-once-serial fallback** — a chunk that times out, fails to
+  pickle, or dies with its worker is re-run serially in the parent
+  exactly once, which is always safe for pure tasks.
+
+The serial backend is the reference semantics; the thread and process
+backends are bit-identical accelerations of it.  ``backend="auto"``
+picks the process pool when the task and items are picklable and falls
+back to ``fallback`` (threads by default) when they are not — closures
+and lambdas keep working, they just stay in-process.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import dataclasses
+import os
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.observe import current as _telemetry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognised backend names (``auto`` resolves to one of the others).
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclasses.dataclass
+class PoolStats:
+    """Accounting for one :meth:`ParallelMap.map` call."""
+
+    backend: str = "serial"
+    workers: int = 1
+    tasks: int = 0
+    chunks: int = 0
+    #: Chunks re-run serially in the parent (worker error or timeout).
+    serial_retries: int = 0
+    #: Chunks whose future missed the per-chunk deadline.
+    timeouts: int = 0
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
+    """Run one contiguous slice of items — in a worker or the parent."""
+    return [fn(item) for item in chunk]
+
+
+def _picklable(*objects: Any) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+class ParallelMap:
+    """An ordered, chunked map over pure tasks.
+
+    Args:
+        workers: Worker count; ``None`` means ``os.cpu_count()``.
+            ``workers <= 1`` always runs serially.
+        backend: One of :data:`BACKENDS`.  ``auto`` resolves per call:
+            serial for trivial inputs, process when ``fn`` and the items
+            pickle, else ``fallback``.
+        fallback: Backend ``auto`` degrades to for unpicklable work —
+            ``"thread"`` (default) or ``"serial"`` (required when tasks
+            touch process-global state such as an installed telemetry
+            session).
+        chunk_size: Items per submitted chunk; ``None`` picks
+            ``ceil(len(items) / (workers * 4))`` so every worker gets
+            several chunks to smooth uneven task costs.
+        timeout: Per-chunk deadline in (real) seconds; an overdue chunk
+            is re-run serially in the parent.  ``None`` waits forever.
+        max_in_flight: Bound on submitted-but-ungathered chunks
+            (default ``workers * 2``), so huge inputs never materialise
+            a future per chunk up front.
+    """
+
+    def __init__(self, workers: Optional[int] = None, backend: str = "auto",
+                 fallback: str = "thread",
+                 chunk_size: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 max_in_flight: Optional[int] = None) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if fallback not in ("thread", "serial"):
+            raise ValueError("fallback must be 'thread' or 'serial'")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 1))
+        self.backend = backend
+        self.fallback = fallback
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.max_in_flight = max_in_flight
+        self.stats = PoolStats()
+
+    # -- backend resolution ------------------------------------------------
+
+    def _resolve(self, fn: Callable, items: Sequence) -> str:
+        if self.backend != "auto":
+            return self.backend
+        if self.workers <= 1 or len(items) <= 1:
+            return "serial"
+        if _picklable(fn, items[0]):
+            return "process"
+        return self.fallback
+
+    # -- the map -----------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """``[fn(item) for item in items]``, possibly in parallel.
+
+        Results are returned in submission order; for a pure ``fn`` the
+        returned list is identical to the serial comprehension above.
+        """
+        tasks = list(items)
+        backend = self._resolve(fn, tasks)
+        self.stats = PoolStats(backend=backend, workers=self.workers,
+                               tasks=len(tasks))
+        if backend == "serial" or not tasks:
+            results = _run_chunk(fn, tasks)
+            self.stats.chunks = 1 if tasks else 0
+            self._report()
+            return results
+
+        size = self.chunk_size or max(1, -(-len(tasks)
+                                           // (self.workers * 4)))
+        chunks = [tasks[i:i + size] for i in range(0, len(tasks), size)]
+        self.stats.chunks = len(chunks)
+        max_in_flight = self.max_in_flight or self.workers * 2
+        executor_cls = (concurrent.futures.ThreadPoolExecutor
+                        if backend == "thread"
+                        else concurrent.futures.ProcessPoolExecutor)
+        results: List[R] = []
+        with executor_cls(max_workers=min(self.workers,
+                                          len(chunks))) as pool:
+            pending: collections.deque = collections.deque()
+            submitted = 0
+            while submitted < len(chunks) or pending:
+                while (submitted < len(chunks)
+                       and len(pending) < max_in_flight):
+                    pending.append(
+                        (submitted,
+                         pool.submit(_run_chunk, fn, chunks[submitted])))
+                    submitted += 1
+                # Gather strictly in submission order: chunk i's results
+                # land before chunk i+1's even when i+1 finished first.
+                index, future = pending.popleft()
+                try:
+                    chunk_results = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    self.stats.timeouts += 1
+                    self.stats.serial_retries += 1
+                    chunk_results = _run_chunk(fn, chunks[index])
+                except Exception:
+                    # Worker death, pickling failure, or the task's own
+                    # exception: re-run serially once in the parent.  A
+                    # deterministic task error re-raises here with a
+                    # clean parent-side traceback.
+                    self.stats.serial_retries += 1
+                    chunk_results = _run_chunk(fn, chunks[index])
+                results.extend(chunk_results)
+        self._report()
+        return results
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _report(self) -> None:
+        """Forward the call's accounting to an installed telemetry
+        session (no-op when telemetry is disabled)."""
+        tel = _telemetry()
+        if not tel.enabled:
+            return
+        stats = self.stats
+        tel.metrics.inc("repro_runtime_tasks_total", stats.tasks,
+                        backend=stats.backend)
+        tel.metrics.inc("repro_runtime_chunks_total", stats.chunks,
+                        backend=stats.backend)
+        if stats.serial_retries:
+            tel.metrics.inc("repro_runtime_serial_retries_total",
+                            stats.serial_retries, backend=stats.backend)
+        if stats.timeouts:
+            tel.metrics.inc("repro_runtime_timeouts_total",
+                            stats.timeouts, backend=stats.backend)
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 workers: Optional[int] = None,
+                 **kwargs: Any) -> List[R]:
+    """One-shot functional form of :class:`ParallelMap`."""
+    return ParallelMap(workers=workers, **kwargs).map(fn, items)

@@ -1,0 +1,114 @@
+"""Unit tests for the ``repro bench`` runner."""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.runtime import bench as bench_mod
+
+
+class TestDiscovery:
+    def test_finds_the_suite(self):
+        suite = bench_mod.default_benchmarks_dir()
+        paths = bench_mod.discover(suite)
+        names = {p.stem for p in paths}
+        assert "bench_table1_taxonomy" in names
+        assert len(paths) >= 26
+        assert paths == sorted(paths)
+
+    def test_quick_subset_exists(self):
+        suite = bench_mod.default_benchmarks_dir()
+        names = {p.stem for p in bench_mod.discover(suite)}
+        assert set(bench_mod.QUICK_BENCHMARKS) <= names
+
+
+class TestWorkerIdentity:
+    def test_workers_1_vs_4_same_tables_and_no_drift(self):
+        suite = bench_mod.default_benchmarks_dir()
+        only = ["table1", "table2"]
+        serial = bench_mod.run_suite(suite, workers=1, only=only)
+        pooled = bench_mod.run_suite(suite, workers=4, only=only,
+                                     backend="process")
+        assert serial["failures"] == [] and pooled["failures"] == []
+        assert serial["results_drift"] == []
+        assert pooled["results_drift"] == []
+        # The rendered artifacts (each benchmark's captured stdout,
+        # i.e. its tables) are byte-identical across worker counts.
+        assert pooled["outputs"] == serial["outputs"]
+
+
+class TestDriftDetection:
+    def _fake_suite(self, tmp_path, stored):
+        (tmp_path / "_common.py").write_text(
+            "import pathlib\n"
+            "RESULTS_DIR = pathlib.Path(__file__).parent / 'results'\n"
+            "def save_result(experiment_id, text):\n"
+            "    RESULTS_DIR.mkdir(exist_ok=True)\n"
+            "    (RESULTS_DIR / f'{experiment_id}.txt')"
+            ".write_text(text + '\\n', encoding='utf-8')\n"
+            "    print(text)\n", encoding="utf-8")
+        (tmp_path / "bench_fake.py").write_text(
+            "from _common import save_result\n"
+            "def _experiment():\n"
+            "    return 'regenerated table'\n"
+            "def test_fake(benchmark):\n"
+            "    save_result('FAKE', benchmark(_experiment))\n",
+            encoding="utf-8")
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "FAKE.txt").write_text(stored, encoding="utf-8")
+
+    def test_changed_table_is_reported_as_drift(self, tmp_path):
+        self._fake_suite(tmp_path, stored="stale table\n")
+        report = bench_mod.run_suite(tmp_path, workers=1)
+        assert report["failures"] == []
+        assert report["results_drift"] == ["FAKE.txt"]
+
+    def test_matching_table_is_clean(self, tmp_path):
+        self._fake_suite(tmp_path, stored="regenerated table\n")
+        report = bench_mod.run_suite(tmp_path, workers=1)
+        assert report["results_drift"] == []
+
+    def test_drift_fails_the_cli(self, tmp_path, capsys):
+        self._fake_suite(tmp_path, stored="stale table\n")
+        code = cli_main(["bench", "--benchmarks-dir", str(tmp_path),
+                         "--workers", "1",
+                         "--json", str(tmp_path / "BENCH.json")])
+        assert code == 1
+        assert "FAKE.txt" in capsys.readouterr().out
+
+
+class TestHarnessReport:
+    def test_bench_json_is_well_formed(self, tmp_path, capsys):
+        report_path = tmp_path / "BENCH_harness.json"
+        code = cli_main(["bench", "--only", "table1", "--workers", "2",
+                         "--json", str(report_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["schema"] == "repro-bench-harness/v1"
+        assert report["workers"] == 2
+        assert report["host"]["cpu_count"] >= 1
+        assert report["failures"] == []
+        assert report["results_drift"] == []
+        entries = {entry["name"] for entry in report["benchmarks"]}
+        assert entries == {"bench_table1_taxonomy"}
+        for entry in report["benchmarks"]:
+            assert entry["ok"] and entry["seconds"] >= 0
+        assert report["serial_seconds"] >= 0
+        assert report["wall_seconds"] > 0
+        assert report["speedup_vs_serial"] > 0
+        out = capsys.readouterr().out
+        assert "repro bench" in out and "speedup" in out
+
+    def test_timeout_falls_back_to_parent_run(self, tmp_path):
+        # A bench that sleeps past the deadline forces the
+        # retry-once-serial path; the run still completes with correct
+        # tables and the pool records the timeout.
+        (tmp_path / "bench_slow.py").write_text(
+            "import time\n"
+            "def test_slow(benchmark):\n"
+            "    benchmark(time.sleep, 0.3)\n", encoding="utf-8")
+        report = bench_mod.run_suite(tmp_path, workers=2,
+                                     backend="thread", timeout=0.05)
+        assert report["failures"] == []
+        assert report["pool"]["timeouts"] == 1
+        assert report["pool"]["serial_retries"] == 1

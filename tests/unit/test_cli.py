@@ -45,7 +45,7 @@ class TestExperiments:
         out = capsys.readouterr().out
         for eid, _, bench in EXPERIMENT_INDEX:
             assert bench in out
-        assert len(EXPERIMENT_INDEX) == 25
+        assert len(EXPERIMENT_INDEX) == 26
 
     def test_index_ids_are_unique(self):
         ids = [eid for eid, _, _ in EXPERIMENT_INDEX]
@@ -105,6 +105,13 @@ class TestCampaignCommand:
         first = capsys.readouterr().out
         main(["campaign", "--requests", "30", "--seed", "5"])
         assert capsys.readouterr().out == first
+
+    def test_workers_match_serial(self, capsys):
+        main(["campaign", "--requests", "30", "--seed", "5"])
+        serial = capsys.readouterr().out
+        main(["campaign", "--requests", "30", "--seed", "5",
+              "--workers", "3"])
+        assert capsys.readouterr().out == serial
 
 
 class TestTraceCommand:

@@ -1,0 +1,108 @@
+"""Unit tests for the opt-in outcome memo-cache."""
+
+import pytest
+
+from repro import observe
+from repro.runtime.cache import MemoCache
+
+
+class TestGetOrCall:
+    def test_miss_then_hit(self):
+        cache = MemoCache()
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert cache.get_or_call("v1", fn, 3) == 6
+        assert cache.get_or_call("v1", fn, 3) == 6
+        assert calls == [3]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_keyed_on_version_name_and_args(self):
+        cache = MemoCache()
+        assert cache.get_or_call("a", lambda x: x + 1, 1) == 2
+        # Same args, different version name: distinct entry.
+        assert cache.get_or_call("b", lambda x: x - 1, 1) == 0
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 2
+
+    def test_unhashable_args_compute_without_storing(self):
+        cache = MemoCache()
+        assert cache.get_or_call("v", sum, [1, 2, 3]) == 6
+        assert cache.get_or_call("v", sum, [1, 2, 3]) == 6
+        assert cache.uncacheable == 2
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = MemoCache(max_entries=2)
+        cache.get_or_call("v", abs, -1)
+        cache.get_or_call("v", abs, -2)
+        cache.get_or_call("v", abs, -1)   # touch: -1 is now most recent
+        cache.get_or_call("v", abs, -3)   # evicts -2
+        assert cache.evictions == 1
+        cache.get_or_call("v", abs, -2)   # miss again
+        assert cache.misses == 4 and cache.hits == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=0)
+
+
+class TestWrap:
+    def test_wrapped_callable_memoises(self):
+        cache = MemoCache()
+        calls = []
+
+        def triple(x):
+            calls.append(x)
+            return x * 3
+
+        cached = cache.wrap(triple)
+        assert [cached(2), cached(2), cached(4)] == [6, 6, 12]
+        assert calls == [2, 4]
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_wrap_uses_explicit_name(self):
+        cache = MemoCache()
+        first = cache.wrap(lambda x: x, name="shared")
+        second = cache.wrap(lambda x: x, name="shared")
+        first(5)
+        second(5)   # same key: served from the first wrapper's entry
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_clear_preserves_counters(self):
+        cache = MemoCache()
+        cached = cache.wrap(abs, name="abs")
+        cached(-1)
+        cached(-1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        cached(-1)
+        assert cache.misses == 2
+
+
+class TestTelemetry:
+    def test_hit_miss_counters_reach_metrics(self):
+        with observe.session() as tel:
+            cache = MemoCache(name="fastpath")
+            cached = cache.wrap(abs, name="abs")
+            cached(-1)
+            cached(-1)
+            cached(-2)
+        assert tel.metrics.value("repro_cache_misses_total",
+                                 cache="fastpath") == 2.0
+        assert tel.metrics.value("repro_cache_hits_total",
+                                 cache="fastpath") == 1.0
+
+    def test_disabled_session_keeps_local_counters_only(self):
+        cache = MemoCache()
+        cached = cache.wrap(abs, name="abs")
+        cached(-1)
+        cached(-1)
+        assert cache.hits == 1 and cache.misses == 1
+        assert observe.current().enabled is False

@@ -1,0 +1,137 @@
+"""Unit tests for the deterministic parallel map."""
+
+import time
+
+import pytest
+
+from repro import observe
+from repro.runtime.pmap import BACKENDS, ParallelMap, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def sleepy(x):
+    """Sleeps long only for item 3 (timeout-path probe)."""
+    if x == 3:
+        time.sleep(0.3)
+    return x * 10
+
+
+def boom(x):
+    if x == 2:
+        raise ValueError("boom on 2")
+    return x
+
+
+class TestValidation:
+    def test_backend_names(self):
+        assert set(BACKENDS) == {"auto", "serial", "thread", "process"}
+        with pytest.raises(ValueError):
+            ParallelMap(backend="gpu")
+
+    def test_rejects_bad_options(self):
+        with pytest.raises(ValueError):
+            ParallelMap(fallback="process")
+        with pytest.raises(ValueError):
+            ParallelMap(chunk_size=0)
+        with pytest.raises(ValueError):
+            ParallelMap(timeout=0)
+
+
+class TestOrderedGather:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_results_in_submission_order(self, backend):
+        items = list(range(23))
+        pool = ParallelMap(workers=4, backend=backend, chunk_size=3)
+        assert pool.map(square, items) == [square(i) for i in items]
+
+    def test_empty_items(self):
+        pool = ParallelMap(workers=4, backend="process")
+        assert pool.map(square, []) == []
+        assert pool.stats.tasks == 0
+
+    def test_chunk_accounting(self):
+        pool = ParallelMap(workers=3, backend="thread", chunk_size=2)
+        pool.map(square, range(11))
+        assert pool.stats.chunks == 6
+        assert pool.stats.tasks == 11
+
+    def test_bounded_in_flight_still_complete(self):
+        pool = ParallelMap(workers=2, backend="thread", chunk_size=1,
+                           max_in_flight=2)
+        assert pool.map(square, range(20)) == [square(i)
+                                               for i in range(20)]
+
+
+class TestBackendResolution:
+    def test_workers_one_is_serial(self):
+        pool = ParallelMap(workers=1, backend="auto")
+        pool.map(square, range(5))
+        assert pool.stats.backend == "serial"
+
+    def test_auto_picks_process_for_picklable_tasks(self):
+        pool = ParallelMap(workers=2, backend="auto")
+        pool.map(square, range(8))
+        assert pool.stats.backend == "process"
+
+    def test_auto_falls_back_to_thread_for_closures(self):
+        offset = 7
+        pool = ParallelMap(workers=2, backend="auto")
+        out = pool.map(lambda x: x + offset, range(8))
+        assert out == [x + 7 for x in range(8)]
+        assert pool.stats.backend == "thread"
+
+    def test_serial_fallback_option(self):
+        pool = ParallelMap(workers=2, backend="auto", fallback="serial")
+        out = pool.map(lambda x: -x, range(4))
+        assert out == [0, -1, -2, -3]
+        assert pool.stats.backend == "serial"
+
+
+class TestFallbackPaths:
+    def test_timeout_retries_chunk_serially(self):
+        pool = ParallelMap(workers=2, backend="thread", chunk_size=1,
+                           timeout=0.05)
+        out = pool.map(sleepy, range(5))
+        assert out == [x * 10 for x in range(5)]
+        assert pool.stats.timeouts == 1
+        assert pool.stats.serial_retries == 1
+
+    def test_task_error_propagates_after_one_serial_retry(self):
+        pool = ParallelMap(workers=2, backend="thread", chunk_size=1)
+        with pytest.raises(ValueError, match="boom on 2"):
+            pool.map(boom, range(4))
+        assert pool.stats.serial_retries == 1
+
+    def test_unpicklable_work_on_explicit_process_degrades_serially(self):
+        # Forcing the process backend onto a closure cannot ship the
+        # task to workers; every chunk falls back to the parent and the
+        # results stay correct.
+        pool = ParallelMap(workers=2, backend="process", chunk_size=2)
+        out = pool.map(lambda x: x + 1, range(6))
+        assert out == [1, 2, 3, 4, 5, 6]
+        assert pool.stats.serial_retries == pool.stats.chunks
+
+
+class TestFunctionalForm:
+    def test_parallel_map_matches_comprehension(self):
+        assert parallel_map(square, range(9), workers=3,
+                            backend="thread") == [square(i)
+                                                  for i in range(9)]
+
+
+class TestTelemetry:
+    def test_pool_accounting_reaches_metrics(self):
+        with observe.session() as tel:
+            parallel_map(square, range(6), workers=2, backend="thread",
+                         chunk_size=2)
+        assert tel.metrics.value("repro_runtime_tasks_total",
+                                 backend="thread") == 6.0
+        assert tel.metrics.value("repro_runtime_chunks_total",
+                                 backend="thread") == 3.0
+
+    def test_disabled_session_records_nothing(self):
+        parallel_map(square, range(6), workers=2, backend="thread")
+        assert observe.current().enabled is False
