@@ -15,7 +15,10 @@ without writing code:
   Prometheus text format;
 * ``bench`` — run the benchmark suite through the deterministic
   parallel runtime, check for results drift, and write
-  ``BENCH_harness.json`` timings.
+  ``BENCH_harness.json`` timings;
+* ``lint`` — redundancy-aware static analysis (diversity, determinism,
+  process-safety, pattern misuse) with baseline suppression, used as
+  the CI gate (``repro lint src/repro --fail-on warning``).
 """
 
 from __future__ import annotations
@@ -213,6 +216,50 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        Baseline,
+        LintEngine,
+        default_rules,
+        render_json,
+        render_text,
+    )
+    from repro.lint.rules_diversity import NearCloneRule
+
+    select = ([rid.strip() for rid in args.select.split(",") if rid.strip()]
+              if args.select else None)
+    try:
+        registry = default_rules()
+        if args.diversity_threshold is not None:
+            if not 0.0 < args.diversity_threshold <= 1.0:
+                raise ValueError("--diversity-threshold must lie in (0, 1]")
+            for rule in registry.rules(["DIV001"]):
+                assert isinstance(rule, NearCloneRule)
+                rule.threshold = args.diversity_threshold
+        baseline = (Baseline.load(args.baseline)
+                    if args.baseline and not args.write_baseline else None)
+        engine = LintEngine(registry, select=select, baseline=baseline)
+
+        if args.write_baseline:
+            if not args.baseline:
+                raise ValueError("--write-baseline requires --baseline PATH")
+            new_baseline = engine.run_for_baseline(args.paths)
+            new_baseline.write(args.baseline)
+            print(f"{len(new_baseline)} finding"
+                  f"{'' if len(new_baseline) == 1 else 's'} written to "
+                  f"{args.baseline}")
+            return 0
+
+        report = engine.run(args.paths)
+    except (FileNotFoundError, KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report), end="" if args.format == "json" else "\n")
+    return report.exit_code(args.fail_on)
+
+
 def _run_scenario(args):
     """Run ``args.scenario`` inside a telemetry session.
 
@@ -298,6 +345,33 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark suite through the parallel "
                       "runtime and check for results drift")
     _configure_bench(bench)
+
+    lint = sub.add_parser(
+        "lint", help="redundancy-aware static analysis: diversity, "
+                     "determinism, process-safety, pattern misuse")
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to analyse")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="report format")
+    lint.add_argument("--fail-on",
+                      choices=("error", "warning", "info", "never"),
+                      default="error",
+                      help="lowest severity that fails the run "
+                           "(default: error)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline file of accepted findings "
+                           "(see docs/STATIC_ANALYSIS.md)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept every current finding into "
+                           "--baseline and exit")
+    lint.add_argument("--select", metavar="RULES",
+                      help="comma-separated rule ids to run "
+                           "(e.g. DET001,DIV001)")
+    lint.add_argument("--diversity-threshold", type=float, default=None,
+                      metavar="S",
+                      help="similarity in (0, 1] at which DIV001 flags "
+                           "a near-clone pair (default: 0.9)")
+    lint.set_defaults(func=_cmd_lint)
 
     demo = sub.add_parser("demo", help="run a small NVP demonstration")
     demo.add_argument("--versions", type=int, default=5)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Tuple
 
-from repro._util import stable_fraction
+from repro._util import stable_fraction, stable_int
 from repro.components.interface import FunctionSpec
 from repro.components.version import Version
 from repro.faults.base import Fault, WRONG_VALUE
@@ -65,7 +65,7 @@ class _HashBohrbug(Bohrbug):
 
     def corrupt(self, correct_value: Any) -> Any:
         if isinstance(correct_value, (int, float)):
-            offset = 1 + (hash(self._wrong_tag) % 997)
+            offset = 1 + stable_int(self._wrong_tag, modulo=997)
             return correct_value + offset
         return ("wrong", self._wrong_tag, correct_value)
 

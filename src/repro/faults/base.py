@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Optional, Tuple
 
+from repro._util import stable_int
 from repro.exceptions import HangFailure, SimulatedFailure
 
 #: Manifestation effects a fault can have when it activates.
@@ -54,7 +55,7 @@ class Fault(abc.ABC):
         time) yet unequal to the correct one.
         """
         if isinstance(correct_value, (int, float)):
-            return correct_value + 1 + (hash(self.name) % 7)
+            return correct_value + 1 + stable_int(self.name, modulo=7)
         return ("corrupted", self.name, correct_value)
 
     def manifest(self, args: Tuple[Any, ...], correct_value: Any) -> Any:

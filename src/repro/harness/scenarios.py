@@ -15,7 +15,9 @@ The mapping from scenario name to the experiment it miniaturises:
 * ``microreboot`` — the C5 crash/reboot loop;
 * ``checkpoint`` — C13 checkpoint-recovery over a faulty step sequence;
 * ``replicas`` — C7 process replicas under an attack mix;
-* ``rejuvenation`` — C4-style scheduled rejuvenation under aging load.
+* ``rejuvenation`` — C4-style scheduled rejuvenation under aging load;
+* ``lint`` — the static analyser over repro's own source, so lint
+  runs surface in ``repro metrics`` like any other workload.
 """
 
 from __future__ import annotations
@@ -210,6 +212,32 @@ def replicas_scenario(requests: int, seed: int) -> Dict[str, Any]:
         detections += verdict.attack_detected
     return {"requests": replicas.requests, "attacks": attacks,
             "detections": detections}
+
+
+@_scenario("lint")
+def lint_scenario(requests: int, seed: int) -> Dict[str, Any]:
+    """Self-lint: the static analyser over repro's own package.
+
+    A lint run is already deterministic, so ``requests`` and ``seed``
+    are accepted for the scenario contract but unused.  The engine
+    feeds the installed telemetry session (files scanned, findings per
+    rule, suppressions, duration), making ``repro metrics lint`` the
+    observability surface for static analysis.
+    """
+    import os
+
+    import repro
+    from repro.lint import run_paths
+
+    report = run_paths([os.path.dirname(os.path.abspath(repro.__file__))])
+    severities = report.counts_by_severity()
+    return {"files": report.files,
+            "findings": len(report.findings),
+            "pragma_suppressed": report.pragma_suppressed,
+            **{f"severity.{name}": count
+               for name, count in sorted(severities.items())},
+            **{f"rule.{rule}": count
+               for rule, count in report.counts_by_rule().items()}}
 
 
 @_scenario("rejuvenation")

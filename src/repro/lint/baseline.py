@@ -1,0 +1,73 @@
+"""Baseline suppression: accept today's findings, gate tomorrow's.
+
+A baseline is a committed JSON file listing fingerprints of findings
+the team has reviewed and accepted (or scheduled for later).  A lint
+run subtracts baselined findings before deciding its exit code, so CI
+can enforce ``--fail-on warning`` on a tree with known, documented
+debt — and a *new* finding of the same kind still fails the build.
+
+Fingerprints hash (rule, path, flagged line text) — not line numbers —
+so unrelated edits don't invalidate the baseline.  Multiplicity is
+honoured: two identical findings need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: List[dict] = ()) -> None:
+        #: fingerprint -> remaining suppression budget
+        self._budget: Dict[str, int] = collections.Counter(
+            entry["fingerprint"] for entry in entries)
+        #: Kept verbatim for round-tripping and human review.
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported baseline version {version!r} "
+                             f"in {path} (expected {FORMAT_VERSION})")
+        return cls(payload.get("entries", []))
+
+    @classmethod
+    def from_findings(cls, pairs: List[Tuple[Finding, str]]) -> "Baseline":
+        """Build a baseline accepting ``(finding, line_text)`` pairs."""
+        entries = [{
+            "fingerprint": finding.fingerprint(line_text),
+            "rule": finding.rule,
+            "path": finding.path.replace("\\", "/"),
+            "line": finding.line,
+            "message": finding.message,
+        } for finding, line_text in pairs]
+        entries.sort(key=lambda e: (e["path"], e["line"], e["rule"]))
+        return cls(entries)
+
+    def write(self, path: str) -> None:
+        payload = {"version": FORMAT_VERSION, "entries": self.entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def suppresses(self, finding: Finding, line_text: str) -> bool:
+        """Consume one suppression for this finding if available."""
+        fingerprint = finding.fingerprint(line_text)
+        if self._budget.get(fingerprint, 0) > 0:
+            self._budget[fingerprint] -= 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,246 @@
+"""The lint engine: walk files, run rules, suppress, account.
+
+Suppression has two layers, checked in order:
+
+1. **inline pragma** — ``# lint: allow`` on the flagged line silences
+   every rule there; ``# lint: allow[DET002]`` (comma-separated ids)
+   silences only those rules.  Pragmas are for findings that are
+   *correct by design* (e.g. an intentional wall-clock timestamp in a
+   report header);
+2. **baseline** — a committed JSON multiset of accepted fingerprints,
+   for debt that is real but deferred (see
+   :mod:`repro.lint.baseline`).
+
+Every run feeds the installed :mod:`repro.observe` session (when one is
+enabled): files scanned, findings per rule, suppressions per layer, and
+wall duration, so ``repro metrics lint`` reports lint runs like any
+other workload.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, at_least
+from repro.lint.registry import ModuleSource, RuleRegistry, default_rules
+from repro.observe import current as _telemetry
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow(?:\[(?P<rules>[\w\s,]+)\])?")
+
+#: Rule id used for files the engine cannot parse.
+PARSE_ERROR_RULE = "E000"
+
+
+@dataclasses.dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+    files: int = 0
+    duration: float = 0.0
+    #: Findings silenced by an inline ``# lint: allow`` pragma.
+    pragma_suppressed: int = 0
+    #: Findings silenced by the baseline file.
+    baseline_suppressed: int = 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def exit_code(self, fail_on: str = "error") -> int:
+        """0 when no active finding is at/above ``fail_on``.
+
+        ``fail_on="never"`` always returns 0 (report-only runs).
+        """
+        if fail_on == "never":
+            return 0
+        return int(any(at_least(f.severity, fail_on)
+                       for f in self.findings))
+
+
+def _pragma_allows(line_text: str, rule_id: str) -> bool:
+    match = _PRAGMA.search(line_text)
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return rule_id in {part.strip() for part in rules.split(",")}
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Python files under the given files/directories, sorted.
+
+    Hidden directories and ``__pycache__`` are skipped.  A named file
+    is taken as-is (whatever its extension); missing paths raise.
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if not d.startswith(".")
+                                 and d != "__pycache__")
+                found.extend(os.path.join(root, name)
+                             for name in sorted(files)
+                             if name.endswith(".py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(found))
+
+
+class LintEngine:
+    """Run a rule registry over modules and apply suppression layers.
+
+    Args:
+        registry: Rules to run; defaults to every built-in rule.
+        select: Optional rule-id subset.
+        baseline: Optional committed :class:`Baseline`.
+    """
+
+    def __init__(self, registry: Optional[RuleRegistry] = None,
+                 select: Optional[Sequence[str]] = None,
+                 baseline: Optional[Baseline] = None) -> None:
+        self.registry = registry or default_rules()
+        self.rules = self.registry.rules(select)
+        self.baseline = baseline
+
+    # -- single-module entry points -------------------------------------
+
+    def lint_source(self, source: str,
+                    path: str = "<memory>") -> List[Finding]:
+        """Findings for one in-memory module (pragmas honoured,
+        baseline not consulted — used by tests and tooling)."""
+        module = ModuleSource.parse(path, source)
+        findings = self._raw_findings(module)
+        return [f for f, line_text in findings
+                if not _pragma_allows(line_text, f.rule)]
+
+    def _raw_findings(self, module: ModuleSource
+                      ) -> List[Tuple[Finding, str]]:
+        pairs: List[Tuple[Finding, str]] = []
+        for rule in self.rules:
+            for finding in rule.check(module):
+                index = finding.line - 1
+                line_text = (module.lines[index]
+                             if 0 <= index < len(module.lines) else "")
+                pairs.append((finding, line_text))
+        pairs.sort(key=lambda pair: pair[0].sort_key())
+        return pairs
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        """Lint every Python file under ``paths``."""
+        start = time.perf_counter()
+        report = LintReport()
+        collected: List[Tuple[Finding, str]] = []
+        for path in discover_files(paths):
+            report.files += 1
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                module = ModuleSource.parse(path, source)
+            except (SyntaxError, ValueError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                collected.append((Finding(
+                    rule=PARSE_ERROR_RULE, severity="error", path=path,
+                    line=line, col=0,
+                    message=f"file does not parse: {exc}"), ""))
+                continue
+            except OSError as exc:
+                collected.append((Finding(
+                    rule=PARSE_ERROR_RULE, severity="error", path=path,
+                    line=1, col=0,
+                    message=f"file cannot be read: {exc}"), ""))
+                continue
+            collected.extend(self._raw_findings(module))
+
+        for finding, line_text in collected:
+            if _pragma_allows(line_text, finding.rule):
+                report.pragma_suppressed += 1
+            elif (self.baseline is not None
+                    and self.baseline.suppresses(finding, line_text)):
+                report.baseline_suppressed += 1
+            else:
+                report.findings.append(finding)
+        report.findings.sort(key=Finding.sort_key)
+        report.duration = time.perf_counter() - start
+        self._record_metrics(report)
+        return report
+
+    def run_for_baseline(self, paths: Sequence[str]) -> Baseline:
+        """A baseline accepting every active finding of a fresh run."""
+        saved, self.baseline = self.baseline, None
+        try:
+            pairs: List[Tuple[Finding, str]] = []
+            for path in discover_files(paths):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        module = ModuleSource.parse(path, handle.read())
+                except (SyntaxError, ValueError, OSError):
+                    continue
+                pairs.extend(
+                    (finding, line_text)
+                    for finding, line_text in self._raw_findings(module)
+                    if not _pragma_allows(line_text, finding.rule))
+            return Baseline.from_findings(pairs)
+        finally:
+            self.baseline = saved
+
+    # -- telemetry -------------------------------------------------------
+
+    def _record_metrics(self, report: LintReport) -> None:
+        tel = _telemetry()
+        if not tel.enabled:
+            return
+        tel.metrics.inc("repro_lint_runs_total")
+        tel.metrics.inc("repro_lint_files_scanned_total", report.files)
+        for rule, count in report.counts_by_rule().items():
+            tel.metrics.inc("repro_lint_findings_total", count, rule=rule)
+        if report.pragma_suppressed:
+            tel.metrics.inc("repro_lint_suppressed_total",
+                            report.pragma_suppressed, layer="pragma")
+        if report.baseline_suppressed:
+            tel.metrics.inc("repro_lint_suppressed_total",
+                            report.baseline_suppressed, layer="baseline")
+        tel.metrics.observe("repro_lint_run_seconds", report.duration)
+        tel.publish("lint.run", files=report.files,
+                    findings=len(report.findings),
+                    suppressed=(report.pragma_suppressed
+                                + report.baseline_suppressed))
+
+
+def run_paths(paths: Sequence[str],
+              select: Optional[Sequence[str]] = None,
+              baseline_path: Optional[str] = None,
+              diversity_threshold: Optional[float] = None) -> LintReport:
+    """One-shot convenience wrapper used by the CLI and the scenario."""
+    registry = default_rules()
+    if diversity_threshold is not None:
+        from repro.lint.rules_diversity import NearCloneRule
+
+        if not 0.0 < diversity_threshold <= 1.0:
+            raise ValueError("diversity threshold must lie in (0, 1]")
+        rule = registry.rules(["DIV001"])[0]
+        assert isinstance(rule, NearCloneRule)
+        rule.threshold = diversity_threshold
+    baseline = (Baseline.load(baseline_path)
+                if baseline_path is not None else None)
+    engine = LintEngine(registry, select=select, baseline=baseline)
+    return engine.run(paths)

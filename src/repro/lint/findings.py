@@ -1,0 +1,86 @@
+"""Findings and severities for the static-analysis engine.
+
+A finding is one diagnostic anchored to a source location.  Its
+*fingerprint* deliberately ignores the line number: it hashes the rule
+id, the file's path, and the flagged line's text, so a committed
+baseline keeps suppressing a finding while unrelated edits shift it up
+or down the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+#: Severity levels, least to most severe.  ``--fail-on`` compares with
+#: :func:`at_least`.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+SEVERITIES = (INFO, WARNING, ERROR)
+
+_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (higher is more severe)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ValueError(f"unknown severity {severity!r}; "
+                         f"pick from {SEVERITIES}") from None
+
+
+def at_least(severity: str, threshold: str) -> bool:
+    """Whether ``severity`` is at or above ``threshold``."""
+    return severity_rank(severity) >= severity_rank(threshold)
+
+
+@dataclasses.dataclass
+class Finding:
+    """One diagnostic produced by a lint rule.
+
+    Attributes:
+        rule: Rule identifier (e.g. ``"DET003"``).
+        severity: One of :data:`SEVERITIES`.
+        path: File the finding refers to (as given to the engine).
+        line: 1-based source line.
+        col: 0-based source column.
+        message: Human-readable explanation with the suggested fix.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validate early
+
+    def fingerprint(self, line_text: str = "") -> str:
+        """Baseline key: stable across line-number shifts.
+
+        Only the last two path components are hashed, so a baseline
+        written against ``src/repro/...`` keeps matching when the tree
+        is linted through an absolute or differently rooted path.
+
+        Args:
+            line_text: The flagged source line (stripped by the caller
+                or here); defaults to empty when the source is gone.
+        """
+        tail = "/".join(self.path.replace("\\", "/").split("/")[-2:])
+        payload = "\0".join((self.rule, tail, line_text.strip()))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.severity}: {self.message}")

@@ -1,0 +1,149 @@
+"""Rule base class and registry.
+
+Every rule inspects one parsed module at a time and yields
+:class:`~repro.lint.findings.Finding` objects.  Rules are registered by
+id in a :class:`RuleRegistry`; the default registry is populated by
+importing the ``rules_*`` modules (see :func:`default_rules`).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.findings import Finding, severity_rank
+
+
+@dataclasses.dataclass
+class ModuleSource:
+    """One parsed source file handed to every rule.
+
+    Attributes:
+        path: Path the file was read from (relative paths stay relative
+            so findings and baselines are machine-independent).
+        source: Raw text.
+        tree: Parsed ``ast.Module``.
+        lines: ``source.splitlines()`` — shared so rules and the
+            suppression pass don't each re-split.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleSource":
+        return cls(path=path, source=source,
+                   tree=ast.parse(source, filename=path),
+                   lines=source.splitlines())
+
+
+class Rule(abc.ABC):
+    """One static check.
+
+    Class attributes:
+        id: Short unique identifier (``family + number``, e.g. DET001).
+        severity: Default severity; the engine may override per run.
+        summary: One-line description for ``--list-rules`` and docs.
+    """
+
+    id: str = ""
+    severity: str = "warning"
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield findings for one module."""
+
+    def finding(self, module: ModuleSource, node: ast.AST,
+                message: str, severity: Optional[str] = None) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(rule=self.id, severity=severity or self.severity,
+                       path=module.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+class RuleRegistry:
+    """Rules by id, with per-rule severity overrides."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if not rule.id:
+            raise ValueError(f"{type(rule).__name__} has no id")
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        severity_rank(rule.severity)
+        self._rules[rule.id] = rule
+        return rule
+
+    def rules(self, select: Optional[Sequence[str]] = None) -> List[Rule]:
+        """All rules, or only the ids in ``select`` (order: by id)."""
+        if select is None:
+            return [self._rules[rid] for rid in sorted(self._rules)]
+        missing = [rid for rid in select if rid not in self._rules]
+        if missing:
+            raise KeyError(f"unknown rule id(s): {', '.join(missing)}; "
+                           f"known: {', '.join(sorted(self._rules))}")
+        return [self._rules[rid] for rid in sorted(set(select))]
+
+    def ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def default_rules() -> RuleRegistry:
+    """A registry holding a fresh instance of every built-in rule.
+
+    Instances are constructed per call so that per-run configuration
+    (e.g. the DIV001 similarity threshold) never leaks between runs.
+    """
+    from repro.lint import (  # noqa: F401 - imported for registration
+        rules_determinism,
+        rules_diversity,
+        rules_patterns,
+        rules_process_safety,
+    )
+
+    registry = RuleRegistry()
+    for module in (rules_determinism, rules_process_safety,
+                   rules_patterns, rules_diversity):
+        for rule_cls in module.RULES:
+            registry.register(rule_cls())
+    return registry
+
+
+# -- shared AST helpers ----------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword ``name`` in a call, or ``None``."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None

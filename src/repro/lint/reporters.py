@@ -1,0 +1,55 @@
+"""Text and JSON renderings of a lint report.
+
+Both renderings are deterministic: findings are sorted by
+``(path, line, col, rule)`` and the JSON payload avoids timing fields
+except the explicitly rounded duration, so CI diffs stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a summary footer."""
+    lines = [finding.render() for finding in report.findings]
+    severities = report.counts_by_severity()
+    breakdown = ", ".join(f"{severities[s]} {s}"
+                          for s in ("error", "warning", "info")
+                          if s in severities) or "none"
+    suppressed = report.pragma_suppressed + report.baseline_suppressed
+    footer = (f"{len(report.findings)} finding"
+              f"{'' if len(report.findings) == 1 else 's'} "
+              f"({breakdown}) in {report.files} file"
+              f"{'' if report.files == 1 else 's'}")
+    if suppressed:
+        footer += (f"; {suppressed} suppressed "
+                   f"({report.pragma_suppressed} pragma, "
+                   f"{report.baseline_suppressed} baseline)")
+    if lines:
+        lines.append("")
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The report as a stable JSON document."""
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "files": report.files,
+        "duration_seconds": round(report.duration, 3),
+        "findings": [finding.as_dict() for finding in report.findings],
+        "counts": {
+            "by_rule": report.counts_by_rule(),
+            "by_severity": report.counts_by_severity(),
+        },
+        "suppressed": {
+            "pragma": report.pragma_suppressed,
+            "baseline": report.baseline_suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

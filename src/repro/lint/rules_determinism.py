@@ -1,0 +1,182 @@
+"""Determinism rules (DET*).
+
+The harness's determinism contract — serial and parallel runs are
+byte-identical, and every result is a pure function of explicit seeds —
+has twice been broken by latent static bugs (builtin ``hash()`` seeds,
+wall-clock defaults) that only surfaced at runtime.  These rules catch
+the whole class at review time:
+
+* DET001 — module-level ``random.*`` calls (shared, unseeded global RNG)
+  and seedless ``random.Random()``;
+* DET002 — wall-clock reads (``time.time``, ``datetime.now``, …);
+* DET003 — builtin ``hash()``: salted per-process for str/bytes, so any
+  value derived from it varies with ``PYTHONHASHSEED``;
+* DET004 — iteration over sets or ``os.environ``, whose order is
+  hash- or environment-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set, Type
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleSource, Rule, dotted_name
+
+#: ``random`` module functions that drive the shared global RNG.
+UNSEEDED_RANDOM_FNS = frozenset((
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "triangular",
+    "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getrandbits", "randbytes", "binomialvariate",
+))
+
+#: Dotted call targets that read the wall clock.
+WALL_CLOCK_CALLS = frozenset((
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "datetime.now", "datetime.utcnow", "datetime.today",
+    "date.today", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+))
+
+
+def _random_aliases(tree: ast.Module) -> Set[str]:
+    """Names the ``random`` module is bound to in this file."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+def _from_random_imports(tree: ast.Module) -> Set[str]:
+    """Local names bound by ``from random import ...``."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name in UNSEEDED_RANDOM_FNS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+class UnseededRandomRule(Rule):
+    id = "DET001"
+    severity = "warning"
+    summary = ("module-level random.* call or seedless random.Random(): "
+               "shared global RNG breaks seeded reproducibility")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = _random_aliases(module.tree)
+        from_imports = _from_random_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in aliases):
+                if func.attr in UNSEEDED_RANDOM_FNS:
+                    yield self.finding(
+                        module, node,
+                        f"{func.value.id}.{func.attr}() draws from the "
+                        f"shared, unseeded global RNG; construct "
+                        f"random.Random(seed) and thread it explicitly")
+                elif func.attr == "Random" and not node.args \
+                        and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        f"{func.value.id}.Random() without a seed is "
+                        f"OS-entropy seeded; pass an explicit seed")
+            elif (isinstance(func, ast.Name)
+                    and func.id in from_imports):
+                yield self.finding(
+                    module, node,
+                    f"{func.id}() (from random import) draws from the "
+                    f"shared, unseeded global RNG; construct "
+                    f"random.Random(seed) and thread it explicitly")
+
+
+class WallClockRule(Rule):
+    id = "DET002"
+    severity = "warning"
+    summary = ("wall-clock read (time.time, datetime.now, ...): results "
+               "depend on when the run happens, not on seeds")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"{name}() reads the wall clock; use the virtual "
+                    f"clock (environment.clock) for simulated time or "
+                    f"time.perf_counter() for interval measurement")
+
+
+class BuiltinHashRule(Rule):
+    id = "DET003"
+    severity = "warning"
+    summary = ("builtin hash(): salted per-process for str/bytes "
+               "(PYTHONHASHSEED), so derived seeds and orderings drift "
+               "across runs")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                yield self.finding(
+                    module, node,
+                    "builtin hash() varies with PYTHONHASHSEED for "
+                    "str/bytes inputs; use repro._util.stable_int / "
+                    "stable_fraction or zlib.crc32 for stable values")
+
+
+def _iter_targets(tree: ast.Module) -> Iterator[ast.expr]:
+    """Every expression whose iteration order the program observes."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+class EnvIterationRule(Rule):
+    id = "DET004"
+    severity = "warning"
+    summary = ("iteration over a set or os.environ: order is hash- or "
+               "environment-dependent; wrap in sorted()")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for target in _iter_targets(module.tree):
+            if isinstance(target, (ast.Set, ast.SetComp)):
+                yield self.finding(
+                    module, target,
+                    "iterating a set: order varies with PYTHONHASHSEED; "
+                    "wrap in sorted() or use a list/dict (insertion "
+                    "ordered)")
+            elif (isinstance(target, ast.Call)
+                    and isinstance(target.func, ast.Name)
+                    and target.func.id in ("set", "frozenset")):
+                yield self.finding(
+                    module, target,
+                    f"iterating {target.func.id}(...): order varies with "
+                    f"PYTHONHASHSEED; wrap in sorted()")
+            elif dotted_name(target) == "os.environ":
+                yield self.finding(
+                    module, target,
+                    "iterating os.environ: contents and order depend on "
+                    "the launching environment; wrap in sorted() and "
+                    "pin the variables you read")
+
+
+RULES: Iterable[Type[Rule]] = (UnseededRandomRule, WallClockRule,
+                               BuiltinHashRule, EnvIterationRule)

@@ -195,7 +195,7 @@ def run_suite(benchmarks_dir: pathlib.Path,
     failures = [o["name"] for o in outcomes if not o["ok"]]
     return {
         "schema": "repro-bench-harness/v1",
-        "generated_unix": time.time(),
+        "generated_unix": time.time(),  # lint: allow[DET002] report stamp
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),

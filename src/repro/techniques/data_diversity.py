@@ -120,7 +120,10 @@ class DataDiversity(Technique):
         self.reexpressions = [Reexpression.identity(), *reexpressions]
         self._units = [ReexpressedUnit(program, r)
                        for r in self.reexpressions]
-        self.retry_pattern = SequentialAlternatives(list(self._units))
+        # Re-expressed retries are side-effect free, so no rollback
+        # subject is needed between attempts.
+        self.retry_pattern = SequentialAlternatives(  # lint: allow[PAT003]
+            list(self._units))
         self.ncopy_pattern = ParallelEvaluation(
             list(self._units), adjudicator=voter or PluralityVoter())
 

@@ -1,0 +1,53 @@
+"""Planted lint fixture: exactly one finding per planted defect.
+
+``tests/unit/test_lint_cli.py`` pins the linter's JSON output against
+this module, which deliberately contains
+
+* a near-clone pair (``median_filter_a`` / ``median_filter_b``) — the
+  correlated-fault risk DIV001 exists for,
+* one unseeded ``random.random()`` call (DET001),
+* one even-sized voting set (PAT001),
+
+and nothing else the linter objects to.  Don't "fix" these.
+"""
+
+import random
+
+from repro.techniques.nvp import NVersionProgramming
+
+
+def median_filter_a(values, window):
+    """Smooth a series with a sliding median."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    smoothed = []
+    for i in range(len(values)):
+        lo = max(0, i - window)
+        hi = min(len(values), i + window + 1)
+        neighborhood = sorted(values[lo:hi])
+        smoothed.append(neighborhood[len(neighborhood) // 2])
+    return smoothed
+
+
+def median_filter_b(series, span):
+    """Smooth a series with a sliding median ("independent" team B)."""
+    if span < 1:
+        raise ValueError("span must be positive")
+    output = []
+    for index in range(len(series)):
+        start = max(0, index - span)
+        stop = min(len(series), index + span + 1)
+        window_values = sorted(series[start:stop])
+        output.append(window_values[len(window_values) // 2])
+    return output
+
+
+def jittered(value):
+    """Adds noise from the shared global RNG — the DET001 plant."""
+    return value + random.random()
+
+
+def build_four_version_voter(versions):
+    """Wires an even voting set — the PAT001 plant."""
+    return NVersionProgramming(
+        [versions[0], versions[1], versions[2], versions[3]])

@@ -76,6 +76,22 @@ class TestRecommend:
         assert "3." not in out
 
 
+class TestLintCommand:
+    def test_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["lint", "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--format", "--fail-on", "--baseline",
+                     "--write-baseline", "--select",
+                     "--diversity-threshold"):
+            assert flag in out
+
+    def test_requires_paths(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+
 class TestDemo:
     def test_demo_reports_reliability(self, capsys):
         assert main(["demo", "--versions", "3",
