@@ -1,0 +1,122 @@
+"""Observe overhead: per-site cost of the telemetry hot paths.
+
+Every instrumentation site in the framework follows the same shape —
+resolve the session (``observe.current()``), check ``enabled``, and
+only then do telemetry work — so the cost of *having* the observe
+subsystem is the cost of that disabled-path check, and the cost of
+*using* it is the per-site enabled work (counter bump, event publish,
+span open/close).  This benchmark times both paths per site and writes
+the timings to ``BENCH_observe.json``; the saved results table carries
+only deterministic facts (counter exactness, snapshot round-trip
+fidelity, the allocation-free verdict) so drift detection stays
+meaningful.
+"""
+
+import json
+import pathlib
+import time
+import tracemalloc
+
+from repro import observe
+from repro.harness.report import render_table
+
+from _common import save_result
+
+N = 20_000
+
+#: Retained-bytes budget for the disabled resolve-and-check path: it
+#: must not build anything at all (same contract as H1's 512 bytes for
+#: the two counter cells it actually owns).
+ALLOCATION_BUDGET = 512
+
+BENCH_JSON = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_observe.json")
+
+
+def _time_disabled_checks(n):
+    start = time.perf_counter()
+    for _ in range(n):
+        tel = observe.current()
+        if tel.enabled:  # pragma: no cover - disabled in this phase
+            tel.count("bench_total")
+    return time.perf_counter() - start
+
+
+def _net_disabled_allocation(n):
+    """Bytes retained after ``n`` disabled resolve-and-check rounds."""
+    observe.current()  # warm the import/lookup machinery first
+    tracemalloc.start()
+    for _ in range(n):
+        tel = observe.current()
+        if tel.enabled:  # pragma: no cover - disabled in this phase
+            tel.count("bench_total")
+    net, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return net
+
+
+def _time_enabled_sites(n):
+    """Per-site seconds for counter / publish / span with a session."""
+    timings = {}
+    with observe.session() as tel:
+        start = time.perf_counter()
+        for _ in range(n):
+            tel.count("bench_total")
+        timings["counter"] = time.perf_counter() - start
+        start = time.perf_counter()
+        for i in range(n):
+            tel.publish("bench.event", i=i)
+        timings["publish"] = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(n):
+            with tel.span("bench.span", cost=1.0):
+                pass
+        timings["span"] = time.perf_counter() - start
+        counter_exact = tel.metrics.value("bench_total") == n
+        published_exact = tel.bus.published == n
+        snapshot = tel.snapshot()
+    with observe.session() as merged:
+        merged.merge(snapshot)
+        roundtrip_exact = (
+            merged.metrics.value("bench_total") == n
+            and merged.bus.published == n
+            and merged.tracer.started == snapshot["spans"]["started"])
+    return timings, counter_exact, published_exact, roundtrip_exact
+
+
+def _experiment():
+    disabled_seconds = _time_disabled_checks(N)
+    net = _net_disabled_allocation(2_000)
+    timings, counter_exact, published_exact, roundtrip_exact = \
+        _time_enabled_sites(N)
+
+    rows = [
+        ("disabled check", N, True, net < ALLOCATION_BUDGET),
+        ("enabled counter", N, counter_exact, "n/a"),
+        ("enabled publish", N, published_exact, "n/a"),
+        ("snapshot/merge round trip", N, roundtrip_exact, "n/a"),
+    ]
+    table = render_table(
+        ("site", "iterations", "exact", "allocation-free"),
+        rows, title="observe: per-site instrumentation overhead")
+    bench = {
+        "iterations": N,
+        "disabled_ns_per_site": disabled_seconds / N * 1e9,
+        **{f"enabled_{site}_ns_per_site": seconds / N * 1e9
+           for site, seconds in sorted(timings.items())},
+    }
+    return rows, bench, net, table
+
+
+def test_observe_overhead_disabled_path_is_allocation_free(benchmark):
+    rows, bench, net, table = benchmark(_experiment)
+    save_result("OBS_overhead", table)
+    BENCH_JSON.write_text(json.dumps(bench, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    print(" ".join(f"{key}={value:.0f}" for key, value in bench.items()
+                   if key.endswith("_ns_per_site")))
+
+    assert net < ALLOCATION_BUDGET, \
+        f"disabled observe path retained {net} bytes"
+    for _site, _n, exact, _alloc in rows:
+        assert exact

@@ -10,9 +10,15 @@ without writing code:
 * ``experiments`` — the experiment index (id, claim, benchmark target);
 * ``demo`` — run a tiny end-to-end NVP demonstration;
 * ``trace`` — run a named scenario under telemetry and print the span
-  timeline (optionally exporting the raw spans as JSONL);
-* ``metrics`` — run a scenario and dump its metrics registry in
-  Prometheus text format;
+  timeline (optionally exporting the raw spans as JSONL or the whole
+  trace as Chrome trace-event JSON for Perfetto);
+* ``metrics`` — run a scenario and dump its metrics registry as
+  Prometheus text, OpenMetrics text (with histogram quantiles) or
+  JSON;
+* ``report`` — run one scenario (or all of them) under a single
+  telemetry session and render the per-technique SLI health table
+  (availability, failure rate, recovery-latency percentiles), with
+  optional Chrome-trace and OpenMetrics exports and pool fan-out;
 * ``bench`` — run the benchmark suite through the deterministic
   parallel runtime, check for results drift, and write
   ``BENCH_harness.json`` timings;
@@ -81,6 +87,8 @@ EXPERIMENT_INDEX = (
      "bench_a5_rx_menu_order.py"),
     ("H1", "harness: PatternStats.inc disabled path is allocation-free",
      "bench_h1_stats_hotpath.py"),
+    ("H2", "harness: telemetry overhead per site, enabled and disabled",
+     "bench_observe_overhead.py"),
 )
 
 
@@ -274,6 +282,16 @@ def _run_scenario(args):
     return tel, metrics
 
 
+def _write_file(path: str, content: str) -> Optional[str]:
+    """Write ``content`` to ``path``; returns an error message or None."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+    except OSError as exc:
+        return f"cannot write {path}: {exc}"
+    return None
+
+
 def _cmd_trace(args) -> int:
     tel, metrics = _run_scenario(args)
     print(f"scenario {args.scenario} "
@@ -283,20 +301,77 @@ def _cmd_trace(args) -> int:
     print()
     print(tel.tracer.timeline(limit=args.limit))
     if args.jsonl:
-        try:
-            with open(args.jsonl, "w", encoding="utf-8") as handle:
-                handle.write(tel.tracer.export_jsonl())
-        except OSError as exc:
-            print(f"error: cannot write {args.jsonl}: {exc}",
-                  file=sys.stderr)
+        error = _write_file(args.jsonl, tel.tracer.export_jsonl())
+        if error:
+            print(f"error: {error}", file=sys.stderr)
             return 1
         print(f"\n{len(tel.tracer.spans)} spans written to {args.jsonl}")
+    if args.out:
+        from repro.observe.export import render_chrome_trace
+
+        error = _write_file(args.out, render_chrome_trace(tel.tracer))
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"\nChrome trace written to {args.out} "
+              f"(load it at https://ui.perfetto.dev)")
     return 0
 
 
 def _cmd_metrics(args) -> int:
+    import json
+
     tel, _ = _run_scenario(args)
-    print(tel.metrics.render_prometheus(), end="")
+    if args.format == "json":
+        print(json.dumps(tel.metrics.as_dict(), sort_keys=True, indent=2))
+    elif args.format == "openmetrics":
+        from repro.observe.export import render_openmetrics
+
+        print(render_openmetrics(tel.metrics), end="")
+    else:
+        print(tel.metrics.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from repro import observe
+    from repro.harness.scenarios import SCENARIOS, run_scenario_task
+
+    names = (sorted(SCENARIOS) if args.scenario == "all"
+             else [args.scenario])
+    tasks = [(name, args.requests, args.seed) for name in names]
+    with observe.session() as tel:
+        monitor = observe.SliMonitor(tel.bus, window=args.window)
+        if args.workers > 1:
+            from repro.runtime.pmap import ParallelMap
+
+            pool = ParallelMap(workers=args.workers, backend=args.backend)
+            results = pool.map(run_scenario_task, tasks)
+        else:
+            results = [run_scenario_task(task) for task in tasks]
+    if args.format == "json":
+        document = {"requests": args.requests, "seed": args.seed,
+                    "scenarios": results, "sli": monitor.as_dict()}
+        print(json.dumps(document, sort_keys=True, indent=2, default=str))
+    else:
+        print(f"scenarios: {', '.join(names)} "
+              f"(requests={args.requests}, seed={args.seed})")
+        print()
+        print(monitor.render())
+    from repro.observe.export import render_chrome_trace, render_openmetrics
+
+    exports = []
+    if args.trace_out:
+        exports.append((args.trace_out, render_chrome_trace(tel.tracer)))
+    if args.metrics_out:
+        exports.append((args.metrics_out, render_openmetrics(tel.metrics)))
+    for path, content in exports:
+        error = _write_file(path, content)
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -393,12 +468,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum timeline rows to print")
     trace.add_argument("--jsonl", metavar="PATH",
                        help="also export raw spans as JSON lines")
+    trace.add_argument("--out", metavar="PATH",
+                       help="also export the trace as Chrome trace-event "
+                            "JSON (loadable in Perfetto)")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
-        "metrics", help="run a scenario and dump Prometheus-format metrics")
+        "metrics", help="run a scenario and dump its metrics registry")
     scenario_args(metrics)
+    metrics.add_argument("--format",
+                         choices=("text", "json", "openmetrics"),
+                         default="text",
+                         help="text = Prometheus exposition, openmetrics "
+                              "adds histogram quantiles and '# EOF'")
     metrics.set_defaults(func=_cmd_metrics)
+
+    report = sub.add_parser(
+        "report", help="per-technique SLI health report (availability, "
+                       "failure rate, recovery-latency percentiles)")
+    report.add_argument("scenario", choices=("all", *sorted(SCENARIOS)),
+                        help="scenario to report on, or 'all'")
+    report.add_argument("--requests", type=int, default=50)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--window", type=int, default=256,
+                        help="sliding-window size per technique, "
+                             "in samples")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    report.add_argument("--trace-out", metavar="PATH",
+                        help="export the session trace as Chrome "
+                             "trace-event JSON")
+    report.add_argument("--metrics-out", metavar="PATH",
+                        help="export the session metrics as OpenMetrics "
+                             "text")
+    report.add_argument("--workers", type=int, default=1,
+                        help="fan scenarios out over a worker pool "
+                             "(telemetry merges in submission order)")
+    report.add_argument("--backend", choices=("auto", "serial", "thread",
+                                              "process"),
+                        default="auto")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -20,6 +20,7 @@ from repro.exceptions import RedundancyError, SimulatedFailure
 from repro.faults.base import Fault
 from repro.faults.injector import FaultyFunction
 from repro.harness.report import render_table
+from repro.observe import current as _telemetry
 
 #: Builds a fault instance (fresh per cell, so activation counters and
 #: leak state never bleed between cells).
@@ -128,6 +129,14 @@ class FaultCampaign:
                 continue
             survived += 1
             correct += value == self.oracle(x)
+        tel = _telemetry()
+        if tel.enabled:
+            tel.publish("campaign.cell", protector=protector_label,
+                        fault=fault_label,
+                        survival_rate=survived / self.requests,
+                        correct_rate=correct / self.requests)
+            tel.metrics.inc("repro_campaign_cells_total",
+                            protector=protector_label)
         return CampaignCell(protector=protector_label, fault=fault_label,
                             survival_rate=survived / self.requests,
                             correct_rate=correct / self.requests,

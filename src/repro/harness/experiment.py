@@ -37,7 +37,11 @@ class Experiment:
             session and its :class:`TrialResult` carries the session's
             summary.  Telemetry never feeds back into the trial (no RNG
             draws, no clock writes), so metric values are identical
-            either way.
+            either way.  Inside a pool worker whose chunk is being
+            captured (an outer session was installed), the per-trial
+            session nests within the worker's thread-local capture
+            session — shadowing it exactly as it shadows the global
+            session serially.
         workers: Fan the trials out over this many pool workers
             (``repro.runtime.ParallelMap``).  Every trial is a pure
             function of its seed and results are gathered in seed
@@ -62,9 +66,12 @@ class Experiment:
             return [runner(seed) for seed in self.seeds]
         from repro.runtime.pmap import ParallelMap
 
-        # Instrumented trials install a process-global telemetry
-        # session, so unpicklable trials must degrade to serial (not
-        # threads) to keep per-trial digests isolated.
+        # With no outer session installed, instrumented trials install
+        # a process-global telemetry session, so unpicklable trials
+        # must degrade to serial (not threads) to keep per-trial
+        # digests isolated.  (Captured chunks are safe under threads:
+        # each worker holds a thread-local session the per-trial
+        # sessions nest inside.)
         pool = ParallelMap(workers=self.workers, backend=self.backend,
                            fallback="serial" if self.instrument
                            else "thread")

@@ -38,6 +38,20 @@ def _scenario(name: str):
     return register
 
 
+def run_scenario_task(task) -> Dict[str, Any]:
+    """Pool task: run one scenario from a ``(name, requests, seed)``
+    triple and return ``{"scenario": name, **metrics}``.
+
+    Module-level and closure-free, so ``repro report --workers N``
+    can fan scenarios out over a process pool; each worker's telemetry
+    (spans, metrics, SLI-feeding events) rides home on the pool's
+    snapshot/merge protocol.
+    """
+    name, requests, seed = task
+    metrics = SCENARIOS[name](requests, seed)
+    return {"scenario": name, **metrics}
+
+
 def _oracle(x):
     return x * 3
 

@@ -12,12 +12,17 @@ the whole class at review time:
 * DET003 — builtin ``hash()``: salted per-process for str/bytes, so any
   value derived from it varies with ``PYTHONHASHSEED``;
 * DET004 — iteration over sets or ``os.environ``, whose order is
-  hash- or environment-dependent.
+  hash- or environment-dependent;
+* DET005 — process-clock reads (``time.perf_counter``,
+  ``time.monotonic``, …) inside the ``repro.observe`` package, whose
+  timestamps must come from the injected clock so exported traces and
+  metric dumps are byte-stable.
 """
 
 from __future__ import annotations
 
 import ast
+import pathlib
 from typing import Iterable, Iterator, Set, Type
 
 from repro.lint.findings import Finding
@@ -178,5 +183,40 @@ class EnvIterationRule(Rule):
                     "pin the variables you read")
 
 
+#: ``time``-module attributes that read a process clock.  DET002 flags
+#: the wall-clock subset everywhere; inside ``repro.observe`` even the
+#: monotonic ones are off-limits, because telemetry timestamps must
+#: come from the session's injected clock to keep exports byte-stable.
+PROCESS_CLOCK_ATTRS = frozenset((
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+))
+
+
+class ObserveClockRule(Rule):
+    id = "DET005"
+    severity = "warning"
+    summary = ("process-clock read inside repro.observe: telemetry "
+               "timestamps must come from the injected clock "
+               "(Telemetry.bind_clock), never from the time module")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if "observe" not in pathlib.PurePath(module.path).parts:
+            return
+        calls = (node for node in ast.walk(module.tree)
+                 if isinstance(node, ast.Call))
+        for call in calls:
+            dotted = dotted_name(call.func) or ""
+            prefix, _, attr = dotted.rpartition(".")
+            if prefix != "time" or attr not in PROCESS_CLOCK_ATTRS:
+                continue
+            yield self.finding(
+                module, call,
+                f"{dotted}() inside repro.observe bypasses the injected "
+                f"clock; take timestamps from the telemetry session's "
+                f"bound clock so traces and dumps stay byte-stable")
+
+
 RULES: Iterable[Type[Rule]] = (UnseededRandomRule, WallClockRule,
-                               BuiltinHashRule, EnvIterationRule)
+                               BuiltinHashRule, EnvIterationRule,
+                               ObserveClockRule)

@@ -16,6 +16,13 @@ with three cooperating pieces:
   techniques, the fault injector and the scheduler publish to, and
   monitors subscribe to.
 
+On top of those sit :mod:`~repro.observe.sli` (sliding-window
+per-technique health, the body of ``repro report``) and
+:mod:`~repro.observe.export` (Chrome trace-event JSON, OpenMetrics
+text, JSONL event logs).  All four pieces snapshot into picklable
+documents and merge deterministically, which is how the parallel
+runtime ships worker telemetry back to the parent session.
+
 The default session is a disabled no-op whose cost at every
 instrumentation site is a single attribute check, so existing
 benchmark numbers are unchanged unless a session is installed::
@@ -34,12 +41,14 @@ from repro.observe.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.observe.sli import SliMonitor
 from repro.observe.telemetry import (
     Telemetry,
     current,
     disable,
     enabled,
     install,
+    local_session,
     session,
 )
 from repro.observe.tracer import Span, Tracer
@@ -51,6 +60,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SliMonitor",
     "Span",
     "Subscription",
     "Telemetry",
@@ -59,5 +69,6 @@ __all__ = [
     "disable",
     "enabled",
     "install",
+    "local_session",
     "session",
 ]

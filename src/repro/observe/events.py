@@ -19,8 +19,20 @@ Topics are dotted names.  A subscription matches an exact topic
 * ``reboot`` / ``rejuvenation.performed`` / ``checkpoint.written`` /
   ``checkpoint.rollback`` — environment-redundancy recoveries;
 * ``replicas.attack_detected`` — N-variant divergence;
+* ``campaign.cell`` — one fault-campaign cell finished (``protector``,
+  ``fault``, ``survival_rate``, ``correct_rate``);
 * ``scheduler.perturbed`` / ``scheduler.delivered`` — message-level
   environment changes.
+
+Cross-process aggregation: :meth:`EventBus.snapshot` freezes the bus
+(retained history, per-topic counts, publication count) into a
+picklable document; :meth:`EventBus.merge` folds such a document into
+another bus and *redelivers* the snapshot's retained events to the
+receiving bus's subscribers, so monitors attached to a parent session
+(e.g. :class:`~repro.observe.sli.SliMonitor`) observe worker-side
+events exactly as if they had been published locally.  Per-topic
+counts merge commutatively and associatively; history/seq follow merge
+order (the parallel runtime merges in submission order).
 """
 
 from __future__ import annotations
@@ -121,3 +133,44 @@ class EventBus:
     def published(self) -> int:
         """Total number of events published so far."""
         return self._seq
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Freeze the bus into a plain, picklable document.
+
+        Carries the retained history (bounded by the ring buffer), the
+        full per-topic counts (never trimmed), and the publication
+        count.  Topic counts are sorted so the document is byte-stable
+        regardless of publication interleaving or ``PYTHONHASHSEED``.
+        """
+        return {
+            "schema": "repro-events-snapshot/v1",
+            "events": [[e.topic, e.time, e.seq, dict(e.payload)]
+                       for e in self.history],
+            "counts": [[topic, count]
+                       for topic, count in sorted(self.counts.items())],
+            "published": self._seq,
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` document into this bus.
+
+        Retained events are appended with their sequence numbers
+        shifted past this bus's publication count and redelivered to
+        matching subscribers in recorded order; per-topic counts add
+        (commutatively — counts survive even when the ring buffer
+        trimmed the events themselves).
+        """
+        seq_base = self._seq
+        for topic, time, seq, payload in snapshot["events"]:
+            event = Event(topic=topic, time=time, seq=seq + seq_base,
+                          payload=dict(payload))
+            self.history.append(event)
+            for subscription in tuple(self._subscriptions):
+                if subscription.matches(topic):
+                    subscription.delivered += 1
+                    subscription.handler(event)
+        self._seq += snapshot["published"]
+        for topic, count in snapshot["counts"]:
+            self.counts[topic] = self.counts.get(topic, 0) + count

@@ -1,0 +1,35 @@
+"""repro.observe.export — standard-format telemetry exporters.
+
+Bridges the in-memory telemetry of a session to the formats external
+tooling already understands:
+
+* :mod:`~repro.observe.export.chrome` — Chrome trace-event JSON for a
+  :class:`~repro.observe.tracer.Tracer`, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``;
+* :mod:`~repro.observe.export.openmetrics` — an OpenMetrics-compatible
+  text dump of a :class:`~repro.observe.metrics.MetricsRegistry`,
+  extending the Prometheus exposition with histogram quantiles and the
+  ``# EOF`` terminator;
+* :mod:`~repro.observe.export.jsonl` — a JSON-lines event log of an
+  :class:`~repro.observe.events.EventBus` history.
+
+All exporters are pure functions from telemetry objects to strings or
+plain documents — no I/O, no clock reads — so exports are byte-stable
+for a given session (see docs/OBSERVABILITY.md for format details).
+"""
+
+from repro.observe.export.chrome import (
+    chrome_trace,
+    render_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.observe.export.jsonl import render_event_log
+from repro.observe.export.openmetrics import render_openmetrics
+
+__all__ = [
+    "chrome_trace",
+    "render_chrome_trace",
+    "render_event_log",
+    "render_openmetrics",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,134 @@
+"""Chrome trace-event JSON export of a span trace.
+
+Produces the JSON object format of the Trace Event specification — a
+``traceEvents`` array of duration events (``ph: "B"``/``"E"`` pairs) —
+which Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+directly, giving the virtual-time span trees of a redundant execution a
+real flame-chart UI.
+
+Timestamps: the spec counts in microseconds.  Virtual time units are
+multiplied by ``time_scale`` (default :data:`DEFAULT_TIME_SCALE`, i.e.
+one virtual unit renders as one millisecond), which keeps sub-unit
+costs visible at default zoom.
+
+Span nesting is reconstructed by replaying the spans in sequence order
+against an explicit stack: before opening a span, every stacked span
+that is not its parent is closed — exactly inverting how the tracer's
+own stack produced the ``parent_id`` links — so the B/E stream is
+always balanced and properly nested, which is what the viewers require.
+
+:func:`validate_chrome_trace` re-checks those guarantees on a finished
+document; the test suite and the CI ``observe-smoke`` job run it so any
+drift from the trace-event schema fails loudly rather than producing a
+file the viewers silently refuse.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.observe.tracer import Span, Tracer
+
+__all__ = ["DEFAULT_TIME_SCALE", "chrome_trace", "render_chrome_trace",
+           "validate_chrome_trace"]
+
+#: Microseconds per virtual time unit: 1 unit -> 1 ms on screen.
+DEFAULT_TIME_SCALE = 1000.0
+
+#: Event phases this exporter emits.
+_PHASES = ("B", "E")
+
+
+def _begin(span: Span, time_scale: float, pid: int, tid: int
+           ) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"status": span.status, "seq": span.seq}
+    args.update(span.attrs)
+    return {"name": span.name, "ph": "B", "ts": span.start * time_scale,
+            "pid": pid, "tid": tid, "cat": "repro", "args": args}
+
+
+def _end(span: Span, time_scale: float, pid: int, tid: int
+         ) -> Dict[str, Any]:
+    end = span.start if span.end is None else span.end
+    return {"name": span.name, "ph": "E", "ts": end * time_scale,
+            "pid": pid, "tid": tid, "cat": "repro"}
+
+
+def chrome_trace(tracer: Tracer, time_scale: float = DEFAULT_TIME_SCALE,
+                 pid: int = 1, tid: int = 1) -> Dict[str, Any]:
+    """The tracer's spans as a trace-event JSON document (a dict).
+
+    Args:
+        tracer: Source of spans (recorded or merged).
+        time_scale: Microseconds per virtual time unit.
+        pid: Process id stamped on every event (cosmetic).
+        tid: Thread id stamped on every event (cosmetic).
+    """
+    events: List[Dict[str, Any]] = []
+    stack: List[Span] = []
+    for span in sorted(tracer.spans, key=lambda s: s.seq):
+        while stack and stack[-1].span_id != span.parent_id:
+            events.append(_end(stack.pop(), time_scale, pid, tid))
+        events.append(_begin(span, time_scale, pid, tid))
+        stack.append(span)
+    while stack:
+        events.append(_end(stack.pop(), time_scale, pid, tid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.observe.export.chrome",
+            "time_scale": time_scale,
+            "spans": len(tracer.spans),
+            "spans_started": tracer.started,
+        },
+    }
+
+
+def render_chrome_trace(tracer: Tracer,
+                        time_scale: float = DEFAULT_TIME_SCALE) -> str:
+    """:func:`chrome_trace` serialised as stable, sorted-key JSON."""
+    return json.dumps(chrome_trace(tracer, time_scale=time_scale),
+                      sort_keys=True, default=str)
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> None:
+    """Raise :class:`ValueError` if ``doc`` is not a loadable trace.
+
+    Checks the JSON-object container shape, the per-event required
+    keys and phase values, and that the B/E stream is balanced and
+    properly nested per ``(pid, tid)`` track.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be an object with a "
+                         "'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    stacks: Dict[Any, List[str]] = {}
+    for i, event in enumerate(events):
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"event {i} is missing {field!r}")
+        if event["ph"] not in _PHASES:
+            raise ValueError(f"event {i} has unsupported phase "
+                             f"{event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event {i} timestamp is not a number")
+        track = (event["pid"], event["tid"])
+        stack = stacks.setdefault(track, [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        else:
+            if not stack:
+                raise ValueError(f"event {i} ends with an empty stack "
+                                 f"on track {track}")
+            opened = stack.pop()
+            if opened != event["name"]:
+                raise ValueError(f"event {i} ends {event['name']!r} but "
+                                 f"{opened!r} is open on track {track}")
+    for track, stack in stacks.items():
+        if stack:
+            raise ValueError(f"track {track} left {len(stack)} span(s) "
+                             f"open: {stack}")

@@ -1,0 +1,26 @@
+"""JSON-lines export of the event bus history.
+
+One JSON object per retained event, in sequence order, with stable
+sorted keys — the machine-readable companion to the human-readable
+``repro trace`` timeline.  The bus retains a bounded ring of events
+(:class:`~repro.observe.events.EventBus` ``history``), so for very long
+runs the log covers the most recent window; per-topic counts in the
+metrics dump stay exact regardless.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe.events import EventBus
+
+__all__ = ["render_event_log"]
+
+
+def render_event_log(bus: EventBus) -> str:
+    """The bus history as JSONL (one event object per line)."""
+    return "\n".join(
+        json.dumps({"topic": event.topic, "time": event.time,
+                    "seq": event.seq, "payload": event.payload},
+                   sort_keys=True, default=str)
+        for event in bus.history)

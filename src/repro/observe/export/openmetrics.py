@@ -1,0 +1,87 @@
+"""OpenMetrics-compatible text export of the metrics registry.
+
+Extends the registry's own Prometheus exposition dump in three
+OpenMetrics-flavoured ways:
+
+* counter *family* names drop the ``_total`` suffix in ``# TYPE`` lines
+  (the samples keep it), per the OpenMetrics counter convention;
+* every histogram series is followed by a quantile block —
+  ``<name>_quantiles{...,quantile="0.5"}`` and so on — estimated from
+  the stored bucket counts via
+  :meth:`~repro.observe.metrics.Histogram.quantile`, so p50/p95/p99
+  appear in the dump without the registry ever retaining raw samples;
+* the dump is terminated by the mandatory ``# EOF`` line.
+
+The output is deterministic: series are sorted by ``(name, labels)``
+and no wall clock is consulted, so two runs of the same workload
+produce byte-identical dumps (the CI ``observe-smoke`` job relies on
+this to detect format drift).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.observe.metrics import (
+    Counter,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+    _render_labels,
+)
+
+__all__ = ["QUANTILES", "render_openmetrics"]
+
+#: Quantiles appended to every histogram series.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _family(name: str, kind: type) -> str:
+    if kind is Counter and name.endswith("_total"):
+        return name[:-len("_total")]
+    return name
+
+
+def render_openmetrics(registry: MetricsRegistry,
+                       exclude: Sequence[str] = ()) -> str:
+    """The registry as OpenMetrics-compatible exposition text.
+
+    Args:
+        registry: Source registry.
+        exclude: Series-name prefixes to drop (e.g.
+            ``("repro_runtime_",)``), as in
+            :meth:`~repro.observe.metrics.MetricsRegistry.as_dict`.
+    """
+    by_name: Dict[str, List[Tuple[LabelKey, object]]] = {}
+    for (name, key), metric in sorted(registry._metrics.items()):
+        if any(name.startswith(prefix) for prefix in exclude):
+            continue
+        by_name.setdefault(name, []).append((key, metric))
+    lines: List[str] = []
+    for name, series in by_name.items():
+        kind = registry._kinds[name]
+        lines.append(f"# TYPE {_family(name, kind)} {kind.__name__.lower()}")
+        for key, metric in series:
+            if isinstance(metric, Histogram):
+                for bound, count in zip(metric.buckets,
+                                        metric.bucket_counts):
+                    bucket_key = key + (("le", f"{bound:g}"),)
+                    lines.append(f"{name}_bucket"
+                                 f"{_render_labels(bucket_key)} {count}")
+                inf_key = key + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_render_labels(inf_key)}"
+                             f" {metric.count}")
+                lines.append(f"{name}_sum{_render_labels(key)}"
+                             f" {metric.sum:g}")
+                lines.append(f"{name}_count{_render_labels(key)}"
+                             f" {metric.count}")
+                for q in QUANTILES:
+                    q_key = key + (("quantile", f"{q:g}"),)
+                    lines.append(f"{name}_quantiles"
+                                 f"{_render_labels(q_key)}"
+                                 f" {metric.quantile(q):g}")
+            else:
+                value = metric.value  # type: ignore[union-attr]
+                lines.append(f"{name}{_render_labels(key)} {value:g}")
+    lines.append("# EOF")
+    return "\n".join(lines)

@@ -9,12 +9,22 @@ virtual-time experiments read like any production service.
 
 Metric name conventions follow Prometheus: monotonic counters end in
 ``_total``; histogram values are virtual-time units.
+
+Cross-process aggregation: :meth:`MetricsRegistry.snapshot` freezes the
+registry into a plain, picklable document and
+:meth:`MetricsRegistry.merge` folds such a document into another
+registry.  Merging is commutative and associative (counters and
+histogram tallies add; gauges merge as deltas; min/max combine), so a
+pool of workers can each record into a private registry and the parent
+can fold the snapshots back in any grouping without changing the
+totals.  Snapshot ordering is sorted by ``(name, labels)`` — no
+reliance on dict iteration order or ``PYTHONHASHSEED``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -89,6 +99,40 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the stored bucket counts.
+
+        No raw samples are retained, so the estimate interpolates
+        linearly inside the bucket that covers the target rank (the
+        standard Prometheus ``histogram_quantile`` scheme).  Ranks that
+        land in the overflow (``+Inf``) bucket return the observed
+        maximum; the result is clamped to the observed ``[min, max]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        for i, cumulative in enumerate(self.bucket_counts):
+            if cumulative >= rank and cumulative > 0:
+                previous = self.bucket_counts[i - 1] if i else 0
+                lower = self.buckets[i - 1] if i else (
+                    self.min if self.min is not None else 0.0)
+                upper = self.buckets[i]
+                in_bucket = cumulative - previous
+                fraction = ((rank - previous) / in_bucket
+                            if in_bucket else 1.0)
+                estimate = lower + fraction * (upper - lower)
+                break
+        else:
+            # Rank beyond the last finite bucket: the +Inf overflow.
+            estimate = self.max if self.max is not None else 0.0
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        return estimate
+
 
 class MetricsRegistry:
     """Get-or-create registry of labelled metrics.
@@ -148,6 +192,77 @@ class MetricsRegistry:
         """Record one histogram observation for this label set."""
         self.histogram(name, **labels).observe(value)
 
+    # -- snapshot / merge --------------------------------------------------
+
+    #: Snapshot kind tags -> metric classes (see :meth:`snapshot`).
+    KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Freeze the registry into a plain, picklable document.
+
+        The document is JSON-friendly (lists and scalars only) and
+        sorted by ``(name, labels)``, so two registries holding the
+        same series produce identical snapshots regardless of insertion
+        order or ``PYTHONHASHSEED``.
+        """
+        series: List[List[Any]] = []
+        for (name, key), metric in sorted(self._metrics.items()):
+            labels = [list(pair) for pair in key]
+            if isinstance(metric, Histogram):
+                payload: Any = {
+                    "buckets": list(metric.buckets),
+                    "bucket_counts": list(metric.bucket_counts),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+                kind = "histogram"
+            else:
+                payload = metric.value
+                kind = ("counter" if isinstance(metric, Counter)
+                        else "gauge")
+            series.append([kind, name, labels, payload])
+        return {"schema": "repro-metrics-snapshot/v1", "series": series}
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        Counters and histogram tallies add; gauges add too (a worker
+        session starts from zero, so its gauge value is the worker's net
+        delta); histogram min/max combine.  Merging is commutative and
+        associative.  A kind conflict with an existing metric, or a
+        histogram bucket-layout mismatch, raises :class:`ValueError`.
+        """
+        for kind, name, labels, payload in snapshot["series"]:
+            cls = self.KINDS.get(kind)
+            if cls is None:
+                raise ValueError(f"unknown metric kind {kind!r} "
+                                 f"in snapshot for {name!r}")
+            label_map = dict(labels)
+            if cls is Histogram:
+                buckets = tuple(payload["buckets"])
+                hist: Histogram = self._get(  # type: ignore[assignment]
+                    Histogram, name, label_map, buckets=buckets)
+                if hist.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket layout mismatch: "
+                        f"{hist.buckets} vs {buckets}")
+                hist.count += payload["count"]
+                hist.sum += payload["sum"]
+                for i, count in enumerate(payload["bucket_counts"]):
+                    hist.bucket_counts[i] += count
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = payload[bound]
+                    if incoming is not None:
+                        ours = getattr(hist, bound)
+                        setattr(hist, bound,
+                                incoming if ours is None
+                                else pick(ours, incoming))
+            else:
+                metric = self._get(cls, name, label_map)
+                metric.value += payload  # type: ignore[union-attr]
+
     # -- reads -------------------------------------------------------------
 
     def value(self, name: str, **labels: object) -> float:
@@ -157,13 +272,18 @@ class MetricsRegistry:
             return 0.0
         return metric.value  # type: ignore[union-attr]
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self, exclude: Sequence[str] = ()) -> Dict[str, float]:
         """Flat ``rendered-sample-name -> value`` mapping.
 
         Histograms contribute their ``_count`` and ``_sum`` samples.
+        ``exclude`` drops series whose name starts with any given
+        prefix (e.g. ``("repro_runtime_",)`` to compare workload
+        telemetry across pool backends — see docs/OBSERVABILITY.md).
         """
         out: Dict[str, float] = {}
         for (name, key), metric in sorted(self._metrics.items()):
+            if any(name.startswith(prefix) for prefix in exclude):
+                continue
             labels = _render_labels(key)
             if isinstance(metric, Histogram):
                 out[f"{name}_count{labels}"] = float(metric.count)
@@ -172,10 +292,15 @@ class MetricsRegistry:
                 out[f"{name}{labels}"] = metric.value
         return out
 
-    def render_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format."""
+    def render_prometheus(self, exclude: Sequence[str] = ()) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        ``exclude`` drops series by name prefix, as in :meth:`as_dict`.
+        """
         by_name: Dict[str, List[Tuple[LabelKey, object]]] = {}
         for (name, key), metric in sorted(self._metrics.items()):
+            if any(name.startswith(prefix) for prefix in exclude):
+                continue
             by_name.setdefault(name, []).append((key, metric))
         lines: List[str] = []
         for name, series in by_name.items():

@@ -1,0 +1,224 @@
+"""Per-technique service-level indicators over a sliding window.
+
+:class:`SliMonitor` subscribes to the telemetry event bus and keeps,
+for each technique (or pattern), the SLIs an operator of a redundant
+service would watch:
+
+* **availability** — the fraction of ``unit.outcome`` events within the
+  window that succeeded.  The paper's techniques exist to raise exactly
+  this number in the presence of faults, so it is the headline column
+  of ``repro report``;
+* **failure rate** — its complement over the same window;
+* **recovery latency** — nearest-rank p50/p95/p99 of the virtual-time
+  cost of recovery events (reboot downtime, checkpoint rollback cost,
+  rejuvenation cost) within the window.
+
+The window is a fixed-size ring per series key (default
+:data:`DEFAULT_WINDOW` samples), so long campaigns report the *recent*
+health of each technique rather than an all-time average — the standard
+sliding-window SLI construction — while memory stays bounded.
+
+Series keys come from event payloads with the precedence
+``technique`` > ``pattern`` > topic-specific fallback (a reboot's
+``scope``, else the topic itself), so events published by a technique
+facade and by its inner pattern engine land on the same row whenever
+the payloads carry the same name.
+
+The monitor works transparently across processes: the parallel runtime
+ships worker-side events home as snapshots, and
+:meth:`~repro.observe.events.EventBus.merge` *redelivers* them to
+subscribers, so a monitor attached to the parent session sees pooled
+events exactly as it would serial ones (in submission order).
+"""
+
+from __future__ import annotations
+
+import math
+import collections
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.observe.events import Event, EventBus
+from repro.taxonomy.tables import format_table
+
+__all__ = ["SliMonitor", "DEFAULT_WINDOW", "RECOVERY_TOPICS",
+           "percentile"]
+
+#: Default sliding-window size, in samples per series.
+DEFAULT_WINDOW = 256
+
+#: Recovery event topics -> the payload field carrying the recovery's
+#: virtual-time cost.
+RECOVERY_TOPICS = {
+    "reboot": "downtime",
+    "checkpoint.rollback": "cost",
+    "rejuvenation.performed": "cost",
+}
+
+#: Quantiles reported for recovery latency.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank ``q``-percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class _Series:
+    """The sliding windows backing one report row."""
+
+    __slots__ = ("outcomes", "latencies", "outcomes_seen", "failures_seen",
+                 "recoveries_seen")
+
+    def __init__(self, window: int) -> None:
+        #: Recent ``unit.outcome`` verdicts (True = ok).
+        self.outcomes: Deque[bool] = collections.deque(maxlen=window)
+        #: Recent recovery costs, in virtual time units.
+        self.latencies: Deque[float] = collections.deque(maxlen=window)
+        #: All-time tallies (never trimmed; shown for context).
+        self.outcomes_seen = 0
+        self.failures_seen = 0
+        self.recoveries_seen = 0
+
+
+class SliMonitor:
+    """Sliding-window per-technique health derived from bus events.
+
+    Args:
+        bus: Event bus to attach to immediately (optional — call
+            :meth:`attach` later, e.g. once a session exists).
+        window: Sliding-window size in samples per series.
+
+    Usage::
+
+        with observe.session() as tel:
+            monitor = SliMonitor(tel.bus)
+            run_campaign(...)
+        print(monitor.render())
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 window: int = DEFAULT_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._series: Dict[str, _Series] = {}
+        self._subscriptions: List[Any] = []
+        if bus is not None:
+            self.attach(bus)
+
+    # -- bus wiring --------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "SliMonitor":
+        """Subscribe to the outcome and recovery topics of ``bus``."""
+        self._subscriptions.append(bus.subscribe("unit.outcome",
+                                                 self.observe))
+        for topic in RECOVERY_TOPICS:
+            self._subscriptions.append(bus.subscribe(topic, self.observe))
+        return self
+
+    def detach(self) -> None:
+        """Cancel every subscription created by :meth:`attach`."""
+        while self._subscriptions:
+            self._subscriptions.pop().cancel()
+
+    # -- event intake ------------------------------------------------------
+
+    def _key(self, event: Event) -> str:
+        payload = event.payload
+        for field in ("technique", "pattern"):
+            value = payload.get(field)
+            if value:
+                return str(value)
+        if event.topic == "reboot" and payload.get("scope"):
+            return str(payload["scope"])
+        return event.topic
+
+    def _get(self, key: str) -> _Series:
+        series = self._series.get(key)
+        if series is None:
+            series = _Series(self.window)
+            self._series[key] = series
+        return series
+
+    def observe(self, event: Event) -> None:
+        """Bus handler: fold one event into the windows."""
+        if event.topic == "unit.outcome":
+            series = self._get(self._key(event))
+            ok = bool(event.payload.get("ok"))
+            series.outcomes.append(ok)
+            series.outcomes_seen += 1
+            if not ok:
+                series.failures_seen += 1
+        elif event.topic in RECOVERY_TOPICS:
+            cost = event.payload.get(RECOVERY_TOPICS[event.topic])
+            if cost is None:
+                return
+            series = self._get(self._key(event))
+            series.latencies.append(float(cost))
+            series.recoveries_seen += 1
+
+    # -- reads -------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One JSON-friendly dict per series, sorted by key.
+
+        ``availability``/``failure_rate`` are ``None`` for a series
+        that saw recoveries but no outcomes (and vice versa for the
+        latency quantiles), so renderers can distinguish "perfect" from
+        "no data".
+        """
+        out: List[Dict[str, Any]] = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            row: Dict[str, Any] = {
+                "technique": key,
+                "window": self.window,
+                "outcomes": len(series.outcomes),
+                "outcomes_seen": series.outcomes_seen,
+                "failures_seen": series.failures_seen,
+                "recoveries": len(series.latencies),
+                "recoveries_seen": series.recoveries_seen,
+            }
+            if series.outcomes:
+                ok = sum(1 for verdict in series.outcomes if verdict)
+                row["availability"] = ok / len(series.outcomes)
+                row["failure_rate"] = 1.0 - row["availability"]
+            else:
+                row["availability"] = None
+                row["failure_rate"] = None
+            latencies = list(series.latencies)
+            for q in QUANTILES:
+                label = f"recovery_p{int(q * 100)}"
+                row[label] = percentile(latencies, q) if latencies else None
+            out.append(row)
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The whole report as one JSON-friendly document."""
+        return {
+            "schema": "repro-sli-report/v1",
+            "window": self.window,
+            "techniques": self.rows(),
+        }
+
+    def render(self, title: str = "per-technique SLIs") -> str:
+        """ASCII health table (the body of ``repro report``)."""
+        headers = ("technique", "avail", "fail rate", "outcomes",
+                   "recoveries", "rec p50", "rec p95", "rec p99")
+        rows = []
+        for row in self.rows():
+            avail = row["availability"]
+            rows.append([
+                row["technique"],
+                "-" if avail is None else f"{avail:.4f}",
+                "-" if avail is None else f"{row['failure_rate']:.4f}",
+                f"{row['outcomes']}/{row['outcomes_seen']}",
+                f"{row['recoveries']}/{row['recoveries_seen']}",
+                *(("-" if row[f"recovery_p{int(q * 100)}"] is None
+                   else f"{row[f'recovery_p{int(q * 100)}']:g}")
+                  for q in QUANTILES),
+            ])
+        return format_table(headers, rows,
+                            title=f"{title} (window={self.window})")

@@ -19,11 +19,27 @@ bit-identical to an uninstrumented build.  Enable collection with::
     print(tel.metrics.render_prometheus())
 
 or imperatively with :func:`install` / :func:`disable`.
+
+Sessions resolve per thread: :func:`current` first consults a
+thread-local override (set by :func:`local_session`, the mechanism the
+parallel runtime uses to give each worker chunk a private capture
+session) and falls back to the process-global installed session.
+:func:`install` and :func:`session` keep their global semantics except
+when the calling thread is already inside a :func:`local_session`, in
+which case they nest within that thread's override — so an instrumented
+trial that opens its own per-trial session inside a pool worker shadows
+the chunk capture exactly as it shadows the global session serially.
+
+Cross-process aggregation: :meth:`Telemetry.snapshot` freezes all three
+pieces into one picklable document and :meth:`Telemetry.merge` folds it
+back — the protocol :class:`~repro.runtime.pmap.ParallelMap` uses to
+ship worker-side telemetry home (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Any, Dict, Iterator, Optional
 
 from repro.observe.events import EventBus
@@ -95,6 +111,35 @@ class Telemetry:
         if self.enabled:
             self.metrics.inc(name, amount, **labels)
 
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Freeze the session into one plain, picklable document.
+
+        Bundles the three piece-level snapshots (metrics, spans,
+        events); the whole document is JSON-friendly and byte-stable
+        regardless of ``PYTHONHASHSEED``.
+        """
+        return {
+            "schema": "repro-telemetry-snapshot/v1",
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.snapshot(),
+            "events": self.bus.snapshot(),
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` document into this session.
+
+        Metrics and event counts merge commutatively; spans and event
+        history append in merge order (the parallel runtime merges
+        worker snapshots in submission order, so pooled telemetry is
+        byte-identical to a serial run).  Events are redelivered to
+        this session's bus subscribers.
+        """
+        self.metrics.merge(snapshot["metrics"])
+        self.tracer.merge(snapshot["spans"])
+        self.bus.merge(snapshot["events"])
+
     # -- summaries ---------------------------------------------------------
 
     def summary(self) -> Dict[str, Any]:
@@ -127,27 +172,58 @@ _DISABLED = Telemetry(enabled=False)
 _current = _DISABLED
 
 
+class _LocalSessions(threading.local):
+    """Per-thread session override (worker chunk capture).
+
+    The class attribute is the per-thread default, so reading
+    ``_local.current`` on a fresh thread is a plain attribute hit —
+    no ``getattr`` default, no caught AttributeError — keeping the
+    disabled instrumentation hot path allocation- and exception-free.
+    """
+
+    current: Optional[Telemetry] = None
+
+
+_local = _LocalSessions()
+
+
 def current() -> Telemetry:
-    """The installed telemetry session (a disabled no-op by default)."""
-    return _current
+    """The current thread's telemetry session (disabled by default).
+
+    A thread-local override installed by :func:`local_session` wins;
+    otherwise the process-global installed session is returned.
+    """
+    override = _local.current
+    return _current if override is None else override
 
 
 def enabled() -> bool:
     """True when a live telemetry session is installed."""
-    return _current.enabled
+    return current().enabled
 
 
 def install(telemetry: Telemetry) -> Telemetry:
-    """Install ``telemetry`` as the current session; returns it."""
+    """Install ``telemetry`` as the current session; returns it.
+
+    Installs process-globally, unless the calling thread is inside a
+    :func:`local_session` — then the thread's override is replaced
+    instead, so nested sessions opened inside a pool worker stay
+    invisible to every other thread.
+    """
     global _current
-    _current = telemetry
+    if _local.current is not None:
+        _local.current = telemetry
+    else:
+        _current = telemetry
     return telemetry
 
 
 def disable() -> None:
-    """Restore the disabled no-op default."""
+    """Restore the disabled no-op default (and drop any thread-local
+    override held by the calling thread)."""
     global _current
     _current = _DISABLED
+    _local.current = None
 
 
 @contextlib.contextmanager
@@ -159,9 +235,30 @@ def session(clock: Optional[Any] = None) -> Iterator[Telemetry]:
     trials.
     """
     telemetry = Telemetry(clock=clock)
-    previous = _current
+    previous = current()
     install(telemetry)
     try:
         yield telemetry
     finally:
         install(previous)
+
+
+@contextlib.contextmanager
+def local_session(clock: Optional[Any] = None) -> Iterator[Telemetry]:
+    """Install a fresh session visible *only to the calling thread*.
+
+    This is the capture mechanism of the parallel runtime: each worker
+    chunk runs inside a local session, records its telemetry privately
+    (other threads keep seeing their own view), and the session's
+    :meth:`Telemetry.snapshot` is shipped back to the parent, which
+    merges it in submission order.  Sessions opened with
+    :func:`session`/:func:`install` inside the block nest within the
+    thread's override rather than touching the process-global session.
+    """
+    telemetry = Telemetry(clock=clock)
+    previous = _local.current
+    _local.current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _local.current = previous

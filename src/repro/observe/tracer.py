@@ -22,6 +22,18 @@ number so ordering is stable even when the clock does not advance.
 
 Exports: :meth:`Tracer.export_jsonl` (one JSON object per span, machine
 readable) and :meth:`Tracer.timeline` (indented human-readable tree).
+The :mod:`repro.observe.export` package adds Chrome trace-event JSON
+(loadable in Perfetto / ``chrome://tracing``).
+
+Cross-process aggregation: :meth:`Tracer.snapshot` freezes the recorded
+spans into a picklable document and :meth:`Tracer.merge` appends such a
+document to another tracer, renumbering span ids and sequence numbers
+past the receiver's high-water mark so parent/child links survive and
+the merged record reads exactly as if the spans had been recorded
+locally in merge order.  Merging is associative; order follows merge
+(i.e. submission) order by design — the parallel runtime merges chunk
+snapshots in submission order so a pooled run reproduces the serial
+trace byte for byte.
 """
 
 from __future__ import annotations
@@ -152,6 +164,43 @@ class Tracer:
             raise
         finally:
             self.finish(sp)
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Freeze the recorded spans into a plain, picklable document."""
+        return {
+            "schema": "repro-trace-snapshot/v1",
+            "spans": [span.to_dict() for span in self.spans],
+            "started": self.started,
+            "next_id": self._next_id,
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Append a :meth:`snapshot` document to this tracer.
+
+        Span ids and sequence numbers are shifted past this tracer's
+        high-water mark (parent/child links shift with them), so a
+        parent that merges worker snapshots in submission order holds
+        the same span record a serial run would have produced.  Spans
+        beyond :attr:`capacity` are dropped exactly as live recording
+        would drop them; ``started`` keeps the true count.
+        """
+        id_base = self._next_id - 1
+        seq_base = self.started
+        for row in snapshot["spans"]:
+            if len(self.spans) >= self.capacity:
+                break
+            parent = row["parent_id"]
+            self.spans.append(Span(
+                name=row["name"],
+                span_id=row["span_id"] + id_base,
+                parent_id=None if parent is None else parent + id_base,
+                start=row["start"], end=row["end"],
+                seq=row["seq"] + seq_base,
+                status=row["status"], attrs=dict(row["attrs"])))
+        self._next_id += snapshot["next_id"] - 1
+        self.started += snapshot["started"]
 
     # -- queries -----------------------------------------------------------
 

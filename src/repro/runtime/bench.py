@@ -45,6 +45,7 @@ QUICK_BENCHMARKS = (
     "bench_table2_classification",
     "bench_figure1_patterns",
     "bench_h1_stats_hotpath",
+    "bench_observe_overhead",
 )
 
 #: Default per-benchmark deadline (real seconds).

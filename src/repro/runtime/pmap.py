@@ -21,6 +21,18 @@ backends are bit-identical accelerations of it.  ``backend="auto"``
 picks the process pool when the task and items are picklable and falls
 back to ``fallback`` (threads by default) when they are not — closures
 and lambdas keep working, they just stay in-process.
+
+**Telemetry capture.**  When the parent has a telemetry session
+installed at the moment a chunk is submitted, the chunk runs inside a
+worker-local session (:func:`repro.observe.local_session`) and ships
+its :meth:`~repro.observe.telemetry.Telemetry.snapshot` back with the
+results; the parent merges the snapshots strictly in submission order,
+so the merged telemetry of a pooled run is byte-identical to the serial
+run's (workload series — pool self-metrics ``repro_runtime_*`` are
+backend-dependent by nature; see docs/OBSERVABILITY.md).  The enabled
+check happens per chunk, not per pool, so a session installed while a
+long campaign is already fanned out still captures the remaining
+chunks.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ import pickle
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.observe import current as _telemetry
+from repro.observe import local_session as _local_session
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -53,11 +66,26 @@ class PoolStats:
     serial_retries: int = 0
     #: Chunks whose future missed the per-chunk deadline.
     timeouts: int = 0
+    #: Chunks that ran with worker-local telemetry capture.
+    captured_chunks: int = 0
 
 
 def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
     """Run one contiguous slice of items — in a worker or the parent."""
     return [fn(item) for item in chunk]
+
+
+def _run_chunk_captured(fn: Callable[[T], R], chunk: Sequence[T]):
+    """Run one chunk inside a worker-local telemetry session.
+
+    Returns ``(results, snapshot)`` — the chunk's outputs plus the
+    frozen telemetry the chunk produced, for the parent to merge in
+    submission order.  Module-level so the process backend can pickle
+    it.
+    """
+    with _local_session() as telemetry:
+        results = [fn(item) for item in chunk]
+        return results, telemetry.snapshot()
 
 
 def _picklable(*objects: Any) -> bool:
@@ -160,19 +188,29 @@ class ParallelMap:
             while submitted < len(chunks) or pending:
                 while (submitted < len(chunks)
                        and len(pending) < max_in_flight):
+                    # The enabled check is per chunk, not per pool: a
+                    # session installed mid-campaign captures whatever
+                    # chunks are submitted from then on.
+                    captured = _telemetry().enabled
+                    runner = (_run_chunk_captured if captured
+                              else _run_chunk)
                     pending.append(
-                        (submitted,
-                         pool.submit(_run_chunk, fn, chunks[submitted])))
+                        (submitted, captured,
+                         pool.submit(runner, fn, chunks[submitted])))
                     submitted += 1
+                    if captured:
+                        self.stats.captured_chunks += 1
                 # Gather strictly in submission order: chunk i's results
                 # land before chunk i+1's even when i+1 finished first.
-                index, future = pending.popleft()
+                index, captured, future = pending.popleft()
                 try:
-                    chunk_results = future.result(timeout=self.timeout)
+                    payload = future.result(timeout=self.timeout)
                 except concurrent.futures.TimeoutError:
                     future.cancel()
                     self.stats.timeouts += 1
                     self.stats.serial_retries += 1
+                    # The parent-side rerun writes straight into the
+                    # installed session, so no snapshot to merge.
                     chunk_results = _run_chunk(fn, chunks[index])
                 except Exception:
                     # Worker death, pickling failure, or the task's own
@@ -181,6 +219,14 @@ class ParallelMap:
                     # clean parent-side traceback.
                     self.stats.serial_retries += 1
                     chunk_results = _run_chunk(fn, chunks[index])
+                else:
+                    if captured:
+                        chunk_results, snapshot = payload
+                        tel = _telemetry()
+                        if tel.enabled:
+                            tel.merge(snapshot)
+                    else:
+                        chunk_results = payload
                 results.extend(chunk_results)
         self._report()
         return results
@@ -204,6 +250,9 @@ class ParallelMap:
         if stats.timeouts:
             tel.metrics.inc("repro_runtime_timeouts_total",
                             stats.timeouts, backend=stats.backend)
+        if stats.captured_chunks:
+            tel.metrics.inc("repro_runtime_captured_chunks_total",
+                            stats.captured_chunks, backend=stats.backend)
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],

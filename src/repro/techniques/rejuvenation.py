@@ -83,7 +83,9 @@ class Rejuvenation(Technique):
                               technique=self.technique_name) as span:
                     span.attrs["cost"] = self.env.rejuvenate()
                 tel.publish("rejuvenation.performed", age=age,
-                            epoch=self.env.epoch)
+                            epoch=self.env.epoch,
+                            cost=span.attrs["cost"],
+                            technique=self.technique_name)
                 tel.metrics.inc("repro_rejuvenations_total")
             else:
                 self.env.rejuvenate()
@@ -198,7 +200,9 @@ class CheckpointedExecution:
                                   technique="Rejuvenation") as span:
                         span.attrs["cost"] = self.env.rejuvenate()
                     tel.publish("rejuvenation.performed",
-                                epoch=self.env.epoch)
+                                epoch=self.env.epoch,
+                                cost=span.attrs["cost"],
+                                technique="Rejuvenation")
                     tel.metrics.inc("repro_rejuvenations_total")
                 else:
                     self.env.rejuvenate()

@@ -1,0 +1,149 @@
+"""Property-based tests for the telemetry snapshot/merge algebra.
+
+The metrics merge must be commutative and associative (workers fold
+back in any grouping without changing totals); the tracer and bus
+merges are associative but order-sensitive by design — history follows
+merge order, which the parallel runtime pins to submission order.
+Values are integer-valued floats so float summation is exact and the
+algebraic claims are exact equalities, not approximations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observe import EventBus, MetricsRegistry, Tracer
+
+names = st.sampled_from(("a_total", "b_total", "depth", "lat"))
+labels = st.dictionaries(st.sampled_from(("k", "t")),
+                         st.sampled_from(("x", "y")), max_size=2)
+amounts = st.integers(min_value=0, max_value=50).map(float)
+
+counter_ops = st.tuples(st.just("counter"), st.sampled_from(("c_total",)),
+                        labels, amounts)
+gauge_ops = st.tuples(st.just("gauge"), st.sampled_from(("depth",)),
+                      labels, amounts)
+hist_ops = st.tuples(st.just("hist"), st.sampled_from(("lat",)),
+                     labels, amounts)
+ops_strategy = st.lists(st.one_of(counter_ops, gauge_ops, hist_ops),
+                        max_size=12)
+
+
+def registry_from(ops):
+    registry = MetricsRegistry()
+    for kind, name, label_map, amount in ops:
+        if kind == "counter":
+            registry.inc(name, amount, **label_map)
+        elif kind == "gauge":
+            registry.gauge(name, **label_map).add(amount)
+        else:
+            registry.observe(name, amount, **label_map)
+    return registry
+
+
+def merged(*snapshots):
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+@settings(max_examples=60)
+@given(ops_strategy, ops_strategy)
+def test_metrics_merge_commutes(ops_a, ops_b):
+    a = registry_from(ops_a).snapshot()
+    b = registry_from(ops_b).snapshot()
+    assert merged(a, b) == merged(b, a)
+
+
+@settings(max_examples=60)
+@given(ops_strategy, ops_strategy, ops_strategy)
+def test_metrics_merge_is_associative(ops_a, ops_b, ops_c):
+    a = registry_from(ops_a).snapshot()
+    b = registry_from(ops_b).snapshot()
+    c = registry_from(ops_c).snapshot()
+    left = MetricsRegistry()
+    left.merge(merged(a, b))
+    left.merge(c)
+    right = MetricsRegistry()
+    right.merge(a)
+    right.merge(merged(b, c))
+    assert left.snapshot() == right.snapshot()
+
+
+@settings(max_examples=60)
+@given(ops_strategy, ops_strategy)
+def test_metrics_merge_equals_recording_in_one_registry(ops_a, ops_b):
+    together = registry_from(list(ops_a) + list(ops_b)).snapshot()
+    a = registry_from(ops_a).snapshot()
+    b = registry_from(ops_b).snapshot()
+    assert merged(a, b) == together
+
+
+span_lists = st.lists(st.sampled_from(("u", "v", "w")), max_size=5)
+
+
+def tracer_from(span_names):
+    tracer = Tracer()
+    for name in span_names:
+        with tracer.span(name, cost=1.0):
+            pass
+    return tracer
+
+
+@settings(max_examples=40)
+@given(span_lists, span_lists, span_lists)
+def test_tracer_merge_is_associative(names_a, names_b, names_c):
+    def fold_left():
+        t = tracer_from(names_a)
+        t.merge(tracer_from(names_b).snapshot())
+        t.merge(tracer_from(names_c).snapshot())
+        return [s.to_dict() for s in t.spans], t.started
+
+    def fold_right():
+        middle = tracer_from(names_b)
+        middle.merge(tracer_from(names_c).snapshot())
+        t = tracer_from(names_a)
+        t.merge(middle.snapshot())
+        return [s.to_dict() for s in t.spans], t.started
+
+    assert fold_left() == fold_right()
+
+
+topic_lists = st.lists(st.sampled_from(("x", "y", "z.w")), max_size=6)
+
+
+def bus_from(topics):
+    bus = EventBus()
+    for topic in topics:
+        bus.publish(topic, n=1)
+    return bus
+
+
+@settings(max_examples=40)
+@given(topic_lists, topic_lists, topic_lists)
+def test_bus_merge_is_associative(topics_a, topics_b, topics_c):
+    def fold_left():
+        bus = bus_from(topics_a)
+        bus.merge(bus_from(topics_b).snapshot())
+        bus.merge(bus_from(topics_c).snapshot())
+        return bus.snapshot()
+
+    def fold_right():
+        middle = bus_from(topics_b)
+        middle.merge(bus_from(topics_c).snapshot())
+        bus = bus_from(topics_a)
+        bus.merge(middle.snapshot())
+        return bus.snapshot()
+
+    assert fold_left() == fold_right()
+
+
+@settings(max_examples=40)
+@given(topic_lists, topic_lists)
+def test_bus_counts_commute(topics_a, topics_b):
+    left = bus_from(topics_a)
+    left.merge(bus_from(topics_b).snapshot())
+    right = bus_from(topics_b)
+    right.merge(bus_from(topics_a).snapshot())
+    assert left.counts == right.counts
+    assert left.published == right.published

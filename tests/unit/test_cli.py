@@ -45,7 +45,7 @@ class TestExperiments:
         out = capsys.readouterr().out
         for eid, _, bench in EXPERIMENT_INDEX:
             assert bench in out
-        assert len(EXPERIMENT_INDEX) == 26
+        assert len(EXPERIMENT_INDEX) == 27
 
     def test_index_ids_are_unique(self):
         ids = [eid for eid, _, _ in EXPERIMENT_INDEX]
@@ -182,3 +182,104 @@ class TestMetricsCommand:
         out = capsys.readouterr().out
         assert "repro_reboots_total" in out
         assert "repro_reboot_downtime_bucket" in out
+
+    def test_metrics_json_format(self, capsys):
+        import json
+
+        assert main(["metrics", "nvp", "--requests", "6",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data['repro_pattern_executions_total{pattern="nvp"}'] == 18
+
+    def test_metrics_openmetrics_format(self, capsys):
+        assert main(["metrics", "microreboot", "--requests", "40",
+                     "--seed", "2", "--format", "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("# EOF")
+        assert "# TYPE repro_reboots counter" in out
+        assert 'quantile="0.95"' in out
+
+
+class TestTraceOutExport:
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.export import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "nvp", "--requests", "4",
+                     "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        assert doc["traceEvents"]
+        assert "Chrome trace written" in capsys.readouterr().out
+
+    def test_trace_out_unwritable_path_fails(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-dir" / "trace.json"
+        assert main(["trace", "nvp", "--requests", "2",
+                     "--out", str(missing)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_renders_sli_table(self, capsys):
+        assert main(["report", "microreboot", "--requests", "40",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-technique SLIs" in out
+        assert "avail" in out and "rec p50" in out
+        assert "micro" in out
+
+    def test_report_availability_and_percentiles_from_campaign(self,
+                                                               capsys):
+        assert main(["report", "all", "--requests", "30",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        # availability from unit outcomes...
+        assert "nvp" in out
+        # ...and recovery latency percentiles from recovery events.
+        assert "micro" in out
+
+    def test_report_json_format(self, capsys):
+        import json
+
+        assert main(["report", "nvp", "--requests", "10",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sli"]["schema"] == "repro-sli-report/v1"
+        rows = {row["technique"]: row for row in doc["sli"]["techniques"]}
+        assert rows["nvp"]["availability"] is not None
+        assert doc["scenarios"][0]["scenario"] == "nvp"
+
+    def test_report_window_flag(self, capsys):
+        assert main(["report", "nvp", "--requests", "10",
+                     "--window", "4"]) == 0
+        assert "window=4" in capsys.readouterr().out
+
+    def test_report_exports_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.export import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.om.txt"
+        assert main(["report", "checkpoint", "--requests", "10",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert metrics_path.read_text().rstrip().endswith("# EOF")
+
+    def test_report_workers_match_serial(self, capsys):
+        assert main(["report", "all", "--requests", "20", "--seed", "5",
+                     "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["report", "all", "--requests", "20", "--seed", "5",
+                     "--format", "json", "--workers", "2",
+                     "--backend", "process"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_report_leaves_no_session_installed(self):
+        from repro import observe
+
+        main(["report", "nvp", "--requests", "2"])
+        assert observe.current().enabled is False

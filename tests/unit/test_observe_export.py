@@ -1,0 +1,152 @@
+"""Unit tests for the telemetry exporters (Chrome trace, OpenMetrics,
+JSONL event log)."""
+
+import json
+
+import pytest
+
+from repro.observe import EventBus, MetricsRegistry, Tracer
+from repro.observe.export import (
+    chrome_trace,
+    render_chrome_trace,
+    render_event_log,
+    render_openmetrics,
+    validate_chrome_trace,
+)
+
+
+def _nested_tracer():
+    ticks = iter(float(i) for i in range(100))
+    tracer = Tracer(now=lambda: next(ticks))
+    with tracer.span("technique.execute", technique="nvp"):
+        with tracer.span("unit.run", producer="v1", cost=1.0):
+            pass
+        with tracer.span("adjudicate", cost=0.5):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_validates_against_the_schema(self):
+        doc = chrome_trace(_nested_tracer())
+        validate_chrome_trace(doc)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_b_e_pairs_are_balanced_and_nested(self):
+        doc = chrome_trace(_nested_tracer())
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases == ["B", "B", "E", "B", "E", "E"]
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names[0] == "technique.execute"
+        assert names[-1] == "technique.execute"
+
+    def test_timestamps_scale_to_microseconds(self):
+        doc = chrome_trace(_nested_tracer(), time_scale=1000.0)
+        begin = doc["traceEvents"][0]
+        assert begin["ts"] == 0.0
+        inner = doc["traceEvents"][1]
+        assert inner["ts"] == 1000.0  # 1 virtual unit -> 1 ms -> 1000 us
+
+    def test_args_carry_status_and_attrs(self):
+        doc = chrome_trace(_nested_tracer())
+        unit = next(e for e in doc["traceEvents"]
+                    if e["name"] == "unit.run" and e["ph"] == "B")
+        assert unit["args"]["producer"] == "v1"
+        assert unit["args"]["cost"] == 1.0
+        assert unit["args"]["status"] == "ok"
+
+    def test_render_is_stable_json(self):
+        tracer = _nested_tracer()
+        text = render_chrome_trace(tracer)
+        assert text == render_chrome_trace(tracer)
+        validate_chrome_trace(json.loads(text))
+
+    def test_open_span_closes_at_its_start(self):
+        tracer = Tracer()
+        tracer.start("never.finished")
+        doc = chrome_trace(tracer)
+        validate_chrome_trace(doc)
+
+    def test_merged_trace_still_validates(self):
+        parent = _nested_tracer()
+        parent.merge(_nested_tracer().snapshot())
+        validate_chrome_trace(chrome_trace(parent))
+
+    def test_validator_rejects_missing_container(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_validator_rejects_bad_phase(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                                "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(doc)
+
+    def test_validator_rejects_unbalanced_stream(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "B", "ts": 0,
+                                "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError, match="open"):
+            validate_chrome_trace(doc)
+
+    def test_validator_rejects_misnested_stream(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 3, "pid": 1, "tid": 1},
+        ]
+        with pytest.raises(ValueError, match="ends"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestOpenMetrics:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 5, technique="nvp")
+        registry.set_gauge("depth", 2.0)
+        for value in (1.0, 2.0, 30.0):
+            registry.observe("recovery_cost", value)
+        return registry
+
+    def test_counter_family_drops_total_suffix_in_type_line(self):
+        text = render_openmetrics(self._registry())
+        assert "# TYPE requests counter" in text
+        assert 'requests_total{technique="nvp"} 5' in text
+
+    def test_histogram_quantiles_are_rendered(self):
+        text = render_openmetrics(self._registry())
+        assert 'recovery_cost_quantiles{quantile="0.5"}' in text
+        assert 'recovery_cost_quantiles{quantile="0.95"}' in text
+        assert 'recovery_cost_quantiles{quantile="0.99"}' in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(self._registry()).endswith("# EOF")
+
+    def test_extends_the_prometheus_dump(self):
+        registry = self._registry()
+        for line in registry.render_prometheus().splitlines():
+            if line.startswith("# TYPE"):
+                continue
+            assert line in render_openmetrics(registry)
+
+    def test_exclude_prefix(self):
+        registry = self._registry()
+        registry.inc("repro_runtime_tasks_total", 2, backend="process")
+        text = render_openmetrics(registry, exclude=("repro_runtime_",))
+        assert "repro_runtime" not in text
+
+
+class TestEventLog:
+    def test_one_json_object_per_event(self):
+        bus = EventBus()
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        bus.publish("reboot", scope="micro", downtime=2.0)
+        lines = render_event_log(bus).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["topic"] == "unit.outcome"
+        assert first["payload"] == {"ok": True, "pattern": "nvp"}
+        assert json.loads(lines[1])["seq"] == 1
+
+    def test_empty_bus_renders_empty(self):
+        assert render_event_log(EventBus()) == ""

@@ -1,0 +1,123 @@
+"""Unit tests for the sliding-window SLI monitor."""
+
+import pytest
+
+from repro.observe import EventBus, SliMonitor
+from repro.observe.sli import percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 0.95) == 5.0
+        assert percentile(samples, 0.0) == 1.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestSliMonitor:
+    def test_availability_over_outcomes(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        for ok in (True, True, True, False):
+            bus.publish("unit.outcome", pattern="nvp", ok=ok)
+        row = monitor.rows()[0]
+        assert row["technique"] == "nvp"
+        assert row["availability"] == pytest.approx(0.75)
+        assert row["failure_rate"] == pytest.approx(0.25)
+        assert row["outcomes"] == 4
+
+    def test_window_slides(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus, window=2)
+        bus.publish("unit.outcome", pattern="nvp", ok=False)
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        row = monitor.rows()[0]
+        # The early failure fell out of the 2-sample window...
+        assert row["availability"] == 1.0
+        # ...but the all-time tallies remember it.
+        assert row["outcomes_seen"] == 3
+        assert row["failures_seen"] == 1
+
+    def test_recovery_latency_percentiles(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        for downtime in (1.0, 2.0, 3.0, 4.0, 10.0):
+            bus.publish("reboot", scope="micro", downtime=downtime)
+        row = monitor.rows()[0]
+        assert row["technique"] == "micro"
+        assert row["recovery_p50"] == 3.0
+        assert row["recovery_p95"] == 10.0
+        assert row["recovery_p99"] == 10.0
+        assert row["availability"] is None
+
+    def test_recovery_topics_map_to_their_cost_fields(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        bus.publish("checkpoint.rollback", technique="ckpt", cost=4.0)
+        bus.publish("rejuvenation.performed", technique="rejuv", cost=6.0)
+        rows = {row["technique"]: row for row in monitor.rows()}
+        assert rows["ckpt"]["recovery_p50"] == 4.0
+        assert rows["rejuv"]["recovery_p50"] == 6.0
+
+    def test_key_precedence_technique_over_pattern(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        bus.publish("unit.outcome", technique="NVP", pattern="nvp-engine",
+                    ok=True)
+        assert monitor.rows()[0]["technique"] == "NVP"
+
+    def test_events_without_cost_are_ignored(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        bus.publish("reboot", scope="micro")  # no downtime payload
+        assert monitor.rows() == []
+
+    def test_merge_redelivery_feeds_the_monitor(self):
+        worker = EventBus()
+        worker.publish("unit.outcome", pattern="nvp", ok=True)
+        worker.publish("unit.outcome", pattern="nvp", ok=False)
+        parent = EventBus()
+        monitor = SliMonitor(parent)
+        parent.merge(worker.snapshot())
+        row = monitor.rows()[0]
+        assert row["outcomes"] == 2
+        assert row["availability"] == pytest.approx(0.5)
+
+    def test_detach_stops_observing(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        monitor.detach()
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        assert monitor.rows() == []
+
+    def test_render_marks_missing_data_with_dashes(self):
+        bus = EventBus()
+        monitor = SliMonitor(bus)
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        bus.publish("reboot", scope="micro", downtime=2.0)
+        text = monitor.render()
+        lines = text.splitlines()
+        assert any("nvp" in line and "1.0000" in line and "-" in line
+                   for line in lines)
+        assert any("micro" in line and line.count("2") >= 3
+                   for line in lines)
+        assert "window=256" in lines[0]
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        bus = EventBus()
+        monitor = SliMonitor(bus, window=8)
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        doc = monitor.as_dict()
+        assert doc["schema"] == "repro-sli-report/v1"
+        assert doc["window"] == 8
+        json.dumps(doc)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            SliMonitor(window=0)
