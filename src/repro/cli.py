@@ -20,8 +20,10 @@ without writing code:
   (availability, failure rate, recovery-latency percentiles), with
   optional Chrome-trace and OpenMetrics exports and pool fan-out;
 * ``bench`` — run the benchmark suite through the deterministic
-  parallel runtime, check for results drift, and write
-  ``BENCH_harness.json`` timings;
+  parallel runtime (warm worker pool, prewarmed before timing), check
+  for results drift, and write ``BENCH_harness.json`` timings;
+  ``--incremental`` serves benchmark files unchanged since the last
+  run from a content-addressed result store;
 * ``lint`` — redundancy-aware static analysis (diversity, determinism,
   process-safety, pattern misuse) with baseline suppression, used as
   the CI gate (``repro lint src/repro --fail-on warning``).
@@ -89,6 +91,8 @@ EXPERIMENT_INDEX = (
      "bench_h1_stats_hotpath.py"),
     ("H2", "harness: telemetry overhead per site, enabled and disabled",
      "bench_observe_overhead.py"),
+    ("H3", "harness: warm pools amortise spawn; result store makes "
+     "re-runs incremental", "bench_h2_pool_reuse.py"),
 )
 
 
@@ -183,6 +187,11 @@ def _cmd_campaign(args) -> int:
             lambda x, env=None: faulty(x, env=env), env)
         return rx.execute
 
+    store = None
+    if args.store:
+        from repro.runtime.store import ResultStore
+
+        store = ResultStore(args.store, name="campaign")
     campaign = FaultCampaign(
         protectors={"N-version (3)": nvp_protector,
                     "recovery blocks": rb_protector,
@@ -194,9 +203,14 @@ def _cmd_campaign(args) -> int:
                                                 trigger_modulo=1),
                 "load": lambda: LoadBug("l", probability=0.9)},
         oracle=oracle, requests=args.requests, seed=args.seed,
-        workers=args.workers)
+        workers=args.workers, store=store)
     print(campaign.render(
         title="correct-result rate: technique x fault class"))
+    if store is not None:
+        stats = store.stats()
+        print(f"\nresult store: {stats['hits']} hits, "
+              f"{stats['misses']} misses, {stats['writes']} writes "
+              f"({args.store})")
     return 0
 
 
@@ -412,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=1,
                           help="fan cells out over a worker pool "
                                "(byte-identical to serial)")
+    campaign.add_argument("--store", metavar="PATH", default=None,
+                          help="serve unchanged cells from a result-store "
+                               "log at PATH (opt-in incremental re-runs)")
     campaign.set_defaults(func=_cmd_campaign)
 
     from repro.runtime.bench import configure_parser as _configure_bench

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
-from typing import Any, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.environment import SimEnvironment
 from repro.exceptions import RedundancyError, SimulatedFailure
@@ -21,6 +21,9 @@ from repro.faults.base import Fault
 from repro.faults.injector import FaultyFunction
 from repro.harness.report import render_table
 from repro.observe import current as _telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.runtime.store import ResultStore
 
 #: Builds a fault instance (fresh per cell, so activation counters and
 #: leak state never bleed between cells).
@@ -88,6 +91,14 @@ class FaultCampaign:
             ``workers <= 1`` keeps the serial loop.
         backend: Pool backend; ``auto`` uses processes when the
             campaign's factories pickle and threads otherwise.
+        store: Optional :class:`~repro.runtime.store.ResultStore`.
+            When set, each cell is looked up by content address —
+            (protector + fault + oracle source versions, labels,
+            ``requests``, base seed) — before executing and persisted
+            after, so unchanged cells are served from disk across runs.
+            A served cell is **not re-measured**: its ``campaign.cell``
+            event is not re-published (``store.hit`` is, instead), and
+            editing any factory or the oracle invalidates its cells.
     """
 
     def __init__(self,
@@ -97,7 +108,8 @@ class FaultCampaign:
                  requests: int = 100,
                  seed: int = 0,
                  workers: int = 1,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto",
+                 store: Optional["ResultStore"] = None) -> None:
         if not protectors:
             raise ValueError("a campaign needs protectors")
         if not faults:
@@ -112,10 +124,49 @@ class FaultCampaign:
         self.seed = seed
         self.workers = workers
         self.backend = backend
+        self.store = store
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The store is consulted (and written) parent-side only; pool
+        # workers get a store-less copy so fan-out never depends on the
+        # store itself being picklable.
+        state = dict(self.__dict__)
+        state["store"] = None
+        return state
 
     def run_cell(self, protector_label: str, fault_label: str
                  ) -> CampaignCell:
-        """Measure one (protector, fault) combination."""
+        """Measure one (protector, fault) combination — served from the
+        attached result store when already measured under the same code
+        version."""
+        if self.store is None:
+            return self._measure(protector_label, fault_label)
+        from repro.runtime.store import MISS
+
+        key = self._cell_key(protector_label, fault_label)
+        cell = self.store.get(key)
+        if cell is MISS:
+            cell = self._measure(protector_label, fault_label)
+            self.store.put(key, cell, task="campaign.cell",
+                           seed=self.seed)
+        return cell
+
+    def _cell_key(self, protector_label: str, fault_label: str) -> str:
+        """Content address of one cell: the labels, workload size and
+        base seed, salted with the source versions of the protector
+        factory, the fault factory and the oracle."""
+        from repro.runtime.store import code_fingerprint
+
+        code = code_fingerprint(self.protectors[protector_label],
+                                self.faults[fault_label], self.oracle)
+        return self.store.key("repro.harness.campaign.cell",
+                              (protector_label, fault_label,
+                               self.requests),
+                              seed=self.seed, code=code)
+
+    def _measure(self, protector_label: str, fault_label: str
+                 ) -> CampaignCell:
+        """The raw (uncached) cell measurement."""
         env = SimEnvironment(
             seed=_cell_seed(self.seed, protector_label, fault_label))
         fault = self.faults[fault_label]()
@@ -144,16 +195,38 @@ class FaultCampaign:
 
     def _run_pair(self, pair: Tuple[str, str]) -> CampaignCell:
         """Pool task: one labelled cell (picklable when the campaign's
-        factories and oracle are)."""
-        return self.run_cell(*pair)
+        factories and oracle are).  Always the raw measurement — the
+        store is consulted parent-side so workers never write it."""
+        return self._measure(*pair)
 
     def run(self) -> List[CampaignCell]:
         """The full matrix, protector-major."""
         pairs = [(protector, fault)
                  for protector in self.protectors
                  for fault in self.faults]
-        if self.workers <= 1:
-            return [self.run_cell(*pair) for pair in pairs]
+        if self.store is None:
+            return self._execute(pairs)
+        from repro.runtime.store import MISS
+
+        keys = {pair: self._cell_key(*pair) for pair in pairs}
+        found = {pair: self.store.get(keys[pair]) for pair in pairs}
+        missing = [pair for pair in pairs if found[pair] is MISS]
+        computed = iter(self._execute(missing))
+        out: List[CampaignCell] = []
+        for pair in pairs:
+            cell = found[pair]
+            if cell is MISS:
+                cell = next(computed)
+                self.store.put(keys[pair], cell, task="campaign.cell",
+                               seed=self.seed)
+            out.append(cell)
+        return out
+
+    def _execute(self, pairs: List[Tuple[str, str]]) -> List[CampaignCell]:
+        """Measure ``pairs`` (a sub-list on store partial hits), in
+        order, through the serial loop or the pool."""
+        if self.workers <= 1 or len(pairs) <= 1:
+            return [self._measure(*pair) for pair in pairs]
         from repro.runtime.pmap import ParallelMap
 
         pool = ParallelMap(workers=self.workers, backend=self.backend)

@@ -5,9 +5,13 @@ from __future__ import annotations
 import dataclasses
 import functools
 import statistics
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence)
 
 from repro import observe
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.runtime.store import ResultStore
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +54,14 @@ class Experiment:
         backend: Pool backend (``auto``/``serial``/``thread``/
             ``process``); ``auto`` uses processes when the trial
             pickles.
+        store: Optional :class:`~repro.runtime.store.ResultStore`.
+            When set, each trial's :class:`TrialResult` is looked up by
+            content address — (trial source version, ``instrument``,
+            seed) — before executing, and persisted after; unchanged
+            trials are served from disk across processes and runs.  A
+            served trial is **not re-executed**, so its side-band
+            telemetry events are not re-published (the stored result,
+            including any ``telemetry`` digest, is byte-identical).
     """
 
     name: str
@@ -58,12 +70,39 @@ class Experiment:
     instrument: bool = False
     workers: int = 1
     backend: str = "auto"
+    store: Optional["ResultStore"] = None
 
     def run(self) -> List[TrialResult]:
+        if self.store is None:
+            return self._execute(list(self.seeds))
+        from repro.runtime.store import MISS, code_fingerprint
+
+        code = code_fingerprint(self.trial)
+        task_name = (f"{getattr(self.trial, '__module__', '?')}"
+                     f".{getattr(self.trial, '__qualname__', 'trial')}")
+        keys = {seed: self.store.key(task_name, (self.instrument,),
+                                     seed=seed, code=code)
+                for seed in self.seeds}
+        found = {seed: self.store.get(keys[seed]) for seed in self.seeds}
+        missing = [seed for seed in self.seeds if found[seed] is MISS]
+        computed = iter(self._execute(missing))
+        out: List[TrialResult] = []
+        for seed in self.seeds:
+            result = found[seed]
+            if result is MISS:
+                result = next(computed)
+                self.store.put(keys[seed], result, task=task_name,
+                               seed=seed)
+            out.append(result)
+        return out
+
+    def _execute(self, seeds: Sequence[int]) -> List[TrialResult]:
+        """Run ``seeds`` (a sub-sequence on store partial hits), in
+        order, through the serial loop or the pool."""
         runner = functools.partial(_execute_trial, self.trial,
                                    self.instrument)
-        if self.workers <= 1:
-            return [runner(seed) for seed in self.seeds]
+        if self.workers <= 1 or len(seeds) <= 1:
+            return [runner(seed) for seed in seeds]
         from repro.runtime.pmap import ParallelMap
 
         # With no outer session installed, instrumented trials install
@@ -75,7 +114,7 @@ class Experiment:
         pool = ParallelMap(workers=self.workers, backend=self.backend,
                            fallback="serial" if self.instrument
                            else "thread")
-        return pool.map(runner, list(self.seeds))
+        return pool.map(runner, list(seeds))
 
     def summary(self, results: Optional[Sequence[TrialResult]] = None
                 ) -> Dict[str, float]:
@@ -107,10 +146,11 @@ def _execute_trial(trial: Callable[[int], Dict[str, float]],
 
 def run_trials(trial: Callable[[int], Dict[str, float]],
                seeds: Sequence[int], workers: int = 1,
-               backend: str = "auto") -> List[TrialResult]:
+               backend: str = "auto",
+               store: Optional["ResultStore"] = None) -> List[TrialResult]:
     """Run ``trial`` over seeds (functional form of :class:`Experiment`)."""
     return Experiment(name="trials", trial=trial, seeds=tuple(seeds),
-                      workers=workers, backend=backend).run()
+                      workers=workers, backend=backend, store=store).run()
 
 
 def summarize(results: Sequence[TrialResult]) -> Dict[str, float]:

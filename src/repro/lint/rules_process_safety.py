@@ -11,7 +11,13 @@ where it is wired:
 * PROC001 — a ``lambda`` passed as the task to ``ParallelMap.map`` /
   ``parallel_map``;
 * PROC002 — a function *defined inside another function* passed as the
-  task (closures capture their frame and do not pickle).
+  task (closures capture their frame and do not pickle);
+* PROC003 — a task function that touches the warm-pool API
+  (``WorkerPool``, ``get_pool``, ``shutdown_pools``, …or any import of
+  ``repro.runtime.pool``).  Pool handles are parent-side only: the
+  registry's fork guard makes a forked worker's ``acquire()`` raise,
+  and a thread worker that borrows the pool it is running on can
+  deadlock waiting for its own slot.
 
 Severity escalates to ``error`` when the call site explicitly requests
 ``backend="process"`` — that combination can never work.
@@ -29,6 +35,11 @@ from repro.lint.registry import ModuleSource, Rule, keyword_value
 PARALLEL_MAP_FNS = frozenset(("parallel_map",))
 #: Names of the pool class whose ``.map`` pickles tasks.
 POOL_CLASSES = frozenset(("ParallelMap",))
+#: The warm-pool API surface that must stay parent-side (PROC003).
+POOL_API = frozenset(("WorkerPool", "get_pool", "retire_pool",
+                      "shutdown_pools", "pool_stats"))
+#: The module whose import inside a task body triggers PROC003.
+POOL_MODULE = "repro.runtime.pool"
 
 _SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
                    ast.ClassDef)
@@ -189,4 +200,50 @@ class NestedDefTaskRule(_ProcessSafetyBase):
                 f"module level and pass data via the items", severity)
 
 
-RULES: Iterable[Type[Rule]] = (LambdaTaskRule, NestedDefTaskRule)
+def _pool_api_references(fn: ast.AST) -> List[str]:
+    """Every warm-pool API name referenced (or imported) in ``fn``."""
+    seen: Dict[str, None] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in POOL_API:
+            seen.setdefault(node.id)
+        elif isinstance(node, ast.Attribute) and node.attr in POOL_API:
+            seen.setdefault(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == POOL_MODULE:
+                seen.setdefault(f"from {POOL_MODULE} import ...")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == POOL_MODULE:
+                    seen.setdefault(f"import {POOL_MODULE}")
+    return list(seen)
+
+
+class PoolFromTaskRule(_ProcessSafetyBase):
+    id = "PROC003"
+    severity = "warning"
+    summary = ("ParallelMap task references the warm-pool API: pool "
+               "handles are parent-side only and must not be touched "
+               "from worker-side task code")
+
+    def _check_task(self, module, task, info, backend, severity):
+        if not isinstance(task, ast.Name):
+            return
+        fn = next((node for node in module.tree.body
+                   if isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))
+                   and node.name == task.id), None)
+        if fn is None:
+            return
+        refs = _pool_api_references(fn)
+        if refs:
+            yield self.finding(
+                module, task,
+                f"task '{task.id}' references the warm-pool API "
+                f"({', '.join(sorted(refs))}); the registry's fork "
+                f"guard raises in process workers and a thread worker "
+                f"can deadlock on its own pool — keep pool handling in "
+                f"the parent", severity)
+
+
+RULES: Iterable[Type[Rule]] = (LambdaTaskRule, NestedDefTaskRule,
+                               PoolFromTaskRule)

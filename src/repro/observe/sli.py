@@ -41,7 +41,7 @@ from repro.observe.events import Event, EventBus
 from repro.taxonomy.tables import format_table
 
 __all__ = ["SliMonitor", "DEFAULT_WINDOW", "RECOVERY_TOPICS",
-           "percentile"]
+           "STORE_TOPICS", "percentile"]
 
 #: Default sliding-window size, in samples per series.
 DEFAULT_WINDOW = 256
@@ -52,6 +52,14 @@ RECOVERY_TOPICS = {
     "reboot": "downtime",
     "checkpoint.rollback": "cost",
     "rejuvenation.performed": "cost",
+}
+
+#: Result-store traffic topics (published by
+#: :class:`repro.runtime.store.ResultStore`) -> the tally they feed.
+STORE_TOPICS = {
+    "store.hit": "hits",
+    "store.miss": "misses",
+    "store.write": "writes",
 }
 
 #: Quantiles reported for recovery latency.
@@ -82,6 +90,18 @@ class _Series:
         self.recoveries_seen = 0
 
 
+class _StoreSeries:
+    """All-time result-store traffic for one store name."""
+
+    __slots__ = ("hits", "misses", "writes", "bytes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.bytes = 0
+
+
 class SliMonitor:
     """Sliding-window per-technique health derived from bus events.
 
@@ -104,6 +124,7 @@ class SliMonitor:
             raise ValueError("window must be positive")
         self.window = window
         self._series: Dict[str, _Series] = {}
+        self._stores: Dict[str, _StoreSeries] = {}
         self._subscriptions: List[Any] = []
         if bus is not None:
             self.attach(bus)
@@ -115,6 +136,8 @@ class SliMonitor:
         self._subscriptions.append(bus.subscribe("unit.outcome",
                                                  self.observe))
         for topic in RECOVERY_TOPICS:
+            self._subscriptions.append(bus.subscribe(topic, self.observe))
+        for topic in STORE_TOPICS:
             self._subscriptions.append(bus.subscribe(topic, self.observe))
         return self
 
@@ -158,6 +181,14 @@ class SliMonitor:
             series = self._get(self._key(event))
             series.latencies.append(float(cost))
             series.recoveries_seen += 1
+        elif event.topic in STORE_TOPICS:
+            name = str(event.payload.get("store", "store"))
+            tally = self._stores.get(name)
+            if tally is None:
+                tally = self._stores[name] = _StoreSeries()
+            setattr(tally, STORE_TOPICS[event.topic],
+                    getattr(tally, STORE_TOPICS[event.topic]) + 1)
+            tally.bytes += int(event.payload.get("bytes", 0) or 0)
 
     # -- reads -------------------------------------------------------------
 
@@ -195,12 +226,34 @@ class SliMonitor:
             out.append(row)
         return out
 
+    def store_rows(self) -> List[Dict[str, Any]]:
+        """One dict per observed result store, sorted by name.
+
+        All-time tallies of ``store.hit`` / ``store.miss`` /
+        ``store.write`` events (result-store traffic is not windowed:
+        the interesting figure is the cumulative hit rate of a run).
+        """
+        out: List[Dict[str, Any]] = []
+        for name in sorted(self._stores):
+            tally = self._stores[name]
+            lookups = tally.hits + tally.misses
+            out.append({
+                "store": name,
+                "hits": tally.hits,
+                "misses": tally.misses,
+                "writes": tally.writes,
+                "bytes": tally.bytes,
+                "hit_rate": (tally.hits / lookups) if lookups else None,
+            })
+        return out
+
     def as_dict(self) -> Dict[str, Any]:
         """The whole report as one JSON-friendly document."""
         return {
             "schema": "repro-sli-report/v1",
             "window": self.window,
             "techniques": self.rows(),
+            "stores": self.store_rows(),
         }
 
     def render(self, title: str = "per-technique SLIs") -> str:
@@ -220,5 +273,17 @@ class SliMonitor:
                    else f"{row[f'recovery_p{int(q * 100)}']:g}")
                   for q in QUANTILES),
             ])
-        return format_table(headers, rows,
-                            title=f"{title} (window={self.window})")
+        table = format_table(headers, rows,
+                             title=f"{title} (window={self.window})")
+        store_rows = self.store_rows()
+        if not store_rows:
+            return table
+        store_table = format_table(
+            ("store", "hits", "misses", "writes", "bytes", "hit rate"),
+            [[row["store"], row["hits"], row["misses"], row["writes"],
+              row["bytes"],
+              "-" if row["hit_rate"] is None
+              else f"{row['hit_rate']:.2%}"]
+             for row in store_rows],
+            title="result-store traffic")
+        return f"{table}\n\n{store_table}"

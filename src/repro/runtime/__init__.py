@@ -2,29 +2,59 @@
 
 The paper's trade-off is redundancy cost vs. fault coverage; this
 package removes the *wall-clock* part of that cost without touching a
-single output byte.  Three cooperating pieces:
+single output byte.  Five cooperating pieces:
 
 * :mod:`~repro.runtime.pmap` — :class:`ParallelMap`, an ordered,
   chunked scatter/gather over pure tasks with serial / thread / process
   backends, per-chunk timeouts and a retry-once-serial fallback;
+* :mod:`~repro.runtime.pool` — :class:`WorkerPool`, the warm-executor
+  registry ``ParallelMap`` borrows from, so repeated maps amortise
+  worker spawn cost (one long-lived executor per ``(backend, workers)``
+  signature, fork-safety guarded, explicit shutdown);
 * :mod:`~repro.runtime.cache` — :class:`MemoCache`, an opt-in LRU memo
   for deterministic fault-free fast paths, with hit/miss counters
   mirrored into the telemetry metrics;
+* :mod:`~repro.runtime.store` — :class:`ResultStore`, a disk-backed,
+  content-addressed second tier behind ``MemoCache``: pure-trial
+  results keyed on (task, args digest, seed, code version) survive
+  process exit, making campaigns and ``repro bench --incremental``
+  skip unchanged work;
 * :mod:`~repro.runtime.bench` — the ``repro bench`` runner: the whole
   benchmark suite through the pool, with drift detection against
   ``benchmarks/results/`` and a ``BENCH_harness.json`` timing report.
 
 The determinism contract (ordered gather, seed partitioning, no shared
-RNG) is documented in ``docs/PERFORMANCE.md``.
+RNG) is documented in ``docs/PERFORMANCE.md``, alongside the pool
+lifecycle and the store's key schema and invalidation contract.
 """
 
 from repro.runtime.cache import MemoCache
 from repro.runtime.pmap import BACKENDS, ParallelMap, PoolStats, parallel_map
+from repro.runtime.pool import (
+    WorkerPool,
+    get_pool,
+    pool_stats,
+    shutdown_pools,
+)
+from repro.runtime.store import (
+    MISS,
+    ResultStore,
+    args_digest,
+    code_fingerprint,
+)
 
 __all__ = [
     "BACKENDS",
+    "MISS",
     "MemoCache",
     "ParallelMap",
     "PoolStats",
+    "ResultStore",
+    "WorkerPool",
+    "args_digest",
+    "code_fingerprint",
+    "get_pool",
     "parallel_map",
+    "pool_stats",
+    "shutdown_pools",
 ]

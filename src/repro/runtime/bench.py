@@ -16,7 +16,17 @@ stand-in for the pytest-benchmark fixture), and reports:
 
 Running a file in-process (instead of one ``pytest`` subprocess per
 file) lets forked pool workers share the parent's warm imports, which
-is where most of a small benchmark's serial cost goes.
+is where most of a small benchmark's serial cost goes.  The pool is
+prewarmed before the wall timer starts, so the measured wall time is
+compute, not worker spawn.
+
+With ``--incremental``, a :class:`~repro.runtime.store.ResultStore`
+fronts the suite: each file's outcome is addressed by (file name, file
+content digest, source-tree digest of ``src/repro`` + ``_common.py``),
+so a re-run after an edit re-executes only the files the edit could
+affect — served files skip execution entirely (their committed results
+tables are untouched, so they cannot drift).  Only passing outcomes
+are stored; failures always re-run.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import dataclasses
+import hashlib
 import importlib.util
 import io
 import json
@@ -37,6 +48,11 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.harness.report import render_table
 from repro.runtime.pmap import ParallelMap
+from repro.runtime.store import MISS, ResultStore
+
+#: Default ``--incremental`` store log (next to the working directory,
+#: ignored by git).
+DEFAULT_STORE = pathlib.Path(".repro-store") / "bench.jsonl"
 
 #: The ``--quick`` subset: deterministic, sub-second artifacts that
 #: still exercise discovery, the pool, drift detection and reporting.
@@ -45,6 +61,7 @@ QUICK_BENCHMARKS = (
     "bench_table2_classification",
     "bench_figure1_patterns",
     "bench_h1_stats_hotpath",
+    "bench_h2_pool_reuse",
     "bench_observe_overhead",
 )
 
@@ -153,6 +170,29 @@ def run_bench_file(path_str: str) -> Dict[str, Any]:
         tests=len(tests), output=buffer.getvalue()))
 
 
+def tree_fingerprint(benchmarks_dir: pathlib.Path) -> str:
+    """A digest of everything a benchmark outcome depends on besides
+    its own file: the ``src/repro`` source tree and the suite's
+    ``_common.py`` helper.  Any edit under either invalidates every
+    stored outcome."""
+    hasher = hashlib.sha256()
+    package_root = pathlib.Path(__file__).resolve().parents[1]
+    for path in sorted(package_root.rglob("*.py")):
+        hasher.update(str(path.relative_to(package_root)).encode("utf-8"))
+        hasher.update(path.read_bytes())
+    common = benchmarks_dir / "_common.py"
+    if common.is_file():
+        hasher.update(common.read_bytes())
+    return hasher.hexdigest()[:16]
+
+
+def _bench_key(store: ResultStore, path: pathlib.Path, code: str) -> str:
+    """The content address of one benchmark file's outcome."""
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()[:24]
+    return store.key("repro.runtime.bench.file", (path.name, digest),
+                     code=code)
+
+
 def snapshot_results(benchmarks_dir: pathlib.Path) -> Dict[str, str]:
     """``filename -> content`` for every committed results table."""
     results_dir = benchmarks_dir / "results"
@@ -175,8 +215,12 @@ def run_suite(benchmarks_dir: pathlib.Path,
               only: Sequence[str] = (),
               quick: bool = False,
               timeout: Optional[float] = DEFAULT_TIMEOUT,
+              store: Optional[ResultStore] = None,
               ) -> Dict[str, Any]:
-    """Run the (filtered) suite; returns the harness report document."""
+    """Run the (filtered) suite; returns the harness report document.
+
+    With a ``store`` the run is incremental: files whose content-address
+    hits are served without executing, only misses fan out."""
     paths = discover(benchmarks_dir)
     if quick:
         paths = [p for p in paths if p.stem in QUICK_BENCHMARKS]
@@ -185,8 +229,36 @@ def run_suite(benchmarks_dir: pathlib.Path,
                  if any(token in p.stem for token in only)]
     before = snapshot_results(benchmarks_dir)
     pool = ParallelMap(workers=workers, backend=backend, timeout=timeout)
+
+    keys: Dict[pathlib.Path, str] = {}
+    served: Dict[pathlib.Path, Dict[str, Any]] = {}
+    if store is not None:
+        code = tree_fingerprint(benchmarks_dir)
+        for path in paths:
+            keys[path] = _bench_key(store, path, code)
+            hit = store.get(keys[path])
+            if hit is not MISS:
+                served[path] = hit
+    missing = [p for p in paths if p not in served]
+
+    if missing:
+        # Spawn the warm pool before the wall timer: measured wall time
+        # is suite compute, not worker start-up.
+        pool.prewarm(run_bench_file, [str(p) for p in missing])
     wall_start = time.perf_counter()
-    outcomes = pool.map(run_bench_file, [str(p) for p in paths])
+    fresh = iter(pool.map(run_bench_file, [str(p) for p in missing])
+                 if missing else ())
+    outcomes: List[Dict[str, Any]] = []
+    for path in paths:
+        if path in served:
+            outcome = dict(served[path], cached=True)
+        else:
+            outcome = dict(next(fresh), cached=False)
+            if store is not None and outcome["ok"]:
+                store.put(keys[path], {k: v for k, v in outcome.items()
+                                       if k != "cached"},
+                          task=f"bench:{path.stem}")
+        outcomes.append(outcome)
     wall_seconds = time.perf_counter() - wall_start
     after = snapshot_results(benchmarks_dir)
 
@@ -206,10 +278,14 @@ def run_suite(benchmarks_dir: pathlib.Path,
         "workers": pool.workers,
         "backend": pool.stats.backend,
         "pool": dataclasses.asdict(pool.stats),
+        "incremental": store is not None,
+        "store": None if store is None else dict(
+            store.stats(), path=store.path,
+            served=sum(1 for o in outcomes if o["cached"])),
         "benchmarks": [
             {"name": o["name"], "seconds": round(o["seconds"], 4),
              "cpu_seconds": round(o["cpu_seconds"], 4),
-             "ok": o["ok"], "tests": o["tests"]}
+             "ok": o["ok"], "tests": o["tests"], "cached": o["cached"]}
             for o in outcomes
         ],
         "outputs": {o["name"]: o["output"] for o in outcomes},
@@ -231,7 +307,8 @@ def run_suite(benchmarks_dir: pathlib.Path,
 def render_report(report: Dict[str, Any]) -> str:
     """The harness report as a text table plus the run's vitals."""
     rows = [(entry["name"], f"{entry['seconds']:.3f}",
-             "ok" if entry["ok"] else "FAIL")
+             ("cached" if entry.get("cached")
+              else "ok" if entry["ok"] else "FAIL"))
             for entry in report["benchmarks"]]
     table = render_table(("benchmark", "seconds", "status"), rows,
                          title=f"repro bench — {len(rows)} benchmarks, "
@@ -245,6 +322,12 @@ def render_report(report: Dict[str, Any]) -> str:
     lines.append(f"speedup          {report['speedup_vs_serial']:.2f}x "
                  f"wall-based, {report['speedup_vs_serial_cpu']:.2f}x "
                  f"cpu-based, on {report['host']['cpu_count']} CPU(s)")
+    if report.get("store"):
+        store = report["store"]
+        lines.append(f"result store     {store['served']}/"
+                     f"{len(report['benchmarks'])} served from "
+                     f"{store['path']} "
+                     f"(hit rate {store['hit_rate']:.0%})")
     if report["results_drift"]:
         lines.append("results drift    "
                      + ", ".join(report["results_drift"]))
@@ -278,6 +361,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                         help="suite location (default: auto-detected)")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
                         help="per-benchmark deadline in seconds")
+    parser.add_argument("--incremental", action="store_true",
+                        help="serve benchmark files unchanged since the "
+                             "last run from the result store")
+    parser.add_argument("--store", type=pathlib.Path,
+                        default=DEFAULT_STORE, metavar="PATH",
+                        help="result-store log used by --incremental")
     parser.add_argument("--json", type=pathlib.Path,
                         default=pathlib.Path("BENCH_harness.json"),
                         metavar="PATH",
@@ -294,9 +383,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: no benchmark suite at {benchmarks_dir}",
               file=sys.stderr)
         return 2
+    store = (ResultStore(args.store, name="bench")
+             if getattr(args, "incremental", False) else None)
     report = run_suite(benchmarks_dir, workers=args.workers,
                        backend=args.backend, only=args.only,
-                       quick=args.quick, timeout=args.timeout)
+                       quick=args.quick, timeout=args.timeout,
+                       store=store)
     if args.verbose:
         for name, output in report["outputs"].items():
             if output:

@@ -83,6 +83,48 @@ class MemoCache:
         self._count_hit()
         return cached
 
+    def get(self, version_name: str, *args: Any,
+            default: Any = None) -> Any:
+        """Look a key up without computing on a miss.
+
+        Counts a hit or a miss exactly like :meth:`get_or_call`;
+        returns ``default`` when absent (pass a private sentinel to
+        distinguish a stored ``None``).  The tiered
+        :class:`~repro.runtime.store.ResultStore` uses this as its
+        in-memory front.
+        """
+        try:
+            key = (version_name, args)
+            value = self._store[key]
+        except KeyError:
+            self._count_miss()
+            return default
+        except TypeError:
+            self.uncacheable += 1
+            self._count_miss()
+            return default
+        self._store.move_to_end(key)
+        self._count_hit()
+        return value
+
+    def put(self, version_name: str, value: Any, *args: Any) -> bool:
+        """Store a value without counting a hit or a miss.
+
+        Returns False (and counts ``uncacheable``) for unhashable
+        arguments; evicts LRU entries past ``max_entries`` like
+        :meth:`get_or_call` does.
+        """
+        try:
+            self._store[(version_name, args)] = value
+        except TypeError:
+            self.uncacheable += 1
+            return False
+        if (self.max_entries is not None
+                and len(self._store) > self.max_entries):
+            self._store.popitem(last=False)
+            self.evictions += 1
+        return True
+
     def wrap(self, fn: Callable[..., R],
              name: Optional[str] = None) -> Callable[..., R]:
         """A memoised view of ``fn``, keyed under ``name``.

@@ -16,8 +16,13 @@ out across workers must not change a single byte of output.
   pickle, or dies with its worker is re-run serially in the parent
   exactly once, which is always safe for pure tasks.
 
-The serial backend is the reference semantics; the thread and process
-backends are bit-identical accelerations of it.  ``backend="auto"``
+By default the thread and process backends borrow a **warm executor**
+from the process-wide registry in :mod:`repro.runtime.pool` (keyed on
+``(backend, workers)``), so repeated maps amortise worker spawn cost;
+``reuse=False`` restores the original per-call executor, which is
+joined before :meth:`ParallelMap.map` returns.  Either way the serial
+backend is the reference semantics; the thread and process backends
+are bit-identical accelerations of it.  ``backend="auto"``
 picks the process pool when the task and items are picklable and falls
 back to ``fallback`` (threads by default) when they are not — closures
 and lambdas keep working, they just stay in-process.
@@ -46,6 +51,8 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.observe import current as _telemetry
 from repro.observe import local_session as _local_session
+from repro.runtime.pool import get_pool as _get_pool
+from repro.runtime.pool import retire_pool as _retire_pool
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -68,6 +75,13 @@ class PoolStats:
     timeouts: int = 0
     #: Chunks that ran with worker-local telemetry capture.
     captured_chunks: int = 0
+    #: Captured chunks whose snapshot was never merged (the chunk timed
+    #: out or failed and was re-run in the parent, which writes straight
+    #: into the installed session).  ``captured_chunks -
+    #: dropped_snapshots`` is the number of snapshots actually merged.
+    dropped_snapshots: int = 0
+    #: 1 when this call was served by an already-warm shared executor.
+    pool_reuses: int = 0
 
 
 def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
@@ -118,13 +132,21 @@ class ParallelMap:
         max_in_flight: Bound on submitted-but-ungathered chunks
             (default ``workers * 2``), so huge inputs never materialise
             a future per chunk up front.
+        reuse: When true (the default) the call borrows a long-lived
+            executor from the warm-pool registry
+            (:mod:`repro.runtime.pool`), keyed on ``(backend,
+            workers)``, so repeated maps amortise worker spawn cost.
+            ``reuse=False`` keeps the original per-call executor, which
+            is joined before :meth:`map` returns.  Results and merged
+            telemetry are byte-identical either way.
     """
 
     def __init__(self, workers: Optional[int] = None, backend: str = "auto",
                  fallback: str = "thread",
                  chunk_size: Optional[int] = None,
                  timeout: Optional[float] = None,
-                 max_in_flight: Optional[int] = None) -> None:
+                 max_in_flight: Optional[int] = None,
+                 reuse: bool = True) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -141,6 +163,7 @@ class ParallelMap:
         self.chunk_size = chunk_size
         self.timeout = timeout
         self.max_in_flight = max_in_flight
+        self.reuse = reuse
         self.stats = PoolStats()
 
     # -- backend resolution ------------------------------------------------
@@ -177,12 +200,9 @@ class ParallelMap:
         chunks = [tasks[i:i + size] for i in range(0, len(tasks), size)]
         self.stats.chunks = len(chunks)
         max_in_flight = self.max_in_flight or self.workers * 2
-        executor_cls = (concurrent.futures.ThreadPoolExecutor
-                        if backend == "thread"
-                        else concurrent.futures.ProcessPoolExecutor)
         results: List[R] = []
-        with executor_cls(max_workers=min(self.workers,
-                                          len(chunks))) as pool:
+        pool, warm = self._executor(backend, len(chunks))
+        try:
             pending: collections.deque = collections.deque()
             submitted = 0
             while submitted < len(chunks) or pending:
@@ -194,9 +214,17 @@ class ParallelMap:
                     captured = _telemetry().enabled
                     runner = (_run_chunk_captured if captured
                               else _run_chunk)
-                    pending.append(
-                        (submitted, captured,
-                         pool.submit(runner, fn, chunks[submitted])))
+                    try:
+                        future = pool.submit(runner, fn,
+                                             chunks[submitted])
+                    except Exception as exc:
+                        # A broken shared executor rejects at submit
+                        # time; a pre-failed future keeps the gather
+                        # order intact and routes the chunk through the
+                        # ordinary retry-once-serial path below.
+                        future = concurrent.futures.Future()
+                        future.set_exception(exc)
+                    pending.append((submitted, captured, future))
                     submitted += 1
                     if captured:
                         self.stats.captured_chunks += 1
@@ -209,8 +237,11 @@ class ParallelMap:
                     future.cancel()
                     self.stats.timeouts += 1
                     self.stats.serial_retries += 1
-                    # The parent-side rerun writes straight into the
-                    # installed session, so no snapshot to merge.
+                    if captured:
+                        # The chunk's snapshot will never be merged; the
+                        # parent-side rerun below writes straight into
+                        # the installed session instead.
+                        self.stats.dropped_snapshots += 1
                     chunk_results = _run_chunk(fn, chunks[index])
                 except Exception:
                     # Worker death, pickling failure, or the task's own
@@ -218,6 +249,8 @@ class ParallelMap:
                     # deterministic task error re-raises here with a
                     # clean parent-side traceback.
                     self.stats.serial_retries += 1
+                    if captured:
+                        self.stats.dropped_snapshots += 1
                     chunk_results = _run_chunk(fn, chunks[index])
                 else:
                     if captured:
@@ -228,8 +261,60 @@ class ParallelMap:
                     else:
                         chunk_results = payload
                 results.extend(chunk_results)
+        finally:
+            if warm is None:
+                # Per-call executor: join it, exactly like the previous
+                # ``with`` block did.
+                pool.shutdown(wait=True)
+            elif warm.broken():
+                # A warm pool that lost a worker must not be reused;
+                # drop it so the next call respawns cleanly.
+                _retire_pool(warm)
         self._report()
         return results
+
+    # -- executors ---------------------------------------------------------
+
+    def _executor(self, backend: str, nchunks: int):
+        """``(executor, warm_pool_or_None)`` for one map call.
+
+        With ``reuse`` (the default) the executor comes from the
+        process-wide warm registry, keyed on ``(backend, workers)``;
+        ``None`` as the second element marks the per-call fallback
+        executor, which the caller must join.
+        """
+        if self.reuse:
+            warm = _get_pool(backend, self.workers)
+            reused = warm.warm
+            executor = warm.acquire()
+            if reused:
+                self.stats.pool_reuses = 1
+            return executor, warm
+        executor_cls = (concurrent.futures.ThreadPoolExecutor
+                        if backend == "thread"
+                        else concurrent.futures.ProcessPoolExecutor)
+        return executor_cls(max_workers=min(self.workers, nchunks)), None
+
+    def prewarm(self, fn: Optional[Callable] = None,
+                items: Sequence = ()) -> str:
+        """Spawn (or reuse) the warm executor for this pool's signature.
+
+        Resolves the backend exactly as :meth:`map` would for ``fn`` and
+        ``items`` (an ``auto`` backend with no sample resolves to
+        ``process``) and acquires the registry executor outside any
+        timed region, so the first measured :meth:`map` call pays no
+        spawn cost.  No-op for serial resolutions or ``reuse=False``.
+        Returns the resolved backend name.
+        """
+        if fn is not None:
+            backend = self._resolve(fn, list(items))
+        elif self.backend == "auto":
+            backend = "process" if self.workers > 1 else "serial"
+        else:
+            backend = self.backend
+        if self.reuse and backend in ("thread", "process"):
+            _get_pool(backend, self.workers).acquire()
+        return backend
 
     # -- telemetry ---------------------------------------------------------
 
@@ -253,6 +338,13 @@ class ParallelMap:
         if stats.captured_chunks:
             tel.metrics.inc("repro_runtime_captured_chunks_total",
                             stats.captured_chunks, backend=stats.backend)
+        if stats.dropped_snapshots:
+            tel.metrics.inc("repro_runtime_dropped_snapshots_total",
+                            stats.dropped_snapshots,
+                            backend=stats.backend)
+        if stats.pool_reuses:
+            tel.metrics.inc("repro_runtime_pool_reuses_total",
+                            stats.pool_reuses, backend=stats.backend)
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],

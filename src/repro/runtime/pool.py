@@ -1,0 +1,209 @@
+"""Warm worker pools: long-lived executors shared across map calls.
+
+Every :meth:`~repro.runtime.pmap.ParallelMap.map` call used to build
+and tear down a fresh ``concurrent.futures`` executor, so each
+experiment, campaign batch and bench run repaid the full worker spawn
+and interpreter-import cost — on a small workload the harness *lost*
+CPU time to pooling.  This module amortises that cost: a process-wide
+registry lazily spawns **one long-lived executor per** ``(backend,
+workers)`` **signature** and hands the same executor to every
+subsequent call with that signature, within one parent process.
+
+The registry is safe by construction rather than by convention:
+
+* **fork-safety guard** — executors are owned by the process that
+  spawned them.  A forked child that consults the registry gets a
+  *fresh, empty* registry (the parent's workers are not the child's to
+  use), and a :class:`WorkerPool` handle carried across a fork refuses
+  to hand out its executor.
+* **broken-pool retirement** — a pool whose worker died
+  (``BrokenProcessPool``) is discarded from the registry so the next
+  call respawns cleanly; the in-flight call completes through
+  :class:`~repro.runtime.pmap.ParallelMap`'s retry-once-serial path.
+* **explicit lifecycle** — ``WorkerPool`` is a context manager, and
+  :func:`shutdown_pools` (also registered ``atexit``) tears every warm
+  executor down deterministically.
+
+Worker-side code must never touch this registry: a task that imports
+:class:`WorkerPool` would manage pools from inside a pool, which the
+``PROC003`` lint rule rejects (see docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["WorkerPool", "get_pool", "retire_pool", "shutdown_pools",
+           "pool_stats"]
+
+#: Backends a warm pool can host (serial work never needs an executor).
+POOLED_BACKENDS = ("thread", "process")
+
+
+class WorkerPool:
+    """One lazily spawned, long-lived executor for a pool signature.
+
+    Args:
+        backend: ``"thread"`` or ``"process"``.
+        workers: Executor size (``max_workers``).
+
+    The executor is created on first :meth:`acquire` and reused by every
+    later one; ``reuses`` counts the amortised spawns.  Use as a context
+    manager (or call :meth:`shutdown`) for deterministic teardown::
+
+        with WorkerPool("process", 4) as pool:
+            executor = pool.acquire()
+            ...
+
+    Registry-managed instances (via :func:`get_pool`) are torn down by
+    :func:`shutdown_pools` / ``atexit`` instead.
+    """
+
+    def __init__(self, backend: str, workers: int) -> None:
+        if backend not in POOLED_BACKENDS:
+            raise ValueError(f"unknown pooled backend {backend!r}; "
+                             f"expected one of {POOLED_BACKENDS}")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.backend = backend
+        self.workers = workers
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._lock = threading.Lock()
+        #: PID of the process that spawned the executor (fork guard).
+        self.owner_pid: Optional[int] = None
+        #: Acquisitions served by an already-warm executor.
+        self.reuses = 0
+        #: A dead pool never hands out an executor again.
+        self.dead = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def warm(self) -> bool:
+        """True when the executor exists (next acquire is a reuse)."""
+        return self._executor is not None
+
+    def acquire(self) -> concurrent.futures.Executor:
+        """The shared executor, spawning it on first use.
+
+        Raises ``RuntimeError`` after :meth:`shutdown`, and in a forked
+        child holding a parent-spawned handle: the child does not own
+        the parent's workers, and submitting to them would race the
+        parent for results.
+        """
+        with self._lock:
+            if self.dead:
+                raise RuntimeError("worker pool has been shut down")
+            if self._executor is None:
+                cls = (concurrent.futures.ThreadPoolExecutor
+                       if self.backend == "thread"
+                       else concurrent.futures.ProcessPoolExecutor)
+                self._executor = cls(max_workers=self.workers)
+                self.owner_pid = os.getpid()
+            elif self.owner_pid != os.getpid():
+                raise RuntimeError(
+                    "forked child must not reuse the parent's warm "
+                    "worker pool; call repro.runtime.pool.get_pool() "
+                    "for a child-local one")
+            else:
+                self.reuses += 1
+            return self._executor
+
+    def broken(self) -> bool:
+        """True when the executor lost a worker and cannot be reused."""
+        return bool(getattr(self._executor, "_broken", False))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the executor down; the pool is dead afterwards."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self.dead = True
+        if executor is not None and self.owner_pid == os.getpid():
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
+
+
+#: signature -> pool, owned by ``_registry_pid``.
+_registry: Dict[Tuple[str, int], WorkerPool] = {}
+_registry_pid = os.getpid()
+_registry_lock = threading.Lock()
+
+
+def _guard_fork() -> None:
+    """Drop the registry in a forked child (caller holds the lock).
+
+    The executors in it belong to the parent — their result pipes and
+    worker processes are shared state a child must not drain.  The
+    child simply starts with an empty registry and spawns its own
+    pools on demand.
+    """
+    global _registry_pid
+    if os.getpid() != _registry_pid:
+        _registry.clear()
+        _registry_pid = os.getpid()
+
+
+def get_pool(backend: str, workers: int) -> WorkerPool:
+    """The process-wide warm pool for ``(backend, workers)``.
+
+    Lazily creates the :class:`WorkerPool` (not yet the executor — that
+    spawns on first :meth:`~WorkerPool.acquire`); replaces a dead or
+    broken entry with a fresh one.
+    """
+    with _registry_lock:
+        _guard_fork()
+        key = (backend, workers)
+        pool = _registry.get(key)
+        if pool is None or pool.dead or pool.broken():
+            pool = WorkerPool(backend, workers)
+            _registry[key] = pool
+        return pool
+
+
+def retire_pool(pool: WorkerPool, wait: bool = False) -> None:
+    """Remove ``pool`` from the registry and shut it down.
+
+    Used by :class:`~repro.runtime.pmap.ParallelMap` when a map call
+    leaves a registry pool broken; the next call respawns cleanly.
+    """
+    with _registry_lock:
+        _guard_fork()
+        key = (pool.backend, pool.workers)
+        if _registry.get(key) is pool:
+            del _registry[key]
+    pool.shutdown(wait=wait)
+
+
+def shutdown_pools(wait: bool = True) -> int:
+    """Shut every registry pool down; returns how many were warm."""
+    with _registry_lock:
+        _guard_fork()
+        pools = list(_registry.values())
+        _registry.clear()
+    warm = 0
+    for pool in pools:
+        warm += pool.warm
+        pool.shutdown(wait=wait)
+    return warm
+
+
+def pool_stats() -> List[Dict[str, object]]:
+    """One dict per registry pool, sorted by signature (for reports)."""
+    with _registry_lock:
+        _guard_fork()
+        pools = sorted(_registry.items())
+    return [{"backend": backend, "workers": workers, "warm": pool.warm,
+             "reuses": pool.reuses}
+            for (backend, workers), pool in pools]
+
+
+atexit.register(shutdown_pools)

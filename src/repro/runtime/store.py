@@ -1,0 +1,345 @@
+"""Content-addressed, disk-backed result store for pure harness work.
+
+The paper's checkpoint-recovery and data-diversity techniques persist
+the results of expensive pure computations so faults (or reruns) do not
+repay the full execution cost; this module applies the same mechanics
+to the harness itself.  Every unit the runtime fans out — a seeded
+trial, a ``(protector, fault)`` campaign cell, a benchmark file — is a
+pure function of its arguments, so its result can be **addressed by
+content**: a ``PYTHONHASHSEED``-stable fingerprint of
+
+* the task's qualified name,
+* a digest (CRC-32 + SHA-256) of its pickled arguments,
+* the seed, and
+* a *code version* (a digest of the task's source), so edited code
+  invalidates every result it produced.
+
+:class:`ResultStore` is a two-tier cache behind that key:
+
+* **memory tier** — a :class:`~repro.runtime.cache.MemoCache` LRU, so
+  repeated lookups within a process never touch disk;
+* **disk tier** — an append-only JSONL log replayed into a
+  :mod:`repro.sqlstore` storage engine (the survey's own diverse-engine
+  substrate) acting as the in-memory index.  Appends are single
+  ``O_APPEND`` writes under an advisory ``flock``, so concurrent
+  writers from pool workers or parallel CI jobs interleave whole
+  records, never bytes; readers pick up foreign appends on
+  :meth:`refresh` (called automatically on a miss when the log grew).
+
+Caching is **opt-in everywhere** (the ``store=`` knobs on
+:class:`~repro.harness.experiment.Experiment`,
+:class:`~repro.harness.campaign.FaultCampaign` and ``repro bench
+--incremental``): redundancy masks faults by re-executing, and a served
+result is never re-voted or re-checked — see docs/PERFORMANCE.md for
+the key schema and the invalidation contract.
+
+Hit/miss/bytes accounting flows through an installed telemetry session
+as ``repro_runtime_store_*`` counters and ``store.hit`` /
+``store.miss`` / ``store.write`` events (surfaced by the SLI report).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import zlib
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro._util import stable_int
+from repro.observe import current as _telemetry
+from repro.runtime.cache import MemoCache
+from repro.sqlstore.engines import QueryError, SortedStoreEngine
+from repro.sqlstore.query import Insert, Select
+
+__all__ = ["MISS", "ResultStore", "args_digest", "code_fingerprint",
+           "fingerprint"]
+
+#: Sentinel returned by :meth:`ResultStore.get` on a miss — a stored
+#: ``None`` is a legitimate hit.
+MISS = object()
+
+#: Pickle protocol pinned for key stability: the digest of the pickled
+#: arguments is part of the content address, so it must not change when
+#: the interpreter's default protocol does.
+_PICKLE_PROTOCOL = 4
+
+
+def args_digest(args: Any) -> str:
+    """A ``PYTHONHASHSEED``-stable digest of pickled arguments.
+
+    CRC-32 plus truncated SHA-256 of the pickled bytes.  Stable for the
+    argument shapes harness tasks use (ints, floats, strings, tuples,
+    dicts — insertion-ordered); unordered containers such as sets
+    pickle in iteration order and are **not** stable keys.
+    """
+    data = pickle.dumps(args, protocol=_PICKLE_PROTOCOL)
+    return (f"{zlib.crc32(data):08x}"
+            f"-{hashlib.sha256(data).hexdigest()[:24]}")
+
+
+def code_fingerprint(*callables: Callable) -> str:
+    """A digest of the *source* of one or more callables.
+
+    Editing a task (or any helper passed alongside it) changes the
+    fingerprint and therefore every key derived from it, so stale
+    results are never served after a code change.  Falls back to the
+    compiled bytecode for callables without retrievable source (e.g.
+    defined in a REPL) and to the repr for builtins.
+    """
+    parts = []
+    for fn in callables:
+        try:
+            body = inspect.getsource(fn)
+        except (OSError, TypeError):
+            code = getattr(fn, "__code__", None)
+            body = code.co_code.hex() if code is not None else repr(fn)
+        name = (f"{getattr(fn, '__module__', '?')}"
+                f".{getattr(fn, '__qualname__', type(fn).__name__)}")
+        parts.append(f"{name}={hashlib.sha256(body.encode('utf-8')).hexdigest()}")
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint(task_name: str, digest: str, seed: Optional[int],
+                code: str) -> str:
+    """The content address: task x args-digest x seed x code version."""
+    raw = f"{task_name}|{digest}|{seed}|{code}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A two-tier (memory LRU + disk JSONL) content-addressed store.
+
+    Args:
+        path: The append-only JSONL log file (created on first write;
+            parent directories are created eagerly).
+        name: Label on the ``repro_runtime_store_*`` metrics and
+            ``store.*`` events this store emits.
+        memory_entries: LRU capacity of the in-memory front tier.
+        engine: The :mod:`repro.sqlstore` engine indexing the log
+            in memory (default: a :class:`SortedStoreEngine`, whose
+            dump order is deterministic).
+
+    Values are pickled; anything the parallel runtime can ship across a
+    process pool stores fine.  Two stores (or two processes) may share
+    one path: writes append whole records under an advisory lock, and
+    a reader that misses re-reads any bytes appended since its last
+    load before declaring the miss.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], name: str = "results",
+                 memory_entries: Optional[int] = 1024,
+                 engine: Optional[Any] = None) -> None:
+        self.path = os.fspath(path)
+        self.name = name
+        self.engine = engine if engine is not None else SortedStoreEngine(
+            name=f"{name}-index")
+        self.memory = MemoCache(name=f"{name}-mem",
+                                max_entries=memory_entries)
+        #: Bytes of the log consumed into the engine so far.
+        self._offset = 0
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: Log lines that failed to parse (skipped, never fatal).
+        self.corrupt_lines = 0
+        self.entries = 0
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.refresh()
+
+    def __len__(self) -> int:
+        return self.entries
+
+    # -- keys --------------------------------------------------------------
+
+    def key(self, task: Union[str, Callable], args: Any = (),
+            seed: Optional[int] = None, code: Optional[str] = None) -> str:
+        """The content address for ``task(*args)`` at ``seed``.
+
+        ``task`` may be a callable (its qualified name is used, and its
+        :func:`code_fingerprint` when ``code`` is not given) or a plain
+        string name (then ``code`` defaults to empty — pass one
+        explicitly to get invalidation-on-change).
+        """
+        if callable(task):
+            name = (f"{getattr(task, '__module__', '?')}"
+                    f".{getattr(task, '__qualname__', repr(task))}")
+            if code is None:
+                code = code_fingerprint(task)
+        else:
+            name = task
+            code = code or ""
+        return fingerprint(name, args_digest(args), seed, code)
+
+    # -- the two-tier lookup ----------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The stored value for ``key``, or :data:`MISS`.
+
+        Memory tier first; then the engine index, refreshed from the
+        log when another writer has appended since the last read.  A
+        disk hit is promoted into the memory tier.
+        """
+        value = self.memory.get(key, default=MISS)
+        if value is not MISS:
+            self.hits += 1
+            self._count("hits")
+            self._publish("store.hit", tier="memory")
+            return value
+        row = self._lookup(key)
+        if row is None and self._log_grew():
+            self.refresh()
+            row = self._lookup(key)
+        if row is None:
+            self.misses += 1
+            self._count("misses")
+            self._publish("store.miss")
+            return MISS
+        payload = bytes.fromhex(row["payload"])
+        self.bytes_read += len(payload)
+        value = pickle.loads(payload)
+        self.memory.put(key, value)
+        self.hits += 1
+        self._count("hits")
+        self._count("bytes_read", len(payload))
+        self._publish("store.hit", tier="disk", bytes=len(payload))
+        return value
+
+    def put(self, key: str, value: Any, task: str = "?",
+            seed: Optional[int] = None) -> None:
+        """Persist ``value`` under ``key`` (append + index + memory)."""
+        payload = pickle.dumps(value, protocol=_PICKLE_PROTOCOL).hex()
+        row = {"id": stable_int(key, modulo=2 ** 62), "key": key,
+               "task": task, "seed": seed, "payload": payload}
+        line = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+        self._append(line)
+        # Consuming the log from the previous offset indexes our record
+        # *and* any foreign appends that landed before it.
+        self.refresh()
+        self.memory.put(key, value)
+        self.writes += 1
+        self.bytes_written += len(line)
+        self._count("writes")
+        self._count("bytes_written", len(line))
+        self._publish("store.write", bytes=len(line))
+
+    def get_or_call(self, fn: Callable, *args: Any,
+                    seed: Optional[int] = None,
+                    code: Optional[str] = None,
+                    task_name: Optional[str] = None) -> Any:
+        """``fn(*args)``, served from the store when already computed."""
+        key = self.key(task_name if task_name is not None else fn,
+                       args, seed=seed,
+                       code=code if code is not None
+                       else code_fingerprint(fn))
+        value = self.get(key)
+        if value is MISS:
+            value = fn(*args)
+            self.put(key, value,
+                     task=task_name or getattr(fn, "__qualname__",
+                                               repr(fn)),
+                     seed=seed)
+        return value
+
+    # -- disk log ----------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Replay log bytes appended since the last read; returns the
+        number of new entries indexed."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        if size <= self._offset:
+            return 0
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        # Consume only whole lines; a torn trailing record (possible
+        # only on non-POSIX appends) is left for the next refresh.
+        end = data.rfind(b"\n") + 1
+        if end == 0:
+            return 0
+        self._offset += end
+        added = 0
+        for raw in data[:end].splitlines():
+            try:
+                row = json.loads(raw)
+                if not isinstance(row, dict) or "key" not in row:
+                    raise ValueError("not a store record")
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            added += self._index(row)
+        return added
+
+    def _log_grew(self) -> bool:
+        try:
+            return os.path.getsize(self.path) > self._offset
+        except OSError:
+            return False
+
+    def _append(self, line: bytes) -> None:
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            try:
+                import fcntl
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except ImportError:  # pragma: no cover - non-POSIX hosts
+                pass
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    # -- the sqlstore index ------------------------------------------------
+
+    def _index(self, row: Dict[str, Any]) -> int:
+        """Insert one record into the engine; duplicates (the same key
+        computed by two writers) keep the first record and are not an
+        error."""
+        try:
+            self.engine.execute(Insert(row=tuple(sorted(row.items()))))
+        except QueryError:
+            return 0
+        self.entries += 1
+        return 1
+
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        rows = self.engine.execute(
+            Select(where=lambda r: r.get("key") == key))
+        return rows[0] if rows else None
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """The counters as a flat dict (reports, assertions, bench)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "entries": self.entries,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+                "corrupt_lines": self.corrupt_lines,
+                "hit_rate": round(self.hit_rate, 4),
+                "memory": self.memory.stats()}
+
+    def _count(self, which: str, amount: float = 1.0) -> None:
+        tel = _telemetry()
+        if tel.enabled:
+            tel.metrics.inc(f"repro_runtime_store_{which}_total", amount,
+                            store=self.name)
+
+    def _publish(self, topic: str, **payload: Any) -> None:
+        tel = _telemetry()
+        if tel.enabled:
+            tel.publish(topic, store=self.name, **payload)

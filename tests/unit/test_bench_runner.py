@@ -77,6 +77,67 @@ class TestDriftDetection:
         assert "FAKE.txt" in capsys.readouterr().out
 
 
+class TestIncrementalStore:
+    def _fake_suite(self, tmp_path):
+        TestDriftDetection._fake_suite(self, tmp_path,
+                                       stored="regenerated table\n")
+
+    def _store(self, tmp_path):
+        from repro.runtime.store import ResultStore
+
+        # A fresh instance per run, like consecutive CLI invocations.
+        return ResultStore(tmp_path / "store.jsonl", name="bench-test")
+
+    def test_second_run_is_served_from_the_store(self, tmp_path):
+        self._fake_suite(tmp_path)
+        cold_store = self._store(tmp_path)
+        cold = bench_mod.run_suite(tmp_path, workers=1, store=cold_store)
+        assert cold["incremental"] is True
+        assert cold["benchmarks"][0]["cached"] is False
+        assert cold["store"]["served"] == 0
+        assert cold_store.stats()["writes"] == 1
+
+        warm_store = self._store(tmp_path)
+        warm = bench_mod.run_suite(tmp_path, workers=1, store=warm_store)
+        assert warm["benchmarks"][0]["cached"] is True
+        assert warm["store"]["served"] == 1
+        assert warm_store.stats()["writes"] == 0
+        # A served file is not executed, so its table cannot drift, and
+        # the stored outcome carries the original captured output.
+        assert warm["results_drift"] == []
+        assert warm["outputs"] == cold["outputs"]
+
+    def test_editing_the_file_invalidates_its_outcome(self, tmp_path):
+        self._fake_suite(tmp_path)
+        bench_mod.run_suite(tmp_path, workers=1,
+                            store=self._store(tmp_path))
+        bench = tmp_path / "bench_fake.py"
+        bench.write_text(bench.read_text(encoding="utf-8")
+                         + "# edited\n", encoding="utf-8")
+        store = self._store(tmp_path)
+        report = bench_mod.run_suite(tmp_path, workers=1, store=store)
+        assert report["benchmarks"][0]["cached"] is False
+        assert store.stats()["writes"] == 1
+
+    def test_failures_are_never_stored(self, tmp_path):
+        (tmp_path / "bench_broken.py").write_text(
+            "def test_broken(benchmark):\n"
+            "    raise RuntimeError('injected')\n", encoding="utf-8")
+        for _ in range(2):
+            store = self._store(tmp_path)
+            report = bench_mod.run_suite(tmp_path, workers=1,
+                                         store=store)
+            assert report["failures"] == ["bench_broken"]
+            assert report["benchmarks"][0]["cached"] is False
+            assert store.stats()["writes"] == 0
+
+    def test_without_a_store_nothing_is_incremental(self, tmp_path):
+        self._fake_suite(tmp_path)
+        report = bench_mod.run_suite(tmp_path, workers=1)
+        assert report["incremental"] is False
+        assert report["store"] is None
+
+
 class TestHarnessReport:
     def test_bench_json_is_well_formed(self, tmp_path, capsys):
         report_path = tmp_path / "BENCH_harness.json"

@@ -196,6 +196,66 @@ class TestProcessSafety:
         """
         assert rule_ids(src) == []
 
+    def test_task_touching_pool_api_is_flagged(self):
+        src = """
+            from repro.runtime import parallel_map
+            from repro.runtime.pool import get_pool
+
+            def work(x):
+                return get_pool("thread", 2).acquire().submit(abs, x)
+
+            def run(xs):
+                return parallel_map(work, xs)
+        """
+        assert rule_ids(src) == ["PROC003"]
+
+    def test_task_importing_pool_module_is_flagged(self):
+        src = """
+            from repro.runtime import parallel_map
+
+            def work(x):
+                import repro.runtime.pool
+                return x
+
+            def run(xs):
+                return parallel_map(work, xs)
+        """
+        assert rule_ids(src) == ["PROC003"]
+
+    def test_pool_task_on_process_backend_is_an_error(self):
+        src = """
+            from repro.runtime import ParallelMap
+            from repro.runtime.pool import shutdown_pools
+
+            def work(x):
+                shutdown_pools()
+                return x
+
+            def run(xs):
+                pool = ParallelMap(workers=2, backend="process")
+                return pool.map(work, xs)
+        """
+        result = findings(src)
+        assert [f.rule for f in result] == ["PROC003"]
+        assert result[0].severity == "error"
+
+    def test_parent_side_pool_use_is_clean(self):
+        src = """
+            from repro.runtime import ParallelMap
+            from repro.runtime.pool import shutdown_pools
+
+            def work(x):
+                return x + 1
+
+            def run(xs):
+                pool = ParallelMap(workers=2)
+                try:
+                    return pool.map(work, xs)
+                finally:
+                    shutdown_pools()
+        """
+        assert rule_ids(src) == []
+
     def test_one_functions_nested_def_does_not_taint_another(self):
         src = """
             from repro.runtime import parallel_map

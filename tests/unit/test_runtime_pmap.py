@@ -115,6 +115,60 @@ class TestFallbackPaths:
         assert pool.stats.serial_retries == pool.stats.chunks
 
 
+class TestDroppedSnapshots:
+    def test_timed_out_captured_chunk_drops_its_snapshot(self):
+        with observe.session() as tel:
+            pool = ParallelMap(workers=2, backend="thread", chunk_size=1,
+                               timeout=0.05)
+            out = pool.map(sleepy, range(5))
+        assert out == [x * 10 for x in range(5)]
+        assert pool.stats.captured_chunks == 5
+        assert pool.stats.dropped_snapshots == 1
+        assert tel.metrics.value("repro_runtime_dropped_snapshots_total",
+                                 backend="thread") == 1.0
+
+    def test_failed_captured_chunk_drops_its_snapshot(self):
+        with observe.session():
+            pool = ParallelMap(workers=2, backend="thread", chunk_size=1)
+            with pytest.raises(ValueError, match="boom on 2"):
+                pool.map(boom, range(4))
+        assert pool.stats.dropped_snapshots == 1
+        assert pool.stats.serial_retries == 1
+
+    def test_clean_captured_run_drops_nothing(self):
+        with observe.session() as tel:
+            pool = ParallelMap(workers=2, backend="thread", chunk_size=2)
+            pool.map(square, range(6))
+        assert pool.stats.captured_chunks == 3
+        assert pool.stats.dropped_snapshots == 0
+        # The zero counter is not emitted at all.
+        assert tel.metrics.value("repro_runtime_dropped_snapshots_total",
+                                 backend="thread") == 0.0
+
+    def test_uncaptured_timeouts_do_not_count_as_drops(self):
+        pool = ParallelMap(workers=2, backend="thread", chunk_size=1,
+                           timeout=0.05)
+        pool.map(sleepy, range(5))
+        assert pool.stats.timeouts == 1
+        assert pool.stats.captured_chunks == 0
+        assert pool.stats.dropped_snapshots == 0
+
+
+class TestPerCallExecutor:
+    def test_reuse_false_joins_a_private_executor(self):
+        from repro.runtime.pool import pool_stats, shutdown_pools
+
+        shutdown_pools()
+        pool = ParallelMap(workers=2, backend="thread", reuse=False)
+        assert pool.map(square, range(10)) == [square(i)
+                                               for i in range(10)]
+        assert pool.map(square, range(10)) == [square(i)
+                                               for i in range(10)]
+        # No registry entry was created, and nothing counts as a reuse.
+        assert pool.stats.pool_reuses == 0
+        assert pool_stats() == []
+
+
 class TestFunctionalForm:
     def test_parallel_map_matches_comprehension(self):
         assert parallel_map(square, range(9), workers=3,

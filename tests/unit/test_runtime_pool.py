@@ -1,0 +1,212 @@
+"""Warm worker pools: registry reuse, fork safety, lifecycle.
+
+The warm-pool registry must be a pure acceleration: a map served by a
+reused executor returns the same bytes (results *and* merged telemetry)
+as per-call executors and as the serial path, and its lifecycle edges —
+forked children, broken workers, shutdown — fail safe rather than
+sharing executors across processes.
+"""
+
+import os
+
+import pytest
+
+from repro import observe
+from repro.runtime.pmap import ParallelMap
+from repro.runtime.pool import (
+    WorkerPool,
+    get_pool,
+    pool_stats,
+    retire_pool,
+    shutdown_pools,
+)
+
+#: Pool self-metrics are backend-dependent by design; byte-identity
+#: covers the workload series only (same contract as
+#: test_parallel_telemetry).
+EXCLUDE = ("repro_runtime_",)
+
+_PARENT_PID = os.getpid()
+
+
+# -- module-level (picklable) tasks for the process backend --
+
+
+def _square(x):
+    return x * x
+
+
+def _noisy(x):
+    """Publishes an event and bumps a counter per item (dyadic cost)."""
+    tel = observe.current()
+    if tel.enabled:
+        tel.metrics.inc("pool_test_items_total", parity=str(x % 2))
+        tel.publish("pool.test", item=x)
+    return x + 1
+
+
+def _die_in_worker(x):
+    """Kills the hosting *worker* process; harmless in the parent, so
+    the retry-once-serial rerun completes the map."""
+    if os.getpid() != _PARENT_PID:
+        os._exit(3)
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Each test starts and ends with an empty warm-pool registry."""
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+class TestWorkerPool:
+    def test_acquire_spawns_once_and_counts_reuses(self):
+        with WorkerPool("thread", 2) as pool:
+            assert not pool.warm and pool.reuses == 0
+            first = pool.acquire()
+            assert pool.warm and pool.reuses == 0
+            assert pool.acquire() is first
+            assert pool.acquire() is first
+            assert pool.reuses == 2
+        assert pool.dead
+
+    def test_acquire_after_shutdown_raises(self):
+        pool = WorkerPool("thread", 2)
+        pool.acquire()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.acquire()
+
+    def test_rejects_bad_signatures(self):
+        with pytest.raises(ValueError):
+            WorkerPool("serial", 2)
+        with pytest.raises(ValueError):
+            WorkerPool("thread", 0)
+
+
+class TestRegistry:
+    def test_same_signature_same_pool(self):
+        a = get_pool("thread", 2)
+        assert get_pool("thread", 2) is a
+        assert get_pool("thread", 3) is not a
+        assert get_pool("process", 2) is not a
+
+    def test_dead_entry_is_replaced(self):
+        a = get_pool("thread", 2)
+        a.shutdown()
+        b = get_pool("thread", 2)
+        assert b is not a and not b.dead
+
+    def test_retire_removes_and_kills(self):
+        a = get_pool("thread", 2)
+        a.acquire()
+        retire_pool(a)
+        assert a.dead
+        assert get_pool("thread", 2) is not a
+
+    def test_shutdown_pools_reports_warm_count_and_clears(self):
+        get_pool("thread", 2).acquire()
+        get_pool("thread", 3)  # created but never spawned
+        assert shutdown_pools() == 1
+        assert pool_stats() == []
+
+    def test_pool_stats_rows(self):
+        get_pool("thread", 2).acquire()
+        pool = ParallelMap(workers=2, backend="thread")
+        pool.map(_square, range(8))
+        rows = pool_stats()
+        assert rows == [{"backend": "thread", "workers": 2,
+                         "warm": True, "reuses": 1}]
+
+
+class TestForkSafety:
+    def test_forked_child_refuses_parent_pool(self):
+        parent_pool = get_pool("thread", 2)
+        parent_pool.acquire()
+        pid = os.fork()
+        if pid == 0:  # child: report via exit code, never run pytest
+            code = 1
+            try:
+                try:
+                    parent_pool.acquire()
+                except RuntimeError:
+                    # And the registry must hand the child a fresh pool,
+                    # not the parent's entry.
+                    if get_pool("thread", 2) is not parent_pool:
+                        code = 0
+            except BaseException:
+                code = 2
+            os._exit(code)
+        _, status = os.waitpid(pid, 0)
+        assert os.WEXITSTATUS(status) == 0
+        # The parent's pool is untouched by the child's fork guard.
+        assert parent_pool.acquire() is not None
+
+
+class TestParallelMapReuse:
+    def test_second_map_reuses_and_matches_serial(self):
+        serial = [_square(x) for x in range(20)]
+        pool = ParallelMap(workers=2, backend="thread")
+        first = pool.map(_square, range(20))
+        assert pool.stats.pool_reuses == 0
+        second = pool.map(_square, range(20))
+        assert pool.stats.pool_reuses == 1
+        other = ParallelMap(workers=2, backend="thread")
+        third = other.map(_square, range(20))
+        assert other.stats.pool_reuses == 1  # shared across instances
+        assert first == second == third == serial
+
+    def test_reuse_false_keeps_registry_empty(self):
+        pool = ParallelMap(workers=2, backend="thread", reuse=False)
+        assert pool.map(_square, range(12)) == [_square(x)
+                                                for x in range(12)]
+        assert pool.stats.pool_reuses == 0
+        assert pool_stats() == []
+
+    def test_warm_process_pool_telemetry_matches_serial(self):
+        def run(reuse, backend):
+            pool = ParallelMap(workers=3, backend=backend,
+                               chunk_size=2, reuse=reuse)
+            with observe.session() as tel:
+                results = pool.map(_noisy, range(10))
+            return results, tel
+
+        serial_results = [_noisy(x) for x in range(10)]
+        expected, serial_tel = run(False, "serial")
+        assert expected == serial_results
+        for backend in ("thread", "process"):
+            cold_results, cold_tel = run(True, backend)   # spawns
+            warm_results, warm_tel = run(True, backend)   # reuses
+            assert cold_results == warm_results == expected
+            for tel in (cold_tel, warm_tel):
+                assert tel.metrics.as_dict(exclude=EXCLUDE) \
+                    == serial_tel.metrics.as_dict(exclude=EXCLUDE)
+                assert ([(e.topic, e.seq, e.payload)
+                         for e in tel.bus.history]
+                        == [(e.topic, e.seq, e.payload)
+                            for e in serial_tel.bus.history])
+
+    def test_broken_warm_pool_is_retired_and_map_completes(self):
+        pool = ParallelMap(workers=2, backend="process", chunk_size=4)
+        warm_before = get_pool("process", 2)
+        results = pool.map(_die_in_worker, range(8))
+        # Every chunk was re-run serially in the parent.
+        assert results == list(range(8))
+        assert pool.stats.serial_retries >= 1
+        # The poisoned executor must not survive in the registry.
+        assert get_pool("process", 2) is not warm_before
+
+    def test_prewarm_spawns_ahead_of_map(self):
+        pool = ParallelMap(workers=2, backend="thread")
+        assert pool.prewarm() == "thread"
+        assert pool_stats() == [{"backend": "thread", "workers": 2,
+                                 "warm": True, "reuses": 0}]
+        pool.map(_square, range(8))
+        assert pool.stats.pool_reuses == 1  # the very first map reused
+
+    def test_prewarm_resolves_serial_to_noop(self):
+        pool = ParallelMap(workers=1, backend="auto")
+        assert pool.prewarm() == "serial"
+        assert pool_stats() == []
