@@ -93,6 +93,8 @@ EXPERIMENT_INDEX = (
      "bench_observe_overhead.py"),
     ("H3", "harness: warm pools amortise spawn; result store makes "
      "re-runs incremental", "bench_h2_pool_reuse.py"),
+    ("H4", "harness: batched trial kernel is byte-identical and an "
+     "order of magnitude faster", "bench_h4_batch_kernel.py"),
 )
 
 
@@ -203,7 +205,7 @@ def _cmd_campaign(args) -> int:
                                                 trigger_modulo=1),
                 "load": lambda: LoadBug("l", probability=0.9)},
         oracle=oracle, requests=args.requests, seed=args.seed,
-        workers=args.workers, store=store)
+        workers=args.workers, batch=args.batch, store=store)
     print(campaign.render(
         title="correct-result rate: technique x fault class"))
     if store is not None:
@@ -426,6 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=1,
                           help="fan cells out over a worker pool "
                                "(byte-identical to serial)")
+    campaign.add_argument("--batch", type=int, default=None, metavar="B",
+                          help="cells per pool task: coarser units, "
+                               "~B× less pickle traffic, byte-identical "
+                               "matrix for any B")
     campaign.add_argument("--store", metavar="PATH", default=None,
                           help="serve unchanged cells from a result-store "
                                "log at PATH (opt-in incremental re-runs)")

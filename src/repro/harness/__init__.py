@@ -12,6 +12,7 @@ from repro.harness.experiment import (
     run_trials,
     summarize,
 )
+from repro.runtime.kernel import BatchResult
 from repro.harness.report import (
     comparison_row,
     render_series,
@@ -26,6 +27,7 @@ from repro.harness.workload import (
 )
 
 __all__ = [
+    "BatchResult",
     "CampaignCell",
     "Experiment",
     "FaultCampaign",

@@ -91,6 +91,14 @@ class FaultCampaign:
             ``workers <= 1`` keeps the serial loop.
         backend: Pool backend; ``auto`` uses processes when the
             campaign's factories pickle and threads otherwise.
+        batch: When set, pool tasks carry up to ``batch`` cells each
+            (one submission, one pickled result list per batch) instead
+            of one cell per task — the campaign-side face of the batch
+            kernel's coarse-unit discipline (see
+            :mod:`repro.runtime.kernel`).  Cells stay individually
+            content-addressed in the store, and any ``batch`` yields a
+            byte-identical matrix because every cell is a pure function
+            of its labels and the base seed.
         store: Optional :class:`~repro.runtime.store.ResultStore`.
             When set, each cell is looked up by content address —
             (protector + fault + oracle source versions, labels,
@@ -109,6 +117,7 @@ class FaultCampaign:
                  seed: int = 0,
                  workers: int = 1,
                  backend: str = "auto",
+                 batch: Optional[int] = None,
                  store: Optional["ResultStore"] = None) -> None:
         if not protectors:
             raise ValueError("a campaign needs protectors")
@@ -116,6 +125,8 @@ class FaultCampaign:
             raise ValueError("a campaign needs faults")
         if requests <= 0:
             raise ValueError("requests must be positive")
+        if batch is not None and batch <= 0:
+            raise ValueError("batch must be positive")
         self.protectors = dict(protectors)
         self.protectors.setdefault("unprotected", _unprotected)
         self.faults = dict(faults)
@@ -124,6 +135,7 @@ class FaultCampaign:
         self.seed = seed
         self.workers = workers
         self.backend = backend
+        self.batch = batch
         self.store = store
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -199,6 +211,12 @@ class FaultCampaign:
         store is consulted parent-side so workers never write it."""
         return self._measure(*pair)
 
+    def _run_pairs(self, pairs: Tuple[Tuple[str, str], ...]
+                   ) -> List[CampaignCell]:
+        """Pool task under ``batch``: a whole slab of cells measured in
+        one call, returned as one pickled list."""
+        return [self._measure(*pair) for pair in pairs]
+
     def run(self) -> List[CampaignCell]:
         """The full matrix, protector-major."""
         pairs = [(protector, fault)
@@ -209,7 +227,8 @@ class FaultCampaign:
         from repro.runtime.store import MISS
 
         keys = {pair: self._cell_key(*pair) for pair in pairs}
-        found = {pair: self.store.get(keys[pair]) for pair in pairs}
+        values = self.store.get_many([keys[pair] for pair in pairs])
+        found = {pair: values[keys[pair]] for pair in pairs}
         missing = [pair for pair in pairs if found[pair] is MISS]
         computed = iter(self._execute(missing))
         out: List[CampaignCell] = []
@@ -227,10 +246,17 @@ class FaultCampaign:
         order, through the serial loop or the pool."""
         if self.workers <= 1 or len(pairs) <= 1:
             return [self._measure(*pair) for pair in pairs]
+        from repro.runtime.kernel import partition
         from repro.runtime.pmap import ParallelMap
 
         pool = ParallelMap(workers=self.workers, backend=self.backend)
-        return pool.map(self._run_pair, pairs)
+        if self.batch is None:
+            return pool.map(self._run_pair, pairs)
+        # Each batch is already a coarse unit of work; submit one per
+        # chunk so the pool never re-bundles (and re-pickles) batches.
+        slabs = partition(pairs, self.batch)
+        gathered = pool.map(self._run_pairs, slabs, chunk_size=1)
+        return [cell for slab in gathered for cell in slab]
 
     def matrix(self) -> Dict[Tuple[str, str], CampaignCell]:
         """The matrix keyed by (protector, fault)."""

@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import statistics
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
-                    Sequence)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
+                    Optional, Sequence, Union)
 
 from repro import observe
+from repro.runtime.kernel import (BatchResult, MetricAccumulator, partition,
+                                  run_batch)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.runtime.store import ResultStore
@@ -54,14 +55,27 @@ class Experiment:
         backend: Pool backend (``auto``/``serial``/``thread``/
             ``process``); ``auto`` uses processes when the trial
             pickles.
+        batch: When set, run the seeds through the **batch kernel**
+            (:mod:`repro.runtime.kernel`): contiguous batches of up to
+            ``batch`` seeds execute as one pure call each, returning
+            one struct-of-arrays :class:`~repro.runtime.kernel.
+            BatchResult` per batch instead of ``batch`` scalar results
+            — ~batch× less pickle volume through the pool and one
+            store key per batch.  Because every trial is a pure
+            function of its seed, any partition (``batch=1``,
+            ``batch=len(seeds)``, ragged tails) yields byte-identical
+            aggregates; :meth:`run` expands batches back to scalar
+            :class:`TrialResult` objects, while :meth:`run_batches` and
+            :meth:`summary` stay compact end to end.
         store: Optional :class:`~repro.runtime.store.ResultStore`.
-            When set, each trial's :class:`TrialResult` is looked up by
-            content address — (trial source version, ``instrument``,
-            seed) — before executing, and persisted after; unchanged
-            trials are served from disk across processes and runs.  A
-            served trial is **not re-executed**, so its side-band
-            telemetry events are not re-published (the stored result,
-            including any ``telemetry`` digest, is byte-identical).
+            When set, each unit (a trial, or under ``batch`` a whole
+            batch) is looked up by content address — (trial source
+            version, ``instrument``, seed / batch seed-tuple) — before
+            executing, and persisted after; unchanged units are served
+            from disk across processes and runs.  A served unit is
+            **not re-executed**, so its side-band telemetry events are
+            not re-published (the stored result, including any
+            ``telemetry`` digest, is byte-identical).
     """
 
     name: str
@@ -70,31 +84,78 @@ class Experiment:
     instrument: bool = False
     workers: int = 1
     backend: str = "auto"
+    batch: Optional[int] = None
     store: Optional["ResultStore"] = None
 
     def run(self) -> List[TrialResult]:
+        if self.batch is not None:
+            return [result for batch in self.run_batches()
+                    for result in batch.results()]
         if self.store is None:
             return self._execute(list(self.seeds))
         from repro.runtime.store import MISS, code_fingerprint
 
         code = code_fingerprint(self.trial)
-        task_name = (f"{getattr(self.trial, '__module__', '?')}"
-                     f".{getattr(self.trial, '__qualname__', 'trial')}")
+        task_name = self._task_name()
         keys = {seed: self.store.key(task_name, (self.instrument,),
                                      seed=seed, code=code)
                 for seed in self.seeds}
-        found = {seed: self.store.get(keys[seed]) for seed in self.seeds}
-        missing = [seed for seed in self.seeds if found[seed] is MISS]
+        found = self.store.get_many([keys[seed] for seed in self.seeds])
+        missing = [seed for seed in self.seeds
+                   if found[keys[seed]] is MISS]
         computed = iter(self._execute(missing))
         out: List[TrialResult] = []
         for seed in self.seeds:
-            result = found[seed]
+            result = found[keys[seed]]
             if result is MISS:
                 result = next(computed)
                 self.store.put(keys[seed], result, task=task_name,
                                seed=seed)
             out.append(result)
         return out
+
+    def run_batches(self) -> List[BatchResult]:
+        """The batched path: one :class:`BatchResult` per seed batch.
+
+        Usable with any ``batch`` (``None`` means one batch of all
+        seeds).  With a ``store``, each batch is addressed by its
+        **batch fingerprint key** — (trial source version,
+        ``instrument``, the batch's seed tuple) — so an unchanged batch
+        is served as one record; ``store.hit``/``store.write`` carry
+        ``trials=len(batch)`` for per-batch accounting in the SLI
+        store-traffic table.
+        """
+        batches = partition(self.seeds,
+                            self.batch if self.batch is not None
+                            else max(1, len(self.seeds)))
+        if not batches:
+            return []
+        if self.store is None:
+            return self._execute_batches(batches)
+        from repro.runtime.store import MISS, code_fingerprint
+
+        code = code_fingerprint(self.trial)
+        task_name = self._task_name()
+        keys = [self.store.key(task_name, (self.instrument, batch),
+                               seed=batch[0], code=code)
+                for batch in batches]
+        found = self.store.get_many(keys)
+        missing = [batch for key, batch in zip(keys, batches)
+                   if found[key] is MISS]
+        computed = iter(self._execute_batches(missing))
+        out: List[BatchResult] = []
+        for key, batch in zip(keys, batches):
+            result = found[key]
+            if result is MISS:
+                result = next(computed)
+                self.store.put(key, result, task=task_name,
+                               seed=batch[0], trials=len(batch))
+            out.append(result)
+        return out
+
+    def _task_name(self) -> str:
+        return (f"{getattr(self.trial, '__module__', '?')}"
+                f".{getattr(self.trial, '__qualname__', 'trial')}")
 
     def _execute(self, seeds: Sequence[int]) -> List[TrialResult]:
         """Run ``seeds`` (a sub-sequence on store partial hits), in
@@ -103,6 +164,20 @@ class Experiment:
                                    self.instrument)
         if self.workers <= 1 or len(seeds) <= 1:
             return [runner(seed) for seed in seeds]
+        return self._pool().map(runner, list(seeds))
+
+    def _execute_batches(self, batches: Sequence[Sequence[int]]
+                         ) -> List[BatchResult]:
+        """Run seed batches, in order, through the serial loop or the
+        pool (one pool item per batch: the batch *is* the chunk)."""
+        runner = functools.partial(run_batch, self.trial, self.instrument)
+        if self.workers <= 1 or len(batches) <= 1:
+            return [runner(batch) for batch in batches]
+        # Each batch is already a coarse unit of work; submit one per
+        # chunk so the pool never re-bundles (and re-pickles) batches.
+        return self._pool().map(runner, list(batches), chunk_size=1)
+
+    def _pool(self):
         from repro.runtime.pmap import ParallelMap
 
         # With no outer session installed, instrumented trials install
@@ -111,24 +186,25 @@ class Experiment:
         # digests isolated.  (Captured chunks are safe under threads:
         # each worker holds a thread-local session the per-trial
         # sessions nest inside.)
-        pool = ParallelMap(workers=self.workers, backend=self.backend,
+        return ParallelMap(workers=self.workers, backend=self.backend,
                            fallback="serial" if self.instrument
                            else "thread")
-        return pool.map(runner, list(seeds))
 
-    def summary(self, results: Optional[Sequence[TrialResult]] = None
+    def summary(self, results: Optional[Sequence[Union[TrialResult,
+                                                       BatchResult]]] = None
                 ) -> Dict[str, float]:
         """Mean and stdev of every metric across trials.
 
         Args:
-            results: Precomputed trial results (e.g. from a preceding
-                :meth:`run`); when omitted the trials are (re)run.
-                Passing them avoids executing every trial twice in
-                benchmarks that need both the raw results and the
-                summary.
+            results: Precomputed trial results or batch results (e.g.
+                from a preceding :meth:`run` / :meth:`run_batches`);
+                when omitted the trials are (re)run — batched when
+                ``batch`` is set, so the summary never materialises
+                scalar result objects.
         """
         if results is None:
-            results = self.run()
+            results = (self.run_batches() if self.batch is not None
+                       else self.run())
         return summarize(results)
 
 
@@ -147,33 +223,54 @@ def _execute_trial(trial: Callable[[int], Dict[str, float]],
 def run_trials(trial: Callable[[int], Dict[str, float]],
                seeds: Sequence[int], workers: int = 1,
                backend: str = "auto",
+               batch: Optional[int] = None,
                store: Optional["ResultStore"] = None) -> List[TrialResult]:
     """Run ``trial`` over seeds (functional form of :class:`Experiment`)."""
     return Experiment(name="trials", trial=trial, seeds=tuple(seeds),
-                      workers=workers, backend=backend, store=store).run()
+                      workers=workers, backend=backend, batch=batch,
+                      store=store).run()
 
 
-def summarize(results: Sequence[TrialResult]) -> Dict[str, float]:
+def summarize(results: Sequence[Union[TrialResult, BatchResult]]
+              ) -> Dict[str, float]:
     """Per-metric means (and ``<metric>_stdev``) over trial results.
+
+    Accepts scalar :class:`TrialResult` sequences, struct-of-arrays
+    :class:`~repro.runtime.kernel.BatchResult` sequences, or a mix;
+    batched and scalar runs of the same seeds summarize byte-identically.
 
     Trials may report heterogeneous metric sets (e.g. a metric only
     meaningful when a fault actually struck): each metric is averaged
     over the trials that reported it.  The sample standard deviation is
     reported alongside every mean under ``<metric>_stdev`` (0.0 when
     only one trial reported the metric).
+
+    Single pass: one :class:`~repro.runtime.kernel.MetricAccumulator`
+    per metric folds count/mean/M2 state as values stream by — no
+    per-key value list is rebuilt — and reproduces the
+    ``statistics.fmean`` / ``statistics.stdev`` floats to the digit
+    (the accumulator keeps exact state; see its docstring).  Keys keep
+    first-seen order, exactly as the two-pass implementation reported
+    them.
     """
-    if not results:
-        return {}
-    # Dict-as-ordered-set: first-seen key order, O(1) membership.
-    keys: Dict[str, None] = {}
+    accumulators: Dict[str, MetricAccumulator] = {}
     for result in results:
-        for key in result.metrics:
-            if key not in keys:
-                keys[key] = None
-    out = {}
-    for key in keys:
-        values = [r.metrics[key] for r in results if key in r.metrics]
-        out[key] = statistics.fmean(values)
-        out[f"{key}_stdev"] = (statistics.stdev(values)
-                               if len(values) > 1 else 0.0)
+        if isinstance(result, BatchResult):
+            # Struct-of-arrays fast path: fold whole columns; column
+            # insertion order is the batch-wide first-seen key order.
+            for key, column in result.columns.items():
+                accumulator = accumulators.get(key)
+                if accumulator is None:
+                    accumulator = accumulators[key] = MetricAccumulator()
+                accumulator.update(column)
+        else:
+            for key, value in result.metrics.items():
+                accumulator = accumulators.get(key)
+                if accumulator is None:
+                    accumulator = accumulators[key] = MetricAccumulator()
+                accumulator.add(value)
+    out: Dict[str, float] = {}
+    for key, accumulator in accumulators.items():
+        out[key] = accumulator.mean()
+        out[f"{key}_stdev"] = accumulator.stdev()
     return out

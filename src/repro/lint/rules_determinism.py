@@ -16,14 +16,21 @@ the whole class at review time:
 * DET005 — process-clock reads (``time.perf_counter``,
   ``time.monotonic``, …) inside the ``repro.observe`` package, whose
   timestamps must come from the injected clock so exported traces and
-  metric dumps are byte-stable.
+  metric dumps are byte-stable;
+* DET006 — hand-rolled re-seeding (``random.seed``,
+  ``random.Random(seed)``) inside trial functions: trial code must
+  derive randomness through the counter-based
+  :func:`repro.runtime.kernel.trial_stream`, or batch partitions stop
+  being byte-identical.  A warning normally; an **error** in modules
+  that pass ``batch=`` anywhere (they are explicitly on the batched
+  path).
 """
 
 from __future__ import annotations
 
 import ast
 import pathlib
-from typing import Iterable, Iterator, Set, Type
+from typing import Dict, Iterable, Iterator, Set, Type
 
 from repro.lint.findings import Finding
 from repro.lint.registry import ModuleSource, Rule, dotted_name
@@ -217,6 +224,86 @@ class ObserveClockRule(Rule):
                 f"bound clock so traces and dumps stay byte-stable")
 
 
+def _seed_imports(tree: ast.Module) -> Dict[str, str]:
+    """``local name -> original name`` bound by ``from random import
+    seed / Random``."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name in ("seed", "Random"):
+                    names[alias.asname or alias.name] = alias.name
+    return names
+
+
+def _uses_batch_keyword(tree: ast.Module) -> bool:
+    """True when any call in the module passes a ``batch=`` keyword —
+    the module is explicitly on the batched path."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and any(
+                keyword.arg == "batch" for keyword in node.keywords):
+            return True
+    return False
+
+
+class TrialReseedRule(Rule):
+    id = "DET006"
+    severity = "warning"
+    summary = ("random.seed / random.Random(seed) inside a trial "
+               "function: hand-rolled re-seeding breaks batch-partition "
+               "identity; use repro.runtime.kernel.trial_stream")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = _random_aliases(module.tree)
+        from_imports = _seed_imports(module.tree)
+        severity = ("error" if _uses_batch_keyword(module.tree)
+                    else None)
+        for function in ast.walk(module.tree):
+            if not isinstance(function, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                continue
+            if "trial" not in function.name.lower():
+                continue
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                seeded = bool(node.args or node.keywords)
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in aliases):
+                    if func.attr == "seed":
+                        yield self.finding(
+                            module, node,
+                            f"{func.value.id}.seed() inside trial "
+                            f"{function.name!r} re-seeds the global RNG; "
+                            f"draw from repro.runtime.kernel."
+                            f"trial_stream(base_seed, index) so batch "
+                            f"partitions stay byte-identical",
+                            severity=severity)
+                    elif func.attr == "Random" and seeded:
+                        yield self.finding(
+                            module, node,
+                            f"{func.value.id}.Random(seed) inside trial "
+                            f"{function.name!r} hand-rolls a seed "
+                            f"derivation; use repro.runtime.kernel."
+                            f"trial_stream(base_seed, index) so batch "
+                            f"partitions stay byte-identical",
+                            severity=severity)
+                elif (isinstance(func, ast.Name)
+                        and func.id in from_imports
+                        and (from_imports[func.id] == "seed" or seeded)):
+                    yield self.finding(
+                        module, node,
+                        f"{func.id}() (from random import "
+                        f"{from_imports[func.id]}) inside trial "
+                        f"{function.name!r} hand-rolls re-seeding; use "
+                        f"repro.runtime.kernel.trial_stream(base_seed, "
+                        f"index) so batch partitions stay "
+                        f"byte-identical",
+                        severity=severity)
+
+
 RULES: Iterable[Type[Rule]] = (UnseededRandomRule, WallClockRule,
                                BuiltinHashRule, EnvIterationRule,
-                               ObserveClockRule)
+                               ObserveClockRule, TrialReseedRule)

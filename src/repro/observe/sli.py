@@ -93,13 +93,16 @@ class _Series:
 class _StoreSeries:
     """All-time result-store traffic for one store name."""
 
-    __slots__ = ("hits", "misses", "writes", "bytes")
+    __slots__ = ("hits", "misses", "writes", "bytes", "trials")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.bytes = 0
+        #: Trials served by hits: a scalar record serves 1, a batch
+        #: record serves its whole batch (``trials=`` on ``store.hit``).
+        self.trials = 0
 
 
 class SliMonitor:
@@ -189,6 +192,8 @@ class SliMonitor:
             setattr(tally, STORE_TOPICS[event.topic],
                     getattr(tally, STORE_TOPICS[event.topic]) + 1)
             tally.bytes += int(event.payload.get("bytes", 0) or 0)
+            if event.topic == "store.hit":
+                tally.trials += int(event.payload.get("trials", 1) or 1)
 
     # -- reads -------------------------------------------------------------
 
@@ -232,6 +237,10 @@ class SliMonitor:
         All-time tallies of ``store.hit`` / ``store.miss`` /
         ``store.write`` events (result-store traffic is not windowed:
         the interesting figure is the cumulative hit rate of a run).
+        ``trials_served`` counts the trials behind the hits: a batch
+        record (see :meth:`repro.harness.Experiment.run_batches`)
+        serves its whole seed batch from one hit, so under batching
+        ``trials_served`` exceeds ``hits``.
         """
         out: List[Dict[str, Any]] = []
         for name in sorted(self._stores):
@@ -243,6 +252,7 @@ class SliMonitor:
                 "misses": tally.misses,
                 "writes": tally.writes,
                 "bytes": tally.bytes,
+                "trials_served": tally.trials,
                 "hit_rate": (tally.hits / lookups) if lookups else None,
             })
         return out
@@ -279,9 +289,10 @@ class SliMonitor:
         if not store_rows:
             return table
         store_table = format_table(
-            ("store", "hits", "misses", "writes", "bytes", "hit rate"),
+            ("store", "hits", "misses", "writes", "bytes",
+             "trials served", "hit rate"),
             [[row["store"], row["hits"], row["misses"], row["writes"],
-              row["bytes"],
+              row["bytes"], row["trials_served"],
               "-" if row["hit_rate"] is None
               else f"{row['hit_rate']:.2%}"]
              for row in store_rows],

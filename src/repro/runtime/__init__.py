@@ -19,6 +19,13 @@ single output byte.  Five cooperating pieces:
   results keyed on (task, args digest, seed, code version) survive
   process exit, making campaigns and ``repro bench --incremental``
   skip unchanged work;
+* :mod:`~repro.runtime.kernel` — the batched trial kernel:
+  :func:`run_batch` executes whole seed batches as single pure calls
+  returning struct-of-arrays :class:`BatchResult` records (~B× less
+  pickle volume, one store key per batch), with counter-based seed
+  streams (:func:`trial_seed` / :func:`seed_range`) so any batch
+  partition is byte-identical, and the bit-exact single-pass
+  :class:`MetricAccumulator` behind ``summarize``;
 * :mod:`~repro.runtime.bench` — the ``repro bench`` runner: the whole
   benchmark suite through the pool, with drift detection against
   ``benchmarks/results/`` and a ``BENCH_harness.json`` timing report.
@@ -29,6 +36,15 @@ lifecycle and the store's key schema and invalidation contract.
 """
 
 from repro.runtime.cache import MemoCache
+from repro.runtime.kernel import (
+    BatchResult,
+    MetricAccumulator,
+    partition,
+    run_batch,
+    seed_range,
+    trial_seed,
+    trial_stream,
+)
 from repro.runtime.pmap import BACKENDS, ParallelMap, PoolStats, parallel_map
 from repro.runtime.pool import (
     WorkerPool,
@@ -45,8 +61,10 @@ from repro.runtime.store import (
 
 __all__ = [
     "BACKENDS",
+    "BatchResult",
     "MISS",
     "MemoCache",
+    "MetricAccumulator",
     "ParallelMap",
     "PoolStats",
     "ResultStore",
@@ -55,6 +73,11 @@ __all__ = [
     "code_fingerprint",
     "get_pool",
     "parallel_map",
+    "partition",
     "pool_stats",
+    "run_batch",
+    "seed_range",
     "shutdown_pools",
+    "trial_seed",
+    "trial_stream",
 ]

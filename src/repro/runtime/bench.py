@@ -62,6 +62,7 @@ QUICK_BENCHMARKS = (
     "bench_figure1_patterns",
     "bench_h1_stats_hotpath",
     "bench_h2_pool_reuse",
+    "bench_h4_batch_kernel",
     "bench_observe_overhead",
 )
 
@@ -216,11 +217,15 @@ def run_suite(benchmarks_dir: pathlib.Path,
               quick: bool = False,
               timeout: Optional[float] = DEFAULT_TIMEOUT,
               store: Optional[ResultStore] = None,
+              chunk_size: Optional[int] = None,
               ) -> Dict[str, Any]:
     """Run the (filtered) suite; returns the harness report document.
 
     With a ``store`` the run is incremental: files whose content-address
-    hits are served without executing, only misses fan out."""
+    hits are served without executing, only misses fan out.
+    ``chunk_size`` overrides the pool's per-submission bundling (1 =
+    one file per pool task, the coarse-unit discipline of the batch
+    kernel)."""
     paths = discover(benchmarks_dir)
     if quick:
         paths = [p for p in paths if p.stem in QUICK_BENCHMARKS]
@@ -246,7 +251,8 @@ def run_suite(benchmarks_dir: pathlib.Path,
         # is suite compute, not worker start-up.
         pool.prewarm(run_bench_file, [str(p) for p in missing])
     wall_start = time.perf_counter()
-    fresh = iter(pool.map(run_bench_file, [str(p) for p in missing])
+    fresh = iter(pool.map(run_bench_file, [str(p) for p in missing],
+                          chunk_size=chunk_size)
                  if missing else ())
     outcomes: List[Dict[str, Any]] = []
     for path in paths:
@@ -361,6 +367,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                         help="suite location (default: auto-detected)")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
                         help="per-benchmark deadline in seconds")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        metavar="N",
+                        help="benchmark files per pool submission "
+                             "(default: auto; 1 = one file per task)")
     parser.add_argument("--incremental", action="store_true",
                         help="serve benchmark files unchanged since the "
                              "last run from the result store")
@@ -388,7 +398,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     report = run_suite(benchmarks_dir, workers=args.workers,
                        backend=args.backend, only=args.only,
                        quick=args.quick, timeout=args.timeout,
-                       store=store)
+                       store=store,
+                       chunk_size=getattr(args, "chunk_size", None))
     if args.verbose:
         for name, output in report["outputs"].items():
             if output:

@@ -179,12 +179,22 @@ class ParallelMap:
 
     # -- the map -----------------------------------------------------------
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+    def map(self, fn: Callable[[T], R], items: Iterable[T],
+            chunk_size: Optional[int] = None) -> List[R]:
         """``[fn(item) for item in items]``, possibly in parallel.
 
         Results are returned in submission order; for a pure ``fn`` the
         returned list is identical to the serial comprehension above.
+
+        Args:
+            chunk_size: Per-call override of the constructor's chunk
+                size.  Batched callers (the harness's batch kernel)
+                pass ``1`` so each item — already a coarse batch of
+                work — is submitted as its own chunk and never
+                re-bundled into a second layer of pickling.
         """
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         tasks = list(items)
         backend = self._resolve(fn, tasks)
         self.stats = PoolStats(backend=backend, workers=self.workers,
@@ -195,8 +205,8 @@ class ParallelMap:
             self._report()
             return results
 
-        size = self.chunk_size or max(1, -(-len(tasks)
-                                           // (self.workers * 4)))
+        size = (chunk_size or self.chunk_size
+                or max(1, -(-len(tasks) // (self.workers * 4))))
         chunks = [tasks[i:i + size] for i in range(0, len(tasks), size)]
         self.stats.chunks = len(chunks)
         max_in_flight = self.max_in_flight or self.workers * 2

@@ -46,7 +46,7 @@ import json
 import os
 import pickle
 import zlib
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from repro._util import stable_int
 from repro.observe import current as _telemetry
@@ -145,6 +145,13 @@ class ResultStore:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Trials served/stored through batch records (a scalar record
+        #: counts 1; a batch record counts its batch size), so the SLI
+        #: store-traffic table can report per-batch hit accounting.
+        self.trials_served = 0
+        self.trials_stored = 0
+        #: ``key -> trials`` for batch records seen via put/index.
+        self._trials: Dict[str, int] = {}
         #: Log lines that failed to parse (skipped, never fatal).
         self.corrupt_lines = 0
         self.entries = 0
@@ -188,9 +195,7 @@ class ResultStore:
         """
         value = self.memory.get(key, default=MISS)
         if value is not MISS:
-            self.hits += 1
-            self._count("hits")
-            self._publish("store.hit", tier="memory")
+            self._record_hit(key, tier="memory")
             return value
         row = self._lookup(key)
         if row is None and self._log_grew():
@@ -201,22 +206,85 @@ class ResultStore:
             self._count("misses")
             self._publish("store.miss")
             return MISS
+        return self._load_row(key, row)
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """``{key: value-or-MISS}`` for every key, in one index pass.
+
+        The batched counterpart of :meth:`get`: the memory tier is
+        consulted per key, then every remaining key is resolved with a
+        **single** engine select (and at most one log refresh), instead
+        of replaying the index lock and a full-scan lookup once per
+        key.  Hit/miss accounting and ``store.hit``/``store.miss``
+        events are identical to ``{k: self.get(k) for k in keys}``.
+        """
+        out: Dict[str, Any] = {}
+        wanted: Dict[str, None] = {}  # insertion-ordered key set
+        for key in keys:
+            if key in out or key in wanted:
+                continue
+            value = self.memory.get(key, default=MISS)
+            if value is not MISS:
+                self._record_hit(key, tier="memory")
+                out[key] = value
+            else:
+                wanted[key] = None
+        if wanted:
+            rows = self._lookup_many(wanted)
+            if len(rows) < len(wanted) and self._log_grew():
+                self.refresh()
+                rows = self._lookup_many(wanted)
+            for key in wanted:
+                row = rows.get(key)
+                if row is None:
+                    self.misses += 1
+                    self._count("misses")
+                    self._publish("store.miss")
+                    out[key] = MISS
+                else:
+                    out[key] = self._load_row(key, row)
+        return out
+
+    def _record_hit(self, key: str, tier: str, bytes_read: int = 0
+                    ) -> None:
+        self.hits += 1
+        trials = self._trials.get(key, 1)
+        self.trials_served += trials
+        self._count("hits")
+        self._count("trials_served", trials)
+        payload: Dict[str, Any] = {"tier": tier}
+        if bytes_read:
+            payload["bytes"] = bytes_read
+        if trials > 1:
+            payload["trials"] = trials
+        self._publish("store.hit", **payload)
+
+    def _load_row(self, key: str, row: Dict[str, Any]) -> Any:
+        """Decode a disk row, promote it into memory, account the hit."""
         payload = bytes.fromhex(row["payload"])
         self.bytes_read += len(payload)
         value = pickle.loads(payload)
         self.memory.put(key, value)
-        self.hits += 1
-        self._count("hits")
         self._count("bytes_read", len(payload))
-        self._publish("store.hit", tier="disk", bytes=len(payload))
+        self._record_hit(key, tier="disk", bytes_read=len(payload))
         return value
 
     def put(self, key: str, value: Any, task: str = "?",
-            seed: Optional[int] = None) -> None:
-        """Persist ``value`` under ``key`` (append + index + memory)."""
+            seed: Optional[int] = None, trials: int = 1) -> None:
+        """Persist ``value`` under ``key`` (append + index + memory).
+
+        ``trials`` labels batch records with the number of trials the
+        one record carries (1 for scalar records); it is persisted in
+        the row, so later readers — including other processes — account
+        batch hits as ``trials`` served, and ``store.hit`` /
+        ``store.write`` events carry ``trials=`` for the SLI
+        store-traffic table.
+        """
         payload = pickle.dumps(value, protocol=_PICKLE_PROTOCOL).hex()
         row = {"id": stable_int(key, modulo=2 ** 62), "key": key,
                "task": task, "seed": seed, "payload": payload}
+        if trials != 1:
+            row["trials"] = trials
         line = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
         self._append(line)
         # Consuming the log from the previous offset indexes our record
@@ -225,9 +293,14 @@ class ResultStore:
         self.memory.put(key, value)
         self.writes += 1
         self.bytes_written += len(line)
+        self.trials_stored += trials
         self._count("writes")
         self._count("bytes_written", len(line))
-        self._publish("store.write", bytes=len(line))
+        self._count("trials_stored", trials)
+        event: Dict[str, Any] = {"bytes": len(line)}
+        if trials > 1:
+            event["trials"] = trials
+        self._publish("store.write", **event)
 
     def get_or_call(self, fn: Callable, *args: Any,
                     seed: Optional[int] = None,
@@ -308,6 +381,9 @@ class ResultStore:
             self.engine.execute(Insert(row=tuple(sorted(row.items()))))
         except QueryError:
             return 0
+        trials = row.get("trials")
+        if isinstance(trials, int) and trials > 1:
+            self._trials[row["key"]] = trials
         self.entries += 1
         return 1
 
@@ -315,6 +391,17 @@ class ResultStore:
         rows = self.engine.execute(
             Select(where=lambda r: r.get("key") == key))
         return rows[0] if rows else None
+
+    def _lookup_many(self, keys: Dict[str, None]) -> Dict[str, Any]:
+        """``key -> row`` for every indexed key of ``keys``, found with
+        one engine scan (duplicates keep the first record, matching
+        :meth:`_index`)."""
+        rows = self.engine.execute(
+            Select(where=lambda r: r.get("key") in keys))
+        found: Dict[str, Any] = {}
+        for row in rows:
+            found.setdefault(row["key"], row)
+        return found
 
     # -- accounting --------------------------------------------------------
 
@@ -329,6 +416,8 @@ class ResultStore:
                 "writes": self.writes, "entries": self.entries,
                 "bytes_read": self.bytes_read,
                 "bytes_written": self.bytes_written,
+                "trials_served": self.trials_served,
+                "trials_stored": self.trials_stored,
                 "corrupt_lines": self.corrupt_lines,
                 "hit_rate": round(self.hit_rate, 4),
                 "memory": self.memory.stats()}

@@ -7,6 +7,8 @@ this module, which deliberately contains
   correlated-fault risk DIV001 exists for,
 * one unseeded ``random.random()`` call (DET001),
 * one even-sized voting set (PAT001),
+* one hand-seeded ``random.Random(seed)`` inside a trial function
+  (DET006),
 
 and nothing else the linter objects to.  Don't "fix" these.
 """
@@ -45,6 +47,12 @@ def median_filter_b(series, span):
 def jittered(value):
     """Adds noise from the shared global RNG — the DET001 plant."""
     return value + random.random()
+
+
+def noisy_trial(seed):
+    """Hand-rolls its own seed derivation — the DET006 plant."""
+    rng = random.Random(seed * 31 + 7)
+    return {"value": rng.random()}
 
 
 def build_four_version_voter(versions):

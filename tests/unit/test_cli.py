@@ -45,7 +45,7 @@ class TestExperiments:
         out = capsys.readouterr().out
         for eid, _, bench in EXPERIMENT_INDEX:
             assert bench in out
-        assert len(EXPERIMENT_INDEX) == 28
+        assert len(EXPERIMENT_INDEX) == 29
 
     def test_index_ids_are_unique(self):
         ids = [eid for eid, _, _ in EXPERIMENT_INDEX]

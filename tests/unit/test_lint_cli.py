@@ -2,8 +2,8 @@
 
 The fixture (`tests/fixtures/lint_planted.py`) carries exactly one
 defect per planted family — a near-clone pair, an unseeded
-``random.random()``, an even voting set — so the JSON output pins both
-the detectors and their formatting.
+``random.random()``, an even voting set, a hand-seeded trial RNG — so
+the JSON output pins both the detectors and their formatting.
 """
 
 import json
@@ -28,12 +28,12 @@ class TestPlantedFixture:
     def test_exactly_the_planted_findings_in_json(self, capsys):
         code, payload = lint_json(capsys, FIXTURE)
         rules = [f["rule"] for f in payload["findings"]]
-        assert sorted(rules) == ["DET001", "DIV001", "PAT001"]
+        assert sorted(rules) == ["DET001", "DET006", "DIV001", "PAT001"]
         assert payload["counts"]["by_rule"] == {
-            "DET001": 1, "DIV001": 1, "PAT001": 1}
-        assert payload["counts"]["by_severity"] == {"warning": 3}
+            "DET001": 1, "DET006": 1, "DIV001": 1, "PAT001": 1}
+        assert payload["counts"]["by_severity"] == {"warning": 4}
         assert payload["files"] == 1
-        # All three anchor inside the fixture with real locations.
+        # All four anchor inside the fixture with real locations.
         for finding in payload["findings"]:
             assert finding["path"].endswith("lint_planted.py")
             assert finding["line"] > 0
@@ -44,6 +44,8 @@ class TestPlantedFixture:
         assert "median_filter_a" in by_rule["DIV001"]
         assert "similarity" in by_rule["DIV001"]
         assert "global RNG" in by_rule["DET001"]
+        assert "noisy_trial" in by_rule["DET006"]
+        assert "trial_stream" in by_rule["DET006"]
         assert "4 versions" in by_rule["PAT001"]
 
     def test_fail_on_gates_the_exit_code(self, capsys):
@@ -68,7 +70,8 @@ class TestPlantedFixture:
         assert main(["lint", FIXTURE]) == 0  # warnings < default error
         out = capsys.readouterr().out
         assert "DET001 warning:" in out
-        assert "3 findings (3 warning) in 1 file" in out
+        assert "DET006 warning:" in out
+        assert "4 findings (4 warning) in 1 file" in out
 
 
 class TestCliErrors:
@@ -94,12 +97,12 @@ class TestBaselineWorkflow:
         baseline = tmp_path / "baseline.json"
         assert main(["lint", FIXTURE, "--baseline", str(baseline),
                      "--write-baseline"]) == 0
-        assert "3 findings written" in capsys.readouterr().out
+        assert "4 findings written" in capsys.readouterr().out
         assert main(["lint", FIXTURE, "--fail-on", "warning",
                      "--baseline", str(baseline)]) == 0
         out = capsys.readouterr().out
         assert "0 findings" in out
-        assert "3 baseline" in out
+        assert "4 baseline" in out
 
 
 class TestSelfLintGate:

@@ -139,6 +139,90 @@ class TestEnvIteration:
         assert rule_ids(src) == []
 
 
+class TestTrialReseed:
+    def test_seeded_random_in_trial_function_is_flagged(self):
+        src = """
+            import random
+
+            def trial(seed):
+                rng = random.Random(seed)
+                return {"v": rng.random()}
+        """
+        assert rule_ids(src, select=["DET006"]) == ["DET006"]
+
+    def test_random_seed_in_trial_function_is_flagged(self):
+        src = """
+            import random
+
+            def run_trial(seed):
+                random.seed(seed)
+        """
+        assert rule_ids(src, select=["DET006"]) == ["DET006"]
+
+    def test_from_import_aliases_are_tracked(self):
+        src = """
+            from random import Random as R, seed as reseed
+
+            def my_trial(s):
+                reseed(s)
+                return R(s)
+        """
+        assert rule_ids(src, select=["DET006"]) \
+            == ["DET006", "DET006"]
+
+    def test_non_trial_functions_are_out_of_scope(self):
+        src = """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+        """
+        assert rule_ids(src, select=["DET006"]) == []
+
+    def test_seedless_random_is_det001s_business(self):
+        src = """
+            import random
+
+            def trial(seed):
+                return random.Random()
+        """
+        assert rule_ids(src, select=["DET006"]) == []
+
+    def test_escalates_to_error_in_batched_modules(self):
+        src = """
+            import random
+            from repro.harness import run_trials
+
+            def trial(seed):
+                rng = random.Random(seed)
+                return {"v": rng.random()}
+
+            results = run_trials(trial, range(8), batch=4)
+        """
+        found = findings(src, select=["DET006"])
+        assert [f.severity for f in found] == ["error"]
+
+    def test_warning_without_batch_keyword(self):
+        src = """
+            import random
+
+            def trial(seed):
+                return {"v": random.Random(seed).random()}
+        """
+        found = findings(src, select=["DET006"])
+        assert [f.severity for f in found] == ["warning"]
+
+    def test_trial_stream_pattern_is_clean(self):
+        src = """
+            from repro.runtime.kernel import trial_stream
+
+            def trial(seed):
+                rng = trial_stream(seed, 0)
+                return {"v": rng.random()}
+        """
+        assert rule_ids(src, select=["DET006"]) == []
+
+
 class TestProcessSafety:
     def test_lambda_task_is_flagged(self):
         src = """
