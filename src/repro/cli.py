@@ -245,6 +245,7 @@ def _cmd_lint(args) -> int:
         Baseline,
         LintEngine,
         default_rules,
+        render_github,
         render_json,
         render_text,
     )
@@ -260,9 +261,17 @@ def _cmd_lint(args) -> int:
             for rule in registry.rules(["DIV001"]):
                 assert isinstance(rule, NearCloneRule)
                 rule.threshold = args.diversity_threshold
+        if args.certificate and not args.deep:
+            raise ValueError("--certificate requires --deep")
+        deep_cache = None
+        if args.deep and args.deep_cache:
+            from repro.runtime.store import ResultStore
+
+            deep_cache = ResultStore(args.deep_cache, name="lint-deep")
         baseline = (Baseline.load(args.baseline)
                     if args.baseline and not args.write_baseline else None)
-        engine = LintEngine(registry, select=select, baseline=baseline)
+        engine = LintEngine(registry, select=select, baseline=baseline,
+                            deep=args.deep, deep_cache=deep_cache)
 
         if args.write_baseline:
             if not args.baseline:
@@ -274,14 +283,112 @@ def _cmd_lint(args) -> int:
                   f"{args.baseline}")
             return 0
 
+        if args.prune_baseline:
+            if not args.baseline:
+                raise ValueError("--prune-baseline requires --baseline PATH")
+            fresh = engine.run_for_baseline(args.paths)
+            current: dict = {}
+            for entry in fresh.entries:
+                fp = entry["fingerprint"]
+                current[fp] = current.get(fp, 0) + 1
+            kept, removed = Baseline.load(args.baseline).pruned(current)
+            kept.write(args.baseline)
+            print(f"{removed} stale entr{'y' if removed == 1 else 'ies'} "
+                  f"pruned from {args.baseline} ({len(kept)} kept)")
+            return 0
+
         report = engine.run(args.paths)
+        if args.certificate:
+            from repro.lint.deep import Certificate
+
+            Certificate(engine.analysis.certificate()).save(
+                args.certificate)
     except (FileNotFoundError, KeyError, ValueError, OSError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {"json": render_json, "github": render_github,
+                "text": render_text}[args.format]
     print(renderer(report), end="" if args.format == "json" else "\n")
     return report.exit_code(args.fail_on)
+
+
+def _cmd_certify(args) -> int:
+    """Analyze one task module and report / export its certificate."""
+    import json
+    import os
+
+    from repro.lint.deep import Certificate, DeepAnalysis, module_name_for
+    from repro.lint.deep.graph import import_closure
+    from repro.lint.registry import ModuleSource
+
+    target = args.target
+    module_part, _, func = target.partition(":")
+    try:
+        if os.path.isfile(module_part):
+            path = module_part
+        else:
+            import importlib.util
+
+            spec = importlib.util.find_spec(module_part)
+            if spec is None or not spec.origin or not \
+                    os.path.isfile(spec.origin):
+                raise FileNotFoundError(
+                    f"cannot locate module {module_part!r} (give a file "
+                    f"path or an importable dotted name)")
+            path = spec.origin
+        modules = []
+        for source_path in sorted(import_closure(path)):
+            try:
+                with open(source_path, "r", encoding="utf-8") as handle:
+                    modules.append(ModuleSource.parse(source_path,
+                                                      handle.read()))
+            except (OSError, SyntaxError, ValueError):
+                continue
+        analysis = DeepAnalysis()
+        analysis.summarize(modules)
+        analysis.propagate()
+        certificate = Certificate(analysis.certificate())
+        if args.out:
+            certificate.save(args.out)
+            print(f"certificate for {len(certificate)} functions "
+                  f"written to {args.out}")
+        module_name, _ = module_name_for(path)
+        if func:
+            keys = [f"{module_name}:{func}"]
+            if keys[0] not in certificate.functions:
+                raise KeyError(f"no function {func!r} in {module_name} "
+                               f"(module analyzed: {path})")
+        else:
+            prefix = f"{module_name}:"
+            keys = [key for key in sorted(certificate.functions)
+                    if key.startswith(prefix)]
+    except (FileNotFoundError, KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    dirty = 0
+    for key in keys:
+        entry = certificate.functions[key]
+        verdicts = ", ".join(
+            f"{prop}={'yes' if entry[prop] else 'NO'}"
+            for prop in ("deterministic", "picklable", "pure"))
+        print(f"{key}: {verdicts}")
+        hazards = entry.get("hazards", {})
+        if hazards:
+            dirty += 1
+            for label in sorted(hazards):
+                chain = hazards[label]
+                hops = [hop["function"].split(":", 1)[1]
+                        for hop in chain if "function" in hop]
+                terminal = chain[-1]
+                via = f" via {' -> '.join(hops)}" if hops else ""
+                print(f"  {label}: {terminal.get('detail', '?')} "
+                      f"({terminal['path']}:{terminal['line']}){via}")
+    if args.json:
+        print(json.dumps({key: certificate.functions[key]
+                          for key in keys}, indent=2, sort_keys=True))
+    return 1 if dirty else 0
 
 
 def _run_scenario(args):
@@ -449,8 +556,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "determinism, process-safety, pattern misuse")
     lint.add_argument("paths", nargs="+",
                       help="files or directories to analyse")
-    lint.add_argument("--format", choices=("text", "json"),
-                      default="text", help="report format")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text",
+                      help="report format (github emits workflow-command "
+                           "annotations for pull-request diffs)")
     lint.add_argument("--fail-on",
                       choices=("error", "warning", "info", "never"),
                       default="error",
@@ -469,7 +578,35 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="S",
                       help="similarity in (0, 1] at which DIV001 flags "
                            "a near-clone pair (default: 0.9)")
+    lint.add_argument("--prune-baseline", action="store_true",
+                      help="rewrite --baseline dropping entries whose "
+                           "finding no longer exists, and exit")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program pass: call-graph "
+                           "propagation of determinism / picklability / "
+                           "purity (XDET*/XPROC* rules)")
+    lint.add_argument("--deep-cache", metavar="PATH", default=None,
+                      help="content-addressed summary cache for --deep "
+                           "(a result-store log; warm re-lints only "
+                           "re-summarize edited modules)")
+    lint.add_argument("--certificate", metavar="PATH", default=None,
+                      help="with --deep: write the determinism "
+                           "certificate JSON consumed by certify= "
+                           "runtime enforcement")
     lint.set_defaults(func=_cmd_lint)
+
+    certify = sub.add_parser(
+        "certify", help="deep-analyze one task module and report its "
+                        "determinism certificate")
+    certify.add_argument("target", metavar="MODULE[:FUNC]",
+                         help="a file path or importable dotted module, "
+                              "optionally narrowed to one function "
+                              "(e.g. mytasks.py:my_trial)")
+    certify.add_argument("--out", metavar="PATH", default=None,
+                         help="write the full certificate JSON to PATH")
+    certify.add_argument("--json", action="store_true",
+                         help="also print the selected entries as JSON")
+    certify.set_defaults(func=_cmd_certify)
 
     demo = sub.add_parser("demo", help="run a small NVP demonstration")
     demo.add_argument("--versions", type=int, default=5)

@@ -79,6 +79,16 @@ class RepairFailedError(RedundancyError):
     """Genetic repair terminated without producing a passing variant."""
 
 
+class CertificationError(RedundancyError):
+    """A task submitted with ``certify=`` lacks a clean determinism
+    certificate and the run is in strict mode (``batch=`` / ``store=``).
+
+    Raised *before* any trial executes: a hidden clock/RNG/environment
+    hazard would silently poison byte-identity comparisons and
+    content-addressed store keys, so strict mode refuses to start.
+    """
+
+
 class AttackDetectedError(RedundancyError):
     """A security-oriented mechanism (process replicas, N-variant data)
     detected behavioural divergence indicating a malicious fault.

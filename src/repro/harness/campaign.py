@@ -107,6 +107,13 @@ class FaultCampaign:
             A served cell is **not re-measured**: its ``campaign.cell``
             event is not re-published (``store.hit`` is, instead), and
             editing any factory or the oracle invalidates its cells.
+        certify: Optional determinism certificate — a
+            :class:`~repro.lint.deep.certificate.Certificate` or a path
+            to one.  The oracle and every protector factory are checked
+            before the matrix runs: advisory
+            :class:`~repro.lint.deep.certificate.CertificationWarning`
+            normally, strict :class:`~repro.exceptions.
+            CertificationError` when ``batch=`` / ``store=`` is set.
     """
 
     def __init__(self,
@@ -118,7 +125,8 @@ class FaultCampaign:
                  workers: int = 1,
                  backend: str = "auto",
                  batch: Optional[int] = None,
-                 store: Optional["ResultStore"] = None) -> None:
+                 store: Optional["ResultStore"] = None,
+                 certify: Optional[Any] = None) -> None:
         if not protectors:
             raise ValueError("a campaign needs protectors")
         if not faults:
@@ -137,13 +145,31 @@ class FaultCampaign:
         self.backend = backend
         self.batch = batch
         self.store = store
+        self.certify = certify
+
+    def _enforce_certificate(self) -> None:
+        """Gate on ``certify=`` (no-op when unset); runs once before
+        the matrix, checking the oracle and the protector factories."""
+        if self.certify is None:
+            return
+        from repro.lint.deep.certificate import enforce_certificate
+
+        tasks: Dict[str, Callable] = {"oracle": self.oracle}
+        for label, factory in self.protectors.items():
+            tasks[f"protector:{label}"] = factory
+        enforce_certificate(
+            self.certify, tasks,
+            strict=self.batch is not None or self.store is not None,
+            context="fault campaign")
 
     def __getstate__(self) -> Dict[str, Any]:
-        # The store is consulted (and written) parent-side only; pool
-        # workers get a store-less copy so fan-out never depends on the
-        # store itself being picklable.
+        # The store is consulted (and written) parent-side only, and the
+        # certificate is enforced before fan-out; pool workers get a
+        # copy without either so fan-out never depends on them being
+        # picklable.
         state = dict(self.__dict__)
         state["store"] = None
+        state["certify"] = None
         return state
 
     def run_cell(self, protector_label: str, fault_label: str
@@ -219,6 +245,7 @@ class FaultCampaign:
 
     def run(self) -> List[CampaignCell]:
         """The full matrix, protector-major."""
+        self._enforce_certificate()
         pairs = [(protector, fault)
                  for protector in self.protectors
                  for fault in self.faults]

@@ -76,6 +76,19 @@ class Experiment:
             **not re-executed**, so its side-band telemetry events are
             not re-published (the stored result, including any
             ``telemetry`` digest, is byte-identical).
+        certify: Optional determinism certificate — a
+            :class:`~repro.lint.deep.certificate.Certificate` or a path
+            to one (written by ``repro lint --deep --certificate``).
+            Before any trial executes, the trial callable is checked
+            against it: uncertified, stale, or hazardous tasks raise a
+            :class:`~repro.lint.deep.certificate.CertificationWarning`
+            in plain runs, and a :class:`~repro.exceptions.
+            CertificationError` when ``batch=`` or ``store=`` is in
+            play — the paths whose byte-identity and content-addressed
+            keys a hidden hazard silently poisons.  Enforcement never
+            touches the RNG, the clock, or the trial itself, so a
+            certified run is byte-identical to the same run without
+            ``certify=``.
     """
 
     name: str
@@ -86,11 +99,27 @@ class Experiment:
     backend: str = "auto"
     batch: Optional[int] = None
     store: Optional["ResultStore"] = None
+    certify: Optional[Any] = None
+
+    def _enforce_certificate(self) -> None:
+        """Gate on ``certify=`` (no-op when unset).  Runs before any
+        trial; strict (error, not warning) whenever batching or the
+        store could silently absorb nondeterministic results."""
+        if self.certify is None:
+            return
+        from repro.lint.deep.certificate import enforce_certificate
+
+        enforce_certificate(
+            self.certify, {"trial": self.trial},
+            strict=self.batch is not None or self.store is not None,
+            context=f"experiment {self.name!r}")
 
     def run(self) -> List[TrialResult]:
         if self.batch is not None:
+            # run_batches() enforces the certificate itself.
             return [result for batch in self.run_batches()
                     for result in batch.results()]
+        self._enforce_certificate()
         if self.store is None:
             return self._execute(list(self.seeds))
         from repro.runtime.store import MISS, code_fingerprint
@@ -125,6 +154,7 @@ class Experiment:
         ``trials=len(batch)`` for per-batch accounting in the SLI
         store-traffic table.
         """
+        self._enforce_certificate()
         batches = partition(self.seeds,
                             self.batch if self.batch is not None
                             else max(1, len(self.seeds)))
@@ -224,11 +254,12 @@ def run_trials(trial: Callable[[int], Dict[str, float]],
                seeds: Sequence[int], workers: int = 1,
                backend: str = "auto",
                batch: Optional[int] = None,
-               store: Optional["ResultStore"] = None) -> List[TrialResult]:
+               store: Optional["ResultStore"] = None,
+               certify: Optional[Any] = None) -> List[TrialResult]:
     """Run ``trial`` over seeds (functional form of :class:`Experiment`)."""
     return Experiment(name="trials", trial=trial, seeds=tuple(seeds),
                       workers=workers, backend=backend, batch=batch,
-                      store=store).run()
+                      store=store, certify=certify).run()
 
 
 def summarize(results: Sequence[Union[TrialResult, BatchResult]]

@@ -243,7 +243,8 @@ def lint_scenario(requests: int, seed: int) -> Dict[str, Any]:
     import repro
     from repro.lint import run_paths
 
-    report = run_paths([os.path.dirname(os.path.abspath(repro.__file__))])
+    report, _ = run_paths(
+        [os.path.dirname(os.path.abspath(repro.__file__))])
     severities = report.counts_by_severity()
     return {"files": report.files,
             "findings": len(report.findings),

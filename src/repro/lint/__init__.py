@@ -15,7 +15,11 @@ families:
   into ``ParallelMap`` process-backend call sites;
 * **pattern misuse** (PAT*) — even-sized voting sets (the ``2k + 1``
   rule), adjudicator-less parallel patterns, rollback-less sequential
-  alternatives.
+  alternatives;
+* **deep whole-program** (XDET*/XPROC*) — summary-based call-graph
+  propagation of determinism, picklability, and purity across module
+  boundaries (``repro lint --deep``, :mod:`repro.lint.deep`), plus
+  runtime-enforced determinism certificates (``repro certify``).
 
 Run it via ``repro lint <paths>`` or programmatically::
 
@@ -41,6 +45,7 @@ from repro.lint.engine import (
     LintEngine,
     LintReport,
     discover_files,
+    discover_sources,
     run_paths,
 )
 from repro.lint.findings import (
@@ -58,7 +63,7 @@ from repro.lint.registry import (
     RuleRegistry,
     default_rules,
 )
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_github, render_json, render_text
 from repro.lint.rules_diversity import pairwise_similarity
 
 __all__ = [
@@ -77,9 +82,11 @@ __all__ = [
     "at_least",
     "default_rules",
     "discover_files",
+    "discover_sources",
     "diversity",
     "normalize_tokens",
     "pairwise_similarity",
+    "render_github",
     "render_json",
     "render_text",
     "run_paths",

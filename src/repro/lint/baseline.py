@@ -61,6 +61,24 @@ class Baseline:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
 
+    def pruned(self, current: Dict[str, int]) -> Tuple["Baseline", int]:
+        """``(new baseline, entries removed)`` keeping only live debt.
+
+        ``current`` is the multiset of fingerprints an ungated run
+        produces *today* (see ``LintEngine.run_for_baseline``).  Each
+        entry keeps its slot only while the current count for its
+        fingerprint is not yet exhausted, so multiplicity survives:
+        a baseline with two identical entries against one remaining
+        finding keeps exactly one.  Entry order is preserved.
+        """
+        remaining = collections.Counter(current)
+        kept: List[dict] = []
+        for entry in self.entries:
+            if remaining.get(entry["fingerprint"], 0) > 0:
+                remaining[entry["fingerprint"]] -= 1
+                kept.append(entry)
+        return Baseline(kept), len(self.entries) - len(kept)
+
     def suppresses(self, finding: Finding, line_text: str) -> bool:
         """Consume one suppression for this finding if available."""
         fingerprint = finding.fingerprint(line_text)

@@ -48,6 +48,12 @@ class LintReport:
     pragma_suppressed: int = 0
     #: Findings silenced by the baseline file.
     baseline_suppressed: int = 0
+    #: Files discovered but not lintable (non-UTF-8, unreadable):
+    #: ``{"path": ..., "reason": ...}`` notes, deterministic order.
+    skipped: List[dict] = dataclasses.field(default_factory=list)
+    #: Deep-pass accounting (``DeepAnalysis.stats()``) when the run
+    #: had ``deep=True``; ``None`` otherwise.
+    deep: Optional[dict] = None
 
     def counts_by_rule(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -85,8 +91,9 @@ def _pragma_allows(line_text: str, rule_id: str) -> bool:
 def discover_files(paths: Sequence[str]) -> List[str]:
     """Python files under the given files/directories, sorted.
 
-    Hidden directories and ``__pycache__`` are skipped.  A named file
-    is taken as-is (whatever its extension); missing paths raise.
+    Hidden directories, hidden files, and ``__pycache__`` are skipped.
+    A named file is taken as-is (whatever its extension); missing paths
+    raise.
     """
     found: List[str] = []
     for path in paths:
@@ -98,10 +105,37 @@ def discover_files(paths: Sequence[str]) -> List[str]:
                                  and d != "__pycache__")
                 found.extend(os.path.join(root, name)
                              for name in sorted(files)
-                             if name.endswith(".py"))
+                             if name.endswith(".py")
+                             and not name.startswith("."))
         else:
             raise FileNotFoundError(f"no such file or directory: {path}")
     return sorted(dict.fromkeys(found))
+
+
+def discover_sources(paths: Sequence[str]
+                     ) -> Tuple[List[Tuple[str, str]], List[dict]]:
+    """``(path, source)`` pairs plus skip notes, both sorted by path.
+
+    Files that are not UTF-8 text (checked-in binaries with a ``.py``
+    extension, editor droppings) or cannot be read are *skipped with a
+    recorded note* rather than crashing the run or polluting it with
+    spurious parse errors: the note carries the path and the reason, is
+    surfaced in text/JSON reports, and is deterministic run to run.
+    """
+    sources: List[Tuple[str, str]] = []
+    skipped: List[dict] = []
+    for path in discover_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append((path, handle.read()))
+        except UnicodeDecodeError as exc:
+            skipped.append({"path": path,
+                            "reason": f"not UTF-8 text ({exc.reason} "
+                                      f"at byte {exc.start})"})
+        except OSError as exc:
+            skipped.append({"path": path,
+                            "reason": f"cannot be read ({exc})"})
+    return sources, skipped
 
 
 class LintEngine:
@@ -111,14 +145,27 @@ class LintEngine:
         registry: Rules to run; defaults to every built-in rule.
         select: Optional rule-id subset.
         baseline: Optional committed :class:`Baseline`.
+        deep: Run the whole-program pass (:mod:`repro.lint.deep`) after
+            the per-module rules: its XDET/XPROC findings flow through
+            the same pragma/baseline/select machinery.
+        deep_cache: Optional :class:`~repro.runtime.store.ResultStore`
+            content-addressing per-module summaries, so a warm re-lint
+            only re-summarizes edited modules.
     """
 
     def __init__(self, registry: Optional[RuleRegistry] = None,
                  select: Optional[Sequence[str]] = None,
-                 baseline: Optional[Baseline] = None) -> None:
+                 baseline: Optional[Baseline] = None,
+                 deep: bool = False,
+                 deep_cache: Optional[object] = None) -> None:
         self.registry = registry or default_rules()
         self.rules = self.registry.rules(select)
         self.baseline = baseline
+        self.deep = deep
+        self.deep_cache = deep_cache
+        #: The :class:`~repro.lint.deep.propagate.DeepAnalysis` of the
+        #: last deep run — the CLI reads its certificate.
+        self.analysis = None
 
     # -- single-module entry points -------------------------------------
 
@@ -149,27 +196,9 @@ class LintEngine:
         """Lint every Python file under ``paths``."""
         start = time.perf_counter()
         report = LintReport()
-        collected: List[Tuple[Finding, str]] = []
-        for path in discover_files(paths):
-            report.files += 1
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    source = handle.read()
-                module = ModuleSource.parse(path, source)
-            except (SyntaxError, ValueError) as exc:
-                line = getattr(exc, "lineno", 1) or 1
-                collected.append((Finding(
-                    rule=PARSE_ERROR_RULE, severity="error", path=path,
-                    line=line, col=0,
-                    message=f"file does not parse: {exc}"), ""))
-                continue
-            except OSError as exc:
-                collected.append((Finding(
-                    rule=PARSE_ERROR_RULE, severity="error", path=path,
-                    line=1, col=0,
-                    message=f"file cannot be read: {exc}"), ""))
-                continue
-            collected.extend(self._raw_findings(module))
+        collected, files, skipped = self._collect(paths)
+        report.files = files
+        report.skipped = skipped
 
         for finding, line_text in collected:
             if _pragma_allows(line_text, finding.rule):
@@ -180,28 +209,64 @@ class LintEngine:
             else:
                 report.findings.append(finding)
         report.findings.sort(key=Finding.sort_key)
+        if self.deep and self.analysis is not None:
+            report.deep = self.analysis.stats()
         report.duration = time.perf_counter() - start
         self._record_metrics(report)
         return report
 
+    def _collect(self, paths: Sequence[str]
+                 ) -> Tuple[List[Tuple[Finding, str]], int, List[dict]]:
+        """All raw ``(finding, line text)`` pairs under ``paths``,
+        the file count, and the skip notes — suppression not applied."""
+        collected: List[Tuple[Finding, str]] = []
+        modules: List[ModuleSource] = []
+        sources, skipped = discover_sources(paths)
+        for path, source in sources:
+            try:
+                module = ModuleSource.parse(path, source)
+            except (SyntaxError, ValueError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                collected.append((Finding(
+                    rule=PARSE_ERROR_RULE, severity="error", path=path,
+                    line=line, col=0,
+                    message=f"file does not parse: {exc}"), ""))
+                continue
+            modules.append(module)
+            collected.extend(self._raw_findings(module))
+        if self.deep:
+            collected.extend(self._deep_findings(modules))
+        return collected, len(sources) + len(skipped), skipped
+
+    def _deep_findings(self, modules: Sequence[ModuleSource]
+                       ) -> List[Tuple[Finding, str]]:
+        """Whole-program findings, paired with their anchor line text
+        (the entry point's ``def`` line) so pragmas and baseline
+        fingerprints work exactly as for per-module findings."""
+        from repro.lint.deep import DeepAnalysis
+
+        analysis = DeepAnalysis(cache=self.deep_cache)
+        allowed = {rule.id for rule in self.rules}
+        lines_by_path = {module.path: module.lines for module in modules}
+        pairs: List[Tuple[Finding, str]] = []
+        for finding in analysis.run(modules):
+            if finding.rule not in allowed:
+                continue
+            lines = lines_by_path.get(finding.path, [])
+            index = finding.line - 1
+            line_text = lines[index] if 0 <= index < len(lines) else ""
+            pairs.append((finding, line_text))
+        self.analysis = analysis
+        return pairs
+
     def run_for_baseline(self, paths: Sequence[str]) -> Baseline:
-        """A baseline accepting every active finding of a fresh run."""
-        saved, self.baseline = self.baseline, None
-        try:
-            pairs: List[Tuple[Finding, str]] = []
-            for path in discover_files(paths):
-                try:
-                    with open(path, "r", encoding="utf-8") as handle:
-                        module = ModuleSource.parse(path, handle.read())
-                except (SyntaxError, ValueError, OSError):
-                    continue
-                pairs.extend(
-                    (finding, line_text)
-                    for finding, line_text in self._raw_findings(module)
-                    if not _pragma_allows(line_text, finding.rule))
-            return Baseline.from_findings(pairs)
-        finally:
-            self.baseline = saved
+        """A baseline accepting every active finding of a fresh run
+        (deep findings included when the engine runs deep)."""
+        collected, _, _ = self._collect(paths)
+        return Baseline.from_findings(
+            (finding, line_text) for finding, line_text in collected
+            if finding.rule != PARSE_ERROR_RULE
+            and not _pragma_allows(line_text, finding.rule))
 
     # -- telemetry -------------------------------------------------------
 
@@ -219,6 +284,21 @@ class LintEngine:
         if report.baseline_suppressed:
             tel.metrics.inc("repro_lint_suppressed_total",
                             report.baseline_suppressed, layer="baseline")
+        if report.skipped:
+            tel.metrics.inc("repro_lint_files_skipped_total",
+                            len(report.skipped))
+        if report.deep is not None:
+            cache = report.deep["summary_cache"]
+            tel.metrics.inc("repro_lint_deep_modules_total",
+                            report.deep["modules"])
+            tel.metrics.inc("repro_lint_deep_functions_total",
+                            report.deep["functions"])
+            if cache["hits"]:
+                tel.metrics.inc("repro_lint_deep_summary_cache_total",
+                                cache["hits"], result="hit")
+            if cache["misses"]:
+                tel.metrics.inc("repro_lint_deep_summary_cache_total",
+                                cache["misses"], result="miss")
         tel.metrics.observe("repro_lint_run_seconds", report.duration)
         tel.publish("lint.run", files=report.files,
                     findings=len(report.findings),
@@ -229,8 +309,15 @@ class LintEngine:
 def run_paths(paths: Sequence[str],
               select: Optional[Sequence[str]] = None,
               baseline_path: Optional[str] = None,
-              diversity_threshold: Optional[float] = None) -> LintReport:
-    """One-shot convenience wrapper used by the CLI and the scenario."""
+              diversity_threshold: Optional[float] = None,
+              deep: bool = False,
+              deep_cache_path: Optional[str] = None
+              ) -> Tuple[LintReport, LintEngine]:
+    """One-shot convenience wrapper used by the CLI and the scenario.
+
+    Returns the report *and* the engine, so callers needing the deep
+    analysis (certificate export) can reach ``engine.analysis``.
+    """
     registry = default_rules()
     if diversity_threshold is not None:
         from repro.lint.rules_diversity import NearCloneRule
@@ -242,5 +329,11 @@ def run_paths(paths: Sequence[str],
         rule.threshold = diversity_threshold
     baseline = (Baseline.load(baseline_path)
                 if baseline_path is not None else None)
-    engine = LintEngine(registry, select=select, baseline=baseline)
-    return engine.run(paths)
+    deep_cache = None
+    if deep and deep_cache_path is not None:
+        from repro.runtime.store import ResultStore
+
+        deep_cache = ResultStore(deep_cache_path, name="lint-deep")
+    engine = LintEngine(registry, select=select, baseline=baseline,
+                        deep=deep, deep_cache=deep_cache)
+    return engine.run(paths), engine

@@ -48,6 +48,12 @@ class Finding:
         line: 1-based source line.
         col: 0-based source column.
         message: Human-readable explanation with the suggested fix.
+        chain: Optional call-chain evidence attached by the deep
+            whole-program pass (``repro lint --deep``): a list of hops
+            from the flagged function down to the concrete hazard
+            site.  ``None`` for ordinary per-module findings, and
+            omitted from :meth:`as_dict` so existing JSON consumers
+            see unchanged payloads.
     """
 
     rule: str
@@ -56,6 +62,7 @@ class Finding:
     line: int
     col: int
     message: str
+    chain: list = dataclasses.field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         severity_rank(self.severity)  # validate early
@@ -79,7 +86,10 @@ class Finding:
         return (self.path, self.line, self.col, self.rule)
 
     def as_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        if payload.get("chain") is None:
+            del payload["chain"]
+        return payload
 
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "

@@ -113,6 +113,7 @@ def default_rules() -> RuleRegistry:
     (e.g. the DIV001 similarity threshold) never leaks between runs.
     """
     from repro.lint import (  # noqa: F401 - imported for registration
+        rules_deep,
         rules_determinism,
         rules_diversity,
         rules_patterns,
@@ -121,7 +122,7 @@ def default_rules() -> RuleRegistry:
 
     registry = RuleRegistry()
     for module in (rules_determinism, rules_process_safety,
-                   rules_patterns, rules_diversity):
+                   rules_patterns, rules_diversity, rules_deep):
         for rule_cls in module.RULES:
             registry.register(rule_cls())
     return registry

@@ -14,9 +14,8 @@ from repro.lint.engine import LintReport
 JSON_FORMAT_VERSION = 1
 
 
-def render_text(report: LintReport) -> str:
-    """One line per finding plus a summary footer."""
-    lines = [finding.render() for finding in report.findings]
+def _footer(report: LintReport) -> str:
+    """The one-line run summary shared by the text and github formats."""
     severities = report.counts_by_severity()
     breakdown = ", ".join(f"{severities[s]} {s}"
                           for s in ("error", "warning", "info")
@@ -30,14 +29,38 @@ def render_text(report: LintReport) -> str:
         footer += (f"; {suppressed} suppressed "
                    f"({report.pragma_suppressed} pragma, "
                    f"{report.baseline_suppressed} baseline)")
+    if report.skipped:
+        footer += f"; {len(report.skipped)} file" \
+                  f"{'' if len(report.skipped) == 1 else 's'} skipped"
+    if report.deep is not None:
+        cache = report.deep["summary_cache"]
+        footer += (f"; deep: {report.deep['functions']} functions in "
+                   f"{report.deep['modules']} modules"
+                   + (f", summary cache {cache['hits']} hit"
+                      f"{'' if cache['hits'] == 1 else 's'} / "
+                      f"{cache['misses']} miss"
+                      f"{'' if cache['misses'] == 1 else 'es'}"
+                      if cache["enabled"] else ""))
+    return footer
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a summary footer."""
+    lines = [finding.render() for finding in report.findings]
     if lines:
         lines.append("")
-    lines.append(footer)
+    lines.append(_footer(report))
     return "\n".join(lines)
 
 
 def render_json(report: LintReport) -> str:
-    """The report as a stable JSON document."""
+    """The report as a stable JSON document.
+
+    The payload only ever *gains* keys within a format version:
+    ``skipped`` and ``deep`` were added alongside the deep pass and
+    are omitted-when-empty / ``null``-when-off respectively, so
+    pre-existing consumers see unchanged documents.
+    """
     payload = {
         "version": JSON_FORMAT_VERSION,
         "files": report.files,
@@ -52,4 +75,38 @@ def render_json(report: LintReport) -> str:
             "baseline": report.baseline_suppressed,
         },
     }
+    if report.skipped:
+        payload["skipped"] = report.skipped
+    if report.deep is not None:
+        payload["deep"] = report.deep
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _workflow_escape(value: str, *, property: bool = False) -> str:
+    """Escape per GitHub's workflow-command rules."""
+    value = (value.replace("%", "%25").replace("\r", "%0D")
+             .replace("\n", "%0A"))
+    if property:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def render_github(report: LintReport) -> str:
+    """The report as GitHub Actions workflow commands.
+
+    One ``::warning``/``::error`` line per finding, annotated with
+    file/line/col so the findings surface inline on the pull-request
+    diff, followed by a plain-text summary footer (``::notice``).
+    Severity ``info`` maps to ``notice``.
+    """
+    level = {"error": "error", "warning": "warning", "info": "notice"}
+    lines = []
+    for finding in report.findings:
+        location = (f"file={_workflow_escape(finding.path, property=True)},"
+                    f"line={finding.line},col={finding.col + 1},"
+                    f"title={_workflow_escape(finding.rule, property=True)}")
+        lines.append(f"::{level[finding.severity]} {location}::"
+                     f"{_workflow_escape(finding.message)}")
+    lines.append(f"::notice title=repro lint::"
+                 f"{_workflow_escape(_footer(report))}")
+    return "\n".join(lines)

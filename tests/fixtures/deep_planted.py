@@ -1,0 +1,55 @@
+"""Entry points for the deep-analysis fixtures.
+
+Each ``*_trial`` below is hazard-free *locally* — every per-module
+rule passes it — but transitively reaches one hazard planted two call
+hops away in :mod:`tests.fixtures.deep_helpers`:
+
+==================  ========  =========================================
+clock_trial         XDET001   aliased ``time.time`` via annotate→stamp
+entropy_trial       XDET002   ``uuid.uuid4`` via labelled→fresh_token
+env_trial           XDET003   ``os.getenv`` via homed→host_home
+pickle_trial        XPROC001  ``threading.Lock()`` via gated→make_gate
+impure_trial        XPROC002  mutates ``_LEDGER`` via audited→record
+clean_trial         (none)    seeded RNG only; certifies clean
+==================  ========  =========================================
+
+Do not "fix" these: tests pin the exact findings, and the certify
+tests run ``clean_trial`` / ``impure_trial`` live.
+"""
+
+import random
+
+from tests.fixtures.deep_helpers import (
+    annotate,
+    audited,
+    doubled,
+    gated,
+    homed,
+    labelled,
+)
+
+
+def clock_trial(seed):
+    return {"value": float(annotate(seed * 3)[1])}
+
+
+def entropy_trial(seed):
+    return {"value": float(len(labelled(seed + 1)))}
+
+
+def env_trial(seed):
+    return {"value": float(len(homed(seed - 1)[0]))}
+
+
+def pickle_trial(seed):
+    return {"value": float(gated(seed % 7)[1])}
+
+
+def impure_trial(seed):
+    return {"value": float(audited(seed))}
+
+
+def clean_trial(seed):
+    rng = random.Random(seed)  # lint: allow[DET006]
+    return {"value": float(doubled(sum(rng.randrange(100)
+                                       for _ in range(4))))}

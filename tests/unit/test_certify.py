@@ -1,0 +1,170 @@
+"""Runtime enforcement of determinism certificates (certify=)."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.exceptions import CertificationError
+from repro.harness.experiment import Experiment, run_trials
+from repro.lint import LintEngine
+from repro.lint.deep import Certificate, CertificationWarning
+from tests.fixtures import deep_helpers, deep_planted
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.relpath(os.path.join(HERE, "..", "fixtures"))
+HELPERS = os.path.join(FIXTURES, "deep_helpers.py")
+PLANTED = os.path.join(FIXTURES, "deep_planted.py")
+
+
+@pytest.fixture(scope="module")
+def certificate():
+    engine = LintEngine(deep=True)
+    engine.run([HELPERS, PLANTED])
+    return Certificate(engine.analysis.certificate())
+
+
+class TestCleanTask:
+    def test_certified_batched_run_is_byte_identical(self, certificate):
+        seeds = list(range(8))
+        plain = run_trials(deep_planted.clean_trial, seeds, batch=4)
+        certified = run_trials(deep_planted.clean_trial, seeds, batch=4,
+                               certify=certificate)
+        assert certified == plain  # enforcement never touches RNG/clock
+
+    def test_no_warning_for_clean_task(self, certificate):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CertificationWarning)
+            run_trials(deep_planted.clean_trial, [1, 2],
+                       certify=certificate)
+
+    def test_certificate_path_accepted(self, certificate, tmp_path):
+        path = str(tmp_path / "cert.json")
+        certificate.save(path)
+        results = run_trials(deep_planted.clean_trial, [3], certify=path)
+        assert results == run_trials(deep_planted.clean_trial, [3])
+
+
+class TestHazardousTask:
+    def test_blocked_under_batch_before_any_execution(self, certificate):
+        before = len(deep_helpers._LEDGER)
+        with pytest.raises(CertificationError) as excinfo:
+            run_trials(deep_planted.impure_trial, list(range(4)),
+                       batch=2, certify=certificate)
+        assert len(deep_helpers._LEDGER) == before  # nothing ran
+        message = str(excinfo.value)
+        assert "not certified pure" in message
+        assert "_LEDGER.append" in message
+        assert "audited -> record" in message  # evidence chain
+
+    def test_blocked_under_store(self, certificate, tmp_path):
+        from repro.runtime.store import ResultStore
+
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        with pytest.raises(CertificationError):
+            run_trials(deep_planted.clock_trial, [0], store=store,
+                       certify=certificate)
+        assert len(store) == 0
+
+    def test_advisory_warning_on_plain_run(self, certificate):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = run_trials(deep_planted.clock_trial, [1],
+                                 certify=certificate)
+        assert len(results) == 1  # the run proceeded
+        assert [w.category for w in caught] == [CertificationWarning]
+        assert "not certified deterministic" in str(caught[0].message)
+
+    def test_every_planted_entry_blocks_strict(self, certificate):
+        for trial in (deep_planted.clock_trial,
+                      deep_planted.entropy_trial,
+                      deep_planted.env_trial,
+                      deep_planted.pickle_trial,
+                      deep_planted.impure_trial):
+            with pytest.raises(CertificationError):
+                Experiment(name="x", trial=trial, seeds=(0,),
+                           batch=1, certify=certificate).run()
+
+
+class TestCertificateEdgeCases:
+    def test_uncertified_task_is_a_problem(self, certificate):
+        def unlisted_trial(seed):
+            return {"value": float(seed)}
+
+        with pytest.raises(CertificationError) as excinfo:
+            run_trials(unlisted_trial, [0], batch=1,
+                       certify=certificate)
+        assert "no entry in the certificate" in str(excinfo.value)
+
+    def test_stale_certificate_detected(self, certificate):
+        payload = certificate.payload
+        key = "tests.fixtures.deep_planted:clean_trial"
+        stale = {
+            "version": payload["version"],
+            "functions": {key: dict(payload["functions"][key],
+                                    code="0" * 16)},
+        }
+        with pytest.raises(CertificationError) as excinfo:
+            run_trials(deep_planted.clean_trial, [0], batch=1,
+                       certify=Certificate(stale))
+        assert "stale certificate" in str(excinfo.value)
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Certificate({"version": "determinism-certificate/v999",
+                         "functions": {}})
+
+    def test_no_certify_means_no_check(self):
+        # The knob is opt-in: hazardous tasks run unimpeded without it.
+        results = run_trials(deep_planted.impure_trial, [0], batch=1)
+        assert len(results) == 1
+
+    def test_telemetry_counts_verdicts(self, certificate):
+        from repro import observe
+
+        with observe.session() as tel:
+            run_trials(deep_planted.clean_trial, [1],
+                       certify=certificate)
+            with pytest.raises(CertificationError):
+                run_trials(deep_planted.clock_trial, [1], batch=1,
+                           certify=certificate)
+        metrics = tel.metrics.as_dict()
+        assert metrics['repro_certify_checks_total{verdict="ok"}'] == 1
+        assert metrics[
+            'repro_certify_checks_total{verdict="blocked"}'] == 1
+
+
+class TestCampaignCertify:
+    def test_campaign_checks_oracle_and_protectors(self, certificate):
+        from repro.faults.development import Bohrbug, InputRegion
+        from repro.harness.campaign import FaultCampaign
+
+        from repro.harness.campaign import _unprotected
+
+        campaign = FaultCampaign(
+            protectors={"bare": _unprotected},
+            faults={"bohrbug": lambda: Bohrbug(
+                "b", region=InputRegion(0, 3))},
+            requests=5, batch=1, certify=certificate)
+        # Neither the default oracle nor the protector factories appear
+        # in the fixtures' certificate -> strict mode refuses to run.
+        with pytest.raises(CertificationError) as excinfo:
+            campaign.run()
+        assert "no entry in the certificate" in str(excinfo.value)
+
+    def test_campaign_advisory_without_batch_or_store(self, certificate):
+        from repro.faults.development import Bohrbug, InputRegion
+        from repro.harness.campaign import FaultCampaign
+
+        from repro.harness.campaign import _unprotected
+
+        campaign = FaultCampaign(
+            protectors={"bare": _unprotected},
+            faults={"bohrbug": lambda: Bohrbug(
+                "b", region=InputRegion(0, 3))},
+            requests=5, certify=certificate)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cells = campaign.run()
+        assert cells  # advisory mode lets the matrix run
+        assert CertificationWarning in [w.category for w in caught]

@@ -137,6 +137,91 @@ class TestBaseline:
             Baseline.load(str(path))
 
 
+#: One line tripping two rules at once: an unseeded global-RNG draw
+#: (DET001) plus a wall-clock read (DET002).
+TWO_RULES = ("import random\n"
+             "import time\n\n\n"
+             "def f():\n"
+             "    return random.random() + time.time(){pragma}\n")
+
+#: A clock hazard reachable only transitively (the alias hides it from
+#: DET002), behind a decorated trial entry point — for pinning *where*
+#: a pragma must sit to silence a deep finding.
+DECORATED = ("from time import time as _w\n\n\n"
+             "def deco(fn):\n"
+             "    return fn\n\n\n"
+             "def leaf():\n"
+             "    return _w()\n\n\n"
+             "@deco{decorator_pragma}\n"
+             "def alpha_trial(seed):{def_pragma}\n"
+             "    return {{\"value\": float(leaf())}}\n")
+
+
+class TestPragmaEdgeCases:
+    def test_one_line_two_rules_blanket_pragma(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(TWO_RULES.format(pragma="  # lint: allow"))
+        report = LintEngine().run([str(target)])
+        assert report.findings == []
+        assert report.pragma_suppressed == 2
+
+    def test_one_line_two_rules_selective_pragma(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            TWO_RULES.format(pragma="  # lint: allow[DET002]"))
+        report = LintEngine().run([str(target)])
+        # Only the named rule is silenced; its roommate still fires.
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert report.pragma_suppressed == 1
+
+    def test_one_line_two_rules_listed_pragma(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            TWO_RULES.format(pragma="  # lint: allow[DET001, DET002]"))
+        report = LintEngine().run([str(target)])
+        assert report.findings == []
+        assert report.pragma_suppressed == 2
+
+    def test_deep_pragma_on_decorator_line_does_not_suppress(
+            self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DECORATED.format(
+            decorator_pragma="  # lint: allow[XDET001]",
+            def_pragma=""))
+        report = LintEngine(deep=True).run([str(target)])
+        # Deep findings anchor on the entry's ``def`` line, not on its
+        # decorators — a decorator-line pragma misses.
+        assert [f.rule for f in report.findings] == ["XDET001"]
+        assert report.pragma_suppressed == 0
+
+    def test_deep_pragma_on_def_line_suppresses(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(DECORATED.format(
+            decorator_pragma="",
+            def_pragma="  # lint: allow[XDET001]"))
+        report = LintEngine(deep=True).run([str(target)])
+        assert report.findings == []
+        assert report.pragma_suppressed == 1
+
+    def test_pragma_wins_before_baseline_is_consulted(self, tmp_path):
+        # Seed a baseline with ONE budget unit for the hash(n) finding
+        # (fingerprints bind the path, so seed from the same file).
+        target = tmp_path / "mod.py"
+        target.write_text(HASHY)
+        baseline = LintEngine().run_for_baseline([str(target)])
+        assert len(baseline) == 1
+        # Now two identical findings, the FIRST pragma'd.  Pragma is
+        # checked before the baseline, so it must not consume the
+        # budget — which the second finding then uses.
+        target.write_text("def f(n):\n"
+                          "    return hash(n)  # lint: allow[DET003]\n"
+                          "    return hash(n)\n")
+        report = LintEngine(baseline=baseline).run([str(target)])
+        assert report.findings == []
+        assert report.pragma_suppressed == 1
+        assert report.baseline_suppressed == 1
+
+
 class TestReporters:
     def _report(self, tmp_path):
         (tmp_path / "m.py").write_text(HASHY)

@@ -498,4 +498,4 @@ class TestRegistry:
         ids = registry.ids()
         assert len(ids) == len(set(ids)) >= 10
         families = {rid.rstrip("0123456789") for rid in ids}
-        assert families == {"DET", "PROC", "PAT", "DIV"}
+        assert families == {"DET", "PROC", "PAT", "DIV", "XDET", "XPROC"}
