@@ -17,8 +17,14 @@ without writing code:
   JSON;
 * ``report`` — run one scenario (or all of them) under a single
   telemetry session and render the per-technique SLI health table
-  (availability, failure rate, recovery-latency percentiles), with
-  optional Chrome-trace and OpenMetrics exports and pool fan-out;
+  (availability, failure rate, recovery-latency percentiles, wall
+  trials/sec), with optional Chrome-trace and OpenMetrics exports and
+  pool fan-out;
+* ``top`` — the live campaign dashboard: run the injection matrix with
+  delta streaming and render a refreshing per-technique table while
+  cells execute (``--format json`` emits one ``repro-top-frame/v1``
+  document per refresh; the final frame embeds the canonical report,
+  byte-identical to a non-streaming ``campaign --format json`` run);
 * ``bench`` — run the benchmark suite through the deterministic
   parallel runtime (warm worker pool, prewarmed before timing), check
   for results drift, and write ``BENCH_harness.json`` timings;
@@ -95,6 +101,8 @@ EXPERIMENT_INDEX = (
      "re-runs incremental", "bench_h2_pool_reuse.py"),
     ("H4", "harness: batched trial kernel is byte-identical and an "
      "order of magnitude faster", "bench_h4_batch_kernel.py"),
+    ("H5", "harness: delta streaming folds byte-identically with "
+     "pinned overhead", "bench_h5_stream_overhead.py"),
 )
 
 
@@ -155,7 +163,14 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
+def _build_campaign(args, stream=None):
+    """The demo injection matrix shared by ``campaign`` and ``top``.
+
+    Returns ``(campaign, store)``; the protectors are closures, so the
+    pool's ``auto`` backend degrades to threads — which is exactly what
+    the live dashboard wants (a SimpleQueue delta transport in the same
+    process).
+    """
     from repro.adjudicators import PredicateAcceptanceTest
     from repro.components.library import diverse_versions
     from repro.components.version import Version
@@ -190,7 +205,7 @@ def _cmd_campaign(args) -> int:
         return rx.execute
 
     store = None
-    if args.store:
+    if getattr(args, "store", None):
         from repro.runtime.store import ResultStore
 
         store = ResultStore(args.store, name="campaign")
@@ -205,7 +220,183 @@ def _cmd_campaign(args) -> int:
                                                 trigger_modulo=1),
                 "load": lambda: LoadBug("l", probability=0.9)},
         oracle=oracle, requests=args.requests, seed=args.seed,
-        workers=args.workers, batch=args.batch, store=store)
+        workers=args.workers, backend=getattr(args, "backend", "auto"),
+        batch=getattr(args, "batch", None), store=store, stream=stream)
+    return campaign, store
+
+
+def _campaign_report(cells, monitor, args) -> dict:
+    """The canonical campaign report document.
+
+    Fully deterministic for a given campaign configuration: the cells
+    are pure functions of their labels and the base seed, and the
+    monitor carries no wall clock, so a streaming run's final frame
+    embeds this byte-for-byte equal to a non-streaming run's output
+    (the CI observe-smoke job pins exactly that).
+    """
+    import dataclasses
+
+    return {
+        "schema": "repro-campaign-report/v1",
+        "requests": args.requests,
+        "seed": args.seed,
+        "workers": args.workers,
+        "cells": [dataclasses.asdict(cell) for cell in cells],
+        "sli": monitor.as_dict(),
+    }
+
+
+def _render_frame_text(frame) -> str:
+    """One dashboard frame as a refreshing text screen."""
+    from repro.taxonomy.tables import format_table
+
+    cells = frame["cells"]
+    total = cells["total"] if cells["total"] is not None else "?"
+    tps = frame["trials_per_sec"]
+    elapsed = frame["elapsed_sec"]
+    head = (f"repro top — frame {frame['seq']}"
+            f"{' (final)' if frame['final'] else ''}: "
+            f"cells {cells['done']}/{total}"
+            + (f", {elapsed:.1f}s elapsed" if elapsed is not None else "")
+            + (f", {tps:.1f} trials/sec" if tps is not None else ""))
+    lines = [head]
+    stream = frame["stream"]
+    if stream is not None:
+        lines.append(f"stream: {stream['received']} deltas received, "
+                     f"{stream['folded_live']} folded live, "
+                     f"{stream['pending']} pending, "
+                     f"{stream['dropped']} dropped")
+    pools = frame["pool"] or []
+    for pool in pools:
+        lines.append(f"pool: {pool['backend']}x{pool['workers']} "
+                     f"warm={pool['warm']} reuses={pool['reuses']}")
+    flight = frame["flight"]
+    lines.append(f"flight recorder: {flight['captured']} captured, "
+                 f"window {flight['window']}, {flight['dumps']} dumps")
+    rows = []
+    for row in frame["sli"]["techniques"]:
+        avail = row["availability"]
+        tput = row["throughput"]
+        rows.append([
+            row["technique"],
+            "-" if avail is None else f"{avail:.4f}",
+            f"{row['outcomes']}/{row['outcomes_seen']}",
+            "-" if tput is None else f"{tput:.3g}",
+            *(("-" if row[f"recovery_p{p}"] is None
+               else f"{row[f'recovery_p{p}']:g}") for p in (50, 95, 99)),
+        ])
+    lines.append(format_table(
+        ("technique", "avail", "outcomes", "tput/u", "rec p50",
+         "rec p95", "rec p99"),
+        rows, title=f"live SLIs (window={frame['sli']['window']})"))
+    return "\n".join(lines)
+
+
+def _emit_frame(frame, fmt: str) -> None:
+    """Print one validated dashboard frame (json: one line per frame)."""
+    import json
+
+    from repro.observe.stream import validate_frame
+
+    validate_frame(frame)
+    if fmt == "json":
+        print(json.dumps(frame, sort_keys=True, default=str), flush=True)
+    else:
+        if sys.stdout.isatty():  # pragma: no cover - interactive only
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_frame_text(frame), flush=True)
+        print()
+
+
+def _run_live_campaign(args) -> int:
+    """``campaign --live`` / ``top``: stream deltas, refresh a dashboard.
+
+    The campaign runs on a worker thread with a
+    :class:`~repro.observe.stream.TelemetryStream` attached; the main
+    thread renders a frame every ``--interval`` seconds from the
+    *live view* (deltas folded in arrival order), then emits a final
+    frame whose embedded report comes from the *canonical* session
+    (deltas folded in submission order at gather time — byte-identical
+    to a non-streaming run).
+    """
+    import threading
+    import time
+
+    from repro import observe
+    from repro.observe import flightrec
+    from repro.observe.stream import LiveDashboard, TelemetryStream
+    from repro.runtime.pool import pool_stats
+
+    interval = max(0.05, args.interval)
+    live_view = observe.Telemetry()
+    stream = TelemetryStream(every=args.every, live=live_view)
+    live_monitor = observe.SliMonitor(live_view.bus, window=args.window,
+                                      wall_clock=time.perf_counter)
+    campaign, _ = _build_campaign(args, stream=stream)
+    box: dict = {}
+    with observe.session() as tel:
+        monitor = observe.SliMonitor(tel.bus, window=args.window)
+        dash = LiveDashboard(
+            live_monitor, collector=stream.collector,
+            wall_clock=time.perf_counter,
+            cells_total=len(campaign.protectors) * len(campaign.faults),
+            counts=lambda: dict(live_view.bus.counts),
+            pool_info=pool_stats)
+
+        def _snap():
+            with stream.collector.locked():
+                return dash.frame()
+
+        def _work():
+            try:
+                box["cells"] = campaign.run()
+            except BaseException as exc:  # re-raised after join
+                box["error"] = exc
+
+        worker = threading.Thread(target=_work, daemon=True,
+                                  name="repro-campaign-live")
+        worker.start()
+        _emit_frame(_snap(), args.format)
+        while worker.is_alive():
+            worker.join(timeout=interval)
+            if worker.is_alive():
+                _emit_frame(_snap(), args.format)
+        if "error" in box:
+            raise box["error"]
+        # Honour --frames as a floor (CI asserts a minimum count
+        # without having to win a race against a fast campaign).
+        while dash.frames < max(1, args.frames) - 1:
+            _emit_frame(_snap(), args.format)
+        report = _campaign_report(box["cells"], monitor, args)
+    _emit_frame(dash.frame(final=True, report=report), args.format)
+    if args.flight_out:
+        text = flightrec.recorder().dump_jsonl(
+            "cli-flight-out", command="campaign-live",
+            failure_dumps=len(campaign.flight_records))
+        error = _write_file(args.flight_out, text + "\n")
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    if getattr(args, "live", False):
+        return _run_live_campaign(args)
+    if args.format == "json":
+        import json
+
+        from repro import observe
+
+        campaign, _ = _build_campaign(args)
+        with observe.session() as tel:
+            monitor = observe.SliMonitor(tel.bus, window=args.window)
+            cells = campaign.run()
+        document = _campaign_report(cells, monitor, args)
+        print(json.dumps(document, sort_keys=True, indent=2,
+                         default=str))
+        return 0
+    campaign, store = _build_campaign(args)
     print(campaign.render(
         title="correct-result rate: technique x fault class"))
     if store is not None:
@@ -214,6 +405,10 @@ def _cmd_campaign(args) -> int:
               f"{stats['misses']} misses, {stats['writes']} writes "
               f"({args.store})")
     return 0
+
+
+def _cmd_top(args) -> int:
+    return _run_live_campaign(args)
 
 
 def _cmd_demo(args) -> int:
@@ -458,6 +653,7 @@ def _cmd_metrics(args) -> int:
 
 def _cmd_report(args) -> int:
     import json
+    import time
 
     from repro import observe
     from repro.harness.scenarios import SCENARIOS, run_scenario_task
@@ -466,7 +662,14 @@ def _cmd_report(args) -> int:
              else [args.scenario])
     tasks = [(name, args.requests, args.seed) for name in names]
     with observe.session() as tel:
-        monitor = observe.SliMonitor(tel.bus, window=args.window)
+        # The injected wall clock feeds the text report's trials/sec
+        # gauge.  The JSON document gets no wall clock: its wall
+        # fields stay null so the emitted bytes remain a pure function
+        # of (scenario, requests, seed) — any worker count must print
+        # the identical document.
+        wall = time.perf_counter if args.format != "json" else None
+        monitor = observe.SliMonitor(tel.bus, window=args.window,
+                                     wall_clock=wall)
         if args.workers > 1:
             from repro.runtime.pmap import ParallelMap
 
@@ -483,6 +686,10 @@ def _cmd_report(args) -> int:
               f"(requests={args.requests}, seed={args.seed})")
         print()
         print(monitor.render())
+        tps = monitor.trials_per_sec()
+        if tps is not None:
+            print(f"\nthroughput: {tps:.1f} trials/sec "
+                  f"({monitor.as_dict()['outcomes_total']} outcomes)")
     from repro.observe.export import render_chrome_trace, render_openmetrics
 
     exports = []
@@ -528,6 +735,26 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--top", type=int, default=5)
     rec.set_defaults(func=_cmd_recommend)
 
+    def live_args(sub_parser):
+        """Flags shared by ``campaign --live`` and ``top``."""
+        sub_parser.add_argument(
+            "--interval", type=float, default=1.0,
+            help="seconds between dashboard refreshes")
+        sub_parser.add_argument(
+            "--frames", type=int, default=0, metavar="N",
+            help="emit at least N frames (a floor, not a cap — lets CI "
+                 "assert a frame count without racing the campaign)")
+        sub_parser.add_argument(
+            "--every", type=int, default=1, metavar="K",
+            help="items a worker executes between delta emissions")
+        sub_parser.add_argument(
+            "--window", type=int, default=256,
+            help="SLI sliding-window size, in samples")
+        sub_parser.add_argument(
+            "--flight-out", metavar="PATH", default=None,
+            help="write the process flight-recorder window as a "
+                 "repro-events-jsonl/v1 log on exit")
+
     campaign = sub.add_parser(
         "campaign", help="run a technique x fault-class injection matrix")
     campaign.add_argument("--requests", type=int, default=120)
@@ -535,6 +762,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=1,
                           help="fan cells out over a worker pool "
                                "(byte-identical to serial)")
+    campaign.add_argument("--backend", choices=("auto", "serial",
+                                                "thread", "process"),
+                          default="auto")
     campaign.add_argument("--batch", type=int, default=None, metavar="B",
                           help="cells per pool task: coarser units, "
                                "~B× less pickle traffic, byte-identical "
@@ -542,7 +772,35 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--store", metavar="PATH", default=None,
                           help="serve unchanged cells from a result-store "
                                "log at PATH (opt-in incremental re-runs)")
+    campaign.add_argument("--format", choices=("text", "json"),
+                          default="text",
+                          help="json: the canonical campaign report "
+                               "document (deterministic; what a live "
+                               "run's final frame embeds)")
+    campaign.add_argument("--live", action="store_true",
+                          help="stream telemetry deltas and refresh a "
+                               "dashboard while the matrix runs "
+                               "(equivalent to 'repro top')")
+    live_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    top = sub.add_parser(
+        "top", help="live campaign dashboard: stream telemetry deltas "
+                    "and refresh per-technique SLIs while cells run")
+    top.add_argument("--requests", type=int, default=120)
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--workers", type=int, default=2,
+                     help="pool workers for the campaign under watch")
+    top.add_argument("--backend", choices=("auto", "serial", "thread",
+                                           "process"),
+                     default="auto")
+    top.add_argument("--format", choices=("text", "json"),
+                     default="text",
+                     help="json: one repro-top-frame/v1 document per "
+                          "refresh, final frame embeds the canonical "
+                          "report")
+    live_args(top)
+    top.set_defaults(func=_cmd_top, live=True, batch=None, store=None)
 
     from repro.runtime.bench import configure_parser as _configure_bench
 

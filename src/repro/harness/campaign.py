@@ -114,6 +114,15 @@ class FaultCampaign:
             :class:`~repro.lint.deep.certificate.CertificationWarning`
             normally, strict :class:`~repro.exceptions.
             CertificationError` when ``batch=`` / ``store=`` is set.
+        stream: Optional :class:`~repro.observe.stream.TelemetryStream`
+            handed to the pool so captured cells stream telemetry
+            deltas home while the matrix runs (the ``repro campaign
+            --live`` dashboard).  Consulted parent-side only — workers
+            get a copy without it, like ``store``/``certify``.
+
+    After a pooled :meth:`run`, :attr:`pool_stats` holds the map call's
+    :class:`~repro.runtime.pmap.PoolStats` and :attr:`flight_records`
+    any flight-recorder dumps it produced.
     """
 
     def __init__(self,
@@ -126,7 +135,8 @@ class FaultCampaign:
                  backend: str = "auto",
                  batch: Optional[int] = None,
                  store: Optional["ResultStore"] = None,
-                 certify: Optional[Any] = None) -> None:
+                 certify: Optional[Any] = None,
+                 stream: Optional[Any] = None) -> None:
         if not protectors:
             raise ValueError("a campaign needs protectors")
         if not faults:
@@ -146,6 +156,9 @@ class FaultCampaign:
         self.batch = batch
         self.store = store
         self.certify = certify
+        self.stream = stream
+        self.pool_stats: Optional[Any] = None
+        self.flight_records: List[Any] = []
 
     def _enforce_certificate(self) -> None:
         """Gate on ``certify=`` (no-op when unset); runs once before
@@ -163,13 +176,16 @@ class FaultCampaign:
             context="fault campaign")
 
     def __getstate__(self) -> Dict[str, Any]:
-        # The store is consulted (and written) parent-side only, and the
-        # certificate is enforced before fan-out; pool workers get a
-        # copy without either so fan-out never depends on them being
-        # picklable.
+        # The store is consulted (and written) parent-side only, the
+        # certificate is enforced before fan-out, and the stream's
+        # transport is handed to workers by the pool itself; pool
+        # workers get a copy without any of them so fan-out never
+        # depends on them being picklable.
         state = dict(self.__dict__)
         state["store"] = None
         state["certify"] = None
+        state["stream"] = None
+        state["flight_records"] = []
         return state
 
     def run_cell(self, protector_label: str, fault_label: str
@@ -271,19 +287,25 @@ class FaultCampaign:
     def _execute(self, pairs: List[Tuple[str, str]]) -> List[CampaignCell]:
         """Measure ``pairs`` (a sub-list on store partial hits), in
         order, through the serial loop or the pool."""
-        if self.workers <= 1 or len(pairs) <= 1:
+        if (self.workers <= 1 or len(pairs) <= 1) and self.stream is None:
             return [self._measure(*pair) for pair in pairs]
         from repro.runtime.kernel import partition
         from repro.runtime.pmap import ParallelMap
 
-        pool = ParallelMap(workers=self.workers, backend=self.backend)
-        if self.batch is None:
-            return pool.map(self._run_pair, pairs)
-        # Each batch is already a coarse unit of work; submit one per
-        # chunk so the pool never re-bundles (and re-pickles) batches.
-        slabs = partition(pairs, self.batch)
-        gathered = pool.map(self._run_pairs, slabs, chunk_size=1)
-        return [cell for slab in gathered for cell in slab]
+        pool = ParallelMap(workers=self.workers, backend=self.backend,
+                           stream=self.stream)
+        try:
+            if self.batch is None:
+                return pool.map(self._run_pair, pairs)
+            # Each batch is already a coarse unit of work; submit one
+            # per chunk so the pool never re-bundles (and re-pickles)
+            # batches.
+            slabs = partition(pairs, self.batch)
+            gathered = pool.map(self._run_pairs, slabs, chunk_size=1)
+            return [cell for slab in gathered for cell in slab]
+        finally:
+            self.pool_stats = pool.stats
+            self.flight_records = pool.flight_records
 
     def matrix(self) -> Dict[Tuple[str, str], CampaignCell]:
         """The matrix keyed by (protector, fault)."""

@@ -89,6 +89,17 @@ class Experiment:
             touches the RNG, the clock, or the trial itself, so a
             certified run is byte-identical to the same run without
             ``certify=``.
+        stream: Optional :class:`~repro.observe.stream.TelemetryStream`
+            handed to the pool: with an outer session installed,
+            captured chunks stream incremental telemetry deltas home
+            while trials run (the ``repro top`` live view) instead of
+            one snapshot per chunk at the end.  The folded session is
+            byte-identical either way.
+
+    After a pooled :meth:`run`, :attr:`pool_stats` holds the last map
+    call's :class:`~repro.runtime.pmap.PoolStats` and
+    :attr:`flight_records` any flight-recorder dumps it produced
+    (chunk timeouts / serial retries).
     """
 
     name: str
@@ -100,6 +111,11 @@ class Experiment:
     batch: Optional[int] = None
     store: Optional["ResultStore"] = None
     certify: Optional[Any] = None
+    stream: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        self.pool_stats: Optional[Any] = None
+        self.flight_records: List[Any] = []
 
     def _enforce_certificate(self) -> None:
         """Gate on ``certify=`` (no-op when unset).  Runs before any
@@ -192,9 +208,9 @@ class Experiment:
         order, through the serial loop or the pool."""
         runner = functools.partial(_execute_trial, self.trial,
                                    self.instrument)
-        if self.workers <= 1 or len(seeds) <= 1:
+        if (self.workers <= 1 or len(seeds) <= 1) and self.stream is None:
             return [runner(seed) for seed in seeds]
-        return self._pool().map(runner, list(seeds))
+        return self._pooled_map(runner, list(seeds))
 
     def _execute_batches(self, batches: Sequence[Sequence[int]]
                          ) -> List[BatchResult]:
@@ -205,7 +221,7 @@ class Experiment:
             return [runner(batch) for batch in batches]
         # Each batch is already a coarse unit of work; submit one per
         # chunk so the pool never re-bundles (and re-pickles) batches.
-        return self._pool().map(runner, list(batches), chunk_size=1)
+        return self._pooled_map(runner, list(batches), chunk_size=1)
 
     def _pool(self):
         from repro.runtime.pmap import ParallelMap
@@ -218,7 +234,16 @@ class Experiment:
         # sessions nest inside.)
         return ParallelMap(workers=self.workers, backend=self.backend,
                            fallback="serial" if self.instrument
-                           else "thread")
+                           else "thread",
+                           stream=self.stream)
+
+    def _pooled_map(self, runner, items, **kwargs):
+        """One pool map call, keeping its accounting on the experiment."""
+        pool = self._pool()
+        out = pool.map(runner, items, **kwargs)
+        self.pool_stats = pool.stats
+        self.flight_records = pool.flight_records
+        return out
 
     def summary(self, results: Optional[Sequence[Union[TrialResult,
                                                        BatchResult]]] = None
@@ -241,13 +266,27 @@ class Experiment:
 def _execute_trial(trial: Callable[[int], Dict[str, float]],
                    instrument: bool, seed: int) -> TrialResult:
     """Run one seed — shared by the serial loop and the pool workers,
-    so both paths are the same code and stay byte-identical."""
-    if instrument:
-        with observe.session() as tel:
-            metrics = trial(seed)
-        return TrialResult(seed=seed, metrics=metrics,
-                           telemetry=tel.summary())
-    return TrialResult(seed=seed, metrics=trial(seed))
+    so both paths are the same code and stay byte-identical.
+
+    A raising trial dumps the executing process's flight-recorder
+    window (reason ``trial-failure``) before the exception propagates,
+    so the last events leading up to the failure survive even when the
+    failing chunk's telemetry is discarded; see
+    :mod:`repro.observe.flightrec`.
+    """
+    from repro.observe import flightrec
+
+    try:
+        if instrument:
+            with observe.session() as tel:
+                metrics = trial(seed)
+            return TrialResult(seed=seed, metrics=metrics,
+                               telemetry=tel.summary())
+        return TrialResult(seed=seed, metrics=trial(seed))
+    except BaseException:
+        flightrec.note_failure("trial-failure", seed=seed,
+                               instrument=instrument)
+        raise
 
 
 def run_trials(trial: Callable[[int], Dict[str, float]],
@@ -255,11 +294,12 @@ def run_trials(trial: Callable[[int], Dict[str, float]],
                backend: str = "auto",
                batch: Optional[int] = None,
                store: Optional["ResultStore"] = None,
-               certify: Optional[Any] = None) -> List[TrialResult]:
+               certify: Optional[Any] = None,
+               stream: Optional[Any] = None) -> List[TrialResult]:
     """Run ``trial`` over seeds (functional form of :class:`Experiment`)."""
     return Experiment(name="trials", trial=trial, seeds=tuple(seeds),
                       workers=workers, backend=backend, batch=batch,
-                      store=store, certify=certify).run()
+                      store=store, certify=certify, stream=stream).run()
 
 
 def summarize(results: Sequence[Union[TrialResult, BatchResult]]

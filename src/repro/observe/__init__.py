@@ -21,7 +21,12 @@ per-technique health, the body of ``repro report``) and
 :mod:`~repro.observe.export` (Chrome trace-event JSON, OpenMetrics
 text, JSONL event logs).  All four pieces snapshot into picklable
 documents and merge deterministically, which is how the parallel
-runtime ships worker telemetry back to the parent session.
+runtime ships worker telemetry back to the parent session —
+incrementally, when a :class:`~repro.observe.stream.TelemetryStream`
+is attached (the ``repro top`` live dashboard).  Every process also
+keeps an always-on bounded flight recorder
+(:mod:`~repro.observe.flightrec`) whose window is dumped on chunk
+timeouts, serial retries and trial failures.
 
 The default session is a disabled no-op whose cost at every
 instrumentation site is a single attribute check, so existing
@@ -35,13 +40,19 @@ benchmark numbers are unchanged unless a session is installed::
 """
 
 from repro.observe.events import Event, EventBus, Subscription
+from repro.observe.flightrec import FlightRecorder
 from repro.observe.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
-from repro.observe.sli import SliMonitor
+from repro.observe.sli import SliMonitor, parse_report
+from repro.observe.stream import (
+    LiveDashboard,
+    StreamCollector,
+    TelemetryStream,
+)
 from repro.observe.telemetry import (
     Telemetry,
     current,
@@ -57,18 +68,23 @@ __all__ = [
     "Counter",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LiveDashboard",
     "MetricsRegistry",
     "SliMonitor",
     "Span",
+    "StreamCollector",
     "Subscription",
     "Telemetry",
+    "TelemetryStream",
     "Tracer",
     "current",
     "disable",
     "enabled",
     "install",
     "local_session",
+    "parse_report",
     "session",
 ]

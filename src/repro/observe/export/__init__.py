@@ -10,8 +10,11 @@ tooling already understands:
   text dump of a :class:`~repro.observe.metrics.MetricsRegistry`,
   extending the Prometheus exposition with histogram quantiles and the
   ``# EOF`` terminator;
-* :mod:`~repro.observe.export.jsonl` — a JSON-lines event log of an
-  :class:`~repro.observe.events.EventBus` history.
+* :mod:`~repro.observe.export.jsonl` — a versioned JSON-lines event
+  log (``repro-events-jsonl/v1``, schema header line + one record per
+  event) of an :class:`~repro.observe.events.EventBus` history, with a
+  round-trip validator; the flight recorder
+  (:mod:`repro.observe.flightrec`) dumps in the same format.
 
 All exporters are pure functions from telemetry objects to strings or
 plain documents — no I/O, no clock reads — so exports are byte-stable
@@ -23,13 +26,21 @@ from repro.observe.export.chrome import (
     render_chrome_trace,
     validate_chrome_trace,
 )
-from repro.observe.export.jsonl import render_event_log
+from repro.observe.export.jsonl import (
+    event_record,
+    parse_event_log,
+    render_event_log,
+    validate_event_log,
+)
 from repro.observe.export.openmetrics import render_openmetrics
 
 __all__ = [
     "chrome_trace",
+    "event_record",
+    "parse_event_log",
     "render_chrome_trace",
     "render_event_log",
     "render_openmetrics",
     "validate_chrome_trace",
+    "validate_event_log",
 ]

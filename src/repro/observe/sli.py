@@ -35,16 +35,33 @@ from __future__ import annotations
 
 import math
 import collections
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.observe.events import Event, EventBus
 from repro.taxonomy.tables import format_table
 
 __all__ = ["SliMonitor", "DEFAULT_WINDOW", "RECOVERY_TOPICS",
-           "STORE_TOPICS", "percentile"]
+           "STORE_TOPICS", "percentile", "SCHEMA", "SCHEMAS",
+           "parse_report"]
 
 #: Default sliding-window size, in samples per series.
 DEFAULT_WINDOW = 256
+
+#: Current report schema.  v2 adds the per-row ``window_span`` (virtual
+#: time covered by the outcomes in the window) and ``throughput``
+#: (outcomes per virtual-time unit over that span), plus the top-level
+#: wall-clock ``trials_per_sec`` / ``wall_span`` pair (populated only
+#: when the monitor was built with an injected ``wall_clock``).
+SCHEMA = "repro-sli-report/v2"
+
+#: Schemas :func:`parse_report` accepts, oldest first.
+SCHEMAS = ("repro-sli-report/v1", "repro-sli-report/v2")
+
+#: Per-row fields added by v2 (``None`` when upgrading a v1 document).
+_V2_ROW_FIELDS = ("window_span", "throughput")
+
+#: Top-level fields added by v2.
+_V2_TOP_FIELDS = ("outcomes_total", "trials_per_sec", "wall_span")
 
 #: Recovery event topics -> the payload field carrying the recovery's
 #: virtual-time cost.
@@ -76,14 +93,17 @@ def percentile(samples: List[float], q: float) -> float:
 class _Series:
     """The sliding windows backing one report row."""
 
-    __slots__ = ("outcomes", "latencies", "outcomes_seen", "failures_seen",
-                 "recoveries_seen")
+    __slots__ = ("outcomes", "latencies", "times", "outcomes_seen",
+                 "failures_seen", "recoveries_seen")
 
     def __init__(self, window: int) -> None:
         #: Recent ``unit.outcome`` verdicts (True = ok).
         self.outcomes: Deque[bool] = collections.deque(maxlen=window)
         #: Recent recovery costs, in virtual time units.
         self.latencies: Deque[float] = collections.deque(maxlen=window)
+        #: Virtual timestamps of the windowed outcomes (kept in lock
+        #: step with ``outcomes``; backs window_span / throughput).
+        self.times: Deque[float] = collections.deque(maxlen=window)
         #: All-time tallies (never trimmed; shown for context).
         self.outcomes_seen = 0
         self.failures_seen = 0
@@ -122,13 +142,21 @@ class SliMonitor:
     """
 
     def __init__(self, bus: Optional[EventBus] = None,
-                 window: int = DEFAULT_WINDOW) -> None:
+                 window: int = DEFAULT_WINDOW,
+                 wall_clock: Optional[Callable[[], float]] = None) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
         self._series: Dict[str, _Series] = {}
         self._stores: Dict[str, _StoreSeries] = {}
         self._subscriptions: List[Any] = []
+        #: Injected wall clock (e.g. ``time.monotonic`` from the CLI).
+        #: The observe package never reads a process clock itself
+        #: (DET005): when unset, the report's wall-clock fields stay
+        #: ``None`` and the document is fully deterministic.
+        self._wall_clock = wall_clock
+        self._wall_first: Optional[float] = None
+        self._wall_last: Optional[float] = None
         if bus is not None:
             self.attach(bus)
 
@@ -174,9 +202,15 @@ class SliMonitor:
             series = self._get(self._key(event))
             ok = bool(event.payload.get("ok"))
             series.outcomes.append(ok)
+            series.times.append(float(event.time))
             series.outcomes_seen += 1
             if not ok:
                 series.failures_seen += 1
+            if self._wall_clock is not None:
+                stamp = self._wall_clock()
+                if self._wall_first is None:
+                    self._wall_first = stamp
+                self._wall_last = stamp
         elif event.topic in RECOVERY_TOPICS:
             cost = event.payload.get(RECOVERY_TOPICS[event.topic])
             if cost is None:
@@ -224,6 +258,14 @@ class SliMonitor:
             else:
                 row["availability"] = None
                 row["failure_rate"] = None
+            # v2: virtual-time span of the windowed outcomes and the
+            # throughput over it.  Deterministic — event times come
+            # from the session's (virtual) clock, never a process one.
+            span = (series.times[-1] - series.times[0]
+                    if len(series.times) >= 2 else None)
+            row["window_span"] = span
+            row["throughput"] = (len(series.outcomes) / span
+                                 if span else None)
             latencies = list(series.latencies)
             for q in QUANTILES:
                 label = f"recovery_p{int(q * 100)}"
@@ -257,11 +299,38 @@ class SliMonitor:
             })
         return out
 
+    def trials_per_sec(self) -> Optional[float]:
+        """All-time outcome rate against the injected wall clock.
+
+        ``None`` without a ``wall_clock``, before the second outcome,
+        or on a frozen clock — so a report built without wall timing is
+        byte-reproducible run to run.
+        """
+        if self._wall_first is None or self._wall_last is None:
+            return None
+        span = self._wall_last - self._wall_first
+        if span <= 0:
+            return None
+        total = sum(series.outcomes_seen
+                    for series in self._series.values())
+        return total / span
+
     def as_dict(self) -> Dict[str, Any]:
-        """The whole report as one JSON-friendly document."""
+        """The whole report as one JSON-friendly document.
+
+        Schema ``repro-sli-report/v2``; see :data:`SCHEMA` for what v2
+        adds and :func:`parse_report` for reading either version.
+        """
+        wall_span = (self._wall_last - self._wall_first
+                     if self._wall_first is not None
+                     and self._wall_last is not None else None)
         return {
-            "schema": "repro-sli-report/v1",
+            "schema": SCHEMA,
             "window": self.window,
+            "outcomes_total": sum(series.outcomes_seen
+                                  for series in self._series.values()),
+            "trials_per_sec": self.trials_per_sec(),
+            "wall_span": wall_span,
             "techniques": self.rows(),
             "stores": self.store_rows(),
         }
@@ -269,15 +338,18 @@ class SliMonitor:
     def render(self, title: str = "per-technique SLIs") -> str:
         """ASCII health table (the body of ``repro report``)."""
         headers = ("technique", "avail", "fail rate", "outcomes",
-                   "recoveries", "rec p50", "rec p95", "rec p99")
+                   "tput/u", "recoveries", "rec p50", "rec p95",
+                   "rec p99")
         rows = []
         for row in self.rows():
             avail = row["availability"]
+            tput = row["throughput"]
             rows.append([
                 row["technique"],
                 "-" if avail is None else f"{avail:.4f}",
                 "-" if avail is None else f"{row['failure_rate']:.4f}",
                 f"{row['outcomes']}/{row['outcomes_seen']}",
+                "-" if tput is None else f"{tput:.3g}",
                 f"{row['recoveries']}/{row['recoveries_seen']}",
                 *(("-" if row[f"recovery_p{int(q * 100)}"] is None
                    else f"{row[f'recovery_p{int(q * 100)}']:g}")
@@ -298,3 +370,30 @@ class SliMonitor:
              for row in store_rows],
             title="result-store traffic")
         return f"{table}\n\n{store_table}"
+
+
+def parse_report(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a v1 or v2 SLI report document to the v2 shape.
+
+    The backward-compat read: a ``repro-sli-report/v1`` document (from
+    a pre-streaming run or an archived CI artifact) comes back as v2
+    with every added field present and ``None``; a v2 document is
+    returned as a (shallow-per-row) copy.  Unknown schemas raise
+    :class:`ValueError`.
+    """
+    schema = document.get("schema")
+    if schema not in SCHEMAS:
+        raise ValueError(f"unknown SLI report schema {schema!r}; "
+                         f"expected one of {SCHEMAS}")
+    upgraded = dict(document)
+    upgraded["schema"] = SCHEMA
+    for field in _V2_TOP_FIELDS:
+        upgraded.setdefault(field, None)
+    rows = []
+    for row in document.get("techniques", []):
+        row = dict(row)
+        for field in _V2_ROW_FIELDS:
+            row.setdefault(field, None)
+        rows.append(row)
+    upgraded["techniques"] = rows
+    return upgraded

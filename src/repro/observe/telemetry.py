@@ -42,6 +42,7 @@ import contextlib
 import threading
 from typing import Any, Dict, Iterator, Optional
 
+from repro.observe import flightrec as _flightrec
 from repro.observe.events import EventBus
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import Tracer
@@ -81,6 +82,11 @@ class Telemetry:
         self.tracer = Tracer(now=self._now)
         self.metrics = MetricsRegistry()
         self.bus = EventBus(now=self._now)
+        # Always-on flight recorder: every session taps the calling
+        # process's bounded ring (see repro.observe.flightrec).  The
+        # tap never publishes or appears in snapshots, so merge and
+        # delta byte-identity are unaffected.
+        _flightrec.recorder().attach(self)
 
     def _now(self) -> float:
         return self._clock.now
@@ -110,6 +116,24 @@ class Telemetry:
         """Increment a counter when enabled."""
         if self.enabled:
             self.metrics.inc(name, amount, **labels)
+
+    def reset(self) -> None:
+        """Replace all three pieces with fresh, empty ones.
+
+        The clock object (and therefore its position — a ticking
+        :class:`_SeqClock` does not restart) carries over, as does the
+        ``enabled`` flag, and the process flight recorder is re-tapped.
+        This is the delta-streaming primitive: a worker emits
+        ``snapshot()`` then ``reset()``, so consecutive deltas
+        partition the session's content and folding them in order is
+        byte-identical to merging one whole-session snapshot (see
+        :mod:`repro.observe.stream`).  Subscribers of the old bus are
+        dropped — worker capture sessions have none.
+        """
+        self.tracer = Tracer(now=self._now)
+        self.metrics = MetricsRegistry()
+        self.bus = EventBus(now=self._now)
+        _flightrec.recorder().attach(self)
 
     # -- snapshot / merge --------------------------------------------------
 

@@ -118,6 +118,10 @@ class Tracer:
         self.started = 0
         self._stack: List[Span] = []
         self._next_id = 1
+        #: Optional single-slot hook called with every span as it
+        #: closes (the flight recorder's tap).  Never part of
+        #: :meth:`snapshot`, so it cannot affect merge byte-identity.
+        self.on_finish: Optional[Callable[[Span], None]] = None
 
     # -- recording ---------------------------------------------------------
 
@@ -146,6 +150,8 @@ class Tracer:
             span.status = status
         elif span.end is None:  # pragma: no cover - defensive
             span.end = self._now()
+        if self.on_finish is not None:
+            self.on_finish(span)
         return span
 
     @contextlib.contextmanager

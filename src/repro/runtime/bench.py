@@ -63,6 +63,7 @@ QUICK_BENCHMARKS = (
     "bench_h1_stats_hotpath",
     "bench_h2_pool_reuse",
     "bench_h4_batch_kernel",
+    "bench_h5_stream_overhead",
     "bench_observe_overhead",
 )
 

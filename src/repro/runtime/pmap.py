@@ -38,6 +38,17 @@ backend-dependent by nature; see docs/OBSERVABILITY.md).  The enabled
 check happens per chunk, not per pool, so a session installed while a
 long campaign is already fanned out still captures the remaining
 chunks.
+
+**Delta streaming.**  Pass a :class:`~repro.observe.stream.
+TelemetryStream` as ``stream=`` and captured chunks ship their
+telemetry home *incrementally* — a ``repro-delta/v1`` document every
+``stream.every`` items — instead of once at the end.  The parent folds
+each chunk's deltas in emission order at gather time, which is
+byte-identical to the merge-at-end protocol, while an optional live
+view folds them in arrival order for the ``repro top`` dashboard.  A
+timed-out or failed chunk additionally dumps the process flight
+recorder's window (:mod:`repro.observe.flightrec`) into
+:attr:`ParallelMap.flight_records`.
 """
 
 from __future__ import annotations
@@ -50,7 +61,9 @@ import pickle
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.observe import current as _telemetry
+from repro.observe import flightrec as _flightrec
 from repro.observe import local_session as _local_session
+from repro.observe.stream import TelemetryStream, make_delta
 from repro.runtime.pool import get_pool as _get_pool
 from repro.runtime.pool import retire_pool as _retire_pool
 
@@ -82,6 +95,18 @@ class PoolStats:
     dropped_snapshots: int = 0
     #: 1 when this call was served by an already-warm shared executor.
     pool_reuses: int = 0
+    #: Chunks that ran with delta streaming (a subset of
+    #: ``captured_chunks``).
+    streamed_chunks: int = 0
+    #: Deltas folded into the installed session at gather time.
+    deltas_merged: int = 0
+    #: Deltas discarded because their chunk timed out or failed (the
+    #: serial rerun writes straight into the installed session; only
+    #: the advisory live view keeps the partial fold).
+    deltas_dropped: int = 0
+    #: Flight-recorder dumps attached to this call (see
+    #: :attr:`ParallelMap.flight_records`).
+    flight_dumps: int = 0
 
 
 def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
@@ -100,6 +125,40 @@ def _run_chunk_captured(fn: Callable[[T], R], chunk: Sequence[T]):
     with _local_session() as telemetry:
         results = [fn(item) for item in chunk]
         return results, telemetry.snapshot()
+
+
+def _run_chunk_streamed(fn: Callable[[T], R], chunk: Sequence[T],
+                        sink: Any, origin: Any, every: int):
+    """Run one chunk, streaming incremental telemetry deltas.
+
+    Like :func:`_run_chunk_captured`, but instead of shipping one
+    whole-chunk snapshot at the end, the worker emits a
+    ``repro-delta/v1`` document into ``sink`` every ``every`` items —
+    each covering exactly the telemetry since the previous emission,
+    thanks to :meth:`~repro.observe.telemetry.Telemetry.reset` — and
+    always one final delta for the tail.  Returns ``(results,
+    emitted)``; the parent takes exactly ``emitted`` deltas for
+    ``origin`` from the stream collector and folds them in emission
+    order, which is byte-identical to merging the whole-chunk snapshot.
+    Module-level so the process backend can pickle it.
+    """
+    with _local_session() as telemetry:
+        results: List[R] = []
+        emitted = 0
+        since_emit = 0
+        for item in chunk:
+            results.append(fn(item))
+            since_emit += 1
+            if since_emit >= every:
+                sink.put(make_delta(origin, emitted,
+                                    telemetry.snapshot()))
+                telemetry.reset()
+                emitted += 1
+                since_emit = 0
+        sink.put(make_delta(origin, emitted, telemetry.snapshot(),
+                            final=True))
+        emitted += 1
+        return results, emitted
 
 
 def _picklable(*objects: Any) -> bool:
@@ -139,6 +198,16 @@ class ParallelMap:
             ``reuse=False`` keeps the original per-call executor, which
             is joined before :meth:`map` returns.  Results and merged
             telemetry are byte-identical either way.
+        stream: Optional :class:`~repro.observe.stream.TelemetryStream`.
+            When set and telemetry is enabled, captured chunks stream
+            incremental ``repro-delta/v1`` snapshots home while they
+            run (live dashboards fold them in arrival order); at gather
+            time the parent folds each chunk's deltas in emission
+            order, which is byte-identical to the merge-at-end
+            protocol.  A timed-out or failed chunk's deltas are
+            discarded (the serial rerun writes straight into the
+            installed session) and a flight-recorder window is dumped
+            into :attr:`flight_records`.
     """
 
     def __init__(self, workers: Optional[int] = None, backend: str = "auto",
@@ -146,7 +215,8 @@ class ParallelMap:
                  chunk_size: Optional[int] = None,
                  timeout: Optional[float] = None,
                  max_in_flight: Optional[int] = None,
-                 reuse: bool = True) -> None:
+                 reuse: bool = True,
+                 stream: Optional[TelemetryStream] = None) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -164,7 +234,11 @@ class ParallelMap:
         self.timeout = timeout
         self.max_in_flight = max_in_flight
         self.reuse = reuse
+        self.stream = stream
         self.stats = PoolStats()
+        #: Flight-recorder dump documents produced by the most recent
+        #: :meth:`map` call (one per chunk timeout / serial retry).
+        self.flight_records: List[Any] = []
 
     # -- backend resolution ------------------------------------------------
 
@@ -199,8 +273,12 @@ class ParallelMap:
         backend = self._resolve(fn, tasks)
         self.stats = PoolStats(backend=backend, workers=self.workers,
                                tasks=len(tasks))
+        self.flight_records = []
         if backend == "serial" or not tasks:
-            results = _run_chunk(fn, tasks)
+            if tasks and self.stream is not None and _telemetry().enabled:
+                results = self._map_serial_streamed(fn, tasks)
+            else:
+                results = _run_chunk(fn, tasks)
             self.stats.chunks = 1 if tasks else 0
             self._report()
             return results
@@ -212,21 +290,38 @@ class ParallelMap:
         max_in_flight = self.max_in_flight or self.workers * 2
         results: List[R] = []
         pool, warm = self._executor(backend, len(chunks))
+        stream = self.stream
+        epoch: Optional[int] = None
+        sink: Any = None
         try:
+            if stream is not None:
+                # Activation is per map call (an epoch); origins are
+                # (epoch, chunk_index), so a straggler delta from an
+                # earlier call can never be mistaken for this one's.
+                epoch, sink = stream.activate(backend)
             pending: collections.deque = collections.deque()
             submitted = 0
             while submitted < len(chunks) or pending:
                 while (submitted < len(chunks)
                        and len(pending) < max_in_flight):
                     # The enabled check is per chunk, not per pool: a
-                    # session installed mid-campaign captures whatever
-                    # chunks are submitted from then on.
+                    # session installed mid-campaign captures (and
+                    # streams) whatever chunks are submitted from then
+                    # on.
                     captured = _telemetry().enabled
-                    runner = (_run_chunk_captured if captured
-                              else _run_chunk)
+                    streamed = captured and sink is not None
                     try:
-                        future = pool.submit(runner, fn,
-                                             chunks[submitted])
+                        if streamed:
+                            future = pool.submit(
+                                _run_chunk_streamed, fn,
+                                chunks[submitted], sink,
+                                (epoch, submitted), stream.every)
+                        elif captured:
+                            future = pool.submit(_run_chunk_captured,
+                                                 fn, chunks[submitted])
+                        else:
+                            future = pool.submit(_run_chunk, fn,
+                                                 chunks[submitted])
                     except Exception as exc:
                         # A broken shared executor rejects at submit
                         # time; a pre-failed future keeps the gather
@@ -234,36 +329,44 @@ class ParallelMap:
                         # ordinary retry-once-serial path below.
                         future = concurrent.futures.Future()
                         future.set_exception(exc)
-                    pending.append((submitted, captured, future))
+                    pending.append((submitted, captured, streamed,
+                                    future))
                     submitted += 1
                     if captured:
                         self.stats.captured_chunks += 1
+                    if streamed:
+                        self.stats.streamed_chunks += 1
                 # Gather strictly in submission order: chunk i's results
                 # land before chunk i+1's even when i+1 finished first.
-                index, captured, future = pending.popleft()
+                index, captured, streamed, future = pending.popleft()
                 try:
                     payload = future.result(timeout=self.timeout)
                 except concurrent.futures.TimeoutError:
                     future.cancel()
                     self.stats.timeouts += 1
-                    self.stats.serial_retries += 1
                     if captured:
                         # The chunk's snapshot will never be merged; the
                         # parent-side rerun below writes straight into
                         # the installed session instead.
                         self.stats.dropped_snapshots += 1
-                    chunk_results = _run_chunk(fn, chunks[index])
+                    chunk_results = self._retry_serial(
+                        fn, chunks, index, "chunk-timeout", streamed,
+                        epoch)
                 except Exception:
                     # Worker death, pickling failure, or the task's own
                     # exception: re-run serially once in the parent.  A
                     # deterministic task error re-raises here with a
                     # clean parent-side traceback.
-                    self.stats.serial_retries += 1
                     if captured:
                         self.stats.dropped_snapshots += 1
-                    chunk_results = _run_chunk(fn, chunks[index])
+                    chunk_results = self._retry_serial(
+                        fn, chunks, index, "chunk-serial-retry",
+                        streamed, epoch)
                 else:
-                    if captured:
+                    if streamed:
+                        chunk_results, emitted = payload
+                        self._fold_deltas((epoch, index), emitted)
+                    elif captured:
                         chunk_results, snapshot = payload
                         tel = _telemetry()
                         if tel.enabled:
@@ -272,6 +375,8 @@ class ParallelMap:
                         chunk_results = payload
                 results.extend(chunk_results)
         finally:
+            if stream is not None and sink is not None:
+                stream.deactivate()
             if warm is None:
                 # Per-call executor: join it, exactly like the previous
                 # ``with`` block did.
@@ -282,6 +387,65 @@ class ParallelMap:
                 _retire_pool(warm)
         self._report()
         return results
+
+    # -- streaming ---------------------------------------------------------
+
+    def _map_serial_streamed(self, fn: Callable[[T], R],
+                             tasks: Sequence[T]) -> List[R]:
+        """The serial backend with streaming: one chunk, direct sink.
+
+        The whole task list runs as a single streamed chunk whose
+        deltas go straight to the collector (no queue, no thread), so
+        live dashboards update mid-run even without a pool, and the
+        final folded state stays byte-identical to the plain serial
+        run's.
+        """
+        stream = self.stream
+        epoch, sink = stream.activate("serial")
+        try:
+            origin = (epoch, 0)
+            results, emitted = _run_chunk_streamed(
+                fn, tasks, sink, origin, stream.every)
+            self.stats.captured_chunks += 1
+            self.stats.streamed_chunks += 1
+            self._fold_deltas(origin, emitted)
+        finally:
+            stream.deactivate()
+        return results
+
+    def _fold_deltas(self, origin: Any, emitted: int) -> None:
+        """Take one finished chunk's deltas and fold them in order."""
+        deltas = self.stream.collector.take(origin, emitted)
+        tel = _telemetry()
+        if tel.enabled:
+            for delta in deltas:
+                tel.merge(delta["snapshot"])
+            self.stats.deltas_merged += len(deltas)
+        else:
+            # Session uninstalled mid-gather: nowhere canonical to
+            # fold into (the live view already saw them on arrival).
+            self.stats.deltas_dropped += len(deltas)
+
+    def _retry_serial(self, fn: Callable[[T], R], chunks: Sequence,
+                      index: int, reason: str, streamed: bool,
+                      epoch: Optional[int]) -> List[R]:
+        """Parent-side rerun of a timed-out or failed chunk.
+
+        Discards the chunk's streamed deltas first (the rerun writes
+        straight into the installed session; folding both would double
+        count) and dumps the flight recorder's window — the most recent
+        telemetry leading up to the failure — into
+        :attr:`flight_records`.
+        """
+        self.stats.serial_retries += 1
+        if streamed:
+            self.stats.deltas_dropped += \
+                self.stream.collector.discard((epoch, index))
+        self.flight_records.append(_flightrec.dump(
+            reason, chunk=index, backend=self.stats.backend,
+            tasks=len(chunks[index])))
+        self.stats.flight_dumps += 1
+        return _run_chunk(fn, chunks[index])
 
     # -- executors ---------------------------------------------------------
 
@@ -355,6 +519,18 @@ class ParallelMap:
         if stats.pool_reuses:
             tel.metrics.inc("repro_runtime_pool_reuses_total",
                             stats.pool_reuses, backend=stats.backend)
+        if stats.streamed_chunks:
+            tel.metrics.inc("repro_runtime_streamed_chunks_total",
+                            stats.streamed_chunks, backend=stats.backend)
+        if stats.deltas_merged:
+            tel.metrics.inc("repro_runtime_deltas_merged_total",
+                            stats.deltas_merged, backend=stats.backend)
+        if stats.deltas_dropped:
+            tel.metrics.inc("repro_runtime_deltas_dropped_total",
+                            stats.deltas_dropped, backend=stats.backend)
+        if stats.flight_dumps:
+            tel.metrics.inc("repro_runtime_flight_dumps_total",
+                            stats.flight_dumps, backend=stats.backend)
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],

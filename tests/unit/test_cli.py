@@ -45,7 +45,7 @@ class TestExperiments:
         out = capsys.readouterr().out
         for eid, _, bench in EXPERIMENT_INDEX:
             assert bench in out
-        assert len(EXPERIMENT_INDEX) == 29
+        assert len(EXPERIMENT_INDEX) == 30
 
     def test_index_ids_are_unique(self):
         ids = [eid for eid, _, _ in EXPERIMENT_INDEX]
@@ -128,6 +128,73 @@ class TestCampaignCommand:
         main(["campaign", "--requests", "30", "--seed", "5",
               "--workers", "3"])
         assert capsys.readouterr().out == serial
+
+    def test_campaign_json_format(self, capsys):
+        import json
+
+        assert main(["campaign", "--requests", "20", "--seed", "5",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-campaign-report/v1"
+        assert doc["sli"]["schema"] == "repro-sli-report/v2"
+        assert {"protector", "fault", "survival_rate"} <= \
+            doc["cells"][0].keys()
+
+
+class TestLiveDashboardCommands:
+    LIVE = ["--interval", "0.05", "--frames", "2", "--format", "json"]
+
+    def _frames(self, out):
+        import json
+
+        from repro.observe.stream import validate_frame
+
+        frames = [json.loads(line) for line in out.strip().splitlines()]
+        for frame in frames:
+            validate_frame(frame)
+        return frames
+
+    def test_top_emits_valid_frames_floor(self, capsys):
+        assert main(["top", "--requests", "8", "--seed", "3",
+                     "--workers", "2", *self.LIVE]) == 0
+        frames = self._frames(capsys.readouterr().out)
+        # --frames is a floor, not a cap.
+        assert len(frames) >= 2
+        assert [f["seq"] for f in frames] == list(range(len(frames)))
+        assert all(not f["final"] for f in frames[:-1])
+        final = frames[-1]
+        assert final["final"] is True
+        assert final["cells"]["done"] == final["cells"]["total"]
+        assert final["report"]["schema"] == "repro-campaign-report/v1"
+
+    def test_live_final_report_matches_plain_campaign_json(self, capsys):
+        import json
+
+        base = ["--requests", "10", "--seed", "3", "--workers", "2"]
+        assert main(["campaign", *base, "--format", "json"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["campaign", *base, "--live", *self.LIVE]) == 0
+        final = self._frames(capsys.readouterr().out)[-1]
+        # The streamed run's canonical report is byte-identical to the
+        # non-streaming path's output.
+        assert json.dumps(final["report"], sort_keys=True, indent=2,
+                          default=str) + "\n" == plain
+
+    def test_flight_out_writes_validating_jsonl(self, tmp_path, capsys):
+        from repro.observe.export.jsonl import validate_event_log
+
+        path = tmp_path / "flight.jsonl"
+        assert main(["top", "--requests", "8", "--seed", "3",
+                     "--workers", "2", *self.LIVE,
+                     "--flight-out", str(path)]) == 0
+        header = validate_event_log(path.read_text())
+        assert header["source"] == "flight-recorder"
+
+    def test_top_leaves_no_session_installed(self, capsys):
+        from repro import observe
+
+        main(["top", "--requests", "4", "--seed", "3", *self.LIVE])
+        assert observe.current().enabled is False
 
 
 class TestTraceCommand:
@@ -246,9 +313,14 @@ class TestReportCommand:
         assert main(["report", "nvp", "--requests", "10",
                      "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["sli"]["schema"] == "repro-sli-report/v1"
+        assert doc["sli"]["schema"] == "repro-sli-report/v2"
         rows = {row["technique"]: row for row in doc["sli"]["techniques"]}
         assert rows["nvp"]["availability"] is not None
+        assert rows["nvp"]["throughput"] is not None
+        # JSON documents carry no wall clock: the bytes are a pure
+        # function of (scenario, requests, seed) at any worker count.
+        assert doc["sli"]["trials_per_sec"] is None
+        assert doc["sli"]["wall_span"] is None
         assert doc["scenarios"][0]["scenario"] == "nvp"
 
     def test_report_window_flag(self, capsys):

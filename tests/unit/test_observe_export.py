@@ -137,16 +137,20 @@ class TestOpenMetrics:
 
 
 class TestEventLog:
-    def test_one_json_object_per_event(self):
+    def test_header_line_then_one_json_object_per_event(self):
         bus = EventBus()
         bus.publish("unit.outcome", pattern="nvp", ok=True)
         bus.publish("reboot", scope="micro", downtime=2.0)
         lines = render_event_log(bus).splitlines()
-        assert len(lines) == 2
-        first = json.loads(lines[0])
+        assert len(lines) == 3
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro-events-jsonl/v1"
+        first = json.loads(lines[1])
         assert first["topic"] == "unit.outcome"
         assert first["payload"] == {"ok": True, "pattern": "nvp"}
-        assert json.loads(lines[1])["seq"] == 1
+        assert json.loads(lines[2])["seq"] == 1
 
-    def test_empty_bus_renders_empty(self):
-        assert render_event_log(EventBus()) == ""
+    def test_empty_bus_renders_header_only(self):
+        lines = render_event_log(EventBus()).splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["schema"] == "repro-events-jsonl/v1"

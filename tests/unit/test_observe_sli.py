@@ -114,9 +114,43 @@ class TestSliMonitor:
         monitor = SliMonitor(bus, window=8)
         bus.publish("unit.outcome", pattern="nvp", ok=True)
         doc = monitor.as_dict()
-        assert doc["schema"] == "repro-sli-report/v1"
+        assert doc["schema"] == "repro-sli-report/v2"
         assert doc["window"] == 8
+        # Without an injected wall clock the wall-derived gauges are
+        # null and the document is a pure function of the event stream.
+        assert doc["trials_per_sec"] is None
+        assert doc["wall_span"] is None
         json.dumps(doc)
+
+    def test_parse_report_upgrades_v1_documents(self):
+        from repro.observe.sli import parse_report
+
+        bus = EventBus()
+        monitor = SliMonitor(bus, window=8)
+        bus.publish("unit.outcome", pattern="nvp", ok=True)
+        doc = monitor.as_dict()
+        legacy = {"schema": "repro-sli-report/v1",
+                  "window": doc["window"],
+                  "techniques": [
+                      {key: value for key, value in row.items()
+                       if key not in ("window_span", "throughput")}
+                      for row in doc["techniques"]],
+                  "stores": doc["stores"]}
+        upgraded = parse_report(legacy)
+        assert upgraded["schema"] == "repro-sli-report/v2"
+        assert upgraded["trials_per_sec"] is None
+        assert upgraded["wall_span"] is None
+        for row in upgraded["techniques"]:
+            assert row["window_span"] is None
+            assert row["throughput"] is None
+        # A current document passes through unchanged.
+        assert parse_report(doc) == doc
+
+    def test_parse_report_rejects_unknown_schema(self):
+        from repro.observe.sli import parse_report
+
+        with pytest.raises(ValueError):
+            parse_report({"schema": "repro-sli-report/v99"})
 
     def test_rejects_nonpositive_window(self):
         with pytest.raises(ValueError):
