@@ -30,6 +30,11 @@ BENCH_OBSERVE_SCHEMA = "repro-bench-observe/v1"
 BENCH_OBSERVE_JSON = pathlib.Path(__file__).resolve().parent.parent \
     / "BENCH_observe.json"
 
+#: The harness timing report (sectioned repro-bench-harness/v2; written
+#: through :func:`repro.runtime.bench.update_harness_json`).
+BENCH_HARNESS_JSON = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_harness.json"
+
 
 def save_result(experiment_id: str, text: str) -> None:
     """Persist a rendered experiment table and echo it to stdout."""

@@ -1,0 +1,223 @@
+"""Sharded campaigns: checkpoint, resume, stay byte-identical (H6).
+
+Three claims about the sharded campaign engine
+(:mod:`repro.harness.shard`):
+
+* **byte-identity** — a campaign interrupted after half its shards
+  (``max_shards``) and resumed from the checkpoint store produces a
+  report document byte-identical to an uninterrupted run: cells,
+  telemetry-fed SLI section and all (the serial-vs-parallel identity
+  convention, generalized to interrupted-vs-uninterrupted);
+* **resume speed** — with 50% of the shards already checkpointed, the
+  resumed run's wall time is at most 0.5× the cold run's.  The shard
+  plan front-loads the ragged remainder, so "half the shards" always
+  carries *more* than half the cells and the bound holds with honest
+  headroom rather than by luck;
+* **O(shard) memory** — driving :meth:`ShardedCampaign.run_shards` as
+  a stream (fold each outcome away instead of keeping it) holds peak
+  allocation roughly flat as the grid triples, and within a pinned
+  byte budget — the engine never materializes the grid.
+
+The saved results table carries only the deterministic facts; measured
+timings land in the ``shard_resume`` section of ``BENCH_harness.json``
+(sectioned ``repro-bench-harness/v2``, flock'd read-modify-write).
+"""
+
+import dataclasses
+import json
+import pathlib
+import tempfile
+import time
+import tracemalloc
+
+from repro import observe
+from repro.faults.development import Bohrbug, Heisenbug, InputRegion
+from repro.faults.environmental import LoadBug
+from repro.harness.campaign import FaultCampaign
+from repro.harness.report import render_table
+from repro.harness.shard import ShardedCampaign
+from repro.runtime.store import ResultStore
+
+from _common import BENCH_HARNESS_JSON, save_result
+
+from repro.runtime.bench import update_harness_json
+
+#: Workload per cell, chosen so cell measurement dominates the store
+#: and fold overheads the resume-speed claim compares against.
+REQUESTS = 250
+
+#: The timed grid: (3 + unprotected) protectors x 4 faults = 16 cells.
+PROTECTORS = 3
+
+SHARDS = 10
+#: "Interrupted at 50% of the shards": 5 of 10 shards completed covers
+#: 10 of 16 cells (62.5%) thanks to front-loaded ragged slices.
+HALF = 5
+
+#: Resumed wall / cold wall ceiling (the acceptance bound).
+RESUME_RATIO_BUDGET = 0.5
+
+ROUNDS = 3
+
+#: Streaming-consumption peak budget, and the allowed growth when the
+#: grid triples (flat would be 1.0; generous slack for allocator noise).
+PEAK_BUDGET_KIB = 512.0
+PEAK_GROWTH_BUDGET = 2.0
+
+
+def _oracle(x):
+    return x + 1
+
+
+def _retry(attempts):
+    """Blind re-execution, the simplest environment-diversity protector."""
+    def factory(faulty, env):
+        def protected(x):
+            last = None
+            for _ in range(attempts):
+                try:
+                    return faulty(x, env=env)
+                except Exception as exc:
+                    last = exc
+            raise last
+        return protected
+    return factory
+
+
+def _campaign(protectors=PROTECTORS, requests=REQUESTS, seed=11):
+    return FaultCampaign(
+        {f"retry-{k + 2}": _retry(k + 2) for k in range(protectors)},
+        {"bohrbug": lambda: Bohrbug("b", region=InputRegion(0, 10 ** 9)),
+         "heisenbug": lambda: Heisenbug("h", probability=0.5),
+         "load": lambda: LoadBug("l", probability=0.8),
+         "none": lambda: Heisenbug("quiet", probability=0.0)},
+        oracle=_oracle, requests=requests, seed=seed)
+
+
+def _report(sharded):
+    """Cells + SLI section under a fresh session — the byte surface
+    the CLI's campaign report exposes."""
+    with observe.session() as tel:
+        monitor = observe.SliMonitor(tel.bus)
+        cells = sharded.run()
+    document = {"cells": [dataclasses.asdict(cell) for cell in cells],
+                "sli": monitor.as_dict()}
+    return json.dumps(document, sort_keys=True, default=str)
+
+
+def _identity_phase(tmp):
+    """Interrupt at HALF shards, resume, compare against uninterrupted."""
+    path = tmp / "identity.jsonl"
+    interrupted = ShardedCampaign(
+        _campaign(), shards=SHARDS,
+        store=ResultStore(path, name="h6", quiet=True), max_shards=HALF)
+    _report(interrupted)
+    resumed = ShardedCampaign(
+        _campaign(), shards=SHARDS,
+        store=ResultStore(path, name="h6", quiet=True), resume=True)
+    resumed_doc = _report(resumed)
+    cold = ShardedCampaign(_campaign(), shards=SHARDS)
+    cold_doc = _report(cold)
+    return (resumed_doc == cold_doc, interrupted.stats, resumed.stats)
+
+
+def _timed_run(path, resume):
+    sharded = ShardedCampaign(
+        _campaign(), shards=SHARDS,
+        store=ResultStore(path, name="h6", quiet=True), resume=resume)
+    start = time.perf_counter()
+    sharded.run()
+    return time.perf_counter() - start
+
+
+def _timing_phase(tmp):
+    """Best-of-rounds cold wall vs resumed wall at HALF checkpointed."""
+    cold = resumed = float("inf")
+    for index in range(ROUNDS):
+        cold_path = tmp / f"cold-{index}.jsonl"
+        cold = min(cold, _timed_run(cold_path, resume=False))
+        warm_path = tmp / f"warm-{index}.jsonl"
+        ShardedCampaign(
+            _campaign(), shards=SHARDS,
+            store=ResultStore(warm_path, name="h6", quiet=True),
+            max_shards=HALF).run()
+        resumed = min(resumed, _timed_run(warm_path, resume=True))
+    return cold, resumed
+
+
+def _peak_streaming(protectors):
+    """Peak tracemalloc bytes while folding the grid away shard by
+    shard (cells-per-shard held constant as the grid grows)."""
+    campaign = _campaign(protectors=protectors)
+    shards = len(campaign.pairs()) // 2
+    sharded = ShardedCampaign(campaign, shards=shards)
+    correct = 0.0
+    tracemalloc.start()
+    for outcome in sharded.run_shards():
+        correct += sum(cell.correct_rate for cell in outcome.cells)
+    _net, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert correct > 0
+    return peak
+
+
+def _experiment():
+    with tempfile.TemporaryDirectory() as name:
+        tmp = pathlib.Path(name)
+        identical, half_stats, resume_stats = _identity_phase(tmp)
+        cold_wall, resumed_wall = _timing_phase(tmp)
+    ratio = resumed_wall / cold_wall if cold_wall else 1.0
+
+    peak_small = _peak_streaming(PROTECTORS)            # 16 cells
+    peak_large = _peak_streaming(3 * (PROTECTORS + 1) - 1)  # 48 cells
+    growth = peak_large / peak_small if peak_small else 1.0
+
+    facts = [
+        ("interrupted+resumed report byte-identical to uninterrupted",
+         identical),
+        (f"interruption checkpointed {HALF}/{SHARDS} shards",
+         half_stats.shards_checkpointed == HALF
+         and half_stats.truncated),
+        (f"resume served {HALF} shards and executed the remainder",
+         resume_stats.shards_served == HALF
+         and resume_stats.shards_executed == SHARDS - HALF),
+        ("front-loaded plan: half the shards carry >50% of cells",
+         half_stats.cells_executed * 2 > 16),
+        (f"resumed wall <= {RESUME_RATIO_BUDGET:.1f}x cold wall",
+         resumed_wall <= RESUME_RATIO_BUDGET * cold_wall),
+        (f"streaming peak within {PEAK_BUDGET_KIB:.0f} KiB budget",
+         peak_large / 1024 <= PEAK_BUDGET_KIB),
+        (f"peak grows <= {PEAK_GROWTH_BUDGET:.1f}x when the grid "
+         f"triples", growth <= PEAK_GROWTH_BUDGET),
+    ]
+    table = render_table(
+        ("fact", "holds"),
+        [(fact, str(bool(ok))) for fact, ok in facts],
+        title="H6: sharded checkpoint/resume identity, speed, memory")
+    section = {
+        "requests": REQUESTS,
+        "cells": 16,
+        "shards": SHARDS,
+        "checkpointed_shards": HALF,
+        "cells_covered_by_half": half_stats.cells_executed,
+        "cold_wall_ms": cold_wall * 1e3,
+        "resumed_wall_ms": resumed_wall * 1e3,
+        "resume_ratio": ratio,
+        "resume_ratio_budget": RESUME_RATIO_BUDGET,
+        "peak_16_cells_kib": peak_small / 1024,
+        "peak_48_cells_kib": peak_large / 1024,
+        "peak_growth_ratio": growth,
+        "peak_budget_kib": PEAK_BUDGET_KIB,
+    }
+    return facts, section, table
+
+
+def test_shard_resume_identity_speed_memory(benchmark):
+    facts, section, table = benchmark(_experiment)
+    save_result("H6_shard_resume", table)
+    update_harness_json(BENCH_HARNESS_JSON, "shard_resume", section)
+    print(" ".join(
+        f"{key}={value:.1f}" for key, value in sorted(section.items())))
+
+    for fact, ok in facts:
+        assert ok, fact

@@ -103,6 +103,8 @@ EXPERIMENT_INDEX = (
      "order of magnitude faster", "bench_h4_batch_kernel.py"),
     ("H5", "harness: delta streaming folds byte-identically with "
      "pinned overhead", "bench_h5_stream_overhead.py"),
+    ("H6", "harness: sharded campaigns checkpoint every shard and "
+     "resume byte-identically", "bench_h6_shard_resume.py"),
 )
 
 
@@ -205,7 +207,10 @@ def _build_campaign(args, stream=None):
         return rx.execute
 
     store = None
-    if getattr(args, "store", None):
+    if getattr(args, "store", None) and not getattr(args, "shards", None):
+        # Under --shards the path is a *checkpoint* store instead (see
+        # _make_sharded): cells are addressed through it by the shard
+        # checkpointer, never consulted per cell here.
         from repro.runtime.store import ResultStore
 
         store = ResultStore(args.store, name="campaign")
@@ -223,6 +228,54 @@ def _build_campaign(args, stream=None):
         workers=args.workers, backend=getattr(args, "backend", "auto"),
         batch=getattr(args, "batch", None), store=store, stream=stream)
     return campaign, store
+
+
+def _make_sharded(campaign, args):
+    """The sharded engine for ``--shards``, or ``None`` without it.
+
+    The checkpoint store (``--store`` under ``--shards``) is opened
+    **quiet**: checkpoint traffic differs between an interrupted and an
+    uninterrupted run, and leaking it into the SLI section would break
+    the resumed-run byte-identity contract.
+    """
+    if not getattr(args, "shards", None):
+        return None
+    from repro.harness.shard import ShardedCampaign
+
+    store = None
+    if getattr(args, "store", None):
+        from repro.runtime.store import ResultStore
+
+        store = ResultStore(args.store, name="campaign-shards",
+                            quiet=True)
+    if getattr(args, "resume", False) and store is None:
+        raise SystemExit("error: --resume needs --store PATH "
+                         "(the checkpoint log to resume from)")
+    return ShardedCampaign(campaign, shards=args.shards, store=store,
+                           resume=getattr(args, "resume", False),
+                           max_shards=getattr(args, "max_shards", None))
+
+
+def _evaluate_gate(document, args) -> dict:
+    """Run the acceptance gates over a finished campaign report."""
+    import json
+
+    from repro.harness.gates import evaluate_campaign
+
+    baseline = bench = None
+    if getattr(args, "gate_baseline", None):
+        with open(args.gate_baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    if getattr(args, "gate_bench", None):
+        with open(args.gate_bench, encoding="utf-8") as handle:
+            bench = json.load(handle)
+    return evaluate_campaign(
+        document, baseline=baseline, bench=bench,
+        tolerance=getattr(args, "gate_tolerance", 0.0))
+
+
+#: Exit status of a rejected ``repro campaign --gate`` (2 is argparse's).
+GATE_EXIT_REJECTED = 3
 
 
 def _campaign_report(cells, monitor, args) -> dict:
@@ -333,15 +386,21 @@ def _run_live_campaign(args) -> int:
     live_monitor = observe.SliMonitor(live_view.bus, window=args.window,
                                       wall_clock=time.perf_counter)
     campaign, _ = _build_campaign(args, stream=stream)
+    sharded = _make_sharded(campaign, args)
     box: dict = {}
     with observe.session() as tel:
         monitor = observe.SliMonitor(tel.bus, window=args.window)
+        shard_info = None
+        if sharded is not None:
+            import dataclasses as _dc
+
+            shard_info = lambda: _dc.asdict(sharded.stats)  # noqa: E731
         dash = LiveDashboard(
             live_monitor, collector=stream.collector,
             wall_clock=time.perf_counter,
             cells_total=len(campaign.protectors) * len(campaign.faults),
             counts=lambda: dict(live_view.bus.counts),
-            pool_info=pool_stats)
+            pool_info=pool_stats, shards=shard_info)
 
         def _snap():
             with stream.collector.locked():
@@ -349,7 +408,8 @@ def _run_live_campaign(args) -> int:
 
         def _work():
             try:
-                box["cells"] = campaign.run()
+                box["cells"] = (sharded.run() if sharded is not None
+                                else campaign.run())
             except BaseException as exc:  # re-raised after join
                 box["error"] = exc
 
@@ -368,6 +428,13 @@ def _run_live_campaign(args) -> int:
         while dash.frames < max(1, args.frames) - 1:
             _emit_frame(_snap(), args.format)
         report = _campaign_report(box["cells"], monitor, args)
+    if sharded is not None:
+        print(sharded.stats.summary(), file=sys.stderr)
+    verdict = (_evaluate_gate(report, args)
+               if getattr(args, "gate", False) else None)
+    if verdict is not None:
+        report = dict(report)
+        report["verdict"] = verdict
     _emit_frame(dash.frame(final=True, report=report), args.format)
     if args.flight_out:
         text = flightrec.recorder().dump_jsonl(
@@ -377,24 +444,54 @@ def _run_live_campaign(args) -> int:
         if error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if verdict is not None and not verdict["is_accepted"]:
+        return GATE_EXIT_REJECTED
     return 0
 
 
 def _cmd_campaign(args) -> int:
     if getattr(args, "live", False):
         return _run_live_campaign(args)
-    if args.format == "json":
+    if args.format == "json" or getattr(args, "shards", None) \
+            or getattr(args, "gate", False):
         import json
 
         from repro import observe
 
-        campaign, _ = _build_campaign(args)
+        campaign, store = _build_campaign(args)
+        sharded = _make_sharded(campaign, args)
         with observe.session() as tel:
             monitor = observe.SliMonitor(tel.bus, window=args.window)
-            cells = campaign.run()
+            cells = sharded.run() if sharded is not None \
+                else campaign.run()
+        if sharded is not None:
+            # Progress accounting goes to stderr so report bytes stay
+            # identical whether shards were served or executed.
+            print(sharded.stats.summary(), file=sys.stderr)
+            if sharded.stats.truncated:
+                print("campaign stopped by --max-shards; resume with "
+                      "--resume to finish", file=sys.stderr)
+                return 0
         document = _campaign_report(cells, monitor, args)
-        print(json.dumps(document, sort_keys=True, indent=2,
-                         default=str))
+        verdict = (_evaluate_gate(document, args)
+                   if getattr(args, "gate", False) else None)
+        if args.format == "json":
+            if verdict is not None:
+                document = dict(document)
+                document["verdict"] = verdict
+            print(json.dumps(document, sort_keys=True, indent=2,
+                             default=str))
+        else:
+            print(campaign.render_from(
+                cells, title="correct-result rate: technique x "
+                             "fault class"))
+            if verdict is not None:
+                from repro.harness.report import render_verdict
+
+                print()
+                print(render_verdict(verdict))
+        if verdict is not None and not verdict["is_accepted"]:
+            return GATE_EXIT_REJECTED
         return 0
     campaign, store = _build_campaign(args)
     print(campaign.render(
@@ -781,6 +878,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream telemetry deltas and refresh a "
                                "dashboard while the matrix runs "
                                "(equivalent to 'repro top')")
+    campaign.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="partition the matrix into N deterministic "
+                               "shards, each one pool work unit; with "
+                               "--store every finished shard is "
+                               "checkpointed (repro-campaign-shard/v1)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="serve already-checkpointed shards from "
+                               "the --store log and execute only the "
+                               "remainder (byte-identical report)")
+    campaign.add_argument("--max-shards", type=int, default=None,
+                          metavar="K",
+                          help="stop after K completed shards "
+                               "(deterministic interruption, for tests "
+                               "and the CI resume smoke)")
+    campaign.add_argument("--gate", action="store_true",
+                          help="evaluate the repro-campaign-verdict/v1 "
+                               "acceptance gates; exit 3 when rejected")
+    campaign.add_argument("--gate-baseline", metavar="PATH", default=None,
+                          help="baseline campaign report JSON for the "
+                               "telemetry-drift gate")
+    campaign.add_argument("--gate-bench", metavar="PATH", default=None,
+                          help="bench report JSON (BENCH_harness.json) "
+                               "for the bench-regression gate")
+    campaign.add_argument("--gate-tolerance", type=float, default=0.0,
+                          help="absolute rate tolerance for the "
+                               "telemetry-drift gate")
     live_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -800,7 +923,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "refresh, final frame embeds the canonical "
                           "report")
     live_args(top)
-    top.set_defaults(func=_cmd_top, live=True, batch=None, store=None)
+    top.set_defaults(func=_cmd_top, live=True, batch=None, store=None,
+                     shards=None, resume=False, max_shards=None,
+                     gate=False, gate_baseline=None, gate_bench=None,
+                     gate_tolerance=0.0)
 
     from repro.runtime.bench import configure_parser as _configure_bench
 

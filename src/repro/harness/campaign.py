@@ -205,18 +205,22 @@ class FaultCampaign:
                            seed=self.seed)
         return cell
 
-    def _cell_key(self, protector_label: str, fault_label: str) -> str:
+    def _cell_key(self, protector_label: str, fault_label: str,
+                  store: Optional["ResultStore"] = None) -> str:
         """Content address of one cell: the labels, workload size and
         base seed, salted with the source versions of the protector
-        factory, the fault factory and the oracle."""
+        factory, the fault factory and the oracle.  ``store`` overrides
+        the campaign's own (the shard checkpointer addresses cells
+        through the checkpoint store, so a later unsharded ``store=``
+        run serves them)."""
         from repro.runtime.store import code_fingerprint
 
         code = code_fingerprint(self.protectors[protector_label],
                                 self.faults[fault_label], self.oracle)
-        return self.store.key("repro.harness.campaign.cell",
-                              (protector_label, fault_label,
-                               self.requests),
-                              seed=self.seed, code=code)
+        return (store if store is not None else self.store).key(
+            "repro.harness.campaign.cell",
+            (protector_label, fault_label, self.requests),
+            seed=self.seed, code=code)
 
     def _measure(self, protector_label: str, fault_label: str
                  ) -> CampaignCell:
@@ -259,12 +263,18 @@ class FaultCampaign:
         one call, returned as one pickled list."""
         return [self._measure(*pair) for pair in pairs]
 
+    def pairs(self) -> List[Tuple[str, str]]:
+        """The full (protector, fault) pair list, protector-major —
+        the matrix order every report renders in, and the input the
+        sharded engine (:mod:`repro.harness.shard`) partitions."""
+        return [(protector, fault)
+                for protector in self.protectors
+                for fault in self.faults]
+
     def run(self) -> List[CampaignCell]:
         """The full matrix, protector-major."""
         self._enforce_certificate()
-        pairs = [(protector, fault)
-                 for protector in self.protectors
-                 for fault in self.faults]
+        pairs = self.pairs()
         if self.store is None:
             return self._execute(pairs)
         from repro.runtime.store import MISS
@@ -275,13 +285,18 @@ class FaultCampaign:
         missing = [pair for pair in pairs if found[pair] is MISS]
         computed = iter(self._execute(missing))
         out: List[CampaignCell] = []
+        staged: List[Dict[str, Any]] = []
         for pair in pairs:
             cell = found[pair]
             if cell is MISS:
                 cell = next(computed)
-                self.store.put(keys[pair], cell, task="campaign.cell",
-                               seed=self.seed)
+                staged.append({"key": keys[pair], "value": cell,
+                               "task": "campaign.cell",
+                               "seed": self.seed})
             out.append(cell)
+        if staged:
+            # One flock'd append for the whole miss tail.
+            self.store.put_many(staged)
         return out
 
     def _execute(self, pairs: List[Tuple[str, str]]) -> List[CampaignCell]:
@@ -313,13 +328,19 @@ class FaultCampaign:
 
     def render(self, title: str = "fault-injection campaign") -> str:
         """The survival matrix as a table: one row per protector."""
+        return self.render_from(self.run(), title=title)
+
+    def render_from(self, cells: List[CampaignCell],
+                    title: str = "fault-injection campaign") -> str:
+        """Render precomputed cells (e.g. a sharded run's) as the same
+        matrix table :meth:`render` produces."""
         fault_labels = list(self.faults)
+        lookup = {(cell.protector, cell.fault): cell for cell in cells}
         rows = []
-        cells = self.matrix()
         for protector in self.protectors:
             row = [protector]
             for fault in fault_labels:
-                cell = cells[(protector, fault)]
+                cell = lookup[(protector, fault)]
                 row.append(f"{cell.correct_rate:.0%}")
             rows.append(row)
         return render_table(["protector \\ fault", *fault_labels], rows,

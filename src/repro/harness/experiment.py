@@ -150,13 +150,17 @@ class Experiment:
                    if found[keys[seed]] is MISS]
         computed = iter(self._execute(missing))
         out: List[TrialResult] = []
+        staged: List[Dict[str, Any]] = []
         for seed in self.seeds:
             result = found[keys[seed]]
             if result is MISS:
                 result = next(computed)
-                self.store.put(keys[seed], result, task=task_name,
-                               seed=seed)
+                staged.append({"key": keys[seed], "value": result,
+                               "task": task_name, "seed": seed})
             out.append(result)
+        if staged:
+            # One flock'd append for the whole miss tail.
+            self.store.put_many(staged)
         return out
 
     def run_batches(self) -> List[BatchResult]:
@@ -190,13 +194,17 @@ class Experiment:
                    if found[key] is MISS]
         computed = iter(self._execute_batches(missing))
         out: List[BatchResult] = []
+        staged: List[Dict[str, Any]] = []
         for key, batch in zip(keys, batches):
             result = found[key]
             if result is MISS:
                 result = next(computed)
-                self.store.put(key, result, task=task_name,
-                               seed=batch[0], trials=len(batch))
+                staged.append({"key": key, "value": result,
+                               "task": task_name, "seed": batch[0],
+                               "trials": len(batch)})
             out.append(result)
+        if staged:
+            self.store.put_many(staged)
         return out
 
     def _task_name(self) -> str:

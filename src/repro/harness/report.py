@@ -7,7 +7,7 @@ from typing import Any, Dict, Iterable, List, Sequence
 from repro.taxonomy.tables import format_table
 
 __all__ = ["render_table", "render_series", "comparison_row", "format_cell",
-           "render_telemetry"]
+           "render_telemetry", "render_verdict"]
 
 
 def format_cell(value: Any) -> str:
@@ -63,3 +63,23 @@ def render_telemetry(summary: Dict[str, Any], title: str = "telemetry"
         rows.append(["metric", sample, "", value, ""])
     return render_table(("kind", "name", "count", "value/cost", "errors"),
                         rows, title=title)
+
+
+def render_verdict(verdict: Dict[str, Any],
+                   title: str = "campaign verdict") -> str:
+    """Render a ``repro-campaign-verdict/v1`` document (see
+    :mod:`repro.harness.gates`) as one ASCII table plus a headline
+    accept/reject line."""
+    rows: List[List[Any]] = []
+    for gate in verdict.get("gates", []):
+        passed = gate.get("passed")
+        outcome = ("SKIP" if passed is None
+                   else "PASS" if passed else "FAIL")
+        rows.append([gate["gate"], outcome, gate["confidence"],
+                     gate["detail"]])
+    table = render_table(("gate", "outcome", "confidence", "detail"),
+                         rows, title=title)
+    headline = ("ACCEPTED" if verdict.get("is_accepted")
+                else "REJECTED")
+    return (f"{table}\nverdict: {headline} "
+            f"(confidence: {verdict.get('confidence', '?')})")

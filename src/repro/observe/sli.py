@@ -42,7 +42,7 @@ from repro.taxonomy.tables import format_table
 
 __all__ = ["SliMonitor", "DEFAULT_WINDOW", "RECOVERY_TOPICS",
            "STORE_TOPICS", "percentile", "SCHEMA", "SCHEMAS",
-           "parse_report"]
+           "parse_report", "diff_reports"]
 
 #: Default sliding-window size, in samples per series.
 DEFAULT_WINDOW = 256
@@ -397,3 +397,57 @@ def parse_report(document: Dict[str, Any]) -> Dict[str, Any]:
         rows.append(row)
     upgraded["techniques"] = rows
     return upgraded
+
+
+def diff_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                 tolerance: float = 0.0) -> List[str]:
+    """Field-level drift between two SLI reports (the telemetry-drift
+    gate of :mod:`repro.harness.gates`).
+
+    Both documents are normalized through :func:`parse_report` first,
+    so a v1 baseline (an archived CI artifact) compares cleanly
+    against a v2 run.  Returns one human-readable line per drifting
+    field — an empty list means the reports agree:
+
+    * techniques present in one report but not the other;
+    * ``availability`` / ``failure_rate`` differing by more than
+      ``tolerance`` (absolute), or flipping between measured and
+      ``None``;
+    * the all-time ``outcomes_seen`` / ``failures_seen`` /
+      ``recoveries_seen`` tallies differing at all — counts are exact,
+      so any delta is drift regardless of ``tolerance``.
+
+    Windowed latency quantiles and throughput are deliberately *not*
+    compared: they depend on the sliding-window cut and (for
+    wall-clock fields) on the host, so comparing them would make the
+    gate flap on machine speed rather than behaviour.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    cur_rows = {row["technique"]: row
+                for row in parse_report(current)["techniques"]}
+    base_rows = {row["technique"]: row
+                 for row in parse_report(baseline)["techniques"]}
+    drift: List[str] = []
+    for name in sorted(set(base_rows) - set(cur_rows)):
+        drift.append(f"technique {name!r} missing from current report")
+    for name in sorted(set(cur_rows) - set(base_rows)):
+        drift.append(f"technique {name!r} absent from baseline")
+    for name in sorted(set(cur_rows) & set(base_rows)):
+        cur, base = cur_rows[name], base_rows[name]
+        for field in ("availability", "failure_rate"):
+            a, b = cur.get(field), base.get(field)
+            if a is None and b is None:
+                continue
+            if a is None or b is None:
+                drift.append(f"{name}.{field}: {b!r} -> {a!r}")
+            elif abs(a - b) > tolerance:
+                drift.append(
+                    f"{name}.{field}: {b:.4f} -> {a:.4f} "
+                    f"(|delta|={abs(a - b):.4f} > {tolerance})")
+        for field in ("outcomes_seen", "failures_seen",
+                      "recoveries_seen"):
+            a, b = cur.get(field), base.get(field)
+            if a != b:
+                drift.append(f"{name}.{field}: {b!r} -> {a!r}")
+    return drift

@@ -416,6 +416,11 @@ class LiveDashboard:
             mapping (usually the live bus's ``counts``) for progress.
         pool_info: Zero-arg callable returning pool accounting (e.g.
             :func:`repro.runtime.pool.pool_stats`).
+        shards: Zero-arg callable returning sharded-run accounting (a
+            :meth:`repro.harness.shard.ShardStats` ``asdict``); frames
+            then carry an extra ``"shards"`` key.
+            :func:`validate_frame` checks required keys only, so
+            shard-less consumers are unaffected.
     """
 
     def __init__(self, monitor: Any,
@@ -423,7 +428,9 @@ class LiveDashboard:
                  wall_clock: Optional[Callable[[], float]] = None,
                  cells_total: Optional[int] = None,
                  counts: Optional[Callable[[], Dict[str, int]]] = None,
-                 pool_info: Optional[Callable[[], Any]] = None) -> None:
+                 pool_info: Optional[Callable[[], Any]] = None,
+                 shards: Optional[Callable[[], Dict[str, Any]]] = None
+                 ) -> None:
         self.monitor = monitor
         self.collector = collector
         self._wall = wall_clock
@@ -431,6 +438,7 @@ class LiveDashboard:
         self.cells_total = cells_total
         self._counts = counts
         self._pool_info = pool_info
+        self._shards = shards
         self.frames = 0
 
     def frame(self, final: bool = False,
@@ -458,6 +466,8 @@ class LiveDashboard:
                        "dumps": recorder.dumps},
             "sli": self.monitor.as_dict(),
         }
+        if self._shards is not None:
+            document["shards"] = self._shards()
         if final:
             document["report"] = report
         self.frames += 1

@@ -31,14 +31,20 @@ class MemoCache:
     Args:
         name: The ``cache`` label on the telemetry counters.
         max_entries: LRU capacity; ``None`` means unbounded.
+        quiet: Suppress the telemetry counters (local ``hits`` /
+            ``misses`` tallies still accumulate).  Set by quiet
+            :class:`~repro.runtime.store.ResultStore` fronts — shard
+            checkpoint traffic must not leak into campaign telemetry.
     """
 
     def __init__(self, name: str = "memo",
-                 max_entries: Optional[int] = 4096) -> None:
+                 max_entries: Optional[int] = 4096,
+                 quiet: bool = False) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.name = name
         self.max_entries = max_entries
+        self.quiet = quiet
         self._store: "collections.OrderedDict[Tuple, Any]" = \
             collections.OrderedDict()
         self.hits = 0
@@ -161,12 +167,16 @@ class MemoCache:
 
     def _count_hit(self) -> None:
         self.hits += 1
+        if self.quiet:
+            return
         tel = _telemetry()
         if tel.enabled:
             tel.metrics.inc("repro_cache_hits_total", cache=self.name)
 
     def _count_miss(self) -> None:
         self.misses += 1
+        if self.quiet:
+            return
         tel = _telemetry()
         if tel.enabled:
             tel.metrics.inc("repro_cache_misses_total", cache=self.name)

@@ -267,6 +267,33 @@ class ParallelMap:
                 work — is submitted as its own chunk and never
                 re-bundled into a second layer of pickling.
         """
+        results: List[R] = []
+        for chunk_results in self.imap(fn, items, chunk_size=chunk_size):
+            results.extend(chunk_results)
+        return results
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T],
+             chunk_size: Optional[int] = None):
+        """The incremental face of :meth:`map`: a generator yielding
+        one **chunk's result list** at a time, strictly in submission
+        order, as chunks are gathered.
+
+        Every :meth:`map` guarantee holds per chunk — ordered gather,
+        retry-once-serial, telemetry capture and delta streaming at the
+        moment each chunk is merged — but the parent holds only the
+        in-flight window of results instead of the whole output list,
+        so a streaming consumer (the sharded campaign engine, which
+        submits one shard per chunk and checkpoints each as it lands)
+        keeps peak memory O(chunk), not O(items).  Closing the
+        generator early deactivates the stream and releases the
+        executor; with a warm shared pool, chunks already submitted may
+        still complete in the background.
+
+        The serial backend runs the whole task list as its single
+        chunk, exactly as :meth:`map` does — callers that need
+        chunk-at-a-time progress under ``workers <= 1`` should iterate
+        their items themselves.
+        """
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         tasks = list(items)
@@ -281,14 +308,15 @@ class ParallelMap:
                 results = _run_chunk(fn, tasks)
             self.stats.chunks = 1 if tasks else 0
             self._report()
-            return results
+            if tasks:
+                yield results
+            return
 
         size = (chunk_size or self.chunk_size
                 or max(1, -(-len(tasks) // (self.workers * 4))))
         chunks = [tasks[i:i + size] for i in range(0, len(tasks), size)]
         self.stats.chunks = len(chunks)
         max_in_flight = self.max_in_flight or self.workers * 2
-        results: List[R] = []
         pool, warm = self._executor(backend, len(chunks))
         stream = self.stream
         epoch: Optional[int] = None
@@ -373,7 +401,8 @@ class ParallelMap:
                             tel.merge(snapshot)
                     else:
                         chunk_results = payload
-                results.extend(chunk_results)
+                yield chunk_results
+            self._report()
         finally:
             if stream is not None and sink is not None:
                 stream.deactivate()
@@ -385,8 +414,6 @@ class ParallelMap:
                 # A warm pool that lost a worker must not be reused;
                 # drop it so the next call respawns cleanly.
                 _retire_pool(warm)
-        self._report()
-        return results
 
     # -- streaming ---------------------------------------------------------
 

@@ -121,6 +121,14 @@ class ResultStore:
         engine: The :mod:`repro.sqlstore` engine indexing the log
             in memory (default: a :class:`SortedStoreEngine`, whose
             dump order is deterministic).
+        quiet: Suppress the store's telemetry (``repro_runtime_store_*``
+            counters and ``store.*`` events).  Python-side counters and
+            :meth:`stats` still accumulate.  The shard checkpoint store
+            runs quiet because its traffic differs between an
+            interrupted-and-resumed campaign and an uninterrupted one —
+            traffic that, published, would reach the SLI store table
+            and break the report's interrupted-vs-uninterrupted
+            byte-identity (see :mod:`repro.harness.shard`).
 
     Values are pickled; anything the parallel runtime can ship across a
     process pool stores fine.  Two stores (or two processes) may share
@@ -131,13 +139,15 @@ class ResultStore:
 
     def __init__(self, path: Union[str, os.PathLike], name: str = "results",
                  memory_entries: Optional[int] = 1024,
-                 engine: Optional[Any] = None) -> None:
+                 engine: Optional[Any] = None,
+                 quiet: bool = False) -> None:
         self.path = os.fspath(path)
         self.name = name
+        self.quiet = quiet
         self.engine = engine if engine is not None else SortedStoreEngine(
             name=f"{name}-index")
         self.memory = MemoCache(name=f"{name}-mem",
-                                max_entries=memory_entries)
+                                max_entries=memory_entries, quiet=quiet)
         #: Bytes of the log consumed into the engine so far.
         self._offset = 0
         self.hits = 0
@@ -150,6 +160,9 @@ class ResultStore:
         #: store-traffic table can report per-batch hit accounting.
         self.trials_served = 0
         self.trials_stored = 0
+        #: Records written through :meth:`put_many` (one flock'd append
+        #: per batch, rather than one per record).
+        self.puts_batched = 0
         #: ``key -> trials`` for batch records seen via put/index.
         self._trials: Dict[str, int] = {}
         #: Log lines that failed to parse (skipped, never fatal).
@@ -280,16 +293,54 @@ class ResultStore:
         ``store.write`` events carry ``trials=`` for the SLI
         store-traffic table.
         """
+        line = self._encode(key, value, task, seed, trials)
+        self._append(line)
+        # Consuming the log from the previous offset indexes our record
+        # *and* any foreign appends that landed before it.
+        self.refresh()
+        self._account_write(key, value, trials, line)
+
+    def put_many(self, entries: Sequence[Dict[str, Any]]) -> None:
+        """Persist many records with **one** flock'd append.
+
+        Each entry is a dict with ``key`` and ``value`` plus the
+        optional :meth:`put` fields ``task``/``seed``/``trials``.  The
+        whole batch lands as a single ``O_APPEND`` write under one
+        advisory lock — so a shard checkpoint (the shard record plus
+        its cell records) or a batched experiment's miss tail pays one
+        lock round-trip, not N — followed by a single :meth:`refresh`.
+        Per-record accounting (counters, ``store.write`` events) is
+        identical to N scalar puts; :attr:`puts_batched` counts the
+        records that took this path.
+        """
+        staged = [(entry["key"], entry["value"],
+                   int(entry.get("trials", 1)),
+                   self._encode(entry["key"], entry["value"],
+                                entry.get("task", "?"),
+                                entry.get("seed"),
+                                int(entry.get("trials", 1))))
+                  for entry in entries]
+        if not staged:
+            return
+        self._append(b"".join(line for _, _, _, line in staged))
+        self.refresh()
+        for key, value, trials, line in staged:
+            self._account_write(key, value, trials, line)
+        self.puts_batched += len(staged)
+
+    def _encode(self, key: str, value: Any, task: str,
+                seed: Optional[int], trials: int) -> bytes:
+        """One record as its JSONL line (shared by put / put_many)."""
         payload = pickle.dumps(value, protocol=_PICKLE_PROTOCOL).hex()
         row = {"id": stable_int(key, modulo=2 ** 62), "key": key,
                "task": task, "seed": seed, "payload": payload}
         if trials != 1:
             row["trials"] = trials
-        line = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
-        self._append(line)
-        # Consuming the log from the previous offset indexes our record
-        # *and* any foreign appends that landed before it.
-        self.refresh()
+        return (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+
+    def _account_write(self, key: str, value: Any, trials: int,
+                       line: bytes) -> None:
+        """Memory promotion + counters + events for one written record."""
         self.memory.put(key, value)
         self.writes += 1
         self.bytes_written += len(line)
@@ -418,17 +469,22 @@ class ResultStore:
                 "bytes_written": self.bytes_written,
                 "trials_served": self.trials_served,
                 "trials_stored": self.trials_stored,
+                "puts_batched": self.puts_batched,
                 "corrupt_lines": self.corrupt_lines,
                 "hit_rate": round(self.hit_rate, 4),
                 "memory": self.memory.stats()}
 
     def _count(self, which: str, amount: float = 1.0) -> None:
+        if self.quiet:
+            return
         tel = _telemetry()
         if tel.enabled:
             tel.metrics.inc(f"repro_runtime_store_{which}_total", amount,
                             store=self.name)
 
     def _publish(self, topic: str, **payload: Any) -> None:
+        if self.quiet:
+            return
         tel = _telemetry()
         if tel.enabled:
             tel.publish(topic, store=self.name, **payload)

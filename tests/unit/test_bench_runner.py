@@ -144,21 +144,62 @@ class TestHarnessReport:
         code = cli_main(["bench", "--only", "table1", "--workers", "2",
                          "--json", str(report_path)])
         assert code == 0
-        report = json.loads(report_path.read_text(encoding="utf-8"))
-        assert report["schema"] == "repro-bench-harness/v1"
-        assert report["workers"] == 2
-        assert report["host"]["cpu_count"] >= 1
-        assert report["failures"] == []
-        assert report["results_drift"] == []
-        entries = {entry["name"] for entry in report["benchmarks"]}
+        document = json.loads(report_path.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro-bench-harness/v2"
+        assert document["host"]["cpu_count"] >= 1
+        suite = document["suite"]
+        assert "schema" not in suite and "host" not in suite
+        assert suite["workers"] == 2
+        assert suite["failures"] == []
+        assert suite["results_drift"] == []
+        entries = {entry["name"] for entry in suite["benchmarks"]}
         assert entries == {"bench_table1_taxonomy"}
-        for entry in report["benchmarks"]:
+        for entry in suite["benchmarks"]:
             assert entry["ok"] and entry["seconds"] >= 0
-        assert report["serial_seconds"] >= 0
-        assert report["wall_seconds"] > 0
-        assert report["speedup_vs_serial"] > 0
+        assert suite["serial_seconds"] >= 0
+        assert suite["wall_seconds"] > 0
+        assert suite["speedup_vs_serial"] > 0
         out = capsys.readouterr().out
         assert "repro bench" in out and "speedup" in out
+
+    def test_sections_survive_regeneration(self, tmp_path):
+        # A foreign section (H6's shard_resume figures) written before
+        # a suite run is still there afterwards — the sectioned RMW
+        # never clobbers the whole file.
+        report_path = tmp_path / "BENCH_harness.json"
+        bench_mod.update_harness_json(report_path, "shard_resume",
+                                      {"resume_ratio": 0.4})
+        code = cli_main(["bench", "--only", "table1", "--workers", "1",
+                         "--json", str(report_path)])
+        assert code == 0
+        document = json.loads(report_path.read_text(encoding="utf-8"))
+        assert document["shard_resume"] == {"resume_ratio": 0.4}
+        assert document["suite"]["failures"] == []
+
+    def test_v1_document_upgrades_to_v2(self, tmp_path):
+        # A flat v1 report left by an older runner becomes the "suite"
+        # section on the first sectioned update.
+        report_path = tmp_path / "BENCH_harness.json"
+        legacy = {"schema": "repro-bench-harness/v1",
+                  "host": {"cpu_count": 4},
+                  "workers": 3, "failures": [], "benchmarks": []}
+        report_path.write_text(json.dumps(legacy), encoding="utf-8")
+        document = bench_mod.update_harness_json(
+            report_path, "shard_resume", {"resume_ratio": 0.4})
+        assert document["schema"] == "repro-bench-harness/v2"
+        assert document["suite"]["workers"] == 3
+        assert "schema" not in document["suite"]
+        assert document["shard_resume"] == {"resume_ratio": 0.4}
+        on_disk = json.loads(report_path.read_text(encoding="utf-8"))
+        assert on_disk == json.loads(json.dumps(document))
+
+    def test_corrupt_document_is_replaced(self, tmp_path):
+        report_path = tmp_path / "BENCH_harness.json"
+        report_path.write_text("{not json", encoding="utf-8")
+        document = bench_mod.update_harness_json(report_path, "suite",
+                                                 {"failures": []})
+        assert document["schema"] == "repro-bench-harness/v2"
+        assert document["suite"] == {"failures": []}
 
     def test_timeout_falls_back_to_parent_run(self, tmp_path):
         # A bench that sleeps past the deadline forces the

@@ -45,7 +45,7 @@ class TestExperiments:
         out = capsys.readouterr().out
         for eid, _, bench in EXPERIMENT_INDEX:
             assert bench in out
-        assert len(EXPERIMENT_INDEX) == 30
+        assert len(EXPERIMENT_INDEX) == 31
 
     def test_index_ids_are_unique(self):
         ids = [eid for eid, _, _ in EXPERIMENT_INDEX]
@@ -139,6 +139,66 @@ class TestCampaignCommand:
         assert doc["sli"]["schema"] == "repro-sli-report/v2"
         assert {"protector", "fault", "survival_rate"} <= \
             doc["cells"][0].keys()
+
+
+class TestShardedCampaignCLI:
+    def _json_run(self, capsys, extra):
+        code = main(["campaign", "--requests", "20", "--seed", "5",
+                     "--format", "json"] + extra)
+        return code, capsys.readouterr()
+
+    def test_interrupt_then_resume_matches_cold(self, tmp_path, capsys):
+        store = str(tmp_path / "ck.jsonl")
+        code, interrupted = self._json_run(
+            capsys, ["--shards", "4", "--store", store,
+                     "--max-shards", "2"])
+        assert code == 0
+        assert "shards:" in interrupted.err
+        # A truncated run has no complete grid, so no report.
+        assert interrupted.out.strip() == ""
+        code, resumed = self._json_run(
+            capsys, ["--shards", "4", "--store", store, "--resume"])
+        assert code == 0
+        assert "served=2" in resumed.err
+        code, cold = self._json_run(capsys, ["--shards", "4"])
+        assert code == 0
+        assert resumed.out == cold.out
+
+    def test_resume_requires_a_store(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--requests", "20", "--shards", "2",
+                  "--resume"])
+
+    def test_gate_attaches_verdict_and_accepts(self, capsys):
+        import json
+
+        code, run = self._json_run(capsys, ["--gate"])
+        assert code == 0
+        verdict = json.loads(run.out)["verdict"]
+        assert verdict["schema"] == "repro-campaign-verdict/v1"
+        assert verdict["is_accepted"] is True
+        assert "tests" in verdict["gates_passed"]
+
+    def test_gate_renders_verdict_in_text(self, capsys):
+        assert main(["campaign", "--requests", "20", "--seed", "5",
+                     "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign verdict" in out
+        assert "ACCEPTED" in out
+
+    def test_gate_rejects_on_baseline_drift(self, tmp_path, capsys):
+        import json
+
+        _, run = self._json_run(capsys, [])
+        baseline = json.loads(run.out)
+        baseline["sli"]["techniques"][0]["outcomes_seen"] += 7
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline), encoding="utf-8")
+        code, rejected = self._json_run(
+            capsys, ["--gate", "--gate-baseline", str(path)])
+        assert code == 3
+        verdict = json.loads(rejected.out)["verdict"]
+        assert "telemetry-drift" in verdict["gates_failed"]
 
 
 class TestLiveDashboardCommands:

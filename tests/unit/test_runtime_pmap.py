@@ -169,6 +169,44 @@ class TestPerCallExecutor:
         assert pool_stats() == []
 
 
+class TestIncrementalMap:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_chunks_arrive_in_submission_order(self, backend):
+        pool = ParallelMap(workers=3, backend=backend, chunk_size=4)
+        gathered = []
+        for chunk in pool.imap(square, range(14)):
+            gathered.append(list(chunk))
+        assert [len(c) for c in gathered] == [4, 4, 4, 2]
+        flat = [value for chunk in gathered for value in chunk]
+        assert flat == [square(i) for i in range(14)]
+        assert pool.stats.chunks == 4
+
+    def test_serial_backend_yields_one_chunk(self):
+        pool = ParallelMap(workers=1, backend="auto")
+        chunks = list(pool.imap(square, range(7)))
+        assert chunks == [[square(i) for i in range(7)]]
+        assert pool.stats.chunks == 1
+
+    def test_empty_items_yield_nothing(self):
+        pool = ParallelMap(workers=2, backend="thread")
+        assert list(pool.imap(square, [])) == []
+        assert pool.stats.chunks == 0
+
+    def test_early_close_is_clean(self):
+        pool = ParallelMap(workers=2, backend="thread", chunk_size=2)
+        stream = pool.imap(square, range(12))
+        first = next(stream)
+        stream.close()
+        assert first == [0, 1]
+        # A fresh map on the same pool still works after the abort.
+        assert pool.map(square, range(4)) == [0, 1, 4, 9]
+
+    def test_imap_rejects_bad_chunk_size(self):
+        pool = ParallelMap(workers=2, backend="thread")
+        with pytest.raises(ValueError):
+            list(pool.imap(square, range(4), chunk_size=0))
+
+
 class TestFunctionalForm:
     def test_parallel_map_matches_comprehension(self):
         assert parallel_map(square, range(9), workers=3,

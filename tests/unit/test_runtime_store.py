@@ -212,6 +212,66 @@ class TestTwoTierStore:
         assert topics.count("store.hit") == 1
 
 
+class TestBatchedPuts:
+    def test_put_many_round_trips_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path / "b.jsonl", name="batch")
+        entries = [{"key": store.key("task", (i,), seed=0, code="v1"),
+                    "value": {"i": i}, "task": "task", "seed": 0}
+                   for i in range(5)]
+        store.put_many(entries)
+        for entry in entries:
+            assert store.get(entry["key"]) == entry["value"]
+        assert store.stats()["writes"] == 5
+        assert store.stats()["puts_batched"] == 5
+        # One append: the log grew once, in whole records.
+        fresh = ResultStore(tmp_path / "b.jsonl", name="batch2")
+        assert fresh.stats()["entries"] == 5
+        assert fresh.stats()["corrupt_lines"] == 0
+
+    def test_put_many_carries_trials_accounting(self, tmp_path):
+        store = ResultStore(tmp_path / "b.jsonl", name="batch")
+        key = store.key("batched", ("cell",), seed=1)
+        store.put_many([{"key": key, "value": [1, 2, 3],
+                         "task": "batched", "seed": 1, "trials": 3}])
+        assert store.stats()["trials_stored"] == 3
+        served = ResultStore(tmp_path / "b.jsonl", name="reader")
+        assert served.get(key) == [1, 2, 3]
+        assert served.stats()["trials_served"] == 3
+
+    def test_empty_batch_is_a_no_op(self, tmp_path):
+        store = ResultStore(tmp_path / "b.jsonl", name="batch")
+        store.put_many([])
+        assert store.stats()["writes"] == 0
+        assert not os.path.exists(store.path) \
+            or not os.path.getsize(store.path)
+
+    def test_quiet_store_keeps_counters_but_not_telemetry(self, tmp_path):
+        with observe.session() as tel:
+            store = ResultStore(tmp_path / "q.jsonl", name="hush",
+                                quiet=True)
+            store.get_or_call(add_one, 1, seed=0)
+            store.get_or_call(add_one, 1, seed=0)
+            store.put_many([{"key": store.key("t", (9,), seed=0),
+                             "value": 9}])
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+        assert store.stats()["writes"] == 2
+        rendered = json.dumps(tel.snapshot(), sort_keys=True, default=str)
+        assert "repro_runtime_store" not in rendered
+        assert "store.hit" not in rendered and "hush" not in rendered
+        assert "repro_cache" not in rendered
+
+    def test_experiment_miss_tail_is_one_batch(self, tmp_path):
+        from repro.harness.experiment import run_trials
+
+        store = ResultStore(tmp_path / "t.jsonl")
+        run_trials(seeded_trial, range(4), store=store)
+        assert store.stats()["puts_batched"] == 4
+        run_trials(seeded_trial, range(6), store=store)
+        # Only the two missing seeds joined the second batch.
+        assert store.stats()["puts_batched"] == 6
+
+
 class TestHarnessWiring:
     def test_run_trials_store_is_byte_identical(self, tmp_path):
         from repro.harness.experiment import run_trials
